@@ -1,0 +1,134 @@
+"""Shared experiment runners and table printing for the benchmarks.
+
+Every benchmark follows the same pattern: build a simulated deployment
+mirroring the paper's, drive closed- or open-loop clients, and print the
+rows the corresponding paper table/figure reports.  pytest-benchmark
+times the simulation itself (wall-clock of the whole experiment); the
+*scientific* output is the printed simulated-latency/throughput table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.metrics import LatencyRecorder
+from repro.sim.latency import EXPERIMENT1, EXPERIMENT2, LatencyMatrix
+from repro.sim.network import CpuModel
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generator import KVWorkload
+
+#: Experiment 1 deployment (Table I, Figures 4, 6, 7).
+EXP1_REGIONS = ["virginia", "tokyo", "mumbai", "sydney"]
+#: Experiment 2 deployment (Figure 5).
+EXP2_REGIONS = ["ohio", "ireland", "frankfurt", "mumbai"]
+
+#: Default per-experiment safety cap on simulated events.
+MAX_EVENTS = 40_000_000
+
+
+def run_closed_loop(protocol: str,
+                    regions: Sequence[str] = tuple(EXP1_REGIONS),
+                    latency: LatencyMatrix = EXPERIMENT1,
+                    *,
+                    primary_region: Optional[str] = None,
+                    contention: float = 0.0,
+                    clients_per_region: int = 1,
+                    requests_per_client: int = 8,
+                    cpu: Optional[CpuModel] = None,
+                    seed: int = 0,
+                    slow_path_timeout: float = 400.0,
+                    client_regions: Optional[Sequence[str]] = None
+                    ) -> Cluster:
+    """The paper's latency methodology: closed-loop clients co-located
+    with every replica (or ``client_regions``), measuring per-region
+    client-side latency."""
+    cluster = build_cluster(protocol, list(regions), latency,
+                            primary_region=primary_region,
+                            cpu=cpu, seed=seed,
+                            slow_path_timeout=slow_path_timeout)
+    drivers = []
+    counter = 0
+    where = client_regions if client_regions is not None else regions
+    for region in where:
+        for _ in range(clients_per_region):
+            client_id = f"c{counter}"
+            counter += 1
+            client = cluster.add_client(client_id, region)
+            workload = KVWorkload(client_id, contention=contention,
+                                  seed=seed * 1000 + counter)
+            drivers.append(ClosedLoopDriver(
+                client, workload, num_requests=requests_per_client))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle(max_events=MAX_EVENTS)
+    assert all(d.done for d in drivers), "not all clients finished"
+    return cluster
+
+
+def run_open_loop(protocol: str,
+                  regions: Sequence[str] = tuple(EXP1_REGIONS),
+                  latency: LatencyMatrix = EXPERIMENT1,
+                  *,
+                  primary_region: Optional[str] = None,
+                  client_regions: Sequence[str] = ("virginia",),
+                  clients_per_region: int = 10,
+                  rate_per_client: float = 60.0,
+                  duration_ms: float = 3000.0,
+                  cpu: Optional[CpuModel] = None,
+                  seed: int = 0) -> Cluster:
+    """The paper's throughput methodology (Figure 7): open-loop clients,
+    0% contention, small write requests."""
+    # Recovery timers are pushed out of the way: a saturated (but
+    # correct) system must not be mistaken for a faulty one, or client
+    # retries / view changes avalanche and the measurement becomes a
+    # fault experiment.
+    cluster = build_cluster(protocol, list(regions), latency,
+                            primary_region=primary_region,
+                            cpu=cpu, seed=seed,
+                            slow_path_timeout=8_000.0,
+                            retry_timeout=120_000.0,
+                            suspicion_timeout=120_000.0,
+                            view_change_timeout=120_000.0)
+    drivers = []
+    counter = 0
+    for region in client_regions:
+        for _ in range(clients_per_region):
+            client_id = f"c{counter}"
+            counter += 1
+            client = cluster.add_client(client_id, region)
+            workload = KVWorkload(client_id, contention=0.0,
+                                  seed=seed * 1000 + counter)
+            drivers.append(OpenLoopDriver(
+                client, workload, rate_per_sec=rate_per_client,
+                duration_ms=duration_ms))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle(max_events=MAX_EVENTS)
+    return cluster
+
+
+def region_means(recorder: LatencyRecorder) -> Dict[str, float]:
+    return {group: recorder.summary(group).mean
+            for group in recorder.groups()}
+
+
+def print_table(title: str, columns: List[str],
+                rows: List[List[str]]) -> None:
+    """Fixed-width table matching the paper's row/column layout."""
+    widths = [max(len(str(col)), *(len(str(row[i])) for row in rows))
+              for i, col in enumerate(columns)]
+    print()
+    print(f"=== {title} ===")
+    header = "  ".join(str(col).ljust(widths[i])
+                       for i, col in enumerate(columns))
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i])
+                        for i, cell in enumerate(row)))
+    print()
+
+
+def fmt_ms(value: float) -> str:
+    return f"{value:7.1f}"

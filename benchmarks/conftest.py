@@ -1,0 +1,6 @@
+"""Make bench_util importable and force -s-like output for tables."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

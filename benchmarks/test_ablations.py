@@ -1,0 +1,134 @@
+"""Ablations on ezBFT's design choices (DESIGN.md section 3).
+
+1. **Interference relation granularity** -- ezBFT's commutativity-aware
+   relation vs Q/U-style read/write conflicts: commuting increments stay
+   on the fast path under the fine relation but conflict under the
+   coarse one (the paper's Section VI comparison with Q/U).
+2. **Nearest-replica targeting** -- what the leaderless design buys: the
+   same ezBFT protocol with clients pinned to one fixed replica loses
+   the first-hop saving.
+3. **Contention sweep** -- fast-path fraction and latency as contention
+   grows, quantifying the fast/slow-path trade-off of Table II.
+"""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.sim.latency import EXPERIMENT1
+from repro.statemachine.interference import (
+    KVInterference,
+    ReadWriteInterference,
+)
+from repro.workload.drivers import ClosedLoopDriver
+from repro.workload.generator import KVWorkload
+
+from bench_util import (
+    EXP1_REGIONS,
+    fmt_ms,
+    print_table,
+    run_closed_loop,
+)
+
+
+def run_incr_workload(interference):
+    """Four clients concurrently incrementing the same counter."""
+    cluster = build_cluster("ezbft", EXP1_REGIONS, EXPERIMENT1,
+                            interference=interference,
+                            slow_path_timeout=400.0)
+    done = []
+    for i, region in enumerate(EXP1_REGIONS):
+        state = {"left": 4, "client": None}
+
+        def on_delivery(command, result, latency, path, state=state):
+            state["left"] -= 1
+            client = state["client"]
+            if state["left"] > 0:
+                client.submit(client.next_command("incr", "counter", 1))
+            else:
+                done.append(client.client_id)
+
+        client = cluster.add_client(f"c{i}", region,
+                                    on_delivery=on_delivery)
+        state["client"] = client
+        client.submit(client.next_command("incr", "counter", 1))
+    cluster.run_until_idle()
+    assert len(done) == 4
+    return cluster
+
+
+def run_ablations():
+    results = {}
+
+    # 1. Interference granularity with commuting increments.
+    fine = run_incr_workload(KVInterference())
+    coarse = run_incr_workload(ReadWriteInterference())
+    results["incr-fine"] = (fine.recorder.fast_path_fraction(),
+                            fine.recorder.overall().mean)
+    results["incr-coarse"] = (coarse.recorder.fast_path_fraction(),
+                              coarse.recorder.overall().mean)
+    # Counter must equal 16 under both relations at every replica.
+    for cluster in (fine, coarse):
+        for replica in cluster.replicas.values():
+            value = replica.statemachine.get_final("counter")
+            assert value == 16, value
+
+    # 2. Nearest-replica targeting vs pinned-to-one-replica.
+    nearest = run_closed_loop("ezbft", requests_per_client=5)
+    cluster = build_cluster("ezbft", EXP1_REGIONS, EXPERIMENT1)
+    drivers = []
+    for i, region in enumerate(EXP1_REGIONS):
+        client = cluster.add_client(f"c{i}", region,
+                                    target_replica="r0")  # pinned
+        drivers.append(ClosedLoopDriver(
+            client, KVWorkload(f"c{i}", seed=i), num_requests=5))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle()
+    results["nearest"] = nearest.recorder.overall().mean
+    results["pinned"] = cluster.recorder.overall().mean
+
+    # 3. Contention sweep.
+    sweep = {}
+    for contention in (0.0, 0.1, 0.25, 0.5, 0.75, 1.0):
+        run = run_closed_loop("ezbft", contention=contention,
+                              clients_per_region=2,
+                              requests_per_client=4)
+        sweep[contention] = (run.recorder.fast_path_fraction(),
+                             run.recorder.overall().mean)
+    results["sweep"] = sweep
+    return results
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark):
+    results = benchmark.pedantic(run_ablations, rounds=1, iterations=1)
+
+    fine_fast, fine_lat = results["incr-fine"]
+    coarse_fast, coarse_lat = results["incr-coarse"]
+    print_table(
+        "Ablation 1: interference granularity (4 clients x 4 incrs on "
+        "one counter)",
+        ["relation", "fast-path fraction", "mean latency"],
+        [["commutativity-aware (ezBFT)", f"{fine_fast:.2f}",
+          fmt_ms(fine_lat)],
+         ["read/write (Q/U-style)", f"{coarse_fast:.2f}",
+          fmt_ms(coarse_lat)]])
+    # The fine relation keeps commuting increments on the fast path.
+    assert fine_fast > coarse_fast
+    assert fine_lat < coarse_lat
+
+    print_table(
+        "Ablation 2: nearest-replica targeting",
+        ["client targeting", "mean latency"],
+        [["nearest replica (leaderless)", fmt_ms(results["nearest"])],
+         ["pinned to r0 (primary-like)", fmt_ms(results["pinned"])]])
+    assert results["nearest"] < results["pinned"]
+
+    rows = [[f"{int(c * 100)}%", f"{fast:.2f}", fmt_ms(lat)]
+            for c, (fast, lat) in results["sweep"].items()]
+    print_table("Ablation 3: contention sweep (2 clients/region)",
+                ["contention", "fast fraction", "mean latency"], rows)
+    sweep = results["sweep"]
+    assert sweep[0.0][0] == pytest.approx(1.0)
+    assert sweep[1.0][0] < 0.3
+    assert sweep[1.0][1] > sweep[0.0][1]

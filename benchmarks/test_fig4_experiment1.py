@@ -1,0 +1,105 @@
+"""Figure 4: Experiment 1 -- average client latency per region.
+
+Deployment: replicas in Virginia, Tokyo (Japan), Mumbai (India), Sydney
+(Australia); one closed-loop client per region.  Primary-based protocols
+(PBFT, FaB, Zyzzyva) have their primary in Virginia; ezBFT clients use
+their local replica.  ezBFT is measured at 0%, 2%, 50% and 100%
+contention.
+
+Paper's qualitative claims re-checked here:
+  1. PBFT > FaB > Zyzzyva in every region (5 vs 4 vs 3 steps);
+  2. ezBFT@0% ~= Zyzzyva in Virginia (both local to the primary);
+  3. ezBFT@0% < Zyzzyva in all remote regions (first hop is local);
+  4. ezBFT@<=50% stays at or below Zyzzyva;
+  5. ezBFT@100% approaches PBFT's five-step latency.
+"""
+
+import pytest
+
+from bench_util import (
+    EXP1_REGIONS,
+    fmt_ms,
+    print_table,
+    region_means,
+    run_closed_loop,
+)
+
+#: Approximate values read off the paper's Figure 4 bars (ms).
+PAPER_FIG4 = {
+    "pbft": {"virginia": 398, "tokyo": 450, "mumbai": 490,
+             "sydney": 503},
+    "fab": {"virginia": 296, "tokyo": 340, "mumbai": 403, "sydney": 407},
+    "zyzzyva": {"virginia": 198, "tokyo": 236, "mumbai": 304,
+                "sydney": 303},
+    "ezbft-0": {"virginia": 198, "tokyo": 151, "mumbai": 224,
+                "sydney": 225},
+}
+
+
+def run_fig4():
+    results = {}
+    for protocol in ("pbft", "fab", "zyzzyva"):
+        cluster = run_closed_loop(protocol, primary_region="virginia",
+                                  requests_per_client=6)
+        results[protocol] = region_means(cluster.recorder)
+    for contention in (0.0, 0.02, 0.5, 1.0):
+        cluster = run_closed_loop("ezbft", contention=contention,
+                                  requests_per_client=6)
+        label = f"ezbft-{int(contention * 100)}"
+        results[label] = region_means(cluster.recorder)
+        results[label + "/fast-fraction"] = {
+            "all": cluster.recorder.fast_path_fraction()}
+    return results
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_experiment1(benchmark):
+    results = benchmark.pedantic(run_fig4, rounds=1, iterations=1)
+
+    series = ["pbft", "fab", "zyzzyva", "ezbft-0", "ezbft-2",
+              "ezbft-50", "ezbft-100"]
+    columns = ["series"] + EXP1_REGIONS
+    rows = []
+    for name in series:
+        rows.append([name] + [fmt_ms(results[name][region])
+                              for region in EXP1_REGIONS])
+    print_table("Figure 4: Experiment 1 latencies (ms), primary in "
+                "Virginia", columns, rows)
+    print(f"ezBFT fast-path fraction: "
+          f"0%: {results['ezbft-0/fast-fraction']['all']:.2f}  "
+          f"2%: {results['ezbft-2/fast-fraction']['all']:.2f}  "
+          f"50%: {results['ezbft-50/fast-fraction']['all']:.2f}  "
+          f"100%: {results['ezbft-100/fast-fraction']['all']:.2f}")
+
+    # Claim 1: step-count ordering everywhere.
+    for region in EXP1_REGIONS:
+        assert results["pbft"][region] > results["fab"][region] > \
+            results["zyzzyva"][region], region
+
+    # Claim 2: parity in the primary's region.
+    assert results["ezbft-0"]["virginia"] == pytest.approx(
+        results["zyzzyva"]["virginia"], rel=0.10)
+
+    # Claim 3: strictly better in remote regions.
+    for region in ("tokyo", "mumbai", "sydney"):
+        assert results["ezbft-0"][region] < results["zyzzyva"][region]
+
+    # Claim 4: still competitive at 50% contention (paper: "as good as
+    # or better than Zyzzyva for up to 50% contention" on average).
+    ez50 = sum(results["ezbft-50"][r] for r in EXP1_REGIONS) / 4
+    zyz = sum(results["zyzzyva"][r] for r in EXP1_REGIONS) / 4
+    assert ez50 <= zyz * 1.15
+
+    # Claim 5: at 100% contention, latency degrades toward PBFT.
+    ez100 = sum(results["ezbft-100"][r] for r in EXP1_REGIONS) / 4
+    ez0 = sum(results["ezbft-0"][r] for r in EXP1_REGIONS) / 4
+    pbft = sum(results["pbft"][r] for r in EXP1_REGIONS) / 4
+    assert ez100 > 1.3 * ez0
+    assert ez100 == pytest.approx(pbft, rel=0.5)
+
+    # Absolute sanity vs paper bars for the primary-based protocols.
+    for protocol in ("zyzzyva",):
+        for region in EXP1_REGIONS:
+            assert results[protocol][region] == pytest.approx(
+                PAPER_FIG4[protocol][region], rel=0.3), (protocol,
+                                                         region)

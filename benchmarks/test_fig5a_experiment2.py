@@ -1,0 +1,71 @@
+"""Figure 5a: Experiment 2 -- Ohio, Ireland, Frankfurt, Mumbai with the
+primary in Ireland (Zyzzyva's best case).
+
+Paper claim: with overlapping European paths, Zyzzyva-at-Ireland is
+close to ezBFT; PBFT and FaB remain strictly slower.
+"""
+
+import pytest
+
+from repro.sim.latency import EXPERIMENT2
+
+from bench_util import (
+    EXP2_REGIONS,
+    fmt_ms,
+    print_table,
+    region_means,
+    run_closed_loop,
+)
+
+
+def run_fig5a():
+    results = {}
+    for protocol in ("pbft", "fab", "zyzzyva"):
+        cluster = run_closed_loop(protocol, regions=EXP2_REGIONS,
+                                  latency=EXPERIMENT2,
+                                  primary_region="ireland",
+                                  requests_per_client=6)
+        results[protocol] = region_means(cluster.recorder)
+    cluster = run_closed_loop("ezbft", regions=EXP2_REGIONS,
+                              latency=EXPERIMENT2,
+                              requests_per_client=6)
+    results["ezbft"] = region_means(cluster.recorder)
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_experiment2(benchmark):
+    results = benchmark.pedantic(run_fig5a, rounds=1, iterations=1)
+
+    columns = ["series"] + EXP2_REGIONS
+    rows = [[name] + [fmt_ms(results[name][region])
+                      for region in EXP2_REGIONS]
+            for name in ("pbft", "fab", "zyzzyva", "ezbft")]
+    print_table("Figure 5a: Experiment 2 latencies (ms), primary in "
+                "Ireland", columns, rows)
+
+    # PBFT > FaB everywhere (5 vs 4 steps, same f+1 reply quorum).
+    for region in EXP2_REGIONS:
+        assert results["pbft"][region] > results["fab"][region], region
+    # Zyzzyva beats PBFT near the primary, where its 2-step saving
+    # dominates.  NOTE (documented in EXPERIMENTS.md):
+    # Zyzzyva's fast path waits for ALL 3f+1 responses and is therefore
+    # bound by the slowest replica, while PBFT/FaB clients return after
+    # f+1 replies -- with Experiment 2's overlapping paths that lets
+    # 4-step FaB undercut 3-step Zyzzyva in our step-latency model,
+    # unlike the paper's testbed measurement where FaB's extra
+    # processing kept it above Zyzzyva.
+    for region in ("ireland", "frankfurt"):
+        assert results["zyzzyva"][region] < results["pbft"][region], \
+            region
+
+    # Zyzzyva's best case: close to ezBFT on average (the paper's
+    # "EZBFT performs very similar to Zyzzyva").
+    gaps = [(results["zyzzyva"][r] - results["ezbft"][r]) /
+            results["zyzzyva"][r] for r in EXP2_REGIONS]
+    mean_gap = sum(gaps) / len(gaps)
+    assert mean_gap < 0.25
+    # And ezBFT is never worse.
+    for region in EXP2_REGIONS:
+        assert results["ezbft"][region] <= \
+            results["zyzzyva"][region] * 1.05, region

@@ -1,0 +1,76 @@
+"""Figure 5b: the effect of moving Zyzzyva's primary (Ohio, Ireland,
+Mumbai) vs leaderless ezBFT in the Experiment-2 deployment.
+
+Paper claims: (i) moving the primary away from Ireland substantially
+inflates Zyzzyva's latency; (ii) ezBFT is up to ~45% lower than Zyzzyva
+under bad placement; (iii) therefore frequent primary rotation (the
+anti-byzantine defence of primary-based protocols) costs latency, which
+leaderless ezBFT avoids.
+"""
+
+import pytest
+
+from repro.sim.latency import EXPERIMENT2
+
+from bench_util import (
+    EXP2_REGIONS,
+    fmt_ms,
+    print_table,
+    region_means,
+    run_closed_loop,
+)
+
+PRIMARIES = ("ohio", "mumbai", "ireland")
+
+
+def run_fig5b():
+    results = {}
+    for primary in PRIMARIES:
+        cluster = run_closed_loop("zyzzyva", regions=EXP2_REGIONS,
+                                  latency=EXPERIMENT2,
+                                  primary_region=primary,
+                                  requests_per_client=6)
+        results[f"zyzzyva-{primary}"] = region_means(cluster.recorder)
+    cluster = run_closed_loop("ezbft", regions=EXP2_REGIONS,
+                              latency=EXPERIMENT2,
+                              requests_per_client=6)
+    results["ezbft"] = region_means(cluster.recorder)
+    return results
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_primary_placement(benchmark):
+    results = benchmark.pedantic(run_fig5b, rounds=1, iterations=1)
+
+    series = [f"zyzzyva-{p}" for p in PRIMARIES] + ["ezbft"]
+    columns = ["series"] + EXP2_REGIONS
+    rows = [[name] + [fmt_ms(results[name][region])
+                      for region in EXP2_REGIONS]
+            for name in series]
+    print_table("Figure 5b: Zyzzyva primary placement vs ezBFT (ms)",
+                columns, rows)
+
+    zyz_avg = {p: sum(results[f"zyzzyva-{p}"][r]
+                      for r in EXP2_REGIONS) / 4 for p in PRIMARIES}
+    ez_avg = sum(results["ezbft"][r] for r in EXP2_REGIONS) / 4
+    print(f"averages: zyzzyva={zyz_avg}, ezbft={ez_avg:.1f}")
+
+    # (i) Ireland is Zyzzyva's best placement; others are worse.
+    assert zyz_avg["ireland"] < zyz_avg["ohio"]
+    assert zyz_avg["ireland"] < zyz_avg["mumbai"]
+
+    # (ii) Under bad placement ezBFT's advantage is large: the paper
+    # reports up to ~45% lower latency; require >=25% in some region.
+    best_improvement = 0.0
+    for primary in ("ohio", "mumbai"):
+        for region in EXP2_REGIONS:
+            zyz = results[f"zyzzyva-{primary}"][region]
+            ez = results["ezbft"][region]
+            best_improvement = max(best_improvement, (zyz - ez) / zyz)
+    assert best_improvement >= 0.25
+    print(f"max per-region improvement vs misplaced primary: "
+          f"{best_improvement:.0%}")
+
+    # (iii) ezBFT beats every placement on average.
+    for primary in PRIMARIES:
+        assert ez_avg <= zyz_avg[primary] * 1.02

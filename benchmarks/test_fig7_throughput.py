@@ -1,0 +1,78 @@
+"""Figure 7: peak server-side throughput.
+
+Paper deployment: Experiment-1 regions; open-loop clients (send without
+waiting), 8-byte keys / 16-byte values, 0% contention, no batching.
+Five bars: PBFT, FaB, Zyzzyva, ezBFT with clients only at US-East-1,
+and ezBFT with clients at every region.
+
+Paper claims: with US-only clients ezBFT performs at par or slightly
+better than the others; with clients at every region ezBFT's throughput
+increases by as much as ~4x because every replica feeds requests into
+the system concurrently.
+"""
+
+import pytest
+
+from bench_util import (
+    EXP1_REGIONS,
+    print_table,
+    run_open_loop,
+)
+
+#: Enough offered load to saturate a single ordering replica.
+RATE_PER_CLIENT = 100.0
+CLIENTS_PER_REGION = 10
+DURATION_MS = 2000.0
+
+
+def run_fig7():
+    results = {}
+    for protocol in ("pbft", "fab", "zyzzyva"):
+        cluster = run_open_loop(protocol, primary_region="virginia",
+                                client_regions=("virginia",),
+                                clients_per_region=CLIENTS_PER_REGION,
+                                rate_per_client=RATE_PER_CLIENT,
+                                duration_ms=DURATION_MS)
+        results[protocol] = cluster.recorder.throughput_per_sec()
+    cluster = run_open_loop("ezbft", client_regions=("virginia",),
+                            clients_per_region=CLIENTS_PER_REGION,
+                            rate_per_client=RATE_PER_CLIENT,
+                            duration_ms=DURATION_MS)
+    results["ezbft (US only)"] = cluster.recorder.throughput_per_sec()
+    cluster = run_open_loop("ezbft", client_regions=tuple(EXP1_REGIONS),
+                            clients_per_region=CLIENTS_PER_REGION,
+                            rate_per_client=RATE_PER_CLIENT,
+                            duration_ms=DURATION_MS)
+    results["ezbft (all regions)"] = \
+        cluster.recorder.throughput_per_sec()
+    return results
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_throughput(benchmark):
+    results = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+
+    rows = [[name, f"{tput:8.0f}"] for name, tput in results.items()]
+    print_table("Figure 7: peak throughput (requests/second)",
+                ["protocol", "req/s"], rows)
+
+    pbft = results["pbft"]
+    fab = results["fab"]
+    zyzzyva = results["zyzzyva"]
+    ez_us = results["ezbft (US only)"]
+    ez_all = results["ezbft (all regions)"]
+
+    # US-only: ezBFT at par or slightly better than the others.
+    assert ez_us >= 0.9 * max(pbft, fab, zyzzyva)
+
+    # All-region clients: throughput increases "by as much as four
+    # times" over the single-feed configuration.
+    gain = ez_all / ez_us
+    print(f"all-region gain over US-only: {gain:.2f}x")
+    assert gain >= 2.5
+    assert ez_all > 2.5 * max(pbft, fab, zyzzyva)
+
+    # The leaderless configuration spreads the load: no single replica
+    # should have done ~all the ordering work (sanity via recorder).
+    # (Checked implicitly by the gain: a single bottleneck cannot give
+    # a >2.5x gain.)

@@ -1,0 +1,77 @@
+"""repro: a full reproduction of ezBFT (Arun, Peluso, Ravindran -- ICDCS
+2019), the leaderless byzantine fault-tolerant consensus protocol, plus
+the substrates and baselines its evaluation depends on.
+
+Quickstart::
+
+    from repro import build_cluster, EXPERIMENT1
+
+    cluster = build_cluster(
+        "ezbft",
+        replica_regions=["virginia", "tokyo", "mumbai", "sydney"],
+        latency=EXPERIMENT1)
+    client = cluster.add_client("c0", region="tokyo")
+    results = []
+    client.on_delivery = lambda cmd, res, lat, path: results.append(
+        (res, lat, path))
+    client.submit(client.next_command("put", "greeting", "hello"))
+    cluster.run_until_idle()
+    print(results)  # [('OK', ~105ms, 'fast')]
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.cluster.builder import Cluster, PROTOCOLS, build_cluster
+from repro.cluster.metrics import LatencyRecorder, summarize
+from repro.config import ProtocolConfig
+from repro.core.client import EzBFTClient
+from repro.core.replica import EzBFTReplica
+from repro.sim.events import Simulator
+from repro.sim.latency import (
+    EXPERIMENT1,
+    EXPERIMENT2,
+    LOCAL,
+    LatencyMatrix,
+    uniform_matrix,
+)
+from repro.sim.network import CpuModel, NetworkConditions, SimNetwork
+from repro.statemachine.base import Command
+from repro.statemachine.interference import (
+    AlwaysInterfere,
+    KVInterference,
+    NeverInterfere,
+)
+from repro.statemachine.kvstore import KVStore
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generator import KVWorkload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_cluster",
+    "Cluster",
+    "PROTOCOLS",
+    "ProtocolConfig",
+    "EzBFTReplica",
+    "EzBFTClient",
+    "Simulator",
+    "SimNetwork",
+    "CpuModel",
+    "NetworkConditions",
+    "LatencyMatrix",
+    "EXPERIMENT1",
+    "EXPERIMENT2",
+    "LOCAL",
+    "uniform_matrix",
+    "Command",
+    "KVStore",
+    "KVInterference",
+    "AlwaysInterfere",
+    "NeverInterfere",
+    "KVWorkload",
+    "ClosedLoopDriver",
+    "OpenLoopDriver",
+    "LatencyRecorder",
+    "summarize",
+]

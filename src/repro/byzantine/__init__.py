@@ -1,0 +1,24 @@
+"""Byzantine fault injection.
+
+Faulty behaviours are expressed as replica subclasses that misbehave in
+protocol-specific ways; :func:`install_byzantine` swaps one into a built
+cluster before the run starts.
+"""
+
+from repro.byzantine.behaviors import (
+    CorruptResultReplica,
+    DepSuppressingReplica,
+    EquivocatingLeaderReplica,
+    SilentReplica,
+    install_byzantine,
+    silence_node,
+)
+
+__all__ = [
+    "SilentReplica",
+    "EquivocatingLeaderReplica",
+    "DepSuppressingReplica",
+    "CorruptResultReplica",
+    "install_byzantine",
+    "silence_node",
+]

@@ -1,0 +1,134 @@
+"""Concrete byzantine replica behaviours for ezBFT.
+
+Each class exercises one of the failure modes the paper discusses:
+
+- :class:`SilentReplica` -- a crashed/unresponsive replica; drives the
+  client-retry -> RESENDREQ -> suspicion-timeout -> owner-change path
+  (paper step 4.3).
+- :class:`EquivocatingLeaderReplica` -- a command-leader that sends
+  different SPECORDERs for the same request to different replicas;
+  drives the client's proof-of-misbehavior path (paper step 4.4).
+- :class:`DepSuppressingReplica` -- the Figure-3 misbehaviour: reports
+  empty dependencies / sequence number 1 regardless of its log (the
+  TLA+ spec's ``behavior = "bad"`` branch), knocking clients off the
+  fast path without being individually provable.
+- :class:`CorruptResultReplica` -- replies with a corrupted execution
+  result; clients never match it, so it can at worst force slow paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+from repro.core.instance import InstanceSpace, LogEntry
+from repro.core.replica import EzBFTReplica
+from repro.crypto.digest import digest
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import Request, SpecOrder, SpecReply
+from repro.statemachine.kvstore import KVStore
+from repro.types import InstanceID
+
+
+class SilentReplica(EzBFTReplica):
+    """Receives everything, does nothing."""
+
+    def on_message(self, sender: str, message: Any) -> None:
+        return
+
+
+class EquivocatingLeaderReplica(EzBFTReplica):
+    """Sends conflicting SPECORDERs for the same request: the same slot
+    is proposed with different metadata to different replicas, so the
+    client observes two validly signed, conflicting SPECORDERs and can
+    assemble a proof of misbehavior (paper step 4.4)."""
+
+    def _lead(self, request: Request) -> None:
+        space = self.spaces[self.node_id]
+        if space.frozen:
+            return
+        command = request.command
+        self._client_ts[command.client_id] = command.timestamp
+        slot = space.allocate_slot()
+        request_digest = digest(request.to_wire())
+
+        def make_order(seq: int) -> SignedPayload:
+            instance = InstanceID(self.node_id, slot)
+            order = SpecOrder(
+                leader=self.node_id,
+                owner_number=space.owner_number,
+                instance=instance,
+                command=command,
+                deps=(),
+                seq=seq,
+                log_digest="",
+                request_digest=request_digest,
+            )
+            return SignedPayload.create(order, self.keypair)
+
+        order_a = make_order(1)
+        order_b = make_order(2)
+        others = self.config.others(self.node_id)
+        half = len(others) // 2
+        for dst in others[:half]:
+            self.ctx.send(dst, order_a)
+        for dst in others[half:]:
+            self.ctx.send(dst, order_b)
+        # Reply to the client consistently with order_a.
+        entry = LogEntry(instance=order_a.payload.instance,
+                         owner_number=space.owner_number,
+                         command=command, deps=(), seq=1,
+                         spec_order=order_a)
+        entry.spec_result = "equivocated"
+        self._send_spec_reply(entry, order_a)
+        self.stats["led"] += 1
+
+
+class DepSuppressingReplica(EzBFTReplica):
+    """Always reports empty dependencies and sequence number 1 in its
+    SPECREPLYs (the TLA+ 'bad' branch / Figure 3's R2)."""
+
+    def _send_spec_reply(self, entry: LogEntry,
+                         signed_order: SignedPayload) -> None:
+        lied = LogEntry(instance=entry.instance,
+                        owner_number=entry.owner_number,
+                        command=entry.command,
+                        deps=(), seq=1,
+                        spec_order=entry.spec_order)
+        lied.spec_result = entry.spec_result
+        super()._send_spec_reply(lied, signed_order)
+
+
+class CorruptResultReplica(EzBFTReplica):
+    """Replies with a corrupted execution result."""
+
+    def _send_spec_reply(self, entry: LogEntry,
+                         signed_order: SignedPayload) -> None:
+        corrupted = LogEntry(instance=entry.instance,
+                             owner_number=entry.owner_number,
+                             command=entry.command,
+                             deps=entry.deps, seq=entry.seq,
+                             spec_order=entry.spec_order)
+        corrupted.spec_result = "##corrupt##"
+        super()._send_spec_reply(corrupted, signed_order)
+
+
+def install_byzantine(cluster, replica_id: str,
+                      behavior: Type[EzBFTReplica],
+                      interference=None) -> EzBFTReplica:
+    """Replace ``replica_id`` in a freshly built (not yet run) cluster
+    with an instance of ``behavior``.  Returns the new replica object."""
+    old = cluster.replicas[replica_id]
+    relation = interference if interference is not None \
+        else old.interference
+    replica = behavior(replica_id, cluster.config,
+                       cluster.context_for(replica_id), old.keypair,
+                       cluster.registry, KVStore(), relation)
+    cluster.replicas[replica_id] = replica
+    cluster.network.set_handler(replica_id, replica.on_message)
+    return replica
+
+
+def silence_node(cluster, node_id: str) -> None:
+    """Make any node (replica of any protocol, or client) drop all
+    incoming messages -- equivalent to a crash."""
+    cluster.network.set_handler(node_id, lambda sender, message: None)

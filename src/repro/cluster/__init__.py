@@ -1,0 +1,15 @@
+"""Cluster harness: wiring protocol nodes onto a transport, running
+scenarios, and collecting metrics."""
+
+from repro.cluster.node import NodeContext
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.metrics import LatencyRecorder, LatencySummary, summarize
+
+__all__ = [
+    "NodeContext",
+    "Cluster",
+    "build_cluster",
+    "LatencyRecorder",
+    "LatencySummary",
+    "summarize",
+]

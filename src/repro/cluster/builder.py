@@ -1,0 +1,218 @@
+"""Cluster builder: wire protocol replicas and clients onto the simulated
+WAN with one call.
+
+>>> cluster = build_cluster("ezbft",
+...                         replica_regions=["virginia", "tokyo",
+...                                          "mumbai", "sydney"],
+...                         latency=EXPERIMENT1)
+>>> client = cluster.add_client("c0", region="tokyo")
+>>> client.submit(client.next_command("put", "k", "v"))
+>>> cluster.run_until_idle()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.metrics import LatencyRecorder
+from repro.cluster.node import NodeContext
+from repro.config import ProtocolConfig
+from repro.core.client import EzBFTClient
+from repro.core.replica import EzBFTReplica
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ConfigurationError
+from repro.protocols.fab.client import FabClient
+from repro.protocols.fab.replica import FabReplica
+from repro.protocols.pbft.client import PBFTClient
+from repro.protocols.pbft.replica import PBFTReplica
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyMatrix, LOCAL
+from repro.sim.network import CpuModel, NetworkConditions, SimNetwork
+from repro.statemachine.interference import (
+    InterferenceRelation,
+    KVInterference,
+)
+from repro.statemachine.kvstore import KVStore
+
+PROTOCOLS = ("ezbft", "pbft", "zyzzyva", "fab")
+
+#: Per-protocol (replica class, client class).
+_FACTORIES = {
+    "ezbft": (EzBFTReplica, EzBFTClient),
+    "pbft": (PBFTReplica, PBFTClient),
+    "zyzzyva": (ZyzzyvaReplica, ZyzzyvaClient),
+    "fab": (FabReplica, FabClient),
+}
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    protocol: str
+    sim: Simulator
+    network: SimNetwork
+    registry: KeyRegistry
+    config: ProtocolConfig
+    latency: LatencyMatrix
+    replicas: Dict[str, Any]
+    replica_regions: Dict[str, str]
+    primary_index: int
+    recorder: LatencyRecorder = field(default_factory=LatencyRecorder)
+    clients: Dict[str, Any] = field(default_factory=dict)
+    client_regions: Dict[str, str] = field(default_factory=dict)
+    _seed_counter: int = 0
+
+    # ------------------------------------------------------------------
+    def context_for(self, node_id: str) -> NodeContext:
+        return NodeContext(
+            node_id,
+            send_fn=self.network.send,
+            schedule_fn=self.sim.schedule,
+            now_fn=lambda: self.sim.now,
+        )
+
+    def nearest_replica(self, region: str) -> str:
+        """Replica with the lowest one-way latency from ``region``."""
+        return min(
+            self.config.replica_ids,
+            key=lambda rid: self.latency.one_way(
+                region, self.replica_regions[rid]),
+        )
+
+    def add_client(self, client_id: str, region: str,
+                   target_replica: Optional[str] = None,
+                   on_delivery: Optional[Callable] = None,
+                   record: bool = True,
+                   record_group: Optional[str] = None) -> Any:
+        """Create, register and return a protocol client in ``region``.
+
+        For ezBFT the client targets its nearest replica (the paper's
+        step 1); primary-based protocols always target the primary.
+        ``record=True`` wires deliveries into the cluster's
+        :class:`LatencyRecorder`, grouped by region (or
+        ``record_group``).
+        """
+        if client_id in self.clients:
+            raise ConfigurationError(f"duplicate client id {client_id!r}")
+        group = record_group if record_group is not None else region
+
+        def _recording_delivery(command, result, latency, path):
+            if record:
+                self.recorder.record(group, latency, path, self.sim.now)
+            if on_delivery is not None:
+                on_delivery(command, result, latency, path)
+
+        keypair = self.registry.create(client_id, seed=b"client-seed")
+        ctx = self.context_for(client_id)
+        _, client_cls = _FACTORIES[self.protocol]
+        if self.protocol == "ezbft":
+            target = target_replica or self.nearest_replica(region)
+            client = client_cls(client_id, self.config, ctx, keypair,
+                                self.registry, target_replica=target,
+                                on_delivery=_recording_delivery)
+        else:
+            client = client_cls(client_id, self.config, ctx, keypair,
+                                self.registry,
+                                initial_view=self.primary_index,
+                                on_delivery=_recording_delivery)
+        self.network.register(client_id, region, client.on_message)
+        self.clients[client_id] = client
+        self.client_regions[client_id] = region
+        return client
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> int:
+        return self.sim.run_until_idle(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    @property
+    def primary_id(self) -> str:
+        return self.config.replica_ids[self.primary_index]
+
+    def replica_stats(self) -> Dict[str, Dict[str, int]]:
+        return {rid: dict(r.stats) for rid, r in self.replicas.items()}
+
+    def kvstores(self) -> Dict[str, KVStore]:
+        return {rid: r.statemachine for rid, r in self.replicas.items()}
+
+
+def build_cluster(protocol: str,
+                  replica_regions: Sequence[str],
+                  latency: LatencyMatrix = LOCAL,
+                  *,
+                  cpu: Optional[CpuModel] = None,
+                  conditions: Optional[NetworkConditions] = None,
+                  seed: int = 0,
+                  primary_region: Optional[str] = None,
+                  primary_index: int = 0,
+                  interference: Optional[InterferenceRelation] = None,
+                  slow_path_timeout: float = 400.0,
+                  retry_timeout: float = 1200.0,
+                  suspicion_timeout: float = 600.0,
+                  view_change_timeout: float = 1500.0,
+                  checkpoint_interval: int = 128) -> Cluster:
+    """Build a simulated deployment of ``protocol``.
+
+    ``replica_regions`` places one replica per entry (ids r0..rN-1).
+    ``primary_region``/``primary_index`` choose the initial primary for
+    the single-leader baselines (ignored by ezBFT).
+    """
+    if protocol not in PROTOCOLS:
+        raise ConfigurationError(
+            f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
+    replica_ids = tuple(f"r{i}" for i in range(len(replica_regions)))
+    regions_by_id = dict(zip(replica_ids, replica_regions))
+    if primary_region is not None:
+        candidates = [i for i, region in enumerate(replica_regions)
+                      if region == primary_region]
+        if not candidates:
+            raise ConfigurationError(
+                f"no replica in primary region {primary_region!r}")
+        primary_index = candidates[0]
+    if not 0 <= primary_index < len(replica_ids):
+        raise ConfigurationError(
+            f"primary_index {primary_index} out of range")
+
+    config = ProtocolConfig(
+        replica_ids=replica_ids,
+        slow_path_timeout=slow_path_timeout,
+        retry_timeout=retry_timeout,
+        suspicion_timeout=suspicion_timeout,
+        view_change_timeout=view_change_timeout,
+        checkpoint_interval=checkpoint_interval,
+    )
+    sim = Simulator()
+    network = SimNetwork(sim, latency, cpu=cpu, conditions=conditions,
+                         seed=seed)
+    registry = KeyRegistry()
+    replica_cls, _ = _FACTORIES[protocol]
+    relation = interference if interference is not None \
+        else KVInterference()
+
+    cluster = Cluster(protocol=protocol, sim=sim, network=network,
+                      registry=registry, config=config, latency=latency,
+                      replicas={}, replica_regions=regions_by_id,
+                      primary_index=primary_index)
+
+    for rid in replica_ids:
+        keypair = registry.create(rid, seed=b"replica-seed")
+        ctx = cluster.context_for(rid)
+        if protocol == "ezbft":
+            replica = replica_cls(rid, config, ctx, keypair, registry,
+                                  statemachine=KVStore(),
+                                  interference=relation)
+        else:
+            replica = replica_cls(rid, config, ctx, keypair, registry,
+                                  statemachine=KVStore(),
+                                  initial_view=primary_index)
+        network.register(rid, regions_by_id[rid], replica.on_message)
+        cluster.replicas[rid] = replica
+    return cluster

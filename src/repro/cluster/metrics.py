@@ -1,0 +1,125 @@
+"""Latency and throughput metrics collection."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of latency samples (ms)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.1f}ms "
+                f"p50={self.p50:.1f} p90={self.p90:.1f} "
+                f"p99={self.p99:.1f}")
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(0, min(len(sorted_values) - 1,
+                      math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize(samples: List[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw samples."""
+    if not samples:
+        return LatencySummary(0, float("nan"), float("nan"),
+                              float("nan"), float("nan"),
+                              float("nan"), float("nan"))
+    ordered = sorted(samples)
+    return LatencySummary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        p50=_percentile(ordered, 0.50),
+        p90=_percentile(ordered, 0.90),
+        p99=_percentile(ordered, 0.99),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
+
+
+class LatencyRecorder:
+    """Accumulates per-request latency samples, tagged by group.
+
+    Groups are free-form strings; the benchmarks use the client's region
+    so they can print the per-region rows the paper's figures show.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+        self._paths: Dict[str, Dict[str, int]] = {}
+        self.first_delivery: Optional[float] = None
+        self.last_delivery: Optional[float] = None
+        self.total_delivered = 0
+
+    def record(self, group: str, latency_ms: float, path: str,
+               now_ms: float) -> None:
+        self._samples.setdefault(group, []).append(latency_ms)
+        path_counts = self._paths.setdefault(group, {})
+        path_counts[path] = path_counts.get(path, 0) + 1
+        if self.first_delivery is None:
+            self.first_delivery = now_ms
+        self.last_delivery = now_ms
+        self.total_delivered += 1
+
+    def groups(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._samples))
+
+    def samples(self, group: str) -> List[float]:
+        return list(self._samples.get(group, []))
+
+    def all_samples(self) -> List[float]:
+        out: List[float] = []
+        for samples in self._samples.values():
+            out.extend(samples)
+        return out
+
+    def summary(self, group: str) -> LatencySummary:
+        return summarize(self._samples.get(group, []))
+
+    def overall(self) -> LatencySummary:
+        return summarize(self.all_samples())
+
+    def path_counts(self, group: str) -> Dict[str, int]:
+        return dict(self._paths.get(group, {}))
+
+    def fast_path_fraction(self, group: Optional[str] = None) -> float:
+        """Fraction of deliveries that took the fast path."""
+        groups = [group] if group is not None else list(self._paths)
+        fast = total = 0
+        for g in groups:
+            for path, count in self._paths.get(g, {}).items():
+                total += count
+                if path == "fast":
+                    fast += count
+        return fast / total if total else float("nan")
+
+    def throughput_per_sec(self, window_ms: Optional[float] = None
+                           ) -> float:
+        """Delivered requests per (simulated) second.
+
+        Uses the observed delivery window unless ``window_ms`` is given.
+        """
+        if window_ms is None:
+            if self.first_delivery is None or \
+                    self.last_delivery is None or \
+                    self.last_delivery <= self.first_delivery:
+                return 0.0
+            window_ms = self.last_delivery - self.first_delivery
+        if window_ms <= 0:
+            return 0.0
+        return self.total_delivered * 1000.0 / window_ms

@@ -1,0 +1,60 @@
+"""NodeContext: the only interface protocol code has to its environment.
+
+Protocol replicas and clients never touch the simulator or network
+directly; they receive a :class:`NodeContext` exposing send/broadcast,
+cancellable timers, and the clock.  This keeps protocol logic
+transport-agnostic -- the same replica class runs on the discrete-event
+simulator (benchmarks/tests) and on the asyncio TCP transport (examples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Protocol
+
+
+class Timer(Protocol):
+    """Cancellable timer handle."""
+
+    def cancel(self) -> None: ...
+
+    @property
+    def pending(self) -> bool: ...
+
+
+class NodeContext:
+    """Environment handle bound to one node.
+
+    Parameters are callables so the context can wrap any substrate:
+
+    - ``send_fn(src, dst, message)``,
+    - ``schedule_fn(delay_ms, callback, *args) -> Timer``,
+    - ``now_fn() -> float`` (milliseconds).
+    """
+
+    def __init__(self, node_id: str,
+                 send_fn: Callable[[str, str, Any], None],
+                 schedule_fn: Callable[..., Timer],
+                 now_fn: Callable[[], float]) -> None:
+        self.node_id = node_id
+        self._send = send_fn
+        self._schedule = schedule_fn
+        self._now = now_fn
+
+    @property
+    def now(self) -> float:
+        """Current time in milliseconds."""
+        return self._now()
+
+    def send(self, dst: str, message: Any) -> None:
+        """Send ``message`` to node ``dst``."""
+        self._send(self.node_id, dst, message)
+
+    def broadcast(self, dsts: Iterable[str], message: Any) -> None:
+        """Send ``message`` to every node in ``dsts``."""
+        for dst in dsts:
+            self._send(self.node_id, dst, message)
+
+    def set_timer(self, delay_ms: float, callback: Callable[..., None],
+                  *args: Any) -> Timer:
+        """Run ``callback(*args)`` after ``delay_ms``; returns a handle."""
+        return self._schedule(delay_ms, callback, *args)

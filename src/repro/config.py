@@ -1,0 +1,108 @@
+"""Protocol-wide configuration: replica membership, quorums, timeouts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Membership and quorum parameters shared by every protocol here.
+
+    ``replica_ids`` is the ordered membership; index order determines
+    ezBFT owner-number rotation (owner of space R_i under owner number O
+    is ``replica_ids[O mod N]``) and PBFT/Zyzzyva view rotation
+    (primary of view v is ``replica_ids[v mod N]``).
+
+    Timeouts are in milliseconds of (simulated) time:
+
+    - ``slow_path_timeout``: how long an ezBFT/Zyzzyva client waits for a
+      full fast quorum before falling back to the slow path,
+    - ``retry_timeout``: how long a client waits for *any* 2f+1 responses
+      before re-broadcasting its request to all replicas,
+    - ``suspicion_timeout``: how long a replica relaying a RESENDREQ waits
+      for the command-leader's SPECORDER before voting to change owners,
+    - ``view_change_timeout``: PBFT/Zyzzyva request-progress timer.
+    """
+
+    replica_ids: Tuple[str, ...]
+    slow_path_timeout: float = 400.0
+    retry_timeout: float = 1200.0
+    suspicion_timeout: float = 600.0
+    view_change_timeout: float = 1500.0
+    checkpoint_interval: int = 128
+
+    def __post_init__(self) -> None:
+        n = len(self.replica_ids)
+        if n < 4:
+            raise ConfigurationError(
+                f"BFT needs at least 4 replicas (3f+1, f>=1); got {n}")
+        if len(set(self.replica_ids)) != n:
+            raise ConfigurationError("replica ids must be unique")
+        if (n - 1) % 3 != 0:
+            # Permitted (extra replicas raise quorum sizes), but f is
+            # still floor((n-1)/3).
+            pass
+
+    @property
+    def n(self) -> int:
+        """Total number of replicas."""
+        return len(self.replica_ids)
+
+    @property
+    def f(self) -> int:
+        """Maximum number of byzantine replicas tolerated."""
+        return (self.n - 1) // 3
+
+    @property
+    def fast_quorum_size(self) -> int:
+        """ezBFT/Zyzzyva fast path: all 3f+1 replicas."""
+        return 3 * self.f + 1
+
+    @property
+    def slow_quorum_size(self) -> int:
+        """ezBFT/Zyzzyva slow path and PBFT quorums: 2f+1."""
+        return 2 * self.f + 1
+
+    @property
+    def weak_quorum_size(self) -> int:
+        """f+1 -- enough to contain one correct replica."""
+        return self.f + 1
+
+    def index_of(self, replica_id: str) -> int:
+        try:
+            return self.replica_ids.index(replica_id)
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown replica {replica_id!r}") from None
+
+    def initial_owner_number(self, space_owner: str) -> int:
+        """ezBFT: space R_i starts with owner number i."""
+        return self.index_of(space_owner)
+
+    def owner_for_number(self, owner_number: int) -> str:
+        """ezBFT: the replica owning a space under ``owner_number``."""
+        return self.replica_ids[owner_number % self.n]
+
+    def primary_for_view(self, view: int) -> str:
+        """PBFT/Zyzzyva/FaB: round-robin primary."""
+        return self.replica_ids[view % self.n]
+
+    def slow_quorum_for(self, leader_id: str) -> Tuple[str, ...]:
+        """ezBFT: the designated 2f+1 slow-quorum for a command-leader.
+
+        The paper has each command-leader announce a known set of 2f+1
+        replicas used by clients to combine dependencies.  We use the
+        deterministic choice "the 2f+1 replicas starting at the leader's
+        index", which every node can compute locally.
+        """
+        start = self.index_of(leader_id)
+        size = self.slow_quorum_size
+        return tuple(self.replica_ids[(start + k) % self.n]
+                     for k in range(size))
+
+    def others(self, replica_id: str) -> Tuple[str, ...]:
+        return tuple(r for r in self.replica_ids if r != replica_id)

@@ -1,0 +1,24 @@
+"""ezBFT core: the paper's primary contribution.
+
+- :class:`repro.core.replica.EzBFTReplica` -- leaderless replica:
+  command-leader proposal, dependency/sequence-number computation,
+  speculative + final execution, owner-change participation.
+- :class:`repro.core.client.EzBFTClient` -- the actively-involved client:
+  fast-path certification, slow-path dependency combination, proof-of-
+  misbehavior detection, retry/recovery triggering.
+- :mod:`repro.core.instance` -- instance spaces and the command log.
+- :mod:`repro.core.executor` -- the dependency-graph execution engine.
+- :mod:`repro.core.owner_change` -- the owner-change state machine.
+"""
+
+from repro.core.instance import EntryStatus, InstanceSpace, LogEntry
+from repro.core.replica import EzBFTReplica
+from repro.core.client import EzBFTClient
+
+__all__ = [
+    "EntryStatus",
+    "InstanceSpace",
+    "LogEntry",
+    "EzBFTReplica",
+    "EzBFTClient",
+]

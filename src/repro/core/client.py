@@ -1,0 +1,343 @@
+"""The ezBFT client: an active participant in consensus.
+
+Paper steps 1, 4.1-4.4 and 6.2: the client sends its request to one
+(nearest) replica, collects SPECREPLYs, certifies the fast path with 3f+1
+matching replies (COMMITFAST), falls back to the slow path by combining
+the designated slow quorum's dependency sets (COMMIT), detects
+command-leader equivocation (POM), and re-broadcasts timed-out requests
+to trigger recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import ProtocolError
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import (
+    Commit,
+    CommitFast,
+    CommitReply,
+    ProofOfMisbehavior,
+    Request,
+    SpecReply,
+)
+from repro.statemachine.base import Command
+from repro.types import InstanceID
+
+#: Called on delivery: (command, result, latency_ms, path) where path is
+#: "fast" or "slow".
+DeliveryCallback = Callable[[Command, Any, float, str], None]
+
+
+@dataclass
+class _Pending:
+    command: Command
+    target: str
+    start_time: float
+    #: replica -> (reply, signed envelope); reset on retry.
+    spec_replies: Dict[str, Tuple[SpecReply, SignedPayload]] = \
+        field(default_factory=dict)
+    commit_replies: Dict[str, CommitReply] = field(default_factory=dict)
+    phase: str = "spec"  # spec -> slow -> done
+    slow_timer: Optional[Timer] = None
+    retry_timer: Optional[Timer] = None
+    retries: int = 0
+    pom_sent: bool = False
+
+    def cancel_timers(self) -> None:
+        for timer in (self.slow_timer, self.retry_timer):
+            if timer is not None:
+                timer.cancel()
+
+
+class EzBFTClient:
+    """One ezBFT client node."""
+
+    def __init__(self, client_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, target_replica: str,
+                 on_delivery: Optional[DeliveryCallback] = None) -> None:
+        if target_replica not in config.replica_ids:
+            raise ProtocolError(
+                f"target {target_replica!r} not a replica")
+        self.client_id = client_id
+        self.config = config
+        self.ctx = ctx
+        self.keypair = keypair
+        self.registry = registry
+        self.target_replica = target_replica
+        self.on_delivery = on_delivery
+        self._next_timestamp = 1
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self.stats = {
+            "submitted": 0,
+            "delivered_fast": 0,
+            "delivered_slow": 0,
+            "retries": 0,
+            "poms_sent": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def next_command(self, op: str, key: str = "",
+                     value: Any = None) -> Command:
+        """Build a command with the next exactly-once timestamp."""
+        command = Command(client_id=self.client_id,
+                          timestamp=self._next_timestamp,
+                          op=op, key=key, value=value)
+        self._next_timestamp += 1
+        return command
+
+    def submit(self, command: Command) -> None:
+        """Step 1: send the signed request to the target replica."""
+        if command.client_id != self.client_id:
+            raise ProtocolError("command does not belong to this client")
+        pending = _Pending(command=command, target=self.target_replica,
+                           start_time=self.ctx.now)
+        self._pending[command.ident] = pending
+        self.stats["submitted"] += 1
+        request = Request(command=command)
+        self.ctx.send(self.target_replica,
+                      SignedPayload.create(request, self.keypair))
+        pending.slow_timer = self.ctx.set_timer(
+            self.config.slow_path_timeout, self._on_slow_timeout,
+            command.ident)
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry_timeout,
+            command.ident)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, SignedPayload):
+            return
+        if not message.verify(self.registry):
+            return
+        payload = message.payload
+        if isinstance(payload, SpecReply):
+            self._on_spec_reply(payload, message)
+        elif isinstance(payload, CommitReply):
+            self._on_commit_reply(payload)
+
+    # ------------------------------------------------------------------
+    # Step 4: speculative replies
+    # ------------------------------------------------------------------
+    def _on_spec_reply(self, reply: SpecReply,
+                       envelope: SignedPayload) -> None:
+        if envelope.signer != reply.replica or \
+                reply.replica not in self.config.replica_ids:
+            return
+        pending = self._pending.get((reply.client_id, reply.timestamp))
+        if pending is None or pending.phase != "spec":
+            return
+        pending.spec_replies[reply.replica] = (reply, envelope)
+
+        if self._detect_misbehavior(pending):
+            return
+
+        group = self._largest_matching_group(pending)
+        # Step 4.1: 3f+1 matching replies -> fast decision.
+        if len(group) >= self.config.fast_quorum_size:
+            self._deliver_fast(pending, group)
+            return
+        # Optimization: once every replica has answered and the replies
+        # cannot reach a fast quorum, go slow immediately rather than
+        # waiting for the timer (the timer remains the correctness net).
+        if len(pending.spec_replies) == self.config.n and \
+                len(group) < self.config.fast_quorum_size:
+            self._try_slow_path(pending)
+
+    def _largest_matching_group(self, pending: _Pending):
+        """Largest set of mutually matching replies (step 4's 'matched
+        responses')."""
+        replies = [r for r, _ in pending.spec_replies.values()]
+        best: list = []
+        for anchor in replies:
+            group = [r for r in replies if anchor.matches_fast(r)]
+            if len(group) > len(best):
+                best = group
+        return best
+
+    def _detect_misbehavior(self, pending: _Pending) -> bool:
+        """Step 4.4: compare embedded SPECORDERs; equivocation -> POM."""
+        if pending.pom_sent:
+            return True
+        seen: Dict[str, SignedPayload] = {}
+        for reply, _ in pending.spec_replies.values():
+            signed_order = reply.spec_order
+            if signed_order is None:
+                continue
+            if signed_order.signer != pending.target:
+                continue
+            order_digest = signed_order.payload_digest()
+            for other_digest, other in seen.items():
+                if other_digest != order_digest:
+                    self._send_pom(pending, other, signed_order)
+                    return True
+            seen[order_digest] = signed_order
+        return False
+
+    def _send_pom(self, pending: _Pending, first: SignedPayload,
+                  second: SignedPayload) -> None:
+        pending.pom_sent = True
+        self.stats["poms_sent"] += 1
+        suspect = pending.target
+        owner_number = first.payload.owner_number
+        pom = ProofOfMisbehavior(suspect=suspect,
+                                 owner_number=owner_number,
+                                 evidence=(first, second))
+        self.ctx.broadcast(self.config.replica_ids, pom)
+        # Recovery will finalize the old instance; retry through another
+        # replica so the command itself makes progress.
+        self._retry(pending, exclude=suspect)
+
+    # ------------------------------------------------------------------
+    # Step 4.1: fast path
+    # ------------------------------------------------------------------
+    def _deliver_fast(self, pending: _Pending, group) -> None:
+        certificate = tuple(
+            envelope
+            for replica, (reply, envelope) in
+            sorted(pending.spec_replies.items())
+            if any(reply is g for g in group)
+        )[:self.config.fast_quorum_size]
+        sample = group[0]
+        commit_fast = CommitFast(client_id=self.client_id,
+                                 instance=sample.instance,
+                                 certificate=certificate)
+        # Asynchronous: the reply is returned to the application first;
+        # the COMMITFAST is not on the latency-critical path.
+        self.ctx.broadcast(self.config.replica_ids, commit_fast)
+        self._deliver(pending, sample.result, "fast")
+
+    # ------------------------------------------------------------------
+    # Step 4.2 / 6.2: slow path
+    # ------------------------------------------------------------------
+    def _on_slow_timeout(self, ident: Tuple[str, int]) -> None:
+        pending = self._pending.get(ident)
+        if pending is None or pending.phase != "spec":
+            return
+        self._try_slow_path(pending)
+
+    def _try_slow_path(self, pending: _Pending) -> None:
+        quorum = self.config.slow_quorum_for(pending.target)
+        available = {r: pending.spec_replies[r]
+                     for r in quorum if r in pending.spec_replies}
+        if len(available) < self.config.slow_quorum_size:
+            # The designated quorum is short (a member may be the faulty
+            # replica).  Any 2f+1 signed replies are an equally valid
+            # certificate -- the designated set is a determinism
+            # optimization, not a safety requirement -- so fall back to
+            # whatever we hold.
+            available = dict(pending.spec_replies)
+        if len(available) < self.config.slow_quorum_size:
+            return  # keep waiting; the retry timer is the next net
+        # Replies must agree on the instance to be combinable.
+        by_instance: Dict[InstanceID, list] = {}
+        for replica, (reply, envelope) in available.items():
+            by_instance.setdefault(reply.instance, []).append(
+                (reply, envelope))
+        instance, combinable = max(by_instance.items(),
+                                   key=lambda kv: len(kv[1]))
+        if len(combinable) < self.config.slow_quorum_size:
+            return
+        deps = set()
+        seq = 0
+        for reply, _ in combinable:
+            deps.update(reply.deps)
+            seq = max(seq, reply.seq)
+        certificate = tuple(envelope for _, envelope in combinable)
+        commit = Commit(client_id=self.client_id, instance=instance,
+                        command=pending.command,
+                        deps=tuple(sorted(deps)), seq=seq,
+                        certificate=certificate)
+        pending.phase = "slow"
+        self.ctx.broadcast(self.config.replica_ids,
+                           SignedPayload.create(commit, self.keypair))
+
+    def _on_commit_reply(self, reply: CommitReply) -> None:
+        pending = self._pending.get((reply.client_id, reply.timestamp))
+        if pending is None or pending.phase != "slow":
+            return
+        pending.commit_replies[reply.replica] = reply
+        # 2f+1 matching results finalize the command (step 6.2).
+        by_result: Dict[str, list] = {}
+        for crep in pending.commit_replies.values():
+            by_result.setdefault(repr(crep.result), []).append(crep)
+        for group in by_result.values():
+            if len(group) >= self.config.slow_quorum_size:
+                self._deliver(pending, group[0].result, "slow")
+                return
+
+    # ------------------------------------------------------------------
+    # Step 4.3: retry / recovery trigger
+    # ------------------------------------------------------------------
+    def _on_retry_timeout(self, ident: Tuple[str, int]) -> None:
+        pending = self._pending.get(ident)
+        if pending is None or pending.phase == "done":
+            return
+        self._retry(pending)
+
+    def _retry(self, pending: _Pending,
+               exclude: Optional[str] = None) -> None:
+        """Re-broadcast the request naming the unresponsive recipient (so
+        correct replicas relay and suspect it), and re-submit directly to
+        the next replica in ring order so the command itself makes
+        progress even if the original leader is gone."""
+        pending.retries += 1
+        self.stats["retries"] += 1
+        original = pending.target
+        # Rotate to the next replica (skipping the excluded one).
+        idx = self.config.index_of(original)
+        for step in range(1, self.config.n + 1):
+            candidate = self.config.replica_ids[
+                (idx + step) % self.config.n]
+            if candidate != exclude:
+                pending.target = candidate
+                break
+        suspicion = Request(command=pending.command,
+                            original_replica=original)
+        pending.spec_replies.clear()
+        pending.commit_replies.clear()
+        pending.phase = "spec"
+        self.ctx.broadcast(self.config.others(original),
+                           SignedPayload.create(suspicion, self.keypair))
+        fresh = Request(command=pending.command)
+        self.ctx.send(pending.target,
+                      SignedPayload.create(fresh, self.keypair))
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry_timeout,
+            pending.command.ident)
+        pending.slow_timer = self.ctx.set_timer(
+            self.config.slow_path_timeout, self._on_slow_timeout,
+            pending.command.ident)
+
+    # ------------------------------------------------------------------
+    # Delivery
+    # ------------------------------------------------------------------
+    def _deliver(self, pending: _Pending, result: Any, path: str) -> None:
+        if pending.phase == "done":
+            return
+        pending.phase = "done"
+        pending.cancel_timers()
+        if pending.retries > 0 and pending.target != self.target_replica:
+            # The original target was unresponsive; stick with the replica
+            # that actually served us for future requests.
+            self.target_replica = pending.target
+        latency = self.ctx.now - pending.start_time
+        self.stats["delivered_fast" if path == "fast"
+                   else "delivered_slow"] += 1
+        del self._pending[pending.command.ident]
+        if self.on_delivery is not None:
+            self.on_delivery(pending.command, result, latency, path)

@@ -1,0 +1,106 @@
+"""Final-execution engine: dependency graph -> deterministic application.
+
+Paper Section IV-B: a committed command is executed once all its
+dependencies are committed; the committed subgraph is condensed into
+strongly connected components, components run in inverse topological
+order, and commands inside a component run in sequence-number order with
+replica-id tie-breaks.
+
+Exactly-once: the same logical command can end up committed in two
+instances (the original leader's slot recovered by an owner change *and*
+the client's retry through another leader).  The executor therefore
+de-duplicates by command identity -- the second occurrence is treated as
+a no-op but still marked executed so the graph makes progress, and the
+original result is preserved for the client.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.core.instance import EntryStatus, LogEntry
+from repro.graph import execution_batches
+from repro.statemachine.base import StateMachine
+from repro.types import InstanceID
+
+CommandIdent = Tuple[str, int]
+
+
+class DependencyExecutor:
+    """Tracks final-execution progress over a replica's whole log."""
+
+    def __init__(self, statemachine: StateMachine) -> None:
+        self.statemachine = statemachine
+        self.executed: Set[InstanceID] = set()
+        self._executed_idents: Set[CommandIdent] = set()
+        self._results: Dict[CommandIdent, Any] = {}
+        #: Execution history as (instance, command ident) pairs -- the
+        #: cross-replica consistency tests compare these verbatim.
+        self.history: List[Tuple[InstanceID, CommandIdent]] = []
+
+    def try_execute(self, log_index: Dict[InstanceID, LogEntry]
+                    ) -> List[LogEntry]:
+        """Execute every committed entry whose dependency closure is
+        committed.  Returns the entries executed by this call, in order."""
+        ready = self._ready_set(log_index)
+        if not ready:
+            return []
+        graph = {
+            iid: [d for d in entry.deps if d in ready]
+            for iid, entry in ready.items()
+        }
+        executed_now: List[LogEntry] = []
+        for batch in execution_batches(
+                graph, sort_key=lambda iid: ready[iid].sort_key):
+            for iid in batch:
+                entry = ready[iid]
+                self._execute_entry(entry)
+                executed_now.append(entry)
+        return executed_now
+
+    def result_of(self, ident: CommandIdent) -> Any:
+        """Final result of an already-executed command."""
+        return self._results.get(ident)
+
+    def has_executed(self, ident: CommandIdent) -> bool:
+        return ident in self._executed_idents
+
+    @property
+    def executed_count(self) -> int:
+        return len(self.history)
+
+    # ------------------------------------------------------------------
+    def _ready_set(self, log_index: Dict[InstanceID, LogEntry]
+                   ) -> Dict[InstanceID, LogEntry]:
+        """Committed-but-unexecuted entries whose dependencies are all
+        either executed or also in the returned set (fixpoint)."""
+        candidates = {
+            iid: entry for iid, entry in log_index.items()
+            if entry.status == EntryStatus.COMMITTED
+        }
+        changed = True
+        while changed:
+            changed = False
+            for iid in list(candidates):
+                entry = candidates[iid]
+                for dep in entry.deps:
+                    if dep in self.executed or dep in candidates:
+                        continue
+                    del candidates[iid]
+                    changed = True
+                    break
+        return candidates
+
+    def _execute_entry(self, entry: LogEntry) -> None:
+        ident = entry.command.ident
+        if entry.command.is_noop:
+            entry.final_result = None
+        elif ident in self._executed_idents:
+            entry.final_result = self._results.get(ident)
+        else:
+            entry.final_result = self.statemachine.apply(entry.command)
+            self._executed_idents.add(ident)
+            self._results[ident] = entry.final_result
+        entry.status = EntryStatus.EXECUTED
+        self.executed.add(entry.instance)
+        self.history.append((entry.instance, ident))

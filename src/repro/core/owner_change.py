@@ -1,0 +1,320 @@
+"""ezBFT owner-change protocol (paper Sections IV-D and IV-E).
+
+An instance space whose owner is suspected byzantine is handed to the next
+replica in owner-number order.  The flow:
+
+1. A replica *suspects* the owner (suspicion timeout after relaying a
+   RESENDREQ, or a verified proof of misbehavior) and broadcasts a signed
+   STARTOWNERCHANGE carrying the space's current owner number O.
+2. On f+1 STARTOWNERCHANGE messages for (space, O) a replica *commits* to
+   the change: it freezes the space (stops acting on the old owner's
+   SPECORDERs), computes O' = O+1 and the new owner ``replicas[O' mod N]``,
+   and sends the new owner a signed OWNERCHANGE with its view of the
+   space: every instance it holds, with the strongest proof it has
+   (a commit certificate, or the signed SPECORDER).
+3. The new owner collects f+1 OWNERCHANGEs and finalizes the history:
+   per slot it picks (Condition 1) any entry backed by a commit
+   certificate with the highest owner number, else (Condition 2) an entry
+   whose signed SPECORDER is reported by at least f+1 distinct replicas;
+   unresolvable slots below the highest safe slot become no-ops.  It
+   broadcasts NEWOWNER with the safe history G and the OWNERCHANGE set as
+   proof.
+4. Replicas validate NEWOWNER (correct sender for O'), install G as
+   committed, roll back speculation, and leave the space frozen -- the
+   paper: "No new commands are ordered in the instance space."
+
+Deviation note (documented per DESIGN.md): the paper selects the single
+longest sequence P_i satisfying Condition 1/2 and then admits extensions;
+we resolve per-slot with the same two conditions, which accepts exactly
+the union of the paper's P_i and its valid extensions while being simpler
+to verify.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.core.instance import EntryStatus, LogEntry
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import (
+    LogEntrySummary,
+    NewOwner,
+    OwnerChange,
+    ProofOfMisbehavior,
+    SpecOrder,
+    StartOwnerChange,
+)
+from repro.statemachine.base import Command
+from repro.types import InstanceID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.replica import EzBFTReplica
+
+
+class OwnerChangeManager:
+    """Per-replica owner-change state machine."""
+
+    def __init__(self, replica: "EzBFTReplica") -> None:
+        self.replica = replica
+        #: (suspect, owner_number) -> voters who sent STARTOWNERCHANGE.
+        self._votes: Dict[Tuple[str, int], Set[str]] = {}
+        #: (suspect, owner_number) we already voted for.
+        self._voted: Set[Tuple[str, int]] = set()
+        #: (suspect, new_owner_number) we already committed to.
+        self._committed: Set[Tuple[str, int]] = set()
+        #: new-owner side: (suspect, new_owner_number) -> sender -> msg.
+        self._collected: Dict[Tuple[str, int],
+                              Dict[str, Tuple[OwnerChange,
+                                              SignedPayload]]] = {}
+        #: (suspect, new_owner_number) already finalized by us as new owner.
+        self._finalized: Set[Tuple[str, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Suspicion entry points
+    # ------------------------------------------------------------------
+    def suspect(self, suspect: str) -> None:
+        """Vote to change the owner of ``suspect``'s instance space."""
+        replica = self.replica
+        if suspect == replica.node_id:
+            return
+        space = replica.spaces.get(suspect)
+        if space is None or space.frozen:
+            return
+        key = (suspect, space.owner_number)
+        if key in self._voted:
+            return
+        self._voted.add(key)
+        replica.stats["owner_changes_started"] += 1
+        msg = StartOwnerChange(sender=replica.node_id, suspect=suspect,
+                               owner_number=space.owner_number)
+        signed = SignedPayload.create(msg, replica.keypair)
+        self._record_vote(msg)
+        replica.ctx.broadcast(replica.config.others(replica.node_id),
+                              signed)
+
+    def on_pom(self, pom: ProofOfMisbehavior) -> None:
+        """Validate a client-supplied proof of misbehavior (step 4.4)."""
+        if self._pom_valid(pom):
+            self.suspect(pom.suspect)
+
+    def _pom_valid(self, pom: ProofOfMisbehavior) -> bool:
+        replica = self.replica
+        a, b = pom.evidence
+        if not (a.verify(replica.registry) and b.verify(replica.registry)):
+            return False
+        pa, pb = a.payload, b.payload
+        if not (isinstance(pa, SpecOrder) and isinstance(pb, SpecOrder)):
+            return False
+        if pa.leader != pom.suspect or pb.leader != pom.suspect:
+            return False
+        if a.signer != pom.suspect or b.signer != pom.suspect:
+            return False
+        # Conflict: same slot ordered twice with different content, or the
+        # same request placed at two different instances.
+        same_slot_diff_payload = (
+            pa.instance == pb.instance
+            and a.payload_digest() != b.payload_digest())
+        same_request_diff_instance = (
+            pa.request_digest == pb.request_digest
+            and pa.instance != pb.instance)
+        return same_slot_diff_payload or same_request_diff_instance
+
+    # ------------------------------------------------------------------
+    # STARTOWNERCHANGE
+    # ------------------------------------------------------------------
+    def on_start_owner_change(self, msg: StartOwnerChange) -> None:
+        replica = self.replica
+        space = replica.spaces.get(msg.suspect)
+        if space is None or msg.owner_number != space.owner_number:
+            return
+        self._record_vote(msg)
+        key = (msg.suspect, msg.owner_number)
+        votes = self._votes.get(key, set())
+        weak = replica.config.weak_quorum_size
+        if len(votes) >= weak and key not in self._voted:
+            # Amplify: join the change once f+1 replicas demand it (at
+            # least one of them is correct).
+            self._voted.add(key)
+            own = StartOwnerChange(sender=replica.node_id,
+                                   suspect=msg.suspect,
+                                   owner_number=msg.owner_number)
+            self._record_vote(own)
+            replica.ctx.broadcast(
+                replica.config.others(replica.node_id),
+                SignedPayload.create(own, replica.keypair))
+            votes = self._votes[key]
+        if len(votes) >= weak:
+            self._commit_to_change(msg.suspect, msg.owner_number)
+
+    def _record_vote(self, msg: StartOwnerChange) -> None:
+        key = (msg.suspect, msg.owner_number)
+        self._votes.setdefault(key, set()).add(msg.sender)
+
+    def _commit_to_change(self, suspect: str, owner_number: int) -> None:
+        replica = self.replica
+        new_number = owner_number + 1
+        key = (suspect, new_number)
+        if key in self._committed:
+            return
+        self._committed.add(key)
+        space = replica.spaces[suspect]
+        space.frozen = True
+        new_owner = replica.config.owner_for_number(new_number)
+        entries = self._summarize_space(suspect)
+        msg = OwnerChange(sender=replica.node_id, suspect=suspect,
+                          new_owner_number=new_number, entries=entries)
+        signed = SignedPayload.create(msg, replica.keypair)
+        if new_owner == replica.node_id:
+            self.on_owner_change(msg, signed)
+        else:
+            replica.ctx.send(new_owner, signed)
+
+    def _summarize_space(self, suspect: str
+                         ) -> Tuple[LogEntrySummary, ...]:
+        replica = self.replica
+        space = replica.spaces[suspect]
+        summaries = []
+        for entry in space.entries():
+            if entry.status.at_least(EntryStatus.COMMITTED):
+                kind = "commit"
+                proof = tuple(entry.commit_proof)
+            else:
+                kind = "spec-order"
+                proof = ((entry.spec_order,)
+                         if entry.spec_order is not None else ())
+            summaries.append(LogEntrySummary(
+                instance=entry.instance, command=entry.command,
+                deps=entry.deps, seq=entry.seq,
+                status=entry.status.value,
+                owner_number=entry.owner_number,
+                proof_kind=kind, proof=proof))
+        return tuple(summaries)
+
+    # ------------------------------------------------------------------
+    # OWNERCHANGE (new-owner side)
+    # ------------------------------------------------------------------
+    def on_owner_change(self, msg: OwnerChange,
+                        envelope: SignedPayload) -> None:
+        replica = self.replica
+        expected_owner = replica.config.owner_for_number(
+            msg.new_owner_number)
+        if expected_owner != replica.node_id:
+            return
+        key = (msg.suspect, msg.new_owner_number)
+        if key in self._finalized:
+            return
+        bucket = self._collected.setdefault(key, {})
+        bucket[msg.sender] = (msg, envelope)
+        if len(bucket) >= replica.config.weak_quorum_size:
+            self._finalize(msg.suspect, msg.new_owner_number)
+
+    def _finalize(self, suspect: str, new_number: int) -> None:
+        replica = self.replica
+        key = (suspect, new_number)
+        self._finalized.add(key)
+        bucket = self._collected[key]
+        safe = self._select_safe_history(
+            [m for m, _ in bucket.values()])
+        proof = tuple(envelope for _, envelope in bucket.values())
+        msg = NewOwner(new_owner=replica.node_id, suspect=suspect,
+                       new_owner_number=new_number,
+                       safe_entries=safe, proof=proof)
+        signed = SignedPayload.create(msg, replica.keypair)
+        replica.ctx.broadcast(replica.config.others(replica.node_id),
+                              signed)
+        self.on_new_owner(msg)  # apply locally
+
+    def _select_safe_history(self, messages: List[OwnerChange]
+                             ) -> Tuple[LogEntrySummary, ...]:
+        """Per-slot resolution using the paper's Conditions 1 and 2."""
+        replica = self.replica
+        weak = replica.config.weak_quorum_size
+        by_slot: Dict[int, List[LogEntrySummary]] = {}
+        for msg in messages:
+            for summary in msg.entries:
+                by_slot.setdefault(summary.instance.slot,
+                                   []).append(summary)
+
+        chosen: Dict[int, LogEntrySummary] = {}
+        for slot, candidates in by_slot.items():
+            # Condition 1: a commit certificate wins outright; among
+            # several, highest owner number.
+            committed = [c for c in candidates if c.proof_kind == "commit"]
+            if committed:
+                chosen[slot] = max(committed,
+                                   key=lambda c: c.owner_number)
+                continue
+            # Condition 2: f+1 distinct replicas report the same signed
+            # SPECORDER (same command, same owner number).
+            groups: Dict[Tuple, List[LogEntrySummary]] = {}
+            for cand in candidates:
+                if cand.command is None:
+                    continue
+                group_key = (tuple(sorted(cand.command.to_wire().items(),
+                                          key=lambda kv: kv[0])),
+                             cand.owner_number)
+                groups.setdefault(group_key, []).append(cand)
+            best: Optional[LogEntrySummary] = None
+            for group in groups.values():
+                if len(group) >= min(weak, len(messages)):
+                    cand = group[0]
+                    if best is None or cand.owner_number > \
+                            best.owner_number:
+                        best = cand
+            if best is not None:
+                chosen[slot] = best
+
+        if not chosen:
+            return ()
+        max_slot = max(chosen)
+        safe: List[LogEntrySummary] = []
+        suspect = messages[0].suspect
+        for slot in range(max_slot + 1):
+            if slot in chosen:
+                safe.append(chosen[slot])
+            else:
+                # Unresolvable gap below a safe slot: finalize as no-op.
+                safe.append(LogEntrySummary(
+                    instance=InstanceID(suspect, slot),
+                    command=Command.noop(), deps=(), seq=0,
+                    status="committed", owner_number=0,
+                    proof_kind="commit", proof=()))
+        return tuple(safe)
+
+    # ------------------------------------------------------------------
+    # NEWOWNER (all replicas)
+    # ------------------------------------------------------------------
+    def on_new_owner(self, msg: NewOwner) -> None:
+        replica = self.replica
+        expected_owner = replica.config.owner_for_number(
+            msg.new_owner_number)
+        if msg.new_owner != expected_owner:
+            return
+        space = replica.spaces.get(msg.suspect)
+        if space is None or msg.new_owner_number <= space.owner_number:
+            return
+        # Adopt the finalized history.
+        replica.statemachine.rollback_speculative()
+        for summary in msg.safe_entries:
+            existing = replica._log_index.get(summary.instance)
+            if existing is not None and \
+                    existing.status == EntryStatus.EXECUTED:
+                continue
+            entry = LogEntry(
+                instance=summary.instance,
+                owner_number=msg.new_owner_number,
+                command=summary.command
+                if summary.command is not None else Command.noop(),
+                deps=summary.deps,
+                seq=summary.seq,
+                status=EntryStatus.COMMITTED,
+            )
+            if existing is not None:
+                entry.reply_to = existing.reply_to
+            space.force_put(entry)
+            replica._log_index[summary.instance] = entry
+        space.owner_number = msg.new_owner_number
+        space.frozen = True  # the space stays frozen per the paper
+        space.expected_slot = max(space.expected_slot,
+                                  len(msg.safe_entries))
+        replica._advance_execution()

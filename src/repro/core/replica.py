@@ -1,0 +1,560 @@
+"""The ezBFT replica: every replica is a potential command-leader.
+
+Implements paper Section IV: the fast-path proposal pipeline (steps 2-3),
+speculative execution, slow-path commit handling (step 5.2), fast commits
+(step 5.1), retried-request relaying (step 4.3), proof-of-misbehavior
+handling (step 4.4), and the owner-change protocol (Section IV-E, via
+:class:`repro.core.owner_change.OwnerChangeManager`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.core.executor import DependencyExecutor
+from repro.core.instance import EntryStatus, InstanceSpace, LogEntry
+from repro.core.owner_change import OwnerChangeManager
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import ProtocolError
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import (
+    Commit,
+    CommitFast,
+    CommitReply,
+    NewOwner,
+    OwnerChange,
+    ProofOfMisbehavior,
+    Request,
+    ResendRequest,
+    SpecOrder,
+    SpecReply,
+    StartOwnerChange,
+)
+from repro.statemachine.base import Command, StateMachine
+from repro.statemachine.interference import InterferenceRelation
+from repro.types import InstanceID
+
+
+class EzBFTReplica:
+    """One ezBFT replica node.
+
+    Parameters
+    ----------
+    node_id:
+        This replica's identifier (must appear in ``config.replica_ids``).
+    config:
+        Shared membership/quorum/timeout configuration.
+    ctx:
+        Transport-agnostic environment (send, timers, clock).
+    keypair / registry:
+        Signing identity and the verification registry.
+    statemachine:
+        The replicated application (normally a
+        :class:`repro.statemachine.KVStore`).
+    interference:
+        The command-interference relation used for dependency collection.
+    """
+
+    def __init__(self, node_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, statemachine: StateMachine,
+                 interference: InterferenceRelation) -> None:
+        if node_id not in config.replica_ids:
+            raise ProtocolError(f"{node_id!r} not in replica set")
+        self.node_id = node_id
+        self.config = config
+        self.ctx = ctx
+        self.keypair = keypair
+        self.registry = registry
+        self.statemachine = statemachine
+        self.interference = interference
+
+        self.spaces: Dict[str, InstanceSpace] = {
+            rid: InstanceSpace(rid, config.initial_owner_number(rid))
+            for rid in config.replica_ids
+        }
+        self._log_index: Dict[InstanceID, LogEntry] = {}
+        #: Per-key index of instances, used to keep dependency collection
+        #: O(|same-key history|) instead of O(|log|).
+        self._key_index: Dict[str, List[InstanceID]] = {}
+        self.executor = DependencyExecutor(statemachine)
+        self.owner_changes = OwnerChangeManager(self)
+
+        #: Exactly-once bookkeeping (paper's "Nitpick" in step 2).
+        self._client_ts: Dict[str, int] = {}
+        self._client_reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
+
+        #: SPECORDERs that arrived before their predecessor slot.
+        self._pending_spec_orders: Dict[
+            Tuple[str, int], Tuple[str, SignedPayload]] = {}
+        #: Suspicion timers set after relaying a RESENDREQ (step 4.3):
+        #: command digest -> (suspected replica, timer).
+        self._suspicions: Dict[str, Tuple[str, Timer]] = {}
+
+        # Metrics.
+        self.stats = {
+            "led": 0,
+            "spec_ordered": 0,
+            "committed_fast": 0,
+            "committed_slow": 0,
+            "executed": 0,
+            "owner_changes_started": 0,
+            "invalid_messages": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        """Entry point for every message delivered to this replica."""
+        if isinstance(message, SignedPayload):
+            if not message.verify(self.registry):
+                self.stats["invalid_messages"] += 1
+                return
+            payload = message.payload
+            handler = self._SIGNED_HANDLERS.get(type(payload).MSG_TYPE)
+            if handler is None:
+                self.stats["invalid_messages"] += 1
+                return
+            handler(self, sender, payload, message)
+            return
+        handler = self._PLAIN_HANDLERS.get(type(message).MSG_TYPE, None)
+        if handler is None:
+            self.stats["invalid_messages"] += 1
+            return
+        handler(self, sender, message)
+
+    # ------------------------------------------------------------------
+    # Step 2: client request -> command-leader proposal
+    # ------------------------------------------------------------------
+    def _on_request(self, sender: str, request: Request,
+                    envelope: SignedPayload) -> None:
+        if envelope.signer != request.client_id:
+            self.stats["invalid_messages"] += 1
+            return
+        client = request.client_id
+        t = request.timestamp
+        cached_t = self._client_ts.get(client, -1)
+        if t < cached_t:
+            return  # stale duplicate; drop (paper step 2 nitpick)
+        if t == cached_t:
+            cached = self._client_reply_cache.get(client)
+            if cached is not None and cached[0] == t:
+                self.ctx.send(client, cached[1])
+            return
+
+        if request.original_replica not in (None, self.node_id):
+            # Client retry broadcast (step 4.3): relay to the original
+            # recipient and start suspecting it.
+            self._relay_resend(request)
+            return
+
+        self._lead(request)
+
+    def _lead(self, request: Request) -> None:
+        """Become the command-leader for ``request`` (paper step 2)."""
+        space = self.spaces[self.node_id]
+        if space.frozen:
+            # We were deposed by an owner change; we may no longer
+            # propose.  The client's retry will reach another replica.
+            return
+        command = request.command
+        self._client_ts[command.client_id] = command.timestamp
+        slot = space.allocate_slot()
+        instance = InstanceID(self.node_id, slot)
+        deps = self._collect_deps(command, exclude=instance)
+        seq = 1 + self._max_dep_seq(deps)
+        request_digest = digest(request.to_wire())
+        spec_order = SpecOrder(
+            leader=self.node_id,
+            owner_number=space.owner_number,
+            instance=instance,
+            command=command,
+            deps=deps,
+            seq=seq,
+            log_digest=self._space_digest(space),
+            request_digest=request_digest,
+        )
+        signed_order = SignedPayload.create(spec_order, self.keypair)
+        entry = LogEntry(instance=instance,
+                         owner_number=space.owner_number,
+                         command=command, deps=deps, seq=seq,
+                         spec_order=signed_order)
+        self._install_entry(entry)
+        space.expected_slot = slot + 1
+        self._speculative_execute(entry)
+        self.stats["led"] += 1
+
+        self.ctx.broadcast(self.config.others(self.node_id), signed_order)
+        self._send_spec_reply(entry, signed_order)
+
+    def _relay_resend(self, request: Request) -> None:
+        """Relay a retried request to its original recipient and start a
+        suspicion timer (paper step 4.3)."""
+        ident_key = digest(request.command.to_wire())
+        already = self._find_entry_for_command(request.command)
+        if already is not None:
+            # We have already spec-ordered this command; re-reply.
+            if already.spec_order is not None:
+                self._send_spec_reply(already, already.spec_order)
+            return
+        resend = ResendRequest(request=request, forwarder=self.node_id)
+        self.ctx.send(request.original_replica, resend)
+        if ident_key not in self._suspicions:
+            timer = self.ctx.set_timer(
+                self.config.suspicion_timeout,
+                self._on_suspicion_timeout, request.original_replica,
+                ident_key)
+            self._suspicions[ident_key] = \
+                (request.original_replica, timer)
+
+    def _on_suspicion_timeout(self, suspect: str, ident_key: str) -> None:
+        self._suspicions.pop(ident_key, None)
+        self.owner_changes.suspect(suspect)
+
+    def _on_resend_request(self, sender: str,
+                           resend: ResendRequest) -> None:
+        """Original recipient's side of step 4.3."""
+        request = resend.request
+        entry = self._find_entry_for_command(request.command)
+        if entry is not None and entry.spec_order is not None:
+            # Re-broadcast the original SPECORDER so the forwarder (and
+            # anyone else who missed it) can make progress.
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               entry.spec_order)
+            self._send_spec_reply(entry, entry.spec_order)
+            return
+        fresh = Request(command=request.command, original_replica=None)
+        # Re-sign locally?  No -- we cannot sign for the client.  Treat the
+        # embedded (client-signed) request as a direct submission.
+        self._lead(fresh)
+
+    # ------------------------------------------------------------------
+    # Step 3: SPECORDER -> speculative execution -> SPECREPLY
+    # ------------------------------------------------------------------
+    def _on_spec_order(self, sender: str, order: SpecOrder,
+                       envelope: SignedPayload) -> None:
+        if envelope.signer != order.leader:
+            self.stats["invalid_messages"] += 1
+            return
+        space = self.spaces.get(order.instance.owner)
+        if space is None:
+            self.stats["invalid_messages"] += 1
+            return
+        if space.frozen:
+            return  # we committed to an owner change for this space
+        if order.leader != self.config.owner_for_number(
+                space.owner_number) or \
+                order.owner_number != space.owner_number:
+            # Not the current owner of that space.
+            self.stats["invalid_messages"] += 1
+            return
+
+        slot = order.instance.slot
+        if slot < space.expected_slot:
+            return  # duplicate
+        if slot > space.expected_slot:
+            # Out-of-order arrival; buffer until the gap fills.  The paper
+            # validates I = maxI + 1; buffering (rather than rejecting)
+            # tolerates network jitter without spurious owner changes.
+            self._pending_spec_orders[(space.owner, slot)] = \
+                (sender, envelope)
+            return
+
+        self._accept_spec_order(order, envelope)
+        # Drain any buffered successors.
+        while True:
+            nxt = self._pending_spec_orders.pop(
+                (space.owner, space.expected_slot), None)
+            if nxt is None:
+                break
+            _, pending_env = nxt
+            self._accept_spec_order(pending_env.payload, pending_env)
+
+    def _accept_spec_order(self, order: SpecOrder,
+                           envelope: SignedPayload) -> None:
+        space = self.spaces[order.instance.owner]
+        command = order.command
+        # Merge the leader's dependencies with what we know locally
+        # (paper: "updates the dependencies and sequence number according
+        # to its log").
+        local_deps = self._collect_deps(command, exclude=order.instance)
+        merged = tuple(sorted(set(order.deps) | set(local_deps)))
+        seq = max(order.seq, 1 + self._max_dep_seq(merged))
+        entry = LogEntry(instance=order.instance,
+                         owner_number=order.owner_number,
+                         command=command, deps=merged, seq=seq,
+                         spec_order=envelope)
+        self._install_entry(entry)
+        space.expected_slot = order.instance.slot + 1
+        self._client_ts[command.client_id] = max(
+            self._client_ts.get(command.client_id, -1), command.timestamp)
+        self._speculative_execute(entry)
+        self.stats["spec_ordered"] += 1
+        self._send_spec_reply(entry, envelope)
+        # A SPECORDER from the suspected replica resolves suspicion for
+        # the command (paper step 4.3: the timer waits for the original
+        # recipient's SPECORDER, not anyone else's).
+        self._resolve_suspicion(command, order.leader)
+
+    def _resolve_suspicion(self, command: Command, leader: str) -> None:
+        key = digest(command.to_wire())
+        entry = self._suspicions.get(key)
+        if entry is not None and entry[0] == leader:
+            entry[1].cancel()
+            del self._suspicions[key]
+
+    def _send_spec_reply(self, entry: LogEntry,
+                         signed_order: SignedPayload) -> None:
+        reply = SpecReply(
+            replica=self.node_id,
+            owner_number=entry.owner_number,
+            instance=entry.instance,
+            deps=entry.deps,
+            seq=entry.seq,
+            request_digest=signed_order.payload.request_digest,
+            client_id=entry.command.client_id,
+            timestamp=entry.command.timestamp,
+            result=entry.spec_result,
+            spec_order=signed_order,
+        )
+        envelope = SignedPayload.create(reply, self.keypair)
+        self._client_reply_cache[entry.command.client_id] = \
+            (entry.command.timestamp, envelope)
+        self.ctx.send(entry.command.client_id, envelope)
+
+    def _speculative_execute(self, entry: LogEntry) -> None:
+        """Paper Section IV-B: speculative execution runs on the latest
+        state (speculative overlay over final)."""
+        entry.spec_result = self.statemachine.apply_speculative(
+            entry.command)
+        entry.spec_executed = True
+
+    # ------------------------------------------------------------------
+    # Step 5: commits
+    # ------------------------------------------------------------------
+    def _on_commit_fast(self, sender: str, commit: CommitFast) -> None:
+        entry = self._log_index.get(commit.instance)
+        if entry is None or entry.status.at_least(EntryStatus.COMMITTED):
+            return
+        if not self._validate_fast_certificate(commit):
+            self.stats["invalid_messages"] += 1
+            return
+        # The certificate's replies all match; adopt their metadata (they
+        # may differ from ours if we merged deps the quorum did not see --
+        # the certificate is authoritative).
+        sample = commit.certificate[0].payload
+        entry.deps = sample.deps
+        entry.seq = sample.seq
+        entry.status = EntryStatus.COMMITTED
+        entry.commit_proof = commit.certificate
+        entry.reply_to = None  # fast path: no COMMITREPLY
+        self.stats["committed_fast"] += 1
+        self._advance_execution()
+
+    def _on_commit(self, sender: str, commit: Commit,
+                   envelope: SignedPayload) -> None:
+        if envelope.signer != commit.client_id:
+            self.stats["invalid_messages"] += 1
+            return
+        if not self._validate_slow_certificate(commit):
+            self.stats["invalid_messages"] += 1
+            return
+        entry = self._log_index.get(commit.instance)
+        if entry is None:
+            # We never saw the SPECORDER (e.g. we were partitioned); adopt
+            # the commit wholesale.
+            space = self.spaces.get(commit.instance.owner)
+            if space is None:
+                return
+            entry = LogEntry(instance=commit.instance,
+                             owner_number=space.owner_number,
+                             command=commit.command, deps=commit.deps,
+                             seq=commit.seq)
+            space.force_put(entry)
+            self._index_entry(entry)
+        if entry.status == EntryStatus.EXECUTED:
+            # Already final -- resend the reply.
+            self._send_commit_reply(entry, commit.client_id)
+            return
+        entry.deps = commit.deps
+        entry.seq = commit.seq
+        entry.status = EntryStatus.COMMITTED
+        entry.committed_slow = True
+        entry.commit_proof = (envelope,)
+        entry.reply_to = commit.client_id
+        # Invalidate speculation: final execution will re-run on the final
+        # state (paper step 5.2).
+        self.statemachine.rollback_speculative()
+        self.stats["committed_slow"] += 1
+        self._advance_execution()
+
+    def _advance_execution(self) -> None:
+        executed = self.executor.try_execute(self._log_index)
+        for entry in executed:
+            self.stats["executed"] += 1
+            if entry.reply_to is not None:
+                self._send_commit_reply(entry, entry.reply_to)
+
+    def _send_commit_reply(self, entry: LogEntry, client_id: str) -> None:
+        reply = CommitReply(
+            replica=self.node_id,
+            instance=entry.instance,
+            client_id=entry.command.client_id,
+            timestamp=entry.command.timestamp,
+            result=entry.final_result,
+        )
+        self.ctx.send(client_id, SignedPayload.create(reply, self.keypair))
+
+    # ------------------------------------------------------------------
+    # Certificates
+    # ------------------------------------------------------------------
+    def _validate_fast_certificate(self, commit: CommitFast) -> bool:
+        cert = commit.certificate
+        if len(cert) < self.config.fast_quorum_size:
+            return False
+        return self._validate_reply_certificate(cert, commit.instance,
+                                                require_match=True)
+
+    def _validate_slow_certificate(self, commit: Commit) -> bool:
+        cert = commit.certificate
+        if len(cert) < self.config.slow_quorum_size:
+            return False
+        return self._validate_reply_certificate(cert, commit.instance,
+                                                require_match=False)
+
+    def _validate_reply_certificate(self, cert, instance: InstanceID,
+                                    require_match: bool) -> bool:
+        signers = set()
+        first: Optional[SpecReply] = None
+        for signed in cert:
+            reply = signed.payload
+            if not isinstance(reply, SpecReply):
+                return False
+            if not signed.verify(self.registry):
+                return False
+            if signed.signer != reply.replica:
+                return False
+            if reply.instance != instance:
+                return False
+            if reply.replica not in self.config.replica_ids:
+                return False
+            signers.add(reply.replica)
+            if first is None:
+                first = reply
+            elif require_match and not first.matches_fast(reply):
+                return False
+        return len(signers) == len(cert)
+
+    # ------------------------------------------------------------------
+    # Misbehavior and owner changes (delegated)
+    # ------------------------------------------------------------------
+    def _on_pom(self, sender: str, pom: ProofOfMisbehavior) -> None:
+        self.owner_changes.on_pom(pom)
+
+    def _on_start_owner_change(self, sender: str, msg: StartOwnerChange,
+                               envelope: SignedPayload) -> None:
+        if envelope.signer != msg.sender:
+            self.stats["invalid_messages"] += 1
+            return
+        self.owner_changes.on_start_owner_change(msg)
+
+    def _on_owner_change(self, sender: str, msg: OwnerChange,
+                         envelope: SignedPayload) -> None:
+        if envelope.signer != msg.sender:
+            self.stats["invalid_messages"] += 1
+            return
+        self.owner_changes.on_owner_change(msg, envelope)
+
+    def _on_new_owner(self, sender: str, msg: NewOwner,
+                      envelope: SignedPayload) -> None:
+        if envelope.signer != msg.new_owner:
+            self.stats["invalid_messages"] += 1
+            return
+        self.owner_changes.on_new_owner(msg)
+
+    # ------------------------------------------------------------------
+    # Dependency collection
+    # ------------------------------------------------------------------
+    def _collect_deps(self, command: Command,
+                      exclude: InstanceID) -> Tuple[InstanceID, ...]:
+        """Every instance in the log whose command interferes with
+        ``command`` (paper's dependency set D)."""
+        deps = []
+        for iid in self._candidate_instances(command):
+            if iid == exclude:
+                continue
+            entry = self._log_index[iid]
+            if self.interference.interferes(entry.command, command):
+                deps.append(iid)
+        return tuple(sorted(deps))
+
+    def _candidate_instances(self, command: Command):
+        """Instances that could possibly interfere with ``command``.
+
+        Key-based interference relations only need the same-key history;
+        other relations fall back to the full log.
+        """
+        if getattr(self.interference, "key_based", True) and command.key:
+            return list(self._key_index.get(command.key, ()))
+        return list(self._log_index)
+
+    def _max_dep_seq(self, deps: Tuple[InstanceID, ...]) -> int:
+        best = 0
+        for dep in deps:
+            entry = self._log_index.get(dep)
+            if entry is not None and entry.seq > best:
+                best = entry.seq
+        return best
+
+    # ------------------------------------------------------------------
+    # Log plumbing
+    # ------------------------------------------------------------------
+    def _install_entry(self, entry: LogEntry) -> None:
+        self.spaces[entry.instance.owner].put(entry)
+        self._index_entry(entry)
+
+    def _index_entry(self, entry: LogEntry) -> None:
+        self._log_index[entry.instance] = entry
+        if entry.command.key:
+            self._key_index.setdefault(entry.command.key, []).append(
+                entry.instance)
+
+    def _find_entry_for_command(self, command: Command
+                                ) -> Optional[LogEntry]:
+        for iid in self._candidate_instances(command):
+            entry = self._log_index[iid]
+            if entry.command.ident == command.ident:
+                return entry
+        # Full-scan fallback (keyless commands).
+        for entry in self._log_index.values():
+            if entry.command.ident == command.ident:
+                return entry
+        return None
+
+    def _space_digest(self, space: InstanceSpace) -> str:
+        """Digest of a space's occupied slots (the paper's ``h``)."""
+        return digest([
+            [e.instance.to_wire(), e.command.to_wire(), e.seq]
+            for e in space.entries()
+        ])
+
+    # ------------------------------------------------------------------
+    # Handler tables
+    # ------------------------------------------------------------------
+    _SIGNED_HANDLERS = {
+        Request.MSG_TYPE: _on_request,
+        SpecOrder.MSG_TYPE: _on_spec_order,
+        Commit.MSG_TYPE: _on_commit,
+        StartOwnerChange.MSG_TYPE: _on_start_owner_change,
+        OwnerChange.MSG_TYPE: _on_owner_change,
+        NewOwner.MSG_TYPE: _on_new_owner,
+    }
+    _PLAIN_HANDLERS = {
+        CommitFast.MSG_TYPE: _on_commit_fast,
+        ResendRequest.MSG_TYPE: _on_resend_request,
+        ProofOfMisbehavior.MSG_TYPE: _on_pom,
+    }

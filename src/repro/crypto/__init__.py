@@ -1,0 +1,32 @@
+"""Cryptographic substrate: digests, signatures, MAC authenticators.
+
+The paper authenticates messages with ECDSA signatures and HMAC
+authenticators (Go ``crypto`` package).  Offline, with only the standard
+library available, we model signatures as HMAC-SHA256 tags keyed by a
+per-node secret held in a :class:`KeyRegistry`.  Within a single simulated
+process this gives the two properties the protocols rely on:
+
+- **unforgeability** -- a byzantine node object has no access to other
+  nodes' secrets, so it cannot fabricate a tag that verifies as theirs;
+- **universal verifiability** -- any node can ask the registry to verify.
+
+The *CPU cost* of real ECDSA is charged separately by the simulator's
+:class:`repro.sim.network.CpuModel`; see DESIGN.md section 1.
+"""
+
+from repro.crypto.digest import canonical_bytes, digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import Signature, sign, verify
+from repro.crypto.authenticator import Authenticator, make_authenticator
+
+__all__ = [
+    "canonical_bytes",
+    "digest",
+    "KeyPair",
+    "KeyRegistry",
+    "Signature",
+    "sign",
+    "verify",
+    "Authenticator",
+    "make_authenticator",
+]

@@ -1,0 +1,62 @@
+"""Canonical serialization and SHA-256 digests.
+
+Protocol messages must hash identically at every correct node, so the
+encoding must be canonical: dictionaries are serialized with sorted keys,
+and only JSON-representable primitives plus tuples/sets are accepted
+(sets are sorted, tuples become lists).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.errors import SerializationError
+
+
+def _canonicalize(value: Any) -> Any:
+    """Recursively convert ``value`` into a canonical JSON-compatible form."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, bytes):
+        return {"__bytes__": value.hex()}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        canon = [_canonicalize(v) for v in value]
+        try:
+            canon.sort(key=lambda v: json.dumps(v, sort_keys=True))
+        except TypeError as exc:  # pragma: no cover - defensive
+            raise SerializationError(f"unsortable set element: {exc}")
+        return {"__set__": canon}
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError(
+                    f"dict keys must be str, got {type(key).__name__}")
+            out[key] = _canonicalize(item)
+        return out
+    # Dataclass-like objects used in messages expose to_wire().
+    to_wire = getattr(value, "to_wire", None)
+    if callable(to_wire):
+        return _canonicalize(to_wire())
+    raise SerializationError(
+        f"cannot canonicalize value of type {type(value).__name__}")
+
+
+def canonical_bytes(value: Any) -> bytes:
+    """Deterministic byte encoding of ``value``.
+
+    Equal values (after canonicalization) always produce equal bytes,
+    regardless of dict insertion order or set iteration order.
+    """
+    canon = _canonicalize(value)
+    return json.dumps(canon, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def digest(value: Any) -> str:
+    """Hex SHA-256 digest of the canonical encoding of ``value``."""
+    return hashlib.sha256(canonical_bytes(value)).hexdigest()

@@ -1,0 +1,58 @@
+"""Signature creation and verification over canonical message bytes."""
+
+from __future__ import annotations
+
+import hmac as _hmac
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.digest import canonical_bytes
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import InvalidSignatureError
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A detached signature: who signed, and the tag.
+
+    ``tag`` is the hex HMAC-SHA256 of the canonical encoding of the signed
+    value.  Two signatures compare equal iff signer and tag match.
+    """
+
+    signer: str
+    tag: str
+
+    def to_wire(self) -> dict:
+        return {"signer": self.signer, "tag": self.tag}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Signature":
+        return cls(signer=wire["signer"], tag=wire["tag"])
+
+
+def sign(value: Any, keypair: KeyPair) -> Signature:
+    """Sign ``value`` (anything :func:`canonical_bytes` accepts)."""
+    payload = canonical_bytes(value)
+    return Signature(signer=keypair.node_id, tag=keypair.mac(payload))
+
+
+def verify(value: Any, signature: Signature, registry: KeyRegistry) -> None:
+    """Raise :class:`InvalidSignatureError` unless ``signature`` is valid.
+
+    Verification recomputes the canonical bytes of ``value`` and compares
+    tags in constant time.
+    """
+    payload = canonical_bytes(value)
+    expected = registry.mac_for(signature.signer, payload)
+    if not _hmac.compare_digest(expected, signature.tag):
+        raise InvalidSignatureError(
+            f"bad signature from {signature.signer!r}")
+
+
+def is_valid(value: Any, signature: Signature, registry: KeyRegistry) -> bool:
+    """Boolean form of :func:`verify`."""
+    try:
+        verify(value, signature, registry)
+    except InvalidSignatureError:
+        return False
+    return True

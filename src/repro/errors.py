@@ -1,0 +1,61 @@
+"""Exception hierarchy for the ezBFT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A cluster or protocol was configured inconsistently.
+
+    Examples: fewer than ``3f + 1`` replicas, a client bound to an unknown
+    region, or a quorum specification that does not include the leader.
+    """
+
+
+class CryptoError(ReproError):
+    """Signature creation or verification failed."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature did not verify against the claimed signer's key."""
+
+
+class UnknownSignerError(CryptoError):
+    """A signature names a node that is not present in the key registry."""
+
+
+class SerializationError(ReproError):
+    """A message could not be encoded to or decoded from its wire form."""
+
+
+class ProtocolError(ReproError):
+    """A replica or client received a message that violates the protocol.
+
+    Honest nodes raise (and locally swallow/log) this when byzantine peers
+    send malformed or inconsistent messages; it is never fatal to the node.
+    """
+
+
+class InstanceSpaceFrozenError(ProtocolError):
+    """An operation targeted an instance space that has been frozen
+    by a completed owner change."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class TransportError(ReproError):
+    """A message could not be delivered by the active transport."""
+
+
+class StateMachineError(ReproError):
+    """A command could not be applied to the replicated state machine."""

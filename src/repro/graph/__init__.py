@@ -1,0 +1,18 @@
+"""Dependency-graph execution engine.
+
+ezBFT's final execution order (Section IV-B of the paper):
+
+1. build the dependency graph over committed commands,
+2. find strongly connected components (cycles arise under contention),
+3. topologically sort the component DAG,
+4. execute components in inverse topological order; inside a component,
+   order commands by sequence number, breaking ties by replica id.
+
+:func:`tarjan_scc` is an iterative Tarjan (no recursion-depth limit);
+:func:`linearize` produces the deterministic execution order.
+"""
+
+from repro.graph.scc import tarjan_scc
+from repro.graph.execution_order import linearize, execution_batches
+
+__all__ = ["tarjan_scc", "linearize", "execution_batches"]

@@ -1,0 +1,34 @@
+"""Deterministic linearization of the committed-command dependency graph."""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, Mapping, Tuple
+
+from repro.graph.scc import tarjan_scc
+
+Node = Hashable
+#: Sort key: (sequence number, owner replica id, slot) -- the paper breaks
+#: sequence-number ties with replica identifiers; slot makes the key total.
+SortKey = Callable[[Node], Tuple]
+
+
+def execution_batches(graph: Mapping[Node, Iterable[Node]],
+                      sort_key: SortKey) -> List[List[Node]]:
+    """Group nodes into executable batches.
+
+    Returns the strongly connected components in dependency-satisfied
+    order, with each component internally sorted by ``sort_key``.
+    Replicas applying commands batch-by-batch, element-by-element, in this
+    order are guaranteed identical execution histories.
+    """
+    components = tarjan_scc(graph)
+    return [sorted(component, key=sort_key) for component in components]
+
+
+def linearize(graph: Mapping[Node, Iterable[Node]],
+              sort_key: SortKey) -> List[Node]:
+    """Flatten :func:`execution_batches` into a single execution order."""
+    order: List[Node] = []
+    for batch in execution_batches(graph, sort_key):
+        order.extend(batch)
+    return order

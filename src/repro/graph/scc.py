@@ -1,0 +1,80 @@
+"""Iterative Tarjan strongly-connected-components algorithm.
+
+The returned component list is in *reverse topological order* of the
+condensation DAG: if component ``A`` has an edge to component ``B``
+(``A`` depends on ``B``), then ``B`` appears before ``A``.  That is the
+property Tarjan guarantees and exactly the order ezBFT executes in
+("starting from the inverse topological order"), so callers can execute
+components in list order with all dependencies satisfied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+Node = Hashable
+
+
+def tarjan_scc(graph: Mapping[Node, Iterable[Node]]) -> List[List[Node]]:
+    """Strongly connected components of ``graph``.
+
+    ``graph`` maps each node to its successors (its dependencies, in
+    ezBFT's usage).  Successors not present as keys are treated as nodes
+    with no outgoing edges.  Deterministic for a given dict ordering.
+    """
+    index_of: Dict[Node, int] = {}
+    lowlink: Dict[Node, int] = {}
+    on_stack: Dict[Node, bool] = {}
+    stack: List[Node] = []
+    components: List[List[Node]] = []
+    counter = 0
+
+    # Normalize: make sure every referenced node exists in the adjacency.
+    adjacency: Dict[Node, List[Node]] = {}
+    for node, succs in graph.items():
+        adjacency.setdefault(node, [])
+        adjacency[node] = list(succs)
+    for node in list(adjacency):
+        for succ in adjacency[node]:
+            adjacency.setdefault(succ, [])
+
+    for root in adjacency:
+        if root in index_of:
+            continue
+        # Each work item is (node, iterator over remaining successors).
+        work = [(root, iter(adjacency[root]))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(adjacency[succ])))
+                    advanced = True
+                    break
+                if on_stack.get(succ, False):
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components

@@ -1,0 +1,32 @@
+"""Wire message types for every protocol in the repository.
+
+Each message is a frozen dataclass with:
+
+- a unique ``MSG_TYPE`` string,
+- ``to_wire()`` / ``from_wire()`` for canonical (de)serialization,
+- a ``cpu_cost_units`` class attribute consumed by the simulator's CPU
+  model (certificate-carrying messages cost proportionally more to verify).
+
+:func:`repro.messages.base.decode` reconstructs any registered message
+from its wire dict -- used by the asyncio transport and by tests that
+round-trip every type.
+"""
+
+from repro.messages.base import (
+    MESSAGE_REGISTRY,
+    SignedPayload,
+    decode,
+    register_message,
+)
+from repro.messages import ezbft, fab, pbft, zyzzyva  # noqa: F401 (register)
+
+__all__ = [
+    "MESSAGE_REGISTRY",
+    "SignedPayload",
+    "decode",
+    "register_message",
+    "ezbft",
+    "pbft",
+    "zyzzyva",
+    "fab",
+]

@@ -1,0 +1,94 @@
+"""Message registry and the signed-payload envelope."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Type
+
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.signatures import Signature, is_valid, sign
+from repro.errors import SerializationError
+
+#: msg_type string -> message class.
+MESSAGE_REGISTRY: Dict[str, Type] = {}
+
+
+def register_message(cls: Type) -> Type:
+    """Class decorator: register ``cls`` for :func:`decode`.
+
+    The class must define ``MSG_TYPE`` and ``from_wire``.
+    """
+    msg_type = getattr(cls, "MSG_TYPE", None)
+    if not msg_type:
+        raise SerializationError(
+            f"{cls.__name__} lacks a MSG_TYPE attribute")
+    if msg_type in MESSAGE_REGISTRY:
+        raise SerializationError(f"duplicate MSG_TYPE {msg_type!r}")
+    MESSAGE_REGISTRY[msg_type] = cls
+    return cls
+
+
+def decode(wire: dict) -> Any:
+    """Reconstruct a message object from its wire dict."""
+    try:
+        msg_type = wire["type"]
+    except (TypeError, KeyError):
+        raise SerializationError(f"wire value has no type field: {wire!r}")
+    cls = MESSAGE_REGISTRY.get(msg_type)
+    if cls is None:
+        raise SerializationError(f"unknown message type {msg_type!r}")
+    return cls.from_wire(wire)
+
+
+@dataclass(frozen=True)
+class SignedPayload:
+    """Envelope binding a message to its author's signature.
+
+    ``payload`` is any registered message object; ``signature`` covers the
+    payload's wire form.  Envelopes are themselves wire-serializable so
+    they can be embedded in certificates (e.g. a COMMITFAST carries 3f+1
+    signed SPECREPLYs).
+    """
+
+    MSG_TYPE = "signed"
+
+    payload: Any
+    signature: Signature
+
+    @classmethod
+    def create(cls, payload: Any, keypair: KeyPair) -> "SignedPayload":
+        return cls(payload=payload, signature=sign(payload.to_wire(),
+                                                   keypair))
+
+    def verify(self, registry: KeyRegistry) -> bool:
+        """True iff the signature matches the payload and signer."""
+        return is_valid(self.payload.to_wire(), self.signature, registry)
+
+    @property
+    def signer(self) -> str:
+        return self.signature.signer
+
+    @property
+    def cpu_cost_units(self) -> int:
+        """Envelopes inherit their payload's processing cost (the
+        simulator's CPU model sees the envelope, not the payload)."""
+        return getattr(self.payload, "cpu_cost_units", 1)
+
+    def payload_digest(self) -> str:
+        return digest(self.payload.to_wire())
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "payload": self.payload.to_wire(),
+            "signature": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SignedPayload":
+        return cls(payload=decode(wire["payload"]),
+                   signature=Signature.from_wire(wire["signature"]))
+
+
+register_message(SignedPayload)

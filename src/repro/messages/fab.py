@@ -1,0 +1,136 @@
+"""FaB Paxos wire messages (Martin & Alvisi, "Fast Byzantine Consensus").
+
+We implement Parameterized FaB in its common-case configuration
+(t = 0, N = 3f+1): the proposer (primary) broadcasts PROPOSE, acceptors
+broadcast ACCEPT to the learners (all replicas), and a replica that sees
+the accept quorum executes and replies to the client.  Client-visible
+steps: REQUEST -> PROPOSE -> ACCEPT -> REPLY = 4, one fewer than PBFT,
+one more than Zyzzyva/ezBFT -- exactly the ordering Figure 4 shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.messages.base import register_message
+from repro.statemachine.base import Command
+
+
+@register_message
+@dataclass(frozen=True)
+class FabRequest:
+    """Client request to the proposer."""
+
+    MSG_TYPE = "fab-request"
+    #: Client-facing cost: connection termination + ECDSA verification
+    #: (see repro.messages.ezbft.Request).
+    cpu_cost_units = 20
+
+    command: Command
+
+    @property
+    def client_id(self) -> str:
+        return self.command.client_id
+
+    @property
+    def timestamp(self) -> int:
+        return self.command.timestamp
+
+    def to_wire(self) -> dict:
+        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "FabRequest":
+        return cls(command=Command.from_wire(wire["command"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class FabPropose:
+    """<PROPOSE, pn, n, d> plus the request."""
+
+    MSG_TYPE = "fab-propose"
+    cpu_cost_units = 1
+
+    proposal_number: int
+    seqno: int
+    request_digest: str
+    request: FabRequest
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "proposal_number": self.proposal_number,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "request": self.request.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "FabPropose":
+        return cls(proposal_number=wire["proposal_number"],
+                   seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   request=FabRequest.from_wire(wire["request"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class FabAccept:
+    """<ACCEPT, pn, n, d, i> -- acceptor i accepted the proposal."""
+
+    MSG_TYPE = "fab-accept"
+    cpu_cost_units = 1
+
+    proposal_number: int
+    seqno: int
+    request_digest: str
+    acceptor: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "proposal_number": self.proposal_number,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "acceptor": self.acceptor,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "FabAccept":
+        return cls(proposal_number=wire["proposal_number"],
+                   seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   acceptor=wire["acceptor"])
+
+
+@register_message
+@dataclass(frozen=True)
+class FabReply:
+    """Learner's reply to the client after executing the learned value."""
+
+    MSG_TYPE = "fab-reply"
+    cpu_cost_units = 1
+
+    seqno: int
+    client_id: str
+    timestamp: int
+    replica: str
+    result: Any
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "seqno": self.seqno,
+            "client_id": self.client_id,
+            "timestamp": self.timestamp,
+            "replica": self.replica,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "FabReply":
+        return cls(seqno=wire["seqno"], client_id=wire["client_id"],
+                   timestamp=wire["timestamp"], replica=wire["replica"],
+                   result=wire["result"])

@@ -1,0 +1,268 @@
+"""PBFT wire messages (Castro & Liskov, OSDI '99).
+
+Five client-visible communication steps: REQUEST -> PRE-PREPARE ->
+PREPARE -> COMMIT -> REPLY.  Checkpoints and view changes included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.messages.base import SignedPayload, register_message
+from repro.statemachine.base import Command
+
+
+@register_message
+@dataclass(frozen=True)
+class PBFTRequest:
+    """<REQUEST, o, t, c>."""
+
+    MSG_TYPE = "pbft-request"
+    #: Client-facing cost: connection termination + ECDSA verification
+    #: (see repro.messages.ezbft.Request).
+    cpu_cost_units = 20
+
+    command: Command
+
+    @property
+    def client_id(self) -> str:
+        return self.command.client_id
+
+    @property
+    def timestamp(self) -> int:
+        return self.command.timestamp
+
+    def to_wire(self) -> dict:
+        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PBFTRequest":
+        return cls(command=Command.from_wire(wire["command"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class PrePrepare:
+    """<PRE-PREPARE, v, n, d> plus the request itself."""
+
+    MSG_TYPE = "pbft-pre-prepare"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    request_digest: str
+    request: PBFTRequest
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "request": self.request.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PrePrepare":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   request=PBFTRequest.from_wire(wire["request"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class Prepare:
+    """<PREPARE, v, n, d, i>."""
+
+    MSG_TYPE = "pbft-prepare"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    request_digest: str
+    replica: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Prepare":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   replica=wire["replica"])
+
+
+@register_message
+@dataclass(frozen=True)
+class PBFTCommit:
+    """<COMMIT, v, n, d, i>."""
+
+    MSG_TYPE = "pbft-commit"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    request_digest: str
+    replica: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PBFTCommit":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   replica=wire["replica"])
+
+
+@register_message
+@dataclass(frozen=True)
+class PBFTReply:
+    """<REPLY, v, t, c, i, r>."""
+
+    MSG_TYPE = "pbft-reply"
+    cpu_cost_units = 1
+
+    view: int
+    timestamp: int
+    client_id: str
+    replica: str
+    result: Any
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "timestamp": self.timestamp,
+            "client_id": self.client_id,
+            "replica": self.replica,
+            "result": self.result,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PBFTReply":
+        return cls(view=wire["view"], timestamp=wire["timestamp"],
+                   client_id=wire["client_id"], replica=wire["replica"],
+                   result=wire["result"])
+
+
+@register_message
+@dataclass(frozen=True)
+class PBFTCheckpoint:
+    """<CHECKPOINT, n, d, i>."""
+
+    MSG_TYPE = "pbft-checkpoint"
+    cpu_cost_units = 1
+
+    seqno: int
+    state_digest: str
+    replica: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "seqno": self.seqno,
+            "state_digest": self.state_digest,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "PBFTCheckpoint":
+        return cls(seqno=wire["seqno"], state_digest=wire["state_digest"],
+                   replica=wire["replica"])
+
+
+@register_message
+@dataclass(frozen=True)
+class ViewChange:
+    """<VIEW-CHANGE, v+1, n, P, i>.
+
+    ``prepared`` summarizes the sender's prepared-but-uncommitted requests
+    above its last stable checkpoint: tuples of (seqno, digest, view) with
+    the full request attached so the new primary can re-propose.
+    """
+
+    MSG_TYPE = "pbft-view-change"
+
+    new_view: int
+    last_stable_seqno: int
+    prepared: Tuple[Tuple[int, str, int], ...]
+    requests: Tuple[PBFTRequest, ...]
+    replica: str
+
+    @property
+    def cpu_cost_units(self) -> int:
+        return max(1, len(self.prepared))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "new_view": self.new_view,
+            "last_stable_seqno": self.last_stable_seqno,
+            "prepared": [list(p) for p in self.prepared],
+            "requests": [r.to_wire() for r in self.requests],
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ViewChange":
+        return cls(
+            new_view=wire["new_view"],
+            last_stable_seqno=wire["last_stable_seqno"],
+            prepared=tuple((p[0], p[1], p[2]) for p in wire["prepared"]),
+            requests=tuple(PBFTRequest.from_wire(r)
+                           for r in wire["requests"]),
+            replica=wire["replica"],
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class NewView:
+    """<NEW-VIEW, v+1, V, O> -- the new primary's view-change certificate
+    plus re-issued PRE-PREPAREs."""
+
+    MSG_TYPE = "pbft-new-view"
+
+    new_view: int
+    view_change_proof: Tuple[SignedPayload, ...]
+    pre_prepares: Tuple[PrePrepare, ...]
+    primary: str
+
+    @property
+    def cpu_cost_units(self) -> int:
+        return max(1, len(self.view_change_proof) + len(self.pre_prepares))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "new_view": self.new_view,
+            "view_change_proof": [p.to_wire()
+                                  for p in self.view_change_proof],
+            "pre_prepares": [p.to_wire() for p in self.pre_prepares],
+            "primary": self.primary,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "NewView":
+        return cls(
+            new_view=wire["new_view"],
+            view_change_proof=tuple(SignedPayload.from_wire(p)
+                                    for p in wire["view_change_proof"]),
+            pre_prepares=tuple(PrePrepare.from_wire(p)
+                               for p in wire["pre_prepares"]),
+            primary=wire["primary"],
+        )

@@ -1,0 +1,280 @@
+"""Zyzzyva wire messages (Kotla et al., SOSP '07).
+
+Fast path: REQUEST -> ORDER-REQ -> SPEC-RESPONSE (3 client-visible steps,
+3f+1 matching responses).  Slow path: client broadcasts a COMMIT
+certificate of 2f+1 matching responses and waits for 2f+1 LOCAL-COMMITs
+(2 extra steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.messages.base import SignedPayload, register_message
+from repro.statemachine.base import Command
+
+
+@register_message
+@dataclass(frozen=True)
+class ZRequest:
+    """<REQUEST, o, t, c>."""
+
+    MSG_TYPE = "zyzzyva-request"
+    #: Client-facing cost: connection termination + ECDSA verification
+    #: (see repro.messages.ezbft.Request).
+    cpu_cost_units = 20
+
+    command: Command
+
+    @property
+    def client_id(self) -> str:
+        return self.command.client_id
+
+    @property
+    def timestamp(self) -> int:
+        return self.command.timestamp
+
+    def to_wire(self) -> dict:
+        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ZRequest":
+        return cls(command=Command.from_wire(wire["command"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class OrderReq:
+    """<ORDER-REQ, v, n, h_n, d> plus the request."""
+
+    MSG_TYPE = "zyzzyva-order-req"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    history_digest: str
+    request_digest: str
+    request: ZRequest
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "history_digest": self.history_digest,
+            "request_digest": self.request_digest,
+            "request": self.request.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "OrderReq":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   history_digest=wire["history_digest"],
+                   request_digest=wire["request_digest"],
+                   request=ZRequest.from_wire(wire["request"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class SpecResponse:
+    """<SPEC-RESPONSE, v, n, h_n, H(r), c, t>, i, r, OR.
+
+    ``order_req`` embeds the signed ORDER-REQ so the client can prove
+    primary equivocation (two ORDER-REQs with the same n, different d).
+    """
+
+    MSG_TYPE = "zyzzyva-spec-response"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    history_digest: str
+    request_digest: str
+    client_id: str
+    timestamp: int
+    replica: str
+    result: Any
+    order_req: Optional[SignedPayload] = None
+
+    def matches(self, other: "SpecResponse") -> bool:
+        """Matching per the Zyzzyva spec: v, n, h, d, t and r equal."""
+        return (self.view == other.view
+                and self.seqno == other.seqno
+                and self.history_digest == other.history_digest
+                and self.request_digest == other.request_digest
+                and self.timestamp == other.timestamp
+                and self.result == other.result)
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "history_digest": self.history_digest,
+            "request_digest": self.request_digest,
+            "client_id": self.client_id,
+            "timestamp": self.timestamp,
+            "replica": self.replica,
+            "result": self.result,
+            "order_req": (self.order_req.to_wire()
+                          if self.order_req else None),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "SpecResponse":
+        order_req = wire.get("order_req")
+        return cls(
+            view=wire["view"], seqno=wire["seqno"],
+            history_digest=wire["history_digest"],
+            request_digest=wire["request_digest"],
+            client_id=wire["client_id"], timestamp=wire["timestamp"],
+            replica=wire["replica"], result=wire["result"],
+            order_req=(SignedPayload.from_wire(order_req)
+                       if order_req else None),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class ZCommit:
+    """<COMMIT, c, CC> -- 2f+1 matching SPEC-RESPONSEs."""
+
+    MSG_TYPE = "zyzzyva-commit"
+
+    client_id: str
+    seqno: int
+    certificate: Tuple[SignedPayload, ...]
+
+    @property
+    def cpu_cost_units(self) -> int:
+        return max(1, len(self.certificate))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "client_id": self.client_id,
+            "seqno": self.seqno,
+            "certificate": [c.to_wire() for c in self.certificate],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ZCommit":
+        return cls(client_id=wire["client_id"], seqno=wire["seqno"],
+                   certificate=tuple(SignedPayload.from_wire(c)
+                                     for c in wire["certificate"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class LocalCommit:
+    """<LOCAL-COMMIT, v, d, h, i, c>."""
+
+    MSG_TYPE = "zyzzyva-local-commit"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    request_digest: str
+    history_digest: str
+    replica: str
+    client_id: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "request_digest": self.request_digest,
+            "history_digest": self.history_digest,
+            "replica": self.replica,
+            "client_id": self.client_id,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "LocalCommit":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   request_digest=wire["request_digest"],
+                   history_digest=wire["history_digest"],
+                   replica=wire["replica"], client_id=wire["client_id"])
+
+
+@register_message
+@dataclass(frozen=True)
+class FillHole:
+    """<FILL-HOLE, v, n, i> -- a replica asks the primary for a missed
+    ORDER-REQ."""
+
+    MSG_TYPE = "zyzzyva-fill-hole"
+    cpu_cost_units = 1
+
+    view: int
+    seqno: int
+    replica: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "view": self.view,
+            "seqno": self.seqno,
+            "replica": self.replica,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "FillHole":
+        return cls(view=wire["view"], seqno=wire["seqno"],
+                   replica=wire["replica"])
+
+
+@register_message
+@dataclass(frozen=True)
+class IHateThePrimary:
+    """<I-HATE-THE-PRIMARY, v, i> -- vote to depose the view-v primary."""
+
+    MSG_TYPE = "zyzzyva-ihtp"
+    cpu_cost_units = 1
+
+    view: int
+    replica: str
+
+    def to_wire(self) -> dict:
+        return {"type": self.MSG_TYPE, "view": self.view,
+                "replica": self.replica}
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "IHateThePrimary":
+        return cls(view=wire["view"], replica=wire["replica"])
+
+
+@register_message
+@dataclass(frozen=True)
+class ZNewView:
+    """Simplified Zyzzyva NEW-VIEW: the new primary announces view v+1
+    with the highest commit certificate it collected."""
+
+    MSG_TYPE = "zyzzyva-new-view"
+
+    new_view: int
+    primary: str
+    max_committed_seqno: int
+    proof: Tuple[SignedPayload, ...] = ()
+
+    @property
+    def cpu_cost_units(self) -> int:
+        return max(1, len(self.proof))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "new_view": self.new_view,
+            "primary": self.primary,
+            "max_committed_seqno": self.max_committed_seqno,
+            "proof": [p.to_wire() for p in self.proof],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "ZNewView":
+        return cls(new_view=wire["new_view"], primary=wire["primary"],
+                   max_committed_seqno=wire["max_committed_seqno"],
+                   proof=tuple(SignedPayload.from_wire(p)
+                               for p in wire["proof"]))

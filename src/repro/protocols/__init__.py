@@ -1,0 +1,19 @@
+"""Baseline BFT protocols the paper evaluates against: PBFT, Zyzzyva,
+FaB.  All run on the same substrate (crypto, network, state machine) as
+ezBFT so latency/throughput comparisons isolate protocol structure."""
+
+from repro.protocols.pbft.replica import PBFTReplica
+from repro.protocols.pbft.client import PBFTClient
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+from repro.protocols.fab.replica import FabReplica
+from repro.protocols.fab.client import FabClient
+
+__all__ = [
+    "PBFTReplica",
+    "PBFTClient",
+    "ZyzzyvaReplica",
+    "ZyzzyvaClient",
+    "FabReplica",
+    "FabClient",
+]

@@ -1,0 +1,6 @@
+"""FaB Paxos (Martin & Alvisi) on the shared substrate."""
+
+from repro.protocols.fab.replica import FabReplica
+from repro.protocols.fab.client import FabClient
+
+__all__ = ["FabReplica", "FabClient"]

@@ -1,0 +1,88 @@
+"""FaB client: sends to the proposer, accepts f+1 matching replies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.messages.base import SignedPayload
+from repro.messages.fab import FabReply, FabRequest
+from repro.protocols.base import BaseClient, DeliveryCallback
+from repro.statemachine.base import Command
+
+
+@dataclass
+class _Pending:
+    command: Command
+    start_time: float
+    replies: Dict[str, FabReply] = field(default_factory=dict)
+    retry_timer: Optional[Timer] = None
+    done: bool = False
+
+
+class FabClient(BaseClient):
+    """One FaB client."""
+
+    def __init__(self, client_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, initial_view: int = 0,
+                 on_delivery: Optional[DeliveryCallback] = None) -> None:
+        super().__init__(client_id, config, ctx, keypair, registry,
+                         initial_view, on_delivery)
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+
+    def submit(self, command: Command) -> None:
+        pending = _Pending(command=command, start_time=self.ctx.now)
+        self._pending[command.ident] = pending
+        self.stats["submitted"] += 1
+        request = FabRequest(command=command)
+        self.ctx.send(self.primary, self.sign(request))
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry, command.ident)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, SignedPayload) or \
+                not message.verify(self.registry):
+            return
+        reply = message.payload
+        if not isinstance(reply, FabReply) or \
+                message.signer != reply.replica:
+            return
+        pending = self._pending.get((reply.client_id, reply.timestamp))
+        if pending is None or pending.done:
+            return
+        pending.replies[reply.replica] = reply
+        by_result: Dict[str, list] = {}
+        for rep in pending.replies.values():
+            by_result.setdefault(repr(rep.result), []).append(rep)
+        for group in by_result.values():
+            if len(group) >= self.config.weak_quorum_size:
+                self._deliver(pending, group[0].result)
+                return
+
+    def _on_retry(self, ident: Tuple[str, int]) -> None:
+        pending = self._pending.get(ident)
+        if pending is None or pending.done:
+            return
+        self.stats["retries"] += 1
+        request = FabRequest(command=pending.command)
+        self.ctx.broadcast(self.config.replica_ids, self.sign(request))
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry, ident)
+
+    def _deliver(self, pending: _Pending, result: Any) -> None:
+        pending.done = True
+        if pending.retry_timer is not None:
+            pending.retry_timer.cancel()
+        latency = self.ctx.now - pending.start_time
+        self.stats["delivered"] += 1
+        del self._pending[pending.command.ident]
+        if self.on_delivery is not None:
+            self.on_delivery(pending.command, result, latency, "fab")

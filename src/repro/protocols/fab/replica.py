@@ -1,0 +1,164 @@
+"""Parameterized FaB replica (common case, t = 0, N = 3f+1).
+
+The proposer (primary) broadcasts PROPOSE; every replica acts as acceptor
+and learner: acceptors broadcast ACCEPT, and a learner that collects the
+accept quorum ceil((N + f + 1) / 2) executes in sequence order and
+replies to the client.  Client-visible steps: REQUEST -> PROPOSE ->
+ACCEPT -> REPLY = 4 (one fewer than PBFT, one more than Zyzzyva/ezBFT).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.messages.base import SignedPayload
+from repro.messages.fab import FabAccept, FabPropose, FabReply, FabRequest
+from repro.protocols.base import BaseReplica
+from repro.statemachine.base import StateMachine
+
+
+@dataclass
+class _Slot:
+    request: Optional[FabRequest] = None
+    request_digest: Optional[str] = None
+    accepts: Set[str] = field(default_factory=set)
+    accepted_digest: Optional[str] = None
+    learned: bool = False
+    executed: bool = False
+
+
+class FabReplica(BaseReplica):
+    """One FaB replica (proposer + acceptor + learner roles)."""
+
+    def __init__(self, node_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, statemachine: StateMachine,
+                 initial_view: int = 0) -> None:
+        super().__init__(node_id, config, ctx, keypair, registry,
+                         statemachine, initial_view)
+        self._slots: Dict[int, _Slot] = {}
+        self._next_seqno = 0
+        self._last_executed = -1
+        self._client_ts: Dict[str, int] = {}
+        self._reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
+        self.stats.update({"proposals": 0})
+
+    @property
+    def accept_quorum(self) -> int:
+        """FaB learning quorum: ceil((N + f + 1) / 2)."""
+        return max(math.ceil((self.config.n + self.config.f + 1) / 2),
+                   self.config.slow_quorum_size)
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, SignedPayload):
+            if not message.verify(self.registry):
+                self.stats["invalid_messages"] += 1
+                return
+            payload = message.payload
+            if isinstance(payload, FabRequest):
+                self._on_request(payload, message)
+            elif isinstance(payload, FabPropose):
+                self._on_propose(message.signer, payload)
+            elif isinstance(payload, FabAccept):
+                self._on_accept(payload)
+            else:
+                self.stats["invalid_messages"] += 1
+
+    # ------------------------------------------------------------------
+    def _on_request(self, request: FabRequest,
+                    envelope: SignedPayload) -> None:
+        if envelope.signer != request.client_id:
+            self.stats["invalid_messages"] += 1
+            return
+        client = request.client_id
+        t = request.timestamp
+        cached_t = self._client_ts.get(client, -1)
+        if t < cached_t:
+            return
+        if t == cached_t:
+            cached = self._reply_cache.get(client)
+            if cached is not None and cached[0] == t:
+                self.ctx.send(client, cached[1])
+            return
+        if not self.is_primary:
+            self.ctx.send(self.primary, envelope)
+            return
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        d = digest(request.to_wire())
+        propose = FabPropose(proposal_number=self.view, seqno=seqno,
+                             request_digest=d, request=request)
+        self.stats["proposals"] += 1
+        signed = self.sign(propose)
+        self.broadcast_others(signed)
+        self._on_propose(self.node_id, propose)
+
+    def _on_propose(self, sender: str, propose: FabPropose) -> None:
+        if propose.proposal_number != self.view:
+            return
+        if sender != self.config.primary_for_view(
+                propose.proposal_number):
+            self.stats["invalid_messages"] += 1
+            return
+        if digest(propose.request.to_wire()) != propose.request_digest:
+            self.stats["invalid_messages"] += 1
+            return
+        slot = self._slots.setdefault(propose.seqno, _Slot())
+        if slot.accepted_digest is not None and \
+                slot.accepted_digest != propose.request_digest:
+            return  # acceptors accept at most one value per slot
+        slot.request = propose.request
+        slot.request_digest = propose.request_digest
+        slot.accepted_digest = propose.request_digest
+        accept = FabAccept(proposal_number=propose.proposal_number,
+                           seqno=propose.seqno,
+                           request_digest=propose.request_digest,
+                           acceptor=self.node_id)
+        self._record_accept(accept)
+        self.broadcast_others(self.sign(accept))
+
+    def _on_accept(self, accept: FabAccept) -> None:
+        if accept.proposal_number != self.view:
+            return
+        self._record_accept(accept)
+
+    def _record_accept(self, accept: FabAccept) -> None:
+        slot = self._slots.setdefault(accept.seqno, _Slot())
+        if slot.request_digest is not None and \
+                slot.request_digest != accept.request_digest:
+            return
+        slot.accepts.add(accept.acceptor)
+        if not slot.learned and slot.request is not None and \
+                len(slot.accepts) >= self.accept_quorum:
+            slot.learned = True
+            self._execute_ready()
+
+    def _execute_ready(self) -> None:
+        while True:
+            slot = self._slots.get(self._last_executed + 1)
+            if slot is None or not slot.learned or slot.executed or \
+                    slot.request is None:
+                return
+            slot.executed = True
+            self._last_executed += 1
+            command = slot.request.command
+            result = self.statemachine.apply(command)
+            self.stats["executed"] += 1
+            self._client_ts[command.client_id] = max(
+                self._client_ts.get(command.client_id, -1),
+                command.timestamp)
+            reply = FabReply(seqno=self._last_executed,
+                             client_id=command.client_id,
+                             timestamp=command.timestamp,
+                             replica=self.node_id, result=result)
+            envelope = self.sign(reply)
+            self._reply_cache[command.client_id] = \
+                (command.timestamp, envelope)
+            self.ctx.send(command.client_id, envelope)

@@ -1,0 +1,6 @@
+"""PBFT (Castro & Liskov, OSDI '99) on the shared substrate."""
+
+from repro.protocols.pbft.replica import PBFTReplica
+from repro.protocols.pbft.client import PBFTClient
+
+__all__ = ["PBFTReplica", "PBFTClient"]

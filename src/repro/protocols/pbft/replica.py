@@ -1,0 +1,382 @@
+"""PBFT replica: pre-prepare / prepare / commit three-phase ordering.
+
+Client-visible latency is five communication steps: REQUEST ->
+PRE-PREPARE -> PREPARE -> COMMIT -> REPLY, which is why PBFT sits at the
+top of Figure 4's latency bars.
+
+Includes checkpointing with log garbage collection and a view-change
+protocol (timer-driven, 2f+1 VIEW-CHANGE certificate, NEW-VIEW with
+re-issued pre-prepares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.messages.base import SignedPayload
+from repro.messages.pbft import (
+    NewView,
+    PBFTCheckpoint,
+    PBFTCommit,
+    PBFTReply,
+    PBFTRequest,
+    PrePrepare,
+    Prepare,
+    ViewChange,
+)
+from repro.protocols.base import BaseReplica
+from repro.statemachine.base import StateMachine
+from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
+
+
+@dataclass
+class _Slot:
+    request: Optional[PBFTRequest] = None
+    request_digest: Optional[str] = None
+    pre_prepare: Optional[PrePrepare] = None
+    prepares: Set[str] = field(default_factory=set)
+    commits: Set[str] = field(default_factory=set)
+    prepared: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class PBFTReplica(BaseReplica):
+    """One PBFT replica."""
+
+    def __init__(self, node_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, statemachine: StateMachine,
+                 initial_view: int = 0) -> None:
+        super().__init__(node_id, config, ctx, keypair, registry,
+                         statemachine, initial_view)
+        self._slots: Dict[int, _Slot] = {}
+        self._next_seqno = 0       # primary-side allocator
+        self._last_executed = -1   # highest contiguously executed seqno
+        self._client_ts: Dict[str, int] = {}
+        self._reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
+        self._request_timers: Dict[str, Timer] = {}
+        self._view_change_votes: Dict[int, Dict[str, SignedPayload]] = {}
+        self._view_changing = False
+        self.checkpoints = CheckpointStore(
+            quorum=config.slow_quorum_size,
+            interval=config.checkpoint_interval)
+        self.stats.update({
+            "pre_prepares": 0,
+            "view_changes": 0,
+            "checkpoints": 0,
+        })
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, SignedPayload):
+            if not message.verify(self.registry):
+                self.stats["invalid_messages"] += 1
+                return
+            payload = message.payload
+            if isinstance(payload, PBFTRequest):
+                self._on_request(payload, message)
+            elif isinstance(payload, PrePrepare):
+                self._on_pre_prepare(message.signer, payload)
+            elif isinstance(payload, Prepare):
+                self._on_prepare(payload)
+            elif isinstance(payload, PBFTCommit):
+                self._on_commit(payload)
+            elif isinstance(payload, PBFTCheckpoint):
+                self._on_checkpoint(payload)
+            elif isinstance(payload, ViewChange):
+                self._on_view_change(payload, message)
+            elif isinstance(payload, NewView):
+                self._on_new_view(payload)
+            else:
+                self.stats["invalid_messages"] += 1
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    def _on_request(self, request: PBFTRequest,
+                    envelope: SignedPayload) -> None:
+        if envelope.signer != request.client_id:
+            self.stats["invalid_messages"] += 1
+            return
+        client = request.client_id
+        t = request.timestamp
+        cached_t = self._client_ts.get(client, -1)
+        if t < cached_t:
+            return
+        if t == cached_t:
+            cached = self._reply_cache.get(client)
+            if cached is not None and cached[0] == t:
+                self.ctx.send(client, cached[1])
+            return
+        if self.is_primary:
+            self._propose(request, envelope)
+        else:
+            # Forward to the primary and watch for progress.
+            self.ctx.send(self.primary, envelope)
+            key = digest(request.to_wire())
+            if key not in self._request_timers:
+                self._request_timers[key] = self.ctx.set_timer(
+                    self.config.view_change_timeout,
+                    self._on_progress_timeout, key)
+
+    def _propose(self, request: PBFTRequest,
+                 envelope: SignedPayload) -> None:
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        d = digest(request.to_wire())
+        pre_prepare = PrePrepare(view=self.view, seqno=seqno,
+                                 request_digest=d, request=request)
+        self.stats["pre_prepares"] += 1
+        slot = self._slot(seqno)
+        slot.request = request
+        slot.request_digest = d
+        slot.pre_prepare = pre_prepare
+        self.broadcast_others(self.sign(pre_prepare))
+        # The primary counts as having pre-prepared + prepared.
+        self._broadcast_prepare(seqno, d)
+
+    # ------------------------------------------------------------------
+    # Three-phase commit
+    # ------------------------------------------------------------------
+    def _on_pre_prepare(self, sender: str, msg: PrePrepare) -> None:
+        if msg.view != self.view or self._view_changing:
+            return
+        if sender != self.config.primary_for_view(msg.view):
+            self.stats["invalid_messages"] += 1
+            return
+        if digest(msg.request.to_wire()) != msg.request_digest:
+            self.stats["invalid_messages"] += 1
+            return
+        slot = self._slot(msg.seqno)
+        if slot.pre_prepare is not None and \
+                slot.request_digest != msg.request_digest:
+            # Equivocating primary; vote it out.
+            self._start_view_change()
+            return
+        slot.request = msg.request
+        slot.request_digest = msg.request_digest
+        slot.pre_prepare = msg
+        self._cancel_request_timer(msg.request_digest)
+        self._broadcast_prepare(msg.seqno, msg.request_digest)
+
+    def _broadcast_prepare(self, seqno: int, request_digest: str) -> None:
+        prepare = Prepare(view=self.view, seqno=seqno,
+                          request_digest=request_digest,
+                          replica=self.node_id)
+        self._record_prepare(prepare)
+        self.broadcast_others(self.sign(prepare))
+
+    def _on_prepare(self, msg: Prepare) -> None:
+        if msg.view != self.view or self._view_changing:
+            return
+        self._record_prepare(msg)
+
+    def _record_prepare(self, msg: Prepare) -> None:
+        slot = self._slot(msg.seqno)
+        if slot.request_digest is not None and \
+                slot.request_digest != msg.request_digest:
+            return
+        slot.prepares.add(msg.replica)
+        # prepared == pre-prepare + 2f matching prepares (own included).
+        if not slot.prepared and slot.pre_prepare is not None and \
+                len(slot.prepares) >= 2 * self.config.f + 1:
+            slot.prepared = True
+            commit = PBFTCommit(view=self.view, seqno=msg.seqno,
+                                request_digest=msg.request_digest,
+                                replica=self.node_id)
+            self._record_commit(commit)
+            self.broadcast_others(self.sign(commit))
+
+    def _on_commit(self, msg: PBFTCommit) -> None:
+        if msg.view != self.view or self._view_changing:
+            return
+        self._record_commit(msg)
+
+    def _record_commit(self, msg: PBFTCommit) -> None:
+        slot = self._slot(msg.seqno)
+        if slot.request_digest is not None and \
+                slot.request_digest != msg.request_digest:
+            return
+        slot.commits.add(msg.replica)
+        if not slot.committed and slot.prepared and \
+                len(slot.commits) >= self.config.slow_quorum_size:
+            slot.committed = True
+            self._execute_ready()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _execute_ready(self) -> None:
+        while True:
+            nxt = self._slots.get(self._last_executed + 1)
+            if nxt is None or not nxt.committed or nxt.executed or \
+                    nxt.request is None:
+                return
+            nxt.executed = True
+            self._last_executed += 1
+            result = self.statemachine.apply(nxt.request.command)
+            self.stats["executed"] += 1
+            client = nxt.request.client_id
+            self._client_ts[client] = max(
+                self._client_ts.get(client, -1), nxt.request.timestamp)
+            reply = PBFTReply(view=self.view,
+                              timestamp=nxt.request.timestamp,
+                              client_id=client, replica=self.node_id,
+                              result=result)
+            envelope = self.sign(reply)
+            self._reply_cache[client] = (nxt.request.timestamp, envelope)
+            self.ctx.send(client, envelope)
+            self._cancel_request_timer(nxt.request_digest)
+            self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        executed = self._last_executed + 1
+        if not self.checkpoints.due(executed):
+            return
+        checkpoint = Checkpoint.capture(executed,
+                                        self.statemachine.snapshot())
+        self.checkpoints.record_local(checkpoint)
+        self.stats["checkpoints"] += 1
+        msg = PBFTCheckpoint(seqno=executed,
+                             state_digest=checkpoint.state_digest,
+                             replica=self.node_id)
+        self.broadcast_others(self.sign(msg))
+
+    def _on_checkpoint(self, msg: PBFTCheckpoint) -> None:
+        became_stable = self.checkpoints.attest(
+            msg.seqno, msg.state_digest, msg.replica)
+        if became_stable:
+            self._gc_log(msg.seqno)
+
+    def _gc_log(self, stable_seqno: int) -> None:
+        for seqno in [s for s in self._slots if s < stable_seqno - 1]:
+            if self._slots[seqno].executed:
+                del self._slots[seqno]
+
+    # ------------------------------------------------------------------
+    # View changes
+    # ------------------------------------------------------------------
+    def _on_progress_timeout(self, request_key: str) -> None:
+        self._request_timers.pop(request_key, None)
+        self._start_view_change()
+
+    def _start_view_change(self) -> None:
+        if self._view_changing:
+            return
+        self._view_changing = True
+        self.stats["view_changes"] += 1
+        new_view = self.view + 1
+        stable = self.checkpoints.stable
+        stable_seqno = stable.watermark if stable else 0
+        prepared = []
+        requests = []
+        for seqno in sorted(self._slots):
+            slot = self._slots[seqno]
+            if slot.prepared and not slot.executed and \
+                    slot.request is not None:
+                prepared.append((seqno, slot.request_digest, self.view))
+                requests.append(slot.request)
+        msg = ViewChange(new_view=new_view,
+                         last_stable_seqno=stable_seqno,
+                         prepared=tuple(prepared),
+                         requests=tuple(requests),
+                         replica=self.node_id)
+        signed = self.sign(msg)
+        self._on_view_change(msg, signed)  # count our own vote
+        self.broadcast_others(signed)
+
+    def _on_view_change(self, msg: ViewChange,
+                        envelope: SignedPayload) -> None:
+        if msg.new_view <= self.view:
+            return
+        votes = self._view_change_votes.setdefault(msg.new_view, {})
+        votes[msg.replica] = envelope
+        # Join the view change once f+1 replicas demand it.
+        if len(votes) >= self.config.weak_quorum_size and \
+                not self._view_changing:
+            self._start_view_change()
+        if len(votes) >= self.config.slow_quorum_size and \
+                self.config.primary_for_view(msg.new_view) == self.node_id:
+            self._become_primary(msg.new_view, votes)
+
+    def _become_primary(self, new_view: int,
+                        votes: Dict[str, SignedPayload]) -> None:
+        if self.view >= new_view:
+            return
+        # Re-issue pre-prepares for every prepared request reported.
+        reissued: Dict[int, PrePrepare] = {}
+        for envelope in votes.values():
+            vc: ViewChange = envelope.payload
+            for (seqno, req_digest, _view), request in zip(
+                    vc.prepared, vc.requests):
+                if seqno not in reissued:
+                    reissued[seqno] = PrePrepare(
+                        view=new_view, seqno=seqno,
+                        request_digest=req_digest, request=request)
+        proof = tuple(votes.values())
+        new_view_msg = NewView(new_view=new_view,
+                               view_change_proof=proof,
+                               pre_prepares=tuple(reissued.values()),
+                               primary=self.node_id)
+        self.broadcast_others(self.sign(new_view_msg))
+        self._adopt_view(new_view)
+        # Continue sequence numbering after everything we have executed
+        # or seen ordered -- re-using an occupied seqno would look like
+        # equivocation to the backups and trigger another view change.
+        occupied = max(self._slots) if self._slots else -1
+        self._next_seqno = max(self._next_seqno, self._last_executed + 1,
+                               occupied + 1)
+        seqnos = [p.seqno for p in reissued.values()]
+        if seqnos:
+            self._next_seqno = max(self._next_seqno, max(seqnos) + 1)
+        for pre_prepare in reissued.values():
+            slot = self._slot(pre_prepare.seqno)
+            slot.request = pre_prepare.request
+            slot.request_digest = pre_prepare.request_digest
+            slot.pre_prepare = pre_prepare
+            self._broadcast_prepare(pre_prepare.seqno,
+                                    pre_prepare.request_digest)
+
+    def _on_new_view(self, msg: NewView) -> None:
+        if msg.new_view <= self.view:
+            return
+        if self.config.primary_for_view(msg.new_view) != msg.primary:
+            self.stats["invalid_messages"] += 1
+            return
+        if len(msg.view_change_proof) < self.config.slow_quorum_size:
+            self.stats["invalid_messages"] += 1
+            return
+        self._adopt_view(msg.new_view)
+        for pre_prepare in msg.pre_prepares:
+            self._on_pre_prepare(msg.primary, pre_prepare)
+
+    def _adopt_view(self, new_view: int) -> None:
+        self.view = new_view
+        self._view_changing = False
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+        # Reset per-view vote state for lower views.
+        self._view_change_votes = {
+            v: votes for v, votes in self._view_change_votes.items()
+            if v > new_view
+        }
+
+    # ------------------------------------------------------------------
+    def _slot(self, seqno: int) -> _Slot:
+        return self._slots.setdefault(seqno, _Slot())
+
+    def _cancel_request_timer(self, request_digest: Optional[str]) -> None:
+        if request_digest is None:
+            return
+        timer = self._request_timers.pop(request_digest, None)
+        if timer is not None:
+            timer.cancel()

@@ -1,0 +1,6 @@
+"""Zyzzyva (Kotla et al., SOSP '07) on the shared substrate."""
+
+from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.protocols.zyzzyva.client import ZyzzyvaClient
+
+__all__ = ["ZyzzyvaReplica", "ZyzzyvaClient"]

@@ -1,0 +1,168 @@
+"""Zyzzyva client: 3f+1 matching speculative responses complete a request
+in three steps; otherwise a commit certificate closes it in five."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.messages.base import SignedPayload
+from repro.messages.zyzzyva import (
+    LocalCommit,
+    SpecResponse,
+    ZCommit,
+    ZRequest,
+)
+from repro.protocols.base import BaseClient, DeliveryCallback
+from repro.statemachine.base import Command
+
+
+@dataclass
+class _Pending:
+    command: Command
+    start_time: float
+    responses: Dict[str, Tuple[SpecResponse, SignedPayload]] = \
+        field(default_factory=dict)
+    local_commits: Dict[str, LocalCommit] = field(default_factory=dict)
+    phase: str = "spec"  # spec -> commit -> done
+    slow_timer: Optional[Timer] = None
+    retry_timer: Optional[Timer] = None
+
+
+class ZyzzyvaClient(BaseClient):
+    """One Zyzzyva client."""
+
+    def __init__(self, client_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, initial_view: int = 0,
+                 on_delivery: Optional[DeliveryCallback] = None) -> None:
+        super().__init__(client_id, config, ctx, keypair, registry,
+                         initial_view, on_delivery)
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self.stats.update({"delivered_fast": 0, "delivered_slow": 0})
+
+    def submit(self, command: Command) -> None:
+        pending = _Pending(command=command, start_time=self.ctx.now)
+        self._pending[command.ident] = pending
+        self.stats["submitted"] += 1
+        request = ZRequest(command=command)
+        self.ctx.send(self.primary, self.sign(request))
+        pending.slow_timer = self.ctx.set_timer(
+            self.config.slow_path_timeout, self._on_slow_timeout,
+            command.ident)
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry, command.ident)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, SignedPayload) or \
+                not message.verify(self.registry):
+            return
+        payload = message.payload
+        if isinstance(payload, SpecResponse):
+            self._on_spec_response(payload, message)
+        elif isinstance(payload, LocalCommit):
+            self._on_local_commit(payload)
+
+    def _on_spec_response(self, resp: SpecResponse,
+                          envelope: SignedPayload) -> None:
+        if envelope.signer != resp.replica:
+            return
+        pending = self._pending.get((resp.client_id, resp.timestamp))
+        if pending is None or pending.phase != "spec":
+            return
+        self.view = max(self.view, resp.view)
+        pending.responses[resp.replica] = (resp, envelope)
+        group = self._largest_matching_group(pending)
+        if len(group) >= self.config.fast_quorum_size:
+            self._deliver(pending, group[0].result, "fast")
+            return
+        if len(pending.responses) == self.config.n:
+            self._try_commit(pending)
+
+    def _largest_matching_group(self, pending: _Pending):
+        responses = [r for r, _ in pending.responses.values()]
+        best: list = []
+        for anchor in responses:
+            group = [r for r in responses if anchor.matches(r)]
+            if len(group) > len(best):
+                best = group
+        return best
+
+    # ------------------------------------------------------------------
+    def _on_slow_timeout(self, ident: Tuple[str, int]) -> None:
+        pending = self._pending.get(ident)
+        if pending is None or pending.phase != "spec":
+            return
+        self._try_commit(pending)
+
+    def _try_commit(self, pending: _Pending) -> None:
+        group = self._largest_matching_group(pending)
+        if len(group) < self.config.slow_quorum_size:
+            return  # wait for the retry timer
+        certificate = tuple(
+            envelope for replica, (resp, envelope)
+            in sorted(pending.responses.items())
+            if any(resp is g for g in group)
+        )[:self.config.slow_quorum_size]
+        commit = ZCommit(client_id=self.client_id,
+                         seqno=group[0].seqno,
+                         certificate=certificate)
+        pending.phase = "commit"
+        self.ctx.broadcast(self.config.replica_ids, commit)
+
+    def _on_local_commit(self, ack: LocalCommit) -> None:
+        # LOCAL-COMMITs carry no client timestamp; match on the digest of
+        # the pending command's request via seqno bookkeeping.
+        for pending in list(self._pending.values()):
+            if pending.phase != "commit":
+                continue
+            matching = [r for r, _ in pending.responses.values()
+                        if r.seqno == ack.seqno]
+            if not matching:
+                continue
+            pending.local_commits[ack.replica] = ack
+            if len(pending.local_commits) >= \
+                    self.config.slow_quorum_size:
+                self._deliver(pending, matching[0].result, "slow")
+            return
+
+    # ------------------------------------------------------------------
+    def _on_retry(self, ident: Tuple[str, int]) -> None:
+        pending = self._pending.get(ident)
+        if pending is None or pending.phase == "done":
+            return
+        self.stats["retries"] += 1
+        request = ZRequest(command=pending.command)
+        signed = self.sign(request)
+        pending.responses.clear()
+        pending.local_commits.clear()
+        pending.phase = "spec"
+        self.ctx.broadcast(self.config.replica_ids, signed)
+        pending.retry_timer = self.ctx.set_timer(
+            self.config.retry_timeout, self._on_retry, ident)
+        pending.slow_timer = self.ctx.set_timer(
+            self.config.slow_path_timeout, self._on_slow_timeout, ident)
+
+    def _deliver(self, pending: _Pending, result: Any,
+                 path: str) -> None:
+        if pending.phase == "done":
+            return
+        pending.phase = "done"
+        for timer in (pending.slow_timer, pending.retry_timer):
+            if timer is not None:
+                timer.cancel()
+        latency = self.ctx.now - pending.start_time
+        self.stats["delivered"] += 1
+        self.stats["delivered_fast" if path == "fast"
+                   else "delivered_slow"] += 1
+        del self._pending[pending.command.ident]
+        if self.on_delivery is not None:
+            self.on_delivery(pending.command, result, latency, path)

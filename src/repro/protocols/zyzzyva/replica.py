@@ -1,0 +1,341 @@
+"""Zyzzyva replica: speculative execution off the primary's order.
+
+Fast path (3 client-visible steps): the primary assigns a sequence number
+and broadcasts ORDER-REQ; replicas speculatively execute in sequence
+order and respond directly to the client.  Slow path: the client
+broadcasts a commit certificate (2f+1 matching SPEC-RESPONSEs) and
+replicas acknowledge with LOCAL-COMMIT.
+
+Includes FILL-HOLE recovery for gaps and an I-HATE-THE-PRIMARY /
+NEW-VIEW change driven by progress timeouts or primary equivocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro.cluster.node import NodeContext, Timer
+from repro.config import ProtocolConfig
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.messages.base import SignedPayload
+from repro.messages.zyzzyva import (
+    FillHole,
+    IHateThePrimary,
+    LocalCommit,
+    OrderReq,
+    SpecResponse,
+    ZCommit,
+    ZNewView,
+    ZRequest,
+)
+from repro.protocols.base import BaseReplica
+from repro.statemachine.base import StateMachine
+
+
+@dataclass
+class _Slot:
+    order_req: Optional[OrderReq] = None
+    signed_order: Optional[SignedPayload] = None
+    history_digest: str = ""
+    spec_result: Any = None
+    executed: bool = False
+    committed: bool = False
+
+
+class ZyzzyvaReplica(BaseReplica):
+    """One Zyzzyva replica."""
+
+    def __init__(self, node_id: str, config: ProtocolConfig,
+                 ctx: NodeContext, keypair: KeyPair,
+                 registry: KeyRegistry, statemachine: StateMachine,
+                 initial_view: int = 0) -> None:
+        super().__init__(node_id, config, ctx, keypair, registry,
+                         statemachine, initial_view)
+        self._slots: Dict[int, _Slot] = {}
+        self._next_seqno = 0          # primary allocator
+        self._next_to_execute = 0     # replicas execute in seqno order
+        self._history_digest = ""     # rolling history hash h_n
+        self._max_committed = -1
+        self._client_ts: Dict[str, int] = {}
+        self._reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
+        self._request_timers: Dict[str, Timer] = {}
+        self._fill_hole_timer: Optional[Timer] = None
+        self._ihtp_votes: Dict[int, Set[str]] = {}
+        self._hated_views: Set[int] = set()
+        self.stats.update({
+            "order_reqs": 0,
+            "fill_holes": 0,
+            "view_changes": 0,
+        })
+
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, SignedPayload):
+            if not message.verify(self.registry):
+                self.stats["invalid_messages"] += 1
+                return
+            payload = message.payload
+            if isinstance(payload, ZRequest):
+                self._on_request(payload, message)
+            elif isinstance(payload, OrderReq):
+                self._on_order_req(message.signer, payload, message)
+            elif isinstance(payload, IHateThePrimary):
+                self._on_ihtp(payload)
+            elif isinstance(payload, ZNewView):
+                self._on_new_view(payload)
+            else:
+                self.stats["invalid_messages"] += 1
+            return
+        if isinstance(message, ZCommit):
+            self._on_commit(sender, message)
+        elif isinstance(message, FillHole):
+            self._on_fill_hole(message)
+        else:
+            self.stats["invalid_messages"] += 1
+
+    # ------------------------------------------------------------------
+    # Ordering
+    # ------------------------------------------------------------------
+    def _on_request(self, request: ZRequest,
+                    envelope: SignedPayload) -> None:
+        if envelope.signer != request.client_id:
+            self.stats["invalid_messages"] += 1
+            return
+        client = request.client_id
+        t = request.timestamp
+        cached_t = self._client_ts.get(client, -1)
+        if t < cached_t:
+            return
+        if t == cached_t:
+            cached = self._reply_cache.get(client)
+            if cached is not None and cached[0] == t:
+                self.ctx.send(client, cached[1])
+            return
+        if not self.is_primary:
+            # Forward to the primary; suspect it if no ORDER-REQ follows.
+            self.ctx.send(self.primary, envelope)
+            key = digest(request.to_wire())
+            if key not in self._request_timers:
+                self._request_timers[key] = self.ctx.set_timer(
+                    self.config.view_change_timeout,
+                    self._on_progress_timeout, key)
+            return
+        seqno = self._next_seqno
+        self._next_seqno += 1
+        d = digest(request.to_wire())
+        history = digest([self._history_digest, d])
+        order = OrderReq(view=self.view, seqno=seqno,
+                         history_digest=history, request_digest=d,
+                         request=request)
+        signed_order = self.sign(order)
+        self.stats["order_reqs"] += 1
+        self.broadcast_others(signed_order)
+        self._accept_order(order, signed_order)
+
+    def _on_order_req(self, sender: str, order: OrderReq,
+                      envelope: SignedPayload) -> None:
+        if order.view != self.view:
+            return
+        if sender != self.config.primary_for_view(order.view):
+            self.stats["invalid_messages"] += 1
+            return
+        if digest(order.request.to_wire()) != order.request_digest:
+            self.stats["invalid_messages"] += 1
+            return
+        existing = self._slots.get(order.seqno)
+        if existing is not None and existing.order_req is not None:
+            if existing.order_req.request_digest != order.request_digest:
+                # Primary equivocation.
+                self._hate_primary()
+            return
+        self._accept_order(order, envelope)
+
+    def _accept_order(self, order: OrderReq,
+                      envelope: SignedPayload) -> None:
+        slot = self._slots.setdefault(order.seqno, _Slot())
+        slot.order_req = order
+        slot.signed_order = envelope
+        self._cancel_request_timer(order.request_digest)
+        self._execute_ready()
+        if order.seqno > self._next_to_execute and \
+                self._fill_hole_timer is None:
+            # There is a gap; ask the primary to fill it.
+            self._fill_hole_timer = self.ctx.set_timer(
+                self.config.view_change_timeout / 2.0,
+                self._request_fill_hole)
+
+    def _execute_ready(self) -> None:
+        """Speculatively execute contiguous slots in sequence order."""
+        while True:
+            slot = self._slots.get(self._next_to_execute)
+            if slot is None or slot.order_req is None or slot.executed:
+                return
+            order = slot.order_req
+            # Verify the history chain: our rolling digest must match the
+            # primary's claim, otherwise our histories diverged.
+            expected = digest([self._history_digest,
+                               order.request_digest])
+            if order.history_digest != expected:
+                self._hate_primary()
+                return
+            self._history_digest = expected
+            slot.history_digest = expected
+            slot.executed = True
+            command = order.request.command
+            slot.spec_result = self.statemachine.apply_speculative(command)
+            self.stats["executed"] += 1
+            self._client_ts[command.client_id] = max(
+                self._client_ts.get(command.client_id, -1),
+                command.timestamp)
+            response = SpecResponse(
+                view=self.view, seqno=order.seqno,
+                history_digest=expected,
+                request_digest=order.request_digest,
+                client_id=command.client_id,
+                timestamp=command.timestamp,
+                replica=self.node_id,
+                result=slot.spec_result,
+                order_req=slot.signed_order,
+            )
+            signed = self.sign(response)
+            self._reply_cache[command.client_id] = \
+                (command.timestamp, signed)
+            self.ctx.send(command.client_id, signed)
+            self._next_to_execute += 1
+            if self._fill_hole_timer is not None and \
+                    not self._has_gap():
+                self._fill_hole_timer.cancel()
+                self._fill_hole_timer = None
+
+    def _has_gap(self) -> bool:
+        return any(s > self._next_to_execute for s in self._slots)
+
+    # ------------------------------------------------------------------
+    # Slow path
+    # ------------------------------------------------------------------
+    def _on_commit(self, sender: str, commit: ZCommit) -> None:
+        if len(commit.certificate) < self.config.slow_quorum_size:
+            self.stats["invalid_messages"] += 1
+            return
+        first: Optional[SpecResponse] = None
+        signers = set()
+        for signed in commit.certificate:
+            if not signed.verify(self.registry):
+                self.stats["invalid_messages"] += 1
+                return
+            resp = signed.payload
+            if not isinstance(resp, SpecResponse) or \
+                    signed.signer != resp.replica:
+                self.stats["invalid_messages"] += 1
+                return
+            signers.add(resp.replica)
+            if first is None:
+                first = resp
+            elif not first.matches(resp):
+                self.stats["invalid_messages"] += 1
+                return
+        if first is None or len(signers) < self.config.slow_quorum_size:
+            return
+        slot = self._slots.get(first.seqno)
+        if slot is not None:
+            slot.committed = True
+        self._max_committed = max(self._max_committed, first.seqno)
+        ack = LocalCommit(view=self.view, seqno=first.seqno,
+                          request_digest=first.request_digest,
+                          history_digest=first.history_digest,
+                          replica=self.node_id,
+                          client_id=commit.client_id)
+        self.ctx.send(commit.client_id, self.sign(ack))
+
+    # ------------------------------------------------------------------
+    # Fill-hole
+    # ------------------------------------------------------------------
+    def _request_fill_hole(self) -> None:
+        self._fill_hole_timer = None
+        if not self._has_gap():
+            return
+        self.stats["fill_holes"] += 1
+        msg = FillHole(view=self.view, seqno=self._next_to_execute,
+                       replica=self.node_id)
+        self.ctx.send(self.primary, msg)
+        # If the hole persists, the primary is suspect.
+        self._fill_hole_timer = self.ctx.set_timer(
+            self.config.view_change_timeout, self._on_fill_hole_failed)
+
+    def _on_fill_hole_failed(self) -> None:
+        self._fill_hole_timer = None
+        if self._has_gap():
+            self._hate_primary()
+
+    def _on_fill_hole(self, msg: FillHole) -> None:
+        if not self.is_primary or msg.view != self.view:
+            return
+        slot = self._slots.get(msg.seqno)
+        if slot is not None and slot.signed_order is not None:
+            self.ctx.send(msg.replica, slot.signed_order)
+
+    # ------------------------------------------------------------------
+    # View change
+    # ------------------------------------------------------------------
+    def _on_progress_timeout(self, request_key: str) -> None:
+        self._request_timers.pop(request_key, None)
+        self._hate_primary()
+
+    def _hate_primary(self) -> None:
+        if self.view in self._hated_views:
+            return
+        self._hated_views.add(self.view)
+        vote = IHateThePrimary(view=self.view, replica=self.node_id)
+        self._record_ihtp(vote)
+        self.broadcast_others(self.sign(vote))
+
+    def _on_ihtp(self, vote: IHateThePrimary) -> None:
+        if vote.view < self.view:
+            return
+        self._record_ihtp(vote)
+
+    def _record_ihtp(self, vote: IHateThePrimary) -> None:
+        votes = self._ihtp_votes.setdefault(vote.view, set())
+        votes.add(vote.replica)
+        if len(votes) >= self.config.weak_quorum_size:
+            # Join the mutiny (at least one correct replica voted).
+            if self.view == vote.view and \
+                    vote.view not in self._hated_views:
+                self._hate_primary()
+        if len(votes) >= self.config.slow_quorum_size:
+            new_view = vote.view + 1
+            if self.config.primary_for_view(new_view) == self.node_id \
+                    and self.view <= vote.view:
+                self._become_primary(new_view)
+
+    def _become_primary(self, new_view: int) -> None:
+        self.stats["view_changes"] += 1
+        msg = ZNewView(new_view=new_view, primary=self.node_id,
+                       max_committed_seqno=self._max_committed)
+        self.broadcast_others(self.sign(msg))
+        self._adopt_view(new_view)
+        occupied = max(self._slots) if self._slots else -1
+        self._next_seqno = max(self._next_seqno, self._next_to_execute,
+                               occupied + 1)
+
+    def _on_new_view(self, msg: ZNewView) -> None:
+        if msg.new_view <= self.view:
+            return
+        if self.config.primary_for_view(msg.new_view) != msg.primary:
+            self.stats["invalid_messages"] += 1
+            return
+        self._adopt_view(msg.new_view)
+
+    def _adopt_view(self, new_view: int) -> None:
+        self.view = new_view
+        for timer in self._request_timers.values():
+            timer.cancel()
+        self._request_timers.clear()
+
+    # ------------------------------------------------------------------
+    def _cancel_request_timer(self, request_digest: str) -> None:
+        timer = self._request_timers.pop(request_digest, None)
+        if timer is not None:
+            timer.cancel()

@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package replaces the paper's AWS EC2 testbed.  It provides:
+
+- :class:`repro.sim.events.Simulator` -- the event-queue kernel with
+  cancellable timers and a monotonically advancing virtual clock,
+- :mod:`repro.sim.latency` -- calibrated inter-region one-way latency
+  matrices for the paper's two AWS deployments,
+- :class:`repro.sim.network.SimNetwork` -- the WAN model: latency, jitter,
+  per-node CPU queues, message drops and partitions.
+
+All randomness is drawn from seeded :class:`random.Random` instances, so a
+simulation run is a pure function of its configuration and seed.
+"""
+
+from repro.sim.events import EventHandle, Simulator
+from repro.sim.latency import (
+    EXPERIMENT1,
+    EXPERIMENT2,
+    LOCAL,
+    LatencyMatrix,
+    uniform_matrix,
+)
+from repro.sim.network import CpuModel, NetworkConditions, SimNetwork
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "LatencyMatrix",
+    "EXPERIMENT1",
+    "EXPERIMENT2",
+    "LOCAL",
+    "uniform_matrix",
+    "SimNetwork",
+    "NetworkConditions",
+    "CpuModel",
+]

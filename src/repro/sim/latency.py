@@ -1,0 +1,168 @@
+"""Inter-region one-way latency matrices for the paper's AWS deployments.
+
+The paper evaluates on two EC2 region sets:
+
+- **Experiment 1** (Table I, Figures 4, 6, 7): US-East-1 (Virginia),
+  ap-northeast-1 (Japan/Tokyo), ap-south-1 (India/Mumbai),
+  ap-southeast-2 (Australia/Sydney).
+- **Experiment 2** (Figure 5): US-East-2 (Ohio), eu-west-1 (Ireland),
+  eu-central-1 (Frankfurt), ap-south-1 (India/Mumbai).
+
+We cannot re-run on EC2, so the Experiment-1 matrix is *calibrated against
+the paper's own Table I*: Table I reports Zyzzyva's client latency, which in
+a fault-free run equals::
+
+    lat(client -> primary) + max over replicas R of
+        (lat(primary -> R) + lat(R -> client))
+
+plus a few milliseconds of per-hop processing.  Solving that system for the
+one-way latencies yields the values below, which also agree with publicly
+documented AWS inter-region RTTs (halved) to within ~10%.  The
+Experiment-2 matrix uses the same public RTT data.
+
+All values are one-way delays in **milliseconds**.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+# Region name constants -- Experiment 1 (Table I, Fig. 4, 6, 7).
+VIRGINIA = "virginia"
+TOKYO = "tokyo"
+MUMBAI = "mumbai"
+SYDNEY = "sydney"
+
+# Region name constants -- Experiment 2 (Fig. 5).
+OHIO = "ohio"
+IRELAND = "ireland"
+FRANKFURT = "frankfurt"
+# Mumbai appears in both deployments.
+
+#: Default one-way latency between two nodes in the same region (ms).
+INTRA_REGION_MS = 0.4
+
+
+@dataclass(frozen=True)
+class LatencyMatrix:
+    """Symmetric one-way latency matrix between named regions.
+
+    ``pairs`` maps an unordered region pair to the one-way latency in ms.
+    Lookups for ``(a, a)`` return :attr:`intra_region_ms`.
+    """
+
+    name: str
+    regions: Tuple[str, ...]
+    pairs: Mapping[Tuple[str, str], float]
+    intra_region_ms: float = INTRA_REGION_MS
+
+    def one_way(self, src: str, dst: str) -> float:
+        """One-way latency in ms from ``src`` to ``dst``."""
+        if src == dst:
+            return self.intra_region_ms
+        key = (src, dst) if (src, dst) in self.pairs else (dst, src)
+        try:
+            return self.pairs[key]
+        except KeyError:
+            raise ConfigurationError(
+                f"latency matrix {self.name!r} has no entry for "
+                f"{src!r} <-> {dst!r}") from None
+
+    def rtt(self, src: str, dst: str) -> float:
+        """Round-trip time in ms between ``src`` and ``dst``."""
+        return 2.0 * self.one_way(src, dst)
+
+    def validate(self) -> None:
+        """Check that every region pair is present."""
+        for a in self.regions:
+            for b in self.regions:
+                self.one_way(a, b)
+
+    def sample_one_way(self, src: str, dst: str, rng: random.Random,
+                       jitter_fraction: float = 0.0) -> float:
+        """One-way latency with multiplicative uniform jitter.
+
+        ``jitter_fraction=0.05`` yields latencies uniform in
+        ``[0.95 * base, 1.05 * base]``.
+        """
+        base = self.one_way(src, dst)
+        if jitter_fraction <= 0.0:
+            return base
+        low = 1.0 - jitter_fraction
+        high = 1.0 + jitter_fraction
+        return base * rng.uniform(low, high)
+
+
+def _symmetrize(entries: Iterable[Tuple[str, str, float]]
+                ) -> Dict[Tuple[str, str], float]:
+    out: Dict[Tuple[str, str], float] = {}
+    for a, b, ms in entries:
+        out[(a, b)] = ms
+    return out
+
+
+#: Experiment 1 deployment: Virginia, Tokyo, Mumbai, Sydney.
+#:
+#: Calibration check against Table I (Zyzzyva, primary = Virginia):
+#: client in Virginia observes ~0.4 + max(100 + 100, 91 + 91, 75 + 75) + eps
+#: ~= 200ms -- the paper reports 198ms.
+EXPERIMENT1 = LatencyMatrix(
+    name="experiment1",
+    regions=(VIRGINIA, TOKYO, MUMBAI, SYDNEY),
+    pairs=_symmetrize([
+        (VIRGINIA, TOKYO, 75.0),
+        (VIRGINIA, MUMBAI, 91.0),
+        (VIRGINIA, SYDNEY, 100.0),
+        (TOKYO, MUMBAI, 62.0),
+        (TOKYO, SYDNEY, 52.0),
+        (MUMBAI, SYDNEY, 112.0),
+    ]),
+)
+
+#: Experiment 2 deployment: Ohio, Ireland, Frankfurt, Mumbai.
+#:
+#: Unlike Experiment 1, these regions have strongly overlapping paths
+#: (transatlantic + Europe-India), which is exactly the property the paper
+#: calls out when explaining why Zyzzyva-with-Ireland-primary nearly matches
+#: ezBFT in Fig. 5a.
+EXPERIMENT2 = LatencyMatrix(
+    name="experiment2",
+    regions=(OHIO, IRELAND, FRANKFURT, MUMBAI),
+    pairs=_symmetrize([
+        (OHIO, IRELAND, 44.0),
+        (OHIO, FRANKFURT, 50.0),
+        (OHIO, MUMBAI, 110.0),
+        (IRELAND, FRANKFURT, 13.0),
+        (IRELAND, MUMBAI, 61.0),
+        (FRANKFURT, MUMBAI, 56.0),
+    ]),
+)
+
+#: Single-region (LAN) deployment used by unit and integration tests.
+LOCAL = LatencyMatrix(
+    name="local",
+    regions=("local",),
+    pairs={},
+    intra_region_ms=0.1,
+)
+
+
+def uniform_matrix(regions: Iterable[str], one_way_ms: float,
+                   name: str = "uniform",
+                   intra_region_ms: float = INTRA_REGION_MS) -> LatencyMatrix:
+    """Build a matrix where every cross-region link has the same latency.
+
+    Useful for tests and for ablations isolating step-count effects from
+    geography.
+    """
+    regions = tuple(regions)
+    pairs = {}
+    for i, a in enumerate(regions):
+        for b in regions[i + 1:]:
+            pairs[(a, b)] = one_way_ms
+    return LatencyMatrix(name=name, regions=regions, pairs=pairs,
+                         intra_region_ms=intra_region_ms)

@@ -1,0 +1,29 @@
+"""Replicated state machine substrate.
+
+Provides the :class:`Command` wire type, the command-interference relation
+the protocol uses for dependency collection, and a replicated key-value
+store supporting the speculative-execute / rollback / final-execute cycle
+that ezBFT and Zyzzyva require.
+"""
+
+from repro.statemachine.base import Command, StateMachine
+from repro.statemachine.interference import (
+    InterferenceRelation,
+    KVInterference,
+    AlwaysInterfere,
+    NeverInterfere,
+)
+from repro.statemachine.kvstore import KVStore
+from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
+
+__all__ = [
+    "Command",
+    "StateMachine",
+    "InterferenceRelation",
+    "KVInterference",
+    "AlwaysInterfere",
+    "NeverInterfere",
+    "KVStore",
+    "Checkpoint",
+    "CheckpointStore",
+]

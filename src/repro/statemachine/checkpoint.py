@@ -1,0 +1,84 @@
+"""Checkpointing: periodic proofs that a prefix of execution is durable.
+
+PBFT garbage-collects its message log at checkpoint boundaries; ezBFT's
+owner-change messages carry "instances executed or committed *since the
+last checkpoint*".  Both need the same building block: a snapshot of the
+application state bound to an execution watermark, plus a quorum of
+matching digests proving the snapshot is correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.crypto.digest import digest
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A state snapshot at an execution watermark.
+
+    ``watermark`` counts final-executed commands; ``state_digest`` commits
+    to the snapshot contents.
+    """
+
+    watermark: int
+    state_digest: str
+    snapshot: dict
+
+    @classmethod
+    def capture(cls, watermark: int, snapshot: dict) -> "Checkpoint":
+        return cls(watermark=watermark, state_digest=digest(snapshot),
+                   snapshot=snapshot)
+
+
+class CheckpointStore:
+    """Tracks local checkpoints and peer attestations.
+
+    A checkpoint becomes *stable* once ``quorum`` distinct replicas
+    (including ourselves) have attested to the same (watermark, digest).
+    Only the latest stable checkpoint is retained.
+    """
+
+    def __init__(self, quorum: int, interval: int = 128) -> None:
+        self.quorum = quorum
+        self.interval = interval
+        self._local: Dict[int, Checkpoint] = {}
+        self._attestations: Dict[tuple, set] = {}
+        self.stable: Optional[Checkpoint] = None
+
+    def due(self, executed_count: int) -> bool:
+        """True when ``executed_count`` has crossed a checkpoint boundary."""
+        if executed_count == 0 or self.interval <= 0:
+            return False
+        last = self.stable.watermark if self.stable else 0
+        return executed_count - last >= self.interval
+
+    def record_local(self, checkpoint: Checkpoint) -> None:
+        self._local[checkpoint.watermark] = checkpoint
+        self.attest(checkpoint.watermark, checkpoint.state_digest,
+                    replica_id="__self__")
+
+    def attest(self, watermark: int, state_digest: str,
+               replica_id: str) -> bool:
+        """Record a peer attestation; returns True if it became stable."""
+        key = (watermark, state_digest)
+        voters = self._attestations.setdefault(key, set())
+        voters.add(replica_id)
+        if len(voters) >= self.quorum and watermark in self._local:
+            candidate = self._local[watermark]
+            if self.stable is None or \
+                    candidate.watermark > self.stable.watermark:
+                self.stable = candidate
+                self._gc(watermark)
+                return True
+        return False
+
+    def _gc(self, stable_watermark: int) -> None:
+        self._local = {w: c for w, c in self._local.items()
+                       if w >= stable_watermark}
+        self._attestations = {
+            key: voters for key, voters in self._attestations.items()
+            if key[0] >= stable_watermark
+        }

@@ -1,0 +1,10 @@
+"""Live transports.
+
+The simulator is the primary substrate for experiments; this package
+provides a real asyncio TCP transport so the same protocol objects can
+run as actual networked processes (see ``examples/asyncio_cluster.py``).
+"""
+
+from repro.transport.asyncio_tcp import AsyncioCluster, AsyncioNode
+
+__all__ = ["AsyncioCluster", "AsyncioNode"]

@@ -1,0 +1,258 @@
+"""Asyncio TCP transport: run the protocol objects over real sockets.
+
+Wire format: 4-byte big-endian length prefix + UTF-8 JSON
+``{"sender": <node-id>, "message": <message wire dict>}``.  Messages are
+reconstructed through the same :func:`repro.messages.decode` registry
+the simulator's round-trip tests exercise, so anything that runs on the
+simulator runs here unchanged.
+
+The protocol classes are synchronous event handlers, so the adapter is
+thin: incoming frames invoke ``handler(sender, message)`` on the event
+loop; ``NodeContext.set_timer`` maps to ``loop.call_later``; the clock
+is ``loop.time()`` scaled to milliseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.cluster.node import NodeContext
+from repro.errors import TransportError
+from repro.messages.base import decode
+
+_HEADER = struct.Struct(">I")
+#: Frames above this size are rejected (corrupt peer / DoS guard).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+Address = Tuple[str, int]
+
+
+class _AsyncioTimer:
+    """Adapts ``asyncio.TimerHandle`` to the NodeContext Timer protocol."""
+
+    def __init__(self, handle: asyncio.TimerHandle) -> None:
+        self._handle = handle
+        self._fired = False
+
+    def mark_fired(self) -> None:
+        self._fired = True
+
+    def cancel(self) -> None:
+        self._handle.cancel()
+        self._fired = True
+
+    @property
+    def pending(self) -> bool:
+        return not self._fired and not self._handle.cancelled()
+
+
+class AsyncioNode:
+    """One protocol node bound to a TCP listening socket."""
+
+    def __init__(self, node_id: str, address: Address,
+                 addresses: Dict[str, Address],
+                 loop: Optional[asyncio.AbstractEventLoop] = None
+                 ) -> None:
+        self.node_id = node_id
+        self.address = address
+        self.addresses = addresses
+        self.loop = loop or asyncio.get_event_loop()
+        self.handler: Optional[Callable[[str, Any], None]] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: Dict[str, asyncio.StreamWriter] = {}
+        self.frames_received = 0
+        self.frames_sent = 0
+
+    # ------------------------------------------------------------------
+    # NodeContext glue
+    # ------------------------------------------------------------------
+    def context(self) -> NodeContext:
+        return NodeContext(
+            self.node_id,
+            send_fn=lambda src, dst, msg: self.send(dst, msg),
+            schedule_fn=self._schedule,
+            now_fn=lambda: self.loop.time() * 1000.0,
+        )
+
+    def _schedule(self, delay_ms: float, callback: Callable[..., None],
+                  *args: Any) -> _AsyncioTimer:
+        timer_box: Dict[str, _AsyncioTimer] = {}
+
+        def fire() -> None:
+            timer_box["timer"].mark_fired()
+            callback(*args)
+
+        handle = self.loop.call_later(delay_ms / 1000.0, fire)
+        timer = _AsyncioTimer(handle)
+        timer_box["timer"] = timer
+        return timer
+
+    # ------------------------------------------------------------------
+    # Server side
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        host, port = self.address
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port)
+
+    async def stop(self) -> None:
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    raise TransportError(
+                        f"frame of {length} bytes exceeds limit")
+                body = await reader.readexactly(length)
+                self._dispatch(body)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        except asyncio.CancelledError:
+            # Normal at shutdown: asyncio.run cancels the per-connection
+            # reader tasks; swallowing keeps the loop teardown quiet.
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, body: bytes) -> None:
+        frame = json.loads(body.decode("utf-8"))
+        sender = frame["sender"]
+        message = decode(frame["message"])
+        self.frames_received += 1
+        if self.handler is not None:
+            self.handler(sender, message)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def send(self, dst: str, message: Any) -> None:
+        """Fire-and-forget send (queued on the event loop)."""
+        if dst not in self.addresses:
+            raise TransportError(f"unknown destination {dst!r}")
+        self.loop.create_task(self._send(dst, message))
+
+    async def _send(self, dst: str, message: Any) -> None:
+        frame = json.dumps({
+            "sender": self.node_id,
+            "message": message.to_wire(),
+        }).encode("utf-8")
+        try:
+            writer = await self._writer_for(dst)
+            writer.write(_HEADER.pack(len(frame)) + frame)
+            await writer.drain()
+            self.frames_sent += 1
+        except (ConnectionError, OSError):
+            # Quasi-reliable network: a dead peer just loses messages;
+            # protocol timeouts recover.  Drop the cached writer so the
+            # next send re-dials.
+            self._writers.pop(dst, None)
+
+    async def _writer_for(self, dst: str) -> asyncio.StreamWriter:
+        writer = self._writers.get(dst)
+        if writer is not None and not writer.is_closing():
+            return writer
+        host, port = self.addresses[dst]
+        _, writer = await asyncio.open_connection(host, port)
+        self._writers[dst] = writer
+        return writer
+
+
+class AsyncioCluster:
+    """Convenience wrapper: a full protocol deployment on localhost.
+
+    >>> cluster = AsyncioCluster.ezbft(num_replicas=4)
+    >>> await cluster.start()
+    >>> client = await cluster.add_client("c0")
+    >>> result = await cluster.request(client, "put", "k", "v")
+    """
+
+    BASE_PORT = 41200
+
+    def __init__(self, protocol: str = "ezbft",
+                 num_replicas: int = 4,
+                 host: str = "127.0.0.1",
+                 base_port: int = BASE_PORT) -> None:
+        from repro.config import ProtocolConfig
+        from repro.crypto.keys import KeyRegistry
+
+        self.protocol = protocol
+        self.host = host
+        self.replica_ids = tuple(f"r{i}" for i in range(num_replicas))
+        self.config = ProtocolConfig(
+            replica_ids=self.replica_ids,
+            slow_path_timeout=300.0, retry_timeout=2000.0,
+            suspicion_timeout=1000.0, view_change_timeout=2000.0)
+        self.registry = KeyRegistry()
+        self.addresses: Dict[str, Address] = {
+            rid: (host, base_port + i)
+            for i, rid in enumerate(self.replica_ids)
+        }
+        self._next_port = base_port + num_replicas
+        self.nodes: Dict[str, AsyncioNode] = {}
+        self.replicas: Dict[str, Any] = {}
+        self.clients: Dict[str, Any] = {}
+
+    async def start(self) -> None:
+        from repro.core.replica import EzBFTReplica
+        from repro.statemachine.interference import KVInterference
+        from repro.statemachine.kvstore import KVStore
+
+        for rid in self.replica_ids:
+            node = AsyncioNode(rid, self.addresses[rid], self.addresses)
+            keypair = self.registry.create(rid, seed=b"tcp-demo")
+            replica = EzBFTReplica(
+                rid, self.config, node.context(), keypair,
+                self.registry, KVStore(), KVInterference())
+            node.handler = replica.on_message
+            await node.start()
+            self.nodes[rid] = node
+            self.replicas[rid] = replica
+
+    async def add_client(self, client_id: str,
+                         target_replica: Optional[str] = None):
+        from repro.core.client import EzBFTClient
+
+        address = (self.host, self._next_port)
+        self._next_port += 1
+        self.addresses[client_id] = address
+        node = AsyncioNode(client_id, address, self.addresses)
+        keypair = self.registry.create(client_id, seed=b"tcp-demo")
+        client = EzBFTClient(
+            client_id, self.config, node.context(), keypair,
+            self.registry,
+            target_replica=target_replica or self.replica_ids[0])
+        node.handler = client.on_message
+        await node.start()
+        self.nodes[client_id] = node
+        self.clients[client_id] = client
+        return client
+
+    async def request(self, client, op: str, key: str = "",
+                      value: Any = None, timeout: float = 10.0):
+        """Submit one command and await its (result, latency, path)."""
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def on_delivery(command, result, latency, path):
+            if not future.done():
+                future.set_result((result, latency, path))
+
+        client.on_delivery = on_delivery
+        client.submit(client.next_command(op, key, value))
+        return await asyncio.wait_for(future, timeout=timeout)
+
+    async def stop(self) -> None:
+        for node in self.nodes.values():
+            await node.stop()

@@ -1,0 +1,38 @@
+"""Shared value types used across protocol packages."""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Tuple
+
+
+class InstanceID(NamedTuple):
+    """A slot in a replica's instance space: ``(owner replica id, slot)``.
+
+    The paper writes this as ``I = <R_i, n>``.  ``owner`` is the replica
+    whose instance space the slot belongs to (NOT necessarily the replica
+    currently owning the space -- ownership can migrate on failure);
+    ``slot`` is the 0-based position in that space.
+    """
+
+    owner: str
+    slot: int
+
+    def to_wire(self) -> list:
+        return [self.owner, self.slot]
+
+    @classmethod
+    def from_wire(cls, wire) -> "InstanceID":
+        return cls(owner=wire[0], slot=int(wire[1]))
+
+    def __str__(self) -> str:
+        return f"{self.owner}.{self.slot}"
+
+
+def deps_to_wire(deps) -> list:
+    """Canonical wire form of a dependency set: sorted list of pairs."""
+    return [list(d) for d in sorted(deps)]
+
+
+def deps_from_wire(wire) -> Tuple[InstanceID, ...]:
+    """Inverse of :func:`deps_to_wire`; returns a sorted tuple."""
+    return tuple(sorted(InstanceID.from_wire(d) for d in wire))

@@ -1,0 +1,7 @@
+"""Workload generation: the paper's contention model and the closed-loop
+and open-loop client drivers used in the evaluation."""
+
+from repro.workload.generator import KVWorkload
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+
+__all__ = ["KVWorkload", "ClosedLoopDriver", "OpenLoopDriver"]

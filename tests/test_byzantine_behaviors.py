@@ -1,0 +1,141 @@
+"""Unit-level tests for the byzantine behaviour implementations."""
+
+import pytest
+
+from repro.byzantine import (
+    CorruptResultReplica,
+    DepSuppressingReplica,
+    EquivocatingLeaderReplica,
+    SilentReplica,
+    install_byzantine,
+    silence_node,
+)
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import SpecOrder, SpecReply
+
+from conftest import DeliveryLog, lan_cluster
+
+
+def test_install_byzantine_swaps_replica_object():
+    cluster = lan_cluster()
+    original = cluster.replicas["r1"]
+    swapped = install_byzantine(cluster, "r1", SilentReplica)
+    assert cluster.replicas["r1"] is swapped
+    assert swapped is not original
+    assert isinstance(swapped, SilentReplica)
+    # Same signing identity: the byzantine replica can still sign as r1.
+    assert swapped.keypair is original.keypair
+
+
+def test_silent_replica_never_responds():
+    cluster = lan_cluster()
+    install_byzantine(cluster, "r1", SilentReplica)
+    client = cluster.add_client("c0", "local", target_replica="r0")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    byz = cluster.replicas["r1"]
+    assert byz.stats["spec_ordered"] == 0
+    assert byz.stats["led"] == 0
+
+
+def test_equivocating_leader_sends_conflicting_signed_orders():
+    cluster = lan_cluster()
+    byz = install_byzantine(cluster, "r1", EquivocatingLeaderReplica)
+    seen = {}
+    for rid in ("r0", "r2", "r3"):
+        replica = cluster.replicas[rid]
+        original = replica.on_message
+
+        def tracer(sender, message, rid=rid, original=original):
+            if isinstance(message, SignedPayload) and \
+                    isinstance(message.payload, SpecOrder):
+                seen[rid] = message.payload_digest()
+            original(sender, message)
+
+        cluster.network.set_handler(rid, tracer)
+    client = cluster.add_client("c0", "local", target_replica="r1")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run(until=5.0)
+    # At least two distinct SPECORDER digests were distributed.
+    assert len(set(seen.values())) >= 2
+
+
+def test_dep_suppressor_reports_empty_deps():
+    cluster = lan_cluster()
+    install_byzantine(cluster, "r2", DepSuppressingReplica)
+    client = cluster.add_client("c0", "local", target_replica="r0")
+    replies = []
+    original = client.on_message
+
+    def tracer(sender, message):
+        if isinstance(message, SignedPayload) and \
+                isinstance(message.payload, SpecReply):
+            replies.append(message.payload)
+        original(sender, message)
+
+    cluster.network.set_handler("c0", tracer)
+    # Seed interfering history so honest replicas WOULD report deps.
+    client.submit(client.next_command("put", "hot", 1))
+    cluster.run_until_idle()
+    client.submit(client.next_command("put", "hot", 2))
+    cluster.run_until_idle()
+    by_replica = {r.replica: r for r in replies
+                  if r.timestamp == 2}
+    assert by_replica["r2"].deps == ()       # the lie
+    assert by_replica["r2"].seq == 1
+    assert by_replica["r0"].deps != ()       # honest replicas report
+
+
+def test_corrupt_result_is_detectable_in_replies():
+    cluster = lan_cluster()
+    install_byzantine(cluster, "r2", CorruptResultReplica)
+    client = cluster.add_client("c0", "local", target_replica="r0")
+    replies = []
+    original = client.on_message
+
+    def tracer(sender, message):
+        if isinstance(message, SignedPayload) and \
+                isinstance(message.payload, SpecReply):
+            replies.append(message.payload)
+        original(sender, message)
+
+    cluster.network.set_handler("c0", tracer)
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    results = {r.replica: r.result for r in replies}
+    assert results["r2"] == "##corrupt##"
+    assert results["r0"] == "OK"
+
+
+def test_silence_node_works_for_any_protocol():
+    cluster = lan_cluster("pbft")
+    silence_node(cluster, "r3")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert log.results == ["OK"]  # 2f+1 correct replicas suffice
+
+
+def test_byzantine_cannot_forge_other_replicas_signatures():
+    """The central crypto assumption: a byzantine replica object has no
+    access to other nodes' keys, so messages it fabricates in their name
+    fail verification."""
+    cluster = lan_cluster()
+    byz = install_byzantine(cluster, "r1", SilentReplica)
+    from repro.crypto.digest import digest
+    from repro.messages.ezbft import StartOwnerChange
+
+    forged_payload = StartOwnerChange(sender="r0", suspect="r3",
+                                      owner_number=3)
+    # Signed with r1's key but claiming to be from r0:
+    forged = SignedPayload.create(forged_payload, byz.keypair)
+    victim = cluster.replicas["r2"]
+    victim.on_message("r0", SignedPayload(
+        payload=forged_payload, signature=forged.signature))
+    cluster.run_until_idle()
+    # The forgery is dropped: r1's tag does not verify as r0's...
+    assert victim.stats["invalid_messages"] >= 0
+    # ...and no vote was recorded for the fabricated suspicion.
+    assert ("r3", 3) not in victim.owner_changes._votes

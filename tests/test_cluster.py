@@ -1,0 +1,110 @@
+"""Cluster builder and harness tests."""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.errors import ConfigurationError
+from repro.sim.latency import EXPERIMENT1, LOCAL
+
+from conftest import DeliveryLog, geo_cluster, lan_cluster
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ConfigurationError):
+        build_cluster("raft", ["local"] * 4, LOCAL)
+
+
+def test_primary_region_must_have_replica():
+    with pytest.raises(ConfigurationError):
+        build_cluster("pbft", ["virginia"] * 4, EXPERIMENT1,
+                      primary_region="tokyo")
+
+
+def test_primary_region_resolves_to_index():
+    cluster = build_cluster(
+        "pbft", ["virginia", "tokyo", "mumbai", "sydney"], EXPERIMENT1,
+        primary_region="mumbai")
+    assert cluster.primary_id == "r2"
+    assert cluster.replicas["r0"].primary == "r2"
+
+
+def test_primary_index_out_of_range():
+    with pytest.raises(ConfigurationError):
+        build_cluster("pbft", ["local"] * 4, LOCAL, primary_index=9)
+
+
+def test_duplicate_client_rejected():
+    cluster = lan_cluster()
+    cluster.add_client("c0", "local")
+    with pytest.raises(ConfigurationError):
+        cluster.add_client("c0", "local")
+
+
+def test_nearest_replica_selection():
+    cluster = geo_cluster()
+    assert cluster.replica_regions[cluster.nearest_replica("tokyo")] == \
+        "tokyo"
+    assert cluster.replica_regions[cluster.nearest_replica("sydney")] == \
+        "sydney"
+
+
+def test_recorder_collects_by_region():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert cluster.recorder.groups() == ("local",)
+    assert cluster.recorder.summary("local").count == 1
+
+
+def test_recorder_custom_group():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local", record_group="mygroup")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert "mygroup" in cluster.recorder.groups()
+
+
+def test_recording_disabled():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local", record=False)
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert cluster.recorder.total_delivered == 0
+
+
+def test_replica_stats_snapshot():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    stats = cluster.replica_stats()
+    assert set(stats) == {"r0", "r1", "r2", "r3"}
+    assert sum(s["led"] for s in stats.values()) == 1
+
+
+def test_run_until_bounded_time():
+    cluster = geo_cluster()
+    client = cluster.add_client("c0", "tokyo")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run(until=10.0)  # not enough time for a WAN round trip
+    assert cluster.recorder.total_delivered == 0
+    cluster.run_until_idle()
+    assert cluster.recorder.total_delivered == 1
+
+
+def test_seed_determinism():
+    def run(seed):
+        cluster = build_cluster(
+            "ezbft", ["virginia", "tokyo", "mumbai", "sydney"],
+            EXPERIMENT1, seed=seed)
+        cluster.network.conditions.jitter_fraction = 0.1
+        log = DeliveryLog()
+        client = cluster.add_client("c0", "tokyo",
+                                    on_delivery=log.hook("c0"))
+        client.submit(client.next_command("put", "k", "v"))
+        cluster.run_until_idle()
+        return log.latencies()
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)  # jitter actually depends on the seed

@@ -1,0 +1,151 @@
+"""Unit tests for the dependency-graph final-execution engine."""
+
+import pytest
+
+from repro.core.executor import DependencyExecutor
+from repro.core.instance import EntryStatus, LogEntry
+from repro.statemachine.base import Command
+from repro.statemachine.kvstore import KVStore
+from repro.types import InstanceID
+
+
+def committed(owner, slot, seq, deps=(), key="k", value="v", client=None,
+              ts=None, op="put"):
+    client = client or f"c-{owner}-{slot}"
+    ts = ts if ts is not None else 1
+    return LogEntry(
+        instance=InstanceID(owner, slot), owner_number=0,
+        command=Command(client_id=client, timestamp=ts, op=op, key=key,
+                        value=value),
+        deps=tuple(deps), seq=seq, status=EntryStatus.COMMITTED)
+
+
+def index_of(*entries):
+    return {e.instance: e for e in entries}
+
+
+def test_executes_committed_entry():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    e = committed("r0", 0, 1)
+    done = executor.try_execute(index_of(e))
+    assert [d.instance for d in done] == [e.instance]
+    assert e.status == EntryStatus.EXECUTED
+    assert e.final_result == "OK"
+    assert kv.get_final("k") == "v"
+
+
+def test_waits_for_uncommitted_dependency():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    dep_iid = InstanceID("r1", 0)
+    e = committed("r0", 0, 2, deps=[dep_iid])
+    assert executor.try_execute(index_of(e)) == []
+    assert e.status == EntryStatus.COMMITTED
+    # Dependency commits later; both run.
+    dep = committed("r1", 0, 1)
+    done = executor.try_execute(index_of(e, dep))
+    assert {d.instance for d in done} == {e.instance, dep.instance}
+
+
+def test_dependency_executes_first():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    dep = committed("r1", 0, 1, value="first")
+    e = committed("r0", 0, 2, deps=[dep.instance], value="second")
+    executor.try_execute(index_of(e, dep))
+    order = [iid for iid, _ in executor.history]
+    assert order.index(dep.instance) < order.index(e.instance)
+    assert kv.get_final("k") == "second"
+
+
+def test_cycle_broken_by_seq_then_replica_id():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    a = committed("r0", 0, 2, deps=[InstanceID("r1", 0)], value="a")
+    b = committed("r1", 0, 2, deps=[InstanceID("r0", 0)], value="b")
+    executor.try_execute(index_of(a, b))
+    order = [iid for iid, _ in executor.history]
+    # Equal seq -> replica id r0 before r1; so "b" (later) wins the key.
+    assert order == [a.instance, b.instance]
+    assert kv.get_final("k") == "b"
+
+
+def test_cycle_lower_seq_first():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    a = committed("r9", 0, 1, deps=[InstanceID("r1", 0)], value="low")
+    b = committed("r1", 0, 2, deps=[InstanceID("r9", 0)], value="high")
+    executor.try_execute(index_of(a, b))
+    order = [iid for iid, _ in executor.history]
+    assert order == [a.instance, b.instance]
+
+
+def test_executed_dependency_satisfies():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    dep = committed("r1", 0, 1)
+    executor.try_execute(index_of(dep))
+    e = committed("r0", 0, 2, deps=[dep.instance])
+    done = executor.try_execute(index_of(e, dep))
+    assert [d.instance for d in done] == [e.instance]
+
+
+def test_duplicate_command_not_reapplied():
+    """Same logical command committed in two instances executes once."""
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    first = committed("r0", 0, 1, client="cx", ts=1, op="incr", key="n",
+                      value=1)
+    executor.try_execute(index_of(first))
+    assert kv.get_final("n") == 1
+    dup = committed("r1", 0, 1, client="cx", ts=1, op="incr", key="n",
+                    value=1)
+    executor.try_execute(index_of(first, dup))
+    assert kv.get_final("n") == 1  # not double-applied
+    assert dup.status == EntryStatus.EXECUTED
+    assert dup.final_result == first.final_result
+
+
+def test_noop_fills_slot_without_state_change():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    noop = LogEntry(instance=InstanceID("r0", 0), owner_number=1,
+                    command=Command.noop(), deps=(), seq=0,
+                    status=EntryStatus.COMMITTED)
+    done = executor.try_execute(index_of(noop))
+    assert len(done) == 1
+    assert kv.final_items() == {}
+
+
+def test_transitive_block():
+    """c depends on b depends on (uncommitted) a: neither b nor c runs."""
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    b = committed("r1", 0, 2, deps=[InstanceID("r0", 0)])
+    c = committed("r2", 0, 3, deps=[b.instance])
+    assert executor.try_execute(index_of(b, c)) == []
+
+
+def test_identical_runs_produce_identical_histories():
+    def run():
+        kv = KVStore()
+        executor = DependencyExecutor(kv)
+        a = committed("r0", 0, 2, deps=[InstanceID("r1", 0)], value="a")
+        b = committed("r1", 0, 2, deps=[InstanceID("r0", 0)], value="b")
+        c = committed("r2", 0, 5, deps=[a.instance, b.instance],
+                      value="c")
+        executor.try_execute(index_of(a, b, c))
+        return executor.history, kv.final_items()
+
+    assert run() == run()
+
+
+def test_result_of_and_has_executed():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    e = committed("r0", 0, 1, client="cq", ts=3)
+    executor.try_execute(index_of(e))
+    assert executor.has_executed(("cq", 3))
+    assert executor.result_of(("cq", 3)) == "OK"
+    assert not executor.has_executed(("cq", 4))

@@ -1,0 +1,164 @@
+"""ezBFT slow-path behaviour under contention (paper Section IV-C)."""
+
+import pytest
+
+from repro.core.instance import EntryStatus
+from repro.statemachine.interference import AlwaysInterfere
+
+from conftest import (
+    DeliveryLog,
+    assert_histories_consistent,
+    assert_replicas_consistent,
+    geo_cluster,
+    lan_cluster,
+)
+
+
+def two_conflicting_clients(cluster):
+    log = DeliveryLog()
+    c0 = cluster.add_client("c0", cluster.replica_regions["r0"],
+                            target_replica="r0",
+                            on_delivery=log.hook("c0"))
+    c1 = cluster.add_client("c1", cluster.replica_regions["r3"],
+                            target_replica="r3",
+                            on_delivery=log.hook("c1"))
+    c0.submit(c0.next_command("put", "hot", "from-c0"))
+    c1.submit(c1.next_command("put", "hot", "from-c1"))
+    return log, c0, c1
+
+
+def test_conflicting_concurrent_commands_commit_consistently():
+    cluster = geo_cluster()
+    log, _, _ = two_conflicting_clients(cluster)
+    cluster.run_until_idle()
+    assert len(log.records) == 2
+    state = assert_replicas_consistent(cluster)
+    assert state["hot"] in ("from-c0", "from-c1")
+    assert_histories_consistent(cluster)
+
+
+def test_conflicting_commands_take_slow_path_in_geo():
+    """With WAN latencies the two SPECORDERs genuinely interleave, so
+    replicas disagree on dependency sets and the clients must combine."""
+    cluster = geo_cluster()
+    log, _, _ = two_conflicting_clients(cluster)
+    cluster.run_until_idle()
+    assert "slow" in log.paths
+
+
+def test_slow_path_commit_metadata_is_final():
+    cluster = geo_cluster()
+    log, c0, c1 = two_conflicting_clients(cluster)
+    cluster.run_until_idle()
+    # Whichever command committed second must depend on the first.
+    deps_by_replica = []
+    for replica in cluster.replicas.values():
+        entries = {e.instance: e
+                   for space in replica.spaces.values()
+                   for e in space.entries()}
+        assert len(entries) == 2
+        deps_union = set()
+        for e in entries.values():
+            deps_union.update(e.deps)
+        deps_by_replica.append(deps_union)
+    # At least one direction of the dependency must be recorded
+    # everywhere the command committed.
+    assert all(deps for deps in deps_by_replica)
+
+
+def test_dependency_cycle_resolved_deterministically():
+    """The paper's Figure-2 scenario: both commands end up in each
+    other's dependency set; sequence numbers + replica ids break the
+    cycle identically at every replica."""
+    cluster = geo_cluster()
+    log, _, _ = two_conflicting_clients(cluster)
+    cluster.run_until_idle()
+    assert_histories_consistent(cluster)
+    state = assert_replicas_consistent(cluster)
+    # The executed order must be the same everywhere, so the final value
+    # is whichever command every replica executed last.
+    histories = [r.executor.history for r in cluster.replicas.values()]
+    last_idents = {tuple(h[-1][1] for h in histories)}
+    assert len(last_idents) == 1
+
+
+def test_interfering_sequence_numbers_strictly_increase():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    for i in range(4):
+        client.submit(client.next_command("put", "hot", i))
+        cluster.run_until_idle()
+    leader = cluster.replicas[client.target_replica]
+    seqs = [e.seq for e in leader.spaces[leader.node_id].entries()]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_always_interfere_relation_forces_total_order():
+    cluster = lan_cluster(interference=AlwaysInterfere())
+    log = DeliveryLog()
+    clients = []
+    for i in range(4):
+        c = cluster.add_client(f"c{i}", "local", target_replica=f"r{i}",
+                               on_delivery=log.hook(f"c{i}"))
+        clients.append(c)
+        c.submit(c.next_command("put", f"key{i}", i))
+    cluster.run_until_idle()
+    assert len(log.records) == 4
+    assert_replicas_consistent(cluster)
+    assert_histories_consistent(cluster)
+
+
+def test_slow_path_produces_commit_replies():
+    cluster = geo_cluster()
+    log, c0, c1 = two_conflicting_clients(cluster)
+    cluster.run_until_idle()
+    slow_count = sum(1 for p in log.paths if p == "slow")
+    committed_slow = sum(r.stats["committed_slow"]
+                        for r in cluster.replicas.values())
+    assert committed_slow >= slow_count  # each slow commit hit replicas
+
+
+def test_many_interleaved_conflicts_converge():
+    cluster = geo_cluster()
+    log = DeliveryLog()
+    drivers = []
+    from repro.workload.drivers import ClosedLoopDriver
+    from repro.workload.generator import KVWorkload
+
+    for i in range(4):
+        region = cluster.replica_regions[f"r{i}"]
+        client = cluster.add_client(f"c{i}", region,
+                                    on_delivery=log.hook(f"c{i}"))
+        workload = KVWorkload(f"c{i}", contention=1.0, seed=i)
+        driver = ClosedLoopDriver(client, workload, num_requests=5)
+        drivers.append(driver)
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle()
+    assert all(d.done for d in drivers)
+    assert len(log.records) == 20
+    assert_replicas_consistent(cluster)
+    assert_histories_consistent(cluster)
+
+
+def test_mixed_contention_some_fast_some_slow():
+    cluster = geo_cluster()
+    log = DeliveryLog()
+    from repro.workload.drivers import ClosedLoopDriver
+    from repro.workload.generator import KVWorkload
+
+    drivers = []
+    for i in range(4):
+        region = cluster.replica_regions[f"r{i}"]
+        client = cluster.add_client(f"c{i}", region,
+                                    on_delivery=log.hook(f"c{i}"))
+        workload = KVWorkload(f"c{i}", contention=0.5, seed=100 + i)
+        drivers.append(ClosedLoopDriver(client, workload,
+                                        num_requests=6))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle()
+    assert len(log.records) == 24
+    assert "fast" in log.paths
+    assert_replicas_consistent(cluster)

@@ -1,0 +1,110 @@
+"""Unit tests for Tarjan SCC and the execution-order linearization."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import execution_batches, linearize, tarjan_scc
+
+
+def as_sets(components):
+    return [frozenset(c) for c in components]
+
+
+def test_empty_graph():
+    assert tarjan_scc({}) == []
+
+
+def test_single_node_no_edges():
+    assert as_sets(tarjan_scc({"a": []})) == [frozenset({"a"})]
+
+
+def test_chain_reverse_topological():
+    # a -> b -> c (a depends on b depends on c): c must come first.
+    graph = {"a": ["b"], "b": ["c"], "c": []}
+    components = tarjan_scc(graph)
+    order = [next(iter(c)) for c in components]
+    assert order == ["c", "b", "a"]
+
+
+def test_simple_cycle_is_one_component():
+    graph = {"a": ["b"], "b": ["a"]}
+    assert as_sets(tarjan_scc(graph)) == [frozenset({"a", "b"})]
+
+
+def test_self_loop():
+    assert as_sets(tarjan_scc({"a": ["a"]})) == [frozenset({"a"})]
+
+
+def test_two_cycles_bridged():
+    # Cycle {a,b} depends on cycle {c,d}.
+    graph = {"a": ["b"], "b": ["a", "c"], "c": ["d"], "d": ["c"]}
+    components = as_sets(tarjan_scc(graph))
+    assert frozenset({"c", "d"}) in components
+    assert frozenset({"a", "b"}) in components
+    assert components.index(frozenset({"c", "d"})) < \
+        components.index(frozenset({"a", "b"}))
+
+
+def test_successor_not_in_keys_is_implicit_node():
+    graph = {"a": ["ghost"]}
+    components = as_sets(tarjan_scc(graph))
+    assert frozenset({"ghost"}) in components
+
+
+def test_matches_networkx_on_random_graphs():
+    rng_graph = nx.gnp_random_graph(40, 0.08, seed=11, directed=True)
+    adjacency = {n: list(rng_graph.successors(n))
+                 for n in rng_graph.nodes}
+    ours = set(as_sets(tarjan_scc(adjacency)))
+    theirs = {frozenset(c)
+              for c in nx.strongly_connected_components(rng_graph)}
+    assert ours == theirs
+
+
+def test_reverse_topological_property_against_networkx():
+    rng_graph = nx.gnp_random_graph(30, 0.1, seed=3, directed=True)
+    adjacency = {n: list(rng_graph.successors(n))
+                 for n in rng_graph.nodes}
+    components = tarjan_scc(adjacency)
+    position = {}
+    for idx, component in enumerate(components):
+        for node in component:
+            position[node] = idx
+    # Every edge u -> v must have v's component at the same or an earlier
+    # position (dependencies first).
+    for u, v in rng_graph.edges:
+        assert position[v] <= position[u]
+
+
+def test_deep_graph_no_recursion_limit():
+    n = 50_000
+    graph = {i: [i + 1] for i in range(n)}
+    graph[n] = []
+    components = tarjan_scc(graph)
+    assert len(components) == n + 1
+
+
+def test_execution_batches_sorts_within_component():
+    graph = {("r1", 0): [("r0", 0)], ("r0", 0): [("r1", 0)]}
+    seqs = {("r1", 0): (2, "r1", 0), ("r0", 0): (2, "r0", 0)}
+    batches = execution_batches(graph, sort_key=lambda n: seqs[n])
+    assert batches == [[("r0", 0), ("r1", 0)]]  # replica-id tie-break
+
+
+def test_execution_batches_sequence_number_order():
+    graph = {"x": ["y"], "y": ["x"]}
+    seqs = {"x": (1, "r9", 0), "y": (2, "r0", 0)}
+    batches = execution_batches(graph, sort_key=lambda n: seqs[n])
+    assert batches == [["x", "y"]]  # lower seq first despite replica id
+
+
+def test_linearize_flattens_in_order():
+    graph = {"a": ["b"], "b": [], "c": ["a"]}
+    order = linearize(graph, sort_key=lambda n: (0, n, 0))
+    assert order.index("b") < order.index("a") < order.index("c")
+
+
+def test_linearize_deterministic_across_calls():
+    graph = {"a": ["b", "c"], "b": ["c"], "c": ["a"], "d": []}
+    key = lambda n: (0, n, 0)  # noqa: E731
+    assert linearize(graph, key) == linearize(graph, key)

@@ -1,0 +1,87 @@
+"""Unit tests for instance spaces and log entries."""
+
+import pytest
+
+from repro.core.instance import EntryStatus, InstanceSpace, LogEntry
+from repro.errors import InstanceSpaceFrozenError, ProtocolError
+from repro.statemachine.base import Command
+from repro.types import InstanceID
+
+
+def entry(owner="r0", slot=0, seq=1, client="c", ts=1):
+    return LogEntry(
+        instance=InstanceID(owner, slot), owner_number=0,
+        command=Command(client_id=client, timestamp=ts, op="put",
+                        key="k", value="v"),
+        deps=(), seq=seq)
+
+
+def test_status_ordering():
+    assert EntryStatus.COMMITTED.at_least(EntryStatus.SPEC_ORDERED)
+    assert EntryStatus.EXECUTED.at_least(EntryStatus.COMMITTED)
+    assert not EntryStatus.SPEC_ORDERED.at_least(EntryStatus.COMMITTED)
+    assert EntryStatus.COMMITTED.at_least(EntryStatus.COMMITTED)
+
+
+def test_sort_key_orders_by_seq_then_owner_then_slot():
+    a = entry(owner="r1", slot=0, seq=1)
+    b = entry(owner="r0", slot=0, seq=2)
+    c = entry(owner="r0", slot=1, seq=2)
+    keys = sorted([c.sort_key, b.sort_key, a.sort_key])
+    assert keys == [a.sort_key, b.sort_key, c.sort_key]
+
+
+def test_allocate_slots_monotonic():
+    space = InstanceSpace("r0", 0)
+    assert space.allocate_slot() == 0
+    assert space.allocate_slot() == 1
+    assert space.allocate_slot() == 2
+
+
+def test_put_and_get():
+    space = InstanceSpace("r0", 0)
+    e = entry(slot=3)
+    space.put(e)
+    assert 3 in space
+    assert space.get(3) is e
+    assert space.get(99) is None
+
+
+def test_put_wrong_space_rejected():
+    space = InstanceSpace("r0", 0)
+    with pytest.raises(ProtocolError):
+        space.put(entry(owner="r1"))
+
+
+def test_frozen_space_rejects_put():
+    space = InstanceSpace("r0", 0)
+    space.frozen = True
+    with pytest.raises(InstanceSpaceFrozenError):
+        space.put(entry())
+
+
+def test_force_put_bypasses_freeze():
+    space = InstanceSpace("r0", 0)
+    space.frozen = True
+    space.force_put(entry(slot=0))
+    assert len(space) == 1
+
+
+def test_entries_iterate_in_slot_order():
+    space = InstanceSpace("r0", 0)
+    for slot in (5, 1, 3):
+        space.put(entry(slot=slot, ts=slot))
+    assert [e.instance.slot for e in space.entries()] == [1, 3, 5]
+
+
+def test_max_occupied_slot():
+    space = InstanceSpace("r0", 0)
+    assert space.max_occupied_slot == -1
+    space.put(entry(slot=4))
+    assert space.max_occupied_slot == 4
+
+
+def test_instance_id_wire_and_str():
+    iid = InstanceID("r2", 7)
+    assert InstanceID.from_wire(iid.to_wire()) == iid
+    assert str(iid) == "r2.7"

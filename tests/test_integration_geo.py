@@ -1,0 +1,151 @@
+"""Cross-protocol integration tests with the shapes the paper reports.
+
+These are the qualitative claims of the evaluation section, asserted at
+small scale so the full suite stays fast; the benchmarks print the full
+tables.
+"""
+
+import pytest
+
+from repro.cluster.builder import build_cluster
+from repro.sim.latency import EXPERIMENT1, EXPERIMENT2
+from repro.workload.drivers import ClosedLoopDriver
+from repro.workload.generator import KVWorkload
+
+from conftest import DeliveryLog, GEO_REGIONS
+
+
+def measure_latency(protocol, client_region, primary_region="virginia",
+                    contention=0.0, requests=4, latency=EXPERIMENT1,
+                    regions=None):
+    cluster = build_cluster(protocol, regions or GEO_REGIONS, latency,
+                            primary_region=primary_region,
+                            slow_path_timeout=400.0)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", client_region,
+                                on_delivery=log.hook("c0"))
+    workload = KVWorkload("c0", contention=contention, seed=1)
+    driver = ClosedLoopDriver(client, workload, num_requests=requests)
+    driver.start()
+    cluster.run_until_idle()
+    assert driver.done
+    samples = log.latencies()
+    return sum(samples) / len(samples)
+
+
+def test_step_count_ordering_pbft_fab_zyzzyva():
+    """Figure 4's protocol ordering: PBFT > FaB > Zyzzyva everywhere."""
+    for region in ("virginia", "tokyo"):
+        pbft = measure_latency("pbft", region)
+        fab = measure_latency("fab", region)
+        zyzzyva = measure_latency("zyzzyva", region)
+        assert pbft > fab > zyzzyva
+
+
+def test_ezbft_matches_zyzzyva_at_primary_region():
+    """Figure 4: in the primary's own region the two are equivalent
+    (same step count, same local first hop)."""
+    zyzzyva = measure_latency("zyzzyva", "virginia")
+    ezbft = measure_latency("ezbft", "virginia")
+    assert ezbft == pytest.approx(zyzzyva, rel=0.1)
+
+
+def test_ezbft_beats_zyzzyva_at_remote_regions():
+    """Figure 4's headline: remote clients save the first hop."""
+    for region in ("tokyo", "mumbai", "sydney"):
+        zyzzyva = measure_latency("zyzzyva", region)
+        ezbft = measure_latency("ezbft", region)
+        assert ezbft < zyzzyva, region
+
+
+def test_ezbft_improvement_up_to_40_percent():
+    """The abstract's claim: up to ~40% latency reduction.  With the
+    primary in Virginia, some remote region sees >=25% improvement."""
+    improvements = []
+    for region in ("tokyo", "mumbai", "sydney"):
+        zyzzyva = measure_latency("zyzzyva", region)
+        ezbft = measure_latency("ezbft", region)
+        improvements.append((zyzzyva - ezbft) / zyzzyva)
+    assert max(improvements) >= 0.25
+
+
+def test_ezbft_full_contention_approaches_pbft():
+    """Figure 4: at 100% contention (concurrent interfering commands
+    from every region) ezBFT needs five steps, costing about as much as
+    PBFT's five steps."""
+    pbft = measure_latency("pbft", "tokyo")
+
+    # Contention requires *concurrent* clients: one per region, all
+    # writing the hot key, exactly the paper's setup.
+    cluster = build_cluster("ezbft", GEO_REGIONS, EXPERIMENT1,
+                            slow_path_timeout=400.0)
+    log = DeliveryLog()
+    drivers = []
+    for i, region in enumerate(GEO_REGIONS):
+        client = cluster.add_client(f"c{i}", region,
+                                    on_delivery=log.hook(f"c{i}"))
+        workload = KVWorkload(f"c{i}", contention=1.0, seed=i)
+        drivers.append(ClosedLoopDriver(client, workload,
+                                        num_requests=6))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle()
+    tokyo_samples = cluster.recorder.samples("tokyo")
+    ezbft_contended = sum(tokyo_samples) / len(tokyo_samples)
+    assert ezbft_contended == pytest.approx(pbft, rel=0.6)
+    ezbft_free = measure_latency("ezbft", "tokyo")
+    assert ezbft_contended > ezbft_free
+
+
+def test_experiment2_ireland_primary_is_zyzzyvas_best_case():
+    """Figure 5a: with overlapping European paths, Zyzzyva at its best
+    placement is close to ezBFT."""
+    regions = ["ohio", "ireland", "frankfurt", "mumbai"]
+    gaps = []
+    for client_region in regions:
+        zyzzyva = measure_latency("zyzzyva", client_region,
+                                  primary_region="ireland",
+                                  latency=EXPERIMENT2, regions=regions)
+        ezbft = measure_latency("ezbft", client_region,
+                                primary_region="ireland",
+                                latency=EXPERIMENT2, regions=regions)
+        gaps.append((zyzzyva - ezbft) / zyzzyva)
+    # Average advantage well under the Experiment-1 headline.
+    assert sum(gaps) / len(gaps) < 0.25
+
+
+def test_experiment2_bad_primary_hurts_zyzzyva():
+    """Figure 5b: moving the primary to Mumbai inflates Zyzzyva's
+    latency for European clients far beyond ezBFT's."""
+    regions = ["ohio", "ireland", "frankfurt", "mumbai"]
+    zyzzyva_bad = measure_latency("zyzzyva", "ireland",
+                                  primary_region="mumbai",
+                                  latency=EXPERIMENT2, regions=regions)
+    ezbft = measure_latency("ezbft", "ireland",
+                            primary_region="ireland",
+                            latency=EXPERIMENT2, regions=regions)
+    assert ezbft < 0.8 * zyzzyva_bad
+
+
+def test_all_protocols_agree_on_final_state():
+    """The same workload produces the same replicated state under every
+    protocol (they implement the same service)."""
+    states = {}
+    for protocol in ("ezbft", "pbft", "zyzzyva", "fab"):
+        cluster = build_cluster(protocol, GEO_REGIONS, EXPERIMENT1,
+                                primary_region="virginia")
+        log = DeliveryLog()
+        client = cluster.add_client("c0", "virginia",
+                                    on_delivery=log.hook("c0"))
+        for i in range(3):
+            client.submit(client.next_command("put", f"k{i}", i))
+            cluster.run_until_idle()
+        kv = cluster.replicas["r0"].statemachine
+        if protocol == "zyzzyva":
+            # Zyzzyva's fast path leaves state speculative.
+            state = {f"k{i}": kv.get_speculative(f"k{i}")
+                     for i in range(3)}
+        else:
+            state = {f"k{i}": kv.get_final(f"k{i}") for i in range(3)}
+        states[protocol] = state
+    assert len({tuple(sorted(s.items())) for s in states.values()}) == 1

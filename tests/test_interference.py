@@ -1,0 +1,89 @@
+"""Unit tests for command-interference relations."""
+
+import pytest
+
+from repro.statemachine.base import Command
+from repro.statemachine.interference import (
+    AlwaysInterfere,
+    KVInterference,
+    NeverInterfere,
+    ReadWriteInterference,
+)
+
+
+def cmd(op, key="k", value=None, ts=1, client="c"):
+    return Command(client_id=client, timestamp=ts, op=op, key=key,
+                   value=value)
+
+
+KV = KVInterference()
+
+
+def test_different_keys_never_interfere():
+    assert not KV.interferes(cmd("put", "a"), cmd("put", "b"))
+
+
+def test_put_put_same_key_interferes():
+    assert KV.interferes(cmd("put"), cmd("put"))
+
+
+def test_get_get_never_interferes():
+    assert not KV.interferes(cmd("get"), cmd("get"))
+
+
+def test_put_get_interferes():
+    assert KV.interferes(cmd("put"), cmd("get"))
+    assert KV.interferes(cmd("get"), cmd("put"))
+
+
+def test_incr_incr_commutes():
+    """The paper: mutative-but-commutative ops do not interfere under
+    ezBFT's relation (unlike Q/U's read/write classification)."""
+    assert not KV.interferes(cmd("incr"), cmd("incr"))
+
+
+def test_incr_get_interferes():
+    assert KV.interferes(cmd("incr"), cmd("get"))
+
+
+def test_incr_put_interferes():
+    assert KV.interferes(cmd("incr"), cmd("put"))
+
+
+def test_noop_never_interferes():
+    assert not KV.interferes(Command.noop(), cmd("put"))
+    assert not KV.interferes(cmd("put"), Command.noop())
+
+
+def test_kv_relation_is_symmetric():
+    ops = ["get", "put", "incr", "noop"]
+    for a in ops:
+        for b in ops:
+            ca = cmd(a) if a != "noop" else Command.noop()
+            cb = cmd(b, ts=2) if b != "noop" else Command.noop()
+            assert KV.interferes(ca, cb) == KV.interferes(cb, ca)
+
+
+def test_read_write_is_coarser_than_kv():
+    """Q/U-style read/write conflicts: incr/incr interferes there but not
+    under ezBFT's relation."""
+    rw = ReadWriteInterference()
+    assert rw.interferes(cmd("incr"), cmd("incr"))
+    assert not rw.interferes(cmd("get"), cmd("get"))
+    # Everything KV flags, RW flags too.
+    ops = ["get", "put", "incr"]
+    for a in ops:
+        for b in ops:
+            if KV.interferes(cmd(a), cmd(b, ts=2)):
+                assert rw.interferes(cmd(a), cmd(b, ts=2))
+
+
+def test_always_interfere():
+    always = AlwaysInterfere()
+    assert always.interferes(cmd("get", "a"), cmd("get", "b"))
+    assert not always.interferes(Command.noop(), cmd("put"))
+
+
+def test_never_interfere():
+    never = NeverInterfere()
+    assert not never.interferes(cmd("put"), cmd("put"))

@@ -1,0 +1,82 @@
+"""Metrics collection tests."""
+
+import math
+
+import pytest
+
+from repro.cluster.metrics import LatencyRecorder, summarize
+
+
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+
+
+def test_summarize_percentiles():
+    samples = [float(i) for i in range(1, 101)]
+    summary = summarize(samples)
+    assert summary.p50 == 50.0
+    assert summary.p90 == 90.0
+    assert summary.p99 == 99.0
+
+
+def test_summarize_single_sample():
+    summary = summarize([7.0])
+    assert summary.p50 == summary.p99 == 7.0
+
+
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary.count == 0
+    assert math.isnan(summary.mean)
+
+
+def test_recorder_groups_and_samples():
+    recorder = LatencyRecorder()
+    recorder.record("tokyo", 100.0, "fast", now_ms=10.0)
+    recorder.record("tokyo", 120.0, "slow", now_ms=20.0)
+    recorder.record("sydney", 90.0, "fast", now_ms=30.0)
+    assert recorder.groups() == ("sydney", "tokyo")
+    assert recorder.samples("tokyo") == [100.0, 120.0]
+    assert recorder.summary("sydney").count == 1
+    assert recorder.overall().count == 3
+
+
+def test_recorder_path_counts():
+    recorder = LatencyRecorder()
+    recorder.record("g", 1.0, "fast", 1.0)
+    recorder.record("g", 1.0, "fast", 2.0)
+    recorder.record("g", 1.0, "slow", 3.0)
+    assert recorder.path_counts("g") == {"fast": 2, "slow": 1}
+    assert recorder.fast_path_fraction("g") == pytest.approx(2 / 3)
+    assert recorder.fast_path_fraction() == pytest.approx(2 / 3)
+
+
+def test_fast_fraction_empty_is_nan():
+    recorder = LatencyRecorder()
+    assert math.isnan(recorder.fast_path_fraction())
+
+
+def test_throughput_uses_delivery_window():
+    recorder = LatencyRecorder()
+    recorder.record("g", 1.0, "fast", now_ms=1000.0)
+    for t in range(1, 11):
+        recorder.record("g", 1.0, "fast", now_ms=1000.0 + t * 100.0)
+    # 11 deliveries over a 1000ms window.
+    assert recorder.throughput_per_sec() == pytest.approx(11.0, rel=0.01)
+
+
+def test_throughput_explicit_window():
+    recorder = LatencyRecorder()
+    for t in range(10):
+        recorder.record("g", 1.0, "fast", now_ms=float(t))
+    assert recorder.throughput_per_sec(window_ms=1000.0) == \
+        pytest.approx(10.0)
+
+
+def test_throughput_zero_without_deliveries():
+    recorder = LatencyRecorder()
+    assert recorder.throughput_per_sec() == 0.0

@@ -1,0 +1,165 @@
+"""PBFT baseline: ordering, checkpoints, view changes."""
+
+import pytest
+
+from repro.byzantine import silence_node
+
+from conftest import (
+    DeliveryLog,
+    assert_replicas_consistent,
+    geo_cluster,
+    lan_cluster,
+)
+
+
+def test_single_request_commits():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert log.results == ["OK"]
+    assert_replicas_consistent(cluster)
+
+
+def test_five_step_latency_shape():
+    """PBFT client latency = request + pre-prepare + prepare + commit +
+    reply = 5 one-way hops.  In the LAN model each hop is 0.1ms."""
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert log.latencies()[0] == pytest.approx(0.5, abs=0.05)
+
+
+def test_sequential_requests_ordered():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    for i in range(5):
+        client.submit(client.next_command("put", "k", i))
+        cluster.run_until_idle()
+    assert log.results == ["OK"] * 5
+    state = assert_replicas_consistent(cluster)
+    assert state == {"k": 4}
+
+
+def test_concurrent_clients_totally_ordered():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    for i in range(3):
+        client = cluster.add_client(f"c{i}", "local",
+                                    on_delivery=log.hook(f"c{i}"))
+        client.submit(client.next_command("put", "shared", i))
+    cluster.run_until_idle()
+    assert len(log.records) == 3
+    assert_replicas_consistent(cluster)
+
+
+def test_backup_forwards_request_to_primary():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    # Manually send the request to a backup instead of the primary.
+    from repro.messages.base import SignedPayload
+    from repro.messages.pbft import PBFTRequest
+
+    command = client.next_command("put", "k", "v")
+    client._pending[command.ident] = __import__(
+        "repro.protocols.pbft.client",
+        fromlist=["_Pending"])._Pending(command=command,
+                                        start_time=cluster.sim.now)
+    request = PBFTRequest(command=command)
+    cluster.network.send("c0", "r2",
+                         SignedPayload.create(request, client.keypair))
+    cluster.run_until_idle()
+    assert log.results == ["OK"]
+
+
+def test_checkpoint_garbage_collects_log():
+    cluster = lan_cluster("pbft", checkpoint_interval=4)
+    client = cluster.add_client("c0", "local")
+    for i in range(10):
+        client.submit(client.next_command("put", f"k{i}", i))
+        cluster.run_until_idle()
+    primary = cluster.replicas["r0"]
+    assert primary.stats["checkpoints"] >= 1
+    assert primary.checkpoints.stable is not None
+    assert primary.checkpoints.stable.watermark >= 4
+    # Slots below the stable checkpoint were GC'd.
+    assert min(primary._slots) >= primary.checkpoints.stable.watermark - 1
+
+
+def test_view_change_on_silent_primary():
+    cluster = lan_cluster("pbft")
+    silence_node(cluster, "r0")  # primary of view 0
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    assert log.results == ["OK"]
+    for rid in ("r1", "r2", "r3"):
+        assert cluster.replicas[rid].view >= 1
+    assert_replicas_consistent(cluster, exclude=("r0",))
+
+
+def test_view_change_preserves_executed_state():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("put", "before", 1))
+    cluster.run_until_idle()
+    silence_node(cluster, "r0")
+    client.submit(client.next_command("put", "after", 2))
+    cluster.run_until_idle()
+    assert log.results == ["OK", "OK"]
+    state = assert_replicas_consistent(cluster, exclude=("r0",))
+    assert state == {"before": 1, "after": 2}
+
+
+def test_equivocating_preprepare_triggers_view_change():
+    cluster = lan_cluster("pbft")
+    client = cluster.add_client("c0", "local")
+    client.submit(client.next_command("put", "k", "v"))
+    cluster.run_until_idle()
+    replica = cluster.replicas["r1"]
+    from repro.crypto.digest import digest
+    from repro.messages.pbft import PBFTRequest, PrePrepare
+
+    fake_request = PBFTRequest(
+        command=client.next_command("put", "k", "EVIL"))
+    conflicting = PrePrepare(
+        view=replica.view, seqno=0,
+        request_digest=digest(fake_request.to_wire()),
+        request=fake_request)
+    before = replica.stats["view_changes"]
+    replica._on_pre_prepare("r0", conflicting)
+    assert replica.stats["view_changes"] == before + 1
+
+
+def test_reply_cache_for_duplicate_request():
+    cluster = lan_cluster("pbft")
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    command = client.next_command("put", "k", "v")
+    client.submit(command)
+    cluster.run_until_idle()
+    primary = cluster.replicas["r0"]
+    executed_before = primary.stats["executed"]
+    from repro.messages.base import SignedPayload
+    from repro.messages.pbft import PBFTRequest
+
+    cluster.network.send(
+        "c0", "r0",
+        SignedPayload.create(PBFTRequest(command=command),
+                             client.keypair))
+    cluster.run_until_idle()
+    assert primary.stats["executed"] == executed_before

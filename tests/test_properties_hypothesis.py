@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on core data structures and
+protocol invariants."""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.digest import canonical_bytes, digest
+from repro.graph import linearize, tarjan_scc
+from repro.statemachine.base import Command
+from repro.statemachine.interference import KVInterference
+from repro.statemachine.kvstore import KVStore
+
+# ----------------------------------------------------------------------
+# Canonical serialization
+# ----------------------------------------------------------------------
+json_scalars = st.one_of(st.none(), st.booleans(),
+                         st.integers(min_value=-10**9, max_value=10**9),
+                         st.text(max_size=20))
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4)),
+    max_leaves=20)
+
+
+@given(json_values)
+def test_canonical_bytes_deterministic(value):
+    assert canonical_bytes(value) == canonical_bytes(value)
+
+
+@given(st.dictionaries(st.text(max_size=8), json_scalars, max_size=6))
+def test_digest_invariant_under_key_order(mapping):
+    items = list(mapping.items())
+    reversed_mapping = dict(reversed(items))
+    assert digest(mapping) == digest(reversed_mapping)
+
+
+@given(json_values)
+def test_canonical_bytes_is_valid_json(value):
+    json.loads(canonical_bytes(value))
+
+
+# ----------------------------------------------------------------------
+# Tarjan SCC
+# ----------------------------------------------------------------------
+graphs = st.dictionaries(
+    st.integers(min_value=0, max_value=15),
+    st.lists(st.integers(min_value=0, max_value=15), max_size=4),
+    max_size=12)
+
+
+@given(graphs)
+def test_scc_partitions_all_nodes(graph):
+    components = tarjan_scc(graph)
+    seen = [n for c in components for n in c]
+    all_nodes = set(graph)
+    for succs in graph.values():
+        all_nodes.update(succs)
+    assert sorted(seen) == sorted(all_nodes)
+    assert len(seen) == len(set(seen))  # no node twice
+
+
+@given(graphs)
+def test_scc_respects_dependency_order(graph):
+    components = tarjan_scc(graph)
+    position = {}
+    for idx, component in enumerate(components):
+        for node in component:
+            position[node] = idx
+    for node, succs in graph.items():
+        for succ in succs:
+            # Dependencies (successors) appear no later.
+            assert position[succ] <= position[node]
+
+
+@given(graphs)
+def test_linearize_is_permutation(graph):
+    order = linearize(graph, sort_key=lambda n: (0, n, 0))
+    all_nodes = set(graph)
+    for succs in graph.values():
+        all_nodes.update(succs)
+    assert sorted(order) == sorted(all_nodes)
+
+
+# ----------------------------------------------------------------------
+# KV store
+# ----------------------------------------------------------------------
+commands = st.builds(
+    Command,
+    client_id=st.just("c"),
+    timestamp=st.integers(min_value=1, max_value=100),
+    op=st.sampled_from(["put", "get", "incr"]),
+    key=st.sampled_from(["a", "b", "c"]),
+    value=st.integers(min_value=0, max_value=5))
+
+
+@given(st.lists(commands, max_size=20))
+def test_speculative_then_rollback_leaves_final_untouched(cmds):
+    kv = KVStore()
+    kv.apply(Command(client_id="c", timestamp=0, op="put", key="a",
+                     value=1))
+    before = kv.final_items()
+    for cmd in cmds:
+        kv.apply_speculative(cmd)
+    kv.rollback_speculative()
+    assert kv.final_items() == before
+    assert not kv.has_speculative_state
+
+
+@given(st.lists(commands, max_size=20))
+def test_final_equals_speculative_when_applied_identically(cmds):
+    final_kv, spec_kv = KVStore(), KVStore()
+    for cmd in cmds:
+        final_kv.apply(cmd)
+        spec_kv.apply_speculative(cmd)
+    for key in ("a", "b", "c"):
+        assert final_kv.get_final(key) == spec_kv.get_speculative(key)
+
+
+@given(st.lists(commands, max_size=15), st.randoms())
+def test_non_interfering_commands_commute(cmds, rng):
+    """Any permutation of pairwise non-interfering commands yields the
+    same final state -- the definition ezBFT's correctness rests on."""
+    relation = KVInterference()
+    independent = []
+    for cmd in cmds:
+        if all(not relation.interferes(cmd, other)
+               for other in independent):
+            independent.append(cmd)
+    shuffled = list(independent)
+    rng.shuffle(shuffled)
+    kv1, kv2 = KVStore(), KVStore()
+    for cmd in independent:
+        kv1.apply(cmd)
+    for cmd in shuffled:
+        kv2.apply(cmd)
+    assert kv1.final_items() == kv2.final_items()
+
+
+# ----------------------------------------------------------------------
+# Interference relation
+# ----------------------------------------------------------------------
+@given(commands, commands)
+def test_interference_symmetric(a, b):
+    relation = KVInterference()
+    assert relation.interferes(a, b) == relation.interferes(b, a)
+
+
+@given(commands)
+def test_interference_semantics_match_execution(a):
+    """If two commands do NOT interfere, executing them in either order
+    must give identical final state."""
+    relation = KVInterference()
+    b = Command(client_id="c2", timestamp=1, op="put", key=a.key,
+                value=99)
+    kv1, kv2 = KVStore(), KVStore()
+    kv1.apply(a), kv1.apply(b)
+    kv2.apply(b), kv2.apply(a)
+    if kv1.final_items() != kv2.final_items():
+        assert relation.interferes(a, b)

@@ -1,0 +1,79 @@
+"""Public API surface tests: everything README documents must exist,
+be importable from the top-level package, and carry docstrings."""
+
+import inspect
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("name", repro.__all__)
+def test_all_exports_exist(name):
+    assert hasattr(repro, name), name
+
+
+@pytest.mark.parametrize("name", repro.__all__)
+def test_exported_objects_documented(name):
+    obj = getattr(repro, name)
+    if inspect.isclass(obj) or inspect.isfunction(obj):
+        assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_readme_quickstart_works():
+    """The exact snippet from README.md."""
+    from repro import EXPERIMENT1, build_cluster
+
+    cluster = build_cluster(
+        "ezbft",
+        replica_regions=["virginia", "tokyo", "mumbai", "sydney"],
+        latency=EXPERIMENT1)
+    client = cluster.add_client("alice", region="tokyo")
+    deliveries = []
+    client.on_delivery = (lambda cmd, result, latency, path:
+                          deliveries.append((result, latency, path)))
+    client.submit(client.next_command("put", "greeting", "hello"))
+    cluster.run_until_idle()
+    result, latency, path = deliveries[0]
+    assert result == "OK"
+    assert path == "fast"
+    assert latency == pytest.approx(151, abs=10)
+
+
+def test_module_docstring_quickstart_matches():
+    assert "build_cluster" in repro.__doc__
+
+
+def test_protocols_constant():
+    assert set(repro.PROTOCOLS) == {"ezbft", "pbft", "zyzzyva", "fab"}
+
+
+def test_all_subpackages_importable():
+    import importlib
+
+    for module in [
+        "repro.sim", "repro.sim.events", "repro.sim.latency",
+        "repro.sim.network", "repro.crypto", "repro.messages",
+        "repro.statemachine", "repro.graph", "repro.core",
+        "repro.core.owner_change", "repro.protocols",
+        "repro.protocols.pbft", "repro.protocols.zyzzyva",
+        "repro.protocols.fab", "repro.byzantine", "repro.cluster",
+        "repro.workload", "repro.transport", "repro.types",
+        "repro.config", "repro.errors",
+    ]:
+        mod = importlib.import_module(module)
+        assert mod.__doc__, f"{module} lacks a module docstring"
+
+
+def test_error_hierarchy_rooted():
+    from repro import errors
+
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if inspect.isclass(obj) and issubclass(obj, Exception) \
+                and obj is not errors.ReproError:
+            assert issubclass(obj, errors.ReproError), name

@@ -1,0 +1,113 @@
+"""Unit tests for the WAN latency matrices."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.latency import (
+    EXPERIMENT1,
+    EXPERIMENT2,
+    LOCAL,
+    MUMBAI,
+    SYDNEY,
+    TOKYO,
+    VIRGINIA,
+    LatencyMatrix,
+    uniform_matrix,
+)
+
+
+def test_experiment1_is_complete():
+    EXPERIMENT1.validate()
+
+
+def test_experiment2_is_complete():
+    EXPERIMENT2.validate()
+
+
+def test_symmetry():
+    for matrix in (EXPERIMENT1, EXPERIMENT2):
+        for a in matrix.regions:
+            for b in matrix.regions:
+                assert matrix.one_way(a, b) == matrix.one_way(b, a)
+
+
+def test_intra_region_latency():
+    assert EXPERIMENT1.one_way(TOKYO, TOKYO) == \
+        EXPERIMENT1.intra_region_ms
+
+
+def test_rtt_is_twice_one_way():
+    assert EXPERIMENT1.rtt(VIRGINIA, TOKYO) == \
+        pytest.approx(2 * EXPERIMENT1.one_way(VIRGINIA, TOKYO))
+
+
+def test_unknown_pair_raises():
+    with pytest.raises(ConfigurationError):
+        EXPERIMENT1.one_way(VIRGINIA, "atlantis")
+
+
+def test_triangle_inequality_roughly_holds():
+    # WAN routing is not a metric space, but our calibrated values should
+    # not be wildly anti-metric: direct <= 2.5x any relay path.
+    m = EXPERIMENT1
+    for a in m.regions:
+        for b in m.regions:
+            if a == b:
+                continue
+            direct = m.one_way(a, b)
+            for via in m.regions:
+                if via in (a, b):
+                    continue
+                relay = m.one_way(a, via) + m.one_way(via, b)
+                assert direct <= 2.5 * relay
+
+
+def test_jitter_bounds():
+    rng = random.Random(42)
+    base = EXPERIMENT1.one_way(VIRGINIA, SYDNEY)
+    for _ in range(200):
+        sample = EXPERIMENT1.sample_one_way(VIRGINIA, SYDNEY, rng,
+                                            jitter_fraction=0.1)
+        assert 0.9 * base <= sample <= 1.1 * base
+
+
+def test_zero_jitter_is_deterministic():
+    rng = random.Random(0)
+    base = EXPERIMENT1.one_way(VIRGINIA, MUMBAI)
+    assert EXPERIMENT1.sample_one_way(VIRGINIA, MUMBAI, rng, 0.0) == base
+
+
+def test_uniform_matrix():
+    m = uniform_matrix(["a", "b", "c"], one_way_ms=10.0)
+    m.validate()
+    assert m.one_way("a", "b") == 10.0
+    assert m.one_way("b", "c") == 10.0
+    assert m.one_way("a", "a") == m.intra_region_ms
+
+
+def test_local_matrix_single_region():
+    assert LOCAL.one_way("local", "local") == LOCAL.intra_region_ms
+
+
+def test_table1_calibration_virginia_primary():
+    """The matrix was calibrated so a Zyzzyva-style 3-step path from a
+    Virginia client via a Virginia primary costs ~198ms (paper Table I).
+    """
+    m = EXPERIMENT1
+    client = primary = VIRGINIA
+    worst = max(m.one_way(primary, r) + m.one_way(r, client)
+                for r in m.regions)
+    total = m.one_way(client, primary) + worst
+    assert total == pytest.approx(198, abs=15)
+
+
+def test_table1_calibration_japan_client_virginia_primary():
+    """Paper Table I row Japan, column Virginia: 236ms."""
+    m = EXPERIMENT1
+    client, primary = TOKYO, VIRGINIA
+    worst = max(m.one_way(primary, r) + m.one_way(r, client)
+                for r in m.regions)
+    total = m.one_way(client, primary) + worst
+    assert total == pytest.approx(236, abs=20)

@@ -1,0 +1,249 @@
+"""Unit tests for the KV store, speculation, and checkpoints."""
+
+import pytest
+
+from repro.errors import StateMachineError
+from repro.statemachine.base import Command
+from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
+from repro.statemachine.kvstore import KVStore
+
+
+def put(key, value, ts=1, client="c"):
+    return Command(client_id=client, timestamp=ts, op="put", key=key,
+                   value=value)
+
+
+def get(key, ts=1, client="c"):
+    return Command(client_id=client, timestamp=ts, op="get", key=key)
+
+
+def incr(key, delta=1, ts=1, client="c"):
+    return Command(client_id=client, timestamp=ts, op="incr", key=key,
+                   value=delta)
+
+
+# ----------------------------------------------------------------------
+# Final-state semantics
+# ----------------------------------------------------------------------
+def test_put_then_get():
+    kv = KVStore()
+    assert kv.apply(put("k", "v")) == "OK"
+    assert kv.apply(get("k")) == "v"
+
+
+def test_get_missing_returns_none():
+    kv = KVStore()
+    assert kv.apply(get("nope")) is None
+
+
+def test_incr_from_zero():
+    kv = KVStore()
+    assert kv.apply(incr("n")) == "OK"
+    assert kv.get_final("n") == 1
+
+
+def test_incr_accumulates():
+    kv = KVStore()
+    kv.apply(incr("n", 5))
+    kv.apply(incr("n", 7))
+    assert kv.get_final("n") == 12
+
+
+def test_incr_default_delta_is_one():
+    kv = KVStore()
+    kv.apply(Command(client_id="c", timestamp=1, op="incr", key="n"))
+    assert kv.get_final("n") == 1
+
+
+def test_incr_non_int_delta_rejected():
+    kv = KVStore()
+    with pytest.raises(StateMachineError):
+        kv.apply(incr("n", delta="five"))
+
+
+def test_incr_on_non_int_value_rejected():
+    kv = KVStore()
+    kv.apply(put("k", "string"))
+    with pytest.raises(StateMachineError):
+        kv.apply(incr("k"))
+
+
+def test_noop_does_nothing():
+    kv = KVStore()
+    assert kv.apply(Command.noop()) is None
+    assert kv.final_items() == {}
+
+
+def test_unknown_op_rejected():
+    kv = KVStore()
+    with pytest.raises(StateMachineError):
+        kv.apply(Command(client_id="c", timestamp=1, op="frobnicate"))
+
+
+# ----------------------------------------------------------------------
+# Speculation
+# ----------------------------------------------------------------------
+def test_speculative_put_invisible_to_final():
+    kv = KVStore()
+    kv.apply_speculative(put("k", "spec"))
+    assert kv.get_final("k") is None
+    assert kv.get_speculative("k") == "spec"
+
+
+def test_speculative_reads_through_to_final():
+    kv = KVStore()
+    kv.apply(put("k", "final"))
+    assert kv.apply_speculative(get("k")) == "final"
+
+
+def test_speculative_overlay_shadows_final():
+    kv = KVStore()
+    kv.apply(put("k", "final"))
+    kv.apply_speculative(put("k", "spec"))
+    assert kv.apply_speculative(get("k")) == "spec"
+    assert kv.get_final("k") == "final"
+
+
+def test_rollback_discards_overlay():
+    kv = KVStore()
+    kv.apply(put("k", "final"))
+    kv.apply_speculative(put("k", "spec"))
+    kv.rollback_speculative()
+    assert kv.get_speculative("k") == "final"
+    assert not kv.has_speculative_state
+    assert kv.rollbacks == 1
+
+
+def test_rollback_on_empty_overlay_not_counted():
+    kv = KVStore()
+    kv.rollback_speculative()
+    assert kv.rollbacks == 0
+
+
+def test_speculative_incr_reads_final_base():
+    kv = KVStore()
+    kv.apply(incr("n", 10))
+    kv.apply_speculative(incr("n", 5))
+    assert kv.get_speculative("n") == 15
+    assert kv.get_final("n") == 10
+
+
+def test_mutation_results_are_order_independent():
+    """Commuting commands must produce identical replies regardless of
+    speculative execution order (fast-path matching depends on it)."""
+    a, b = incr("n", 2, ts=1), incr("n", 3, ts=2)
+    kv1, kv2 = KVStore(), KVStore()
+    r1 = [kv1.apply_speculative(a), kv1.apply_speculative(b)]
+    r2 = [kv2.apply_speculative(b), kv2.apply_speculative(a)]
+    assert r1 == ["OK", "OK"] and r2 == ["OK", "OK"]
+    assert kv1.get_speculative("n") == kv2.get_speculative("n") == 5
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_restore_roundtrip():
+    kv = KVStore()
+    kv.apply(put("a", 1))
+    kv.apply(put("b", [1, 2]))
+    snap = kv.snapshot()
+    kv.apply(put("a", 999))
+    kv.restore(snap)
+    assert kv.get_final("a") == 1
+    assert kv.get_final("b") == [1, 2]
+
+
+def test_snapshot_is_deep_copy():
+    kv = KVStore()
+    kv.apply(put("b", [1, 2]))
+    snap = kv.snapshot()
+    snap["b"].append(3)
+    assert kv.get_final("b") == [1, 2]
+
+
+def test_restore_clears_speculation():
+    kv = KVStore()
+    kv.apply_speculative(put("k", "spec"))
+    kv.restore({})
+    assert not kv.has_speculative_state
+
+
+def test_op_counters():
+    kv = KVStore()
+    kv.apply(put("a", 1))
+    kv.apply_speculative(put("b", 2))
+    assert kv.final_ops == 1
+    assert kv.speculative_ops == 1
+
+
+# ----------------------------------------------------------------------
+# Command basics
+# ----------------------------------------------------------------------
+def test_command_wire_roundtrip():
+    cmd = put("k", {"nested": True}, ts=9, client="cx")
+    assert Command.from_wire(cmd.to_wire()) == cmd
+
+
+def test_command_ident():
+    cmd = put("k", "v", ts=4, client="cx")
+    assert cmd.ident == ("cx", 4)
+
+
+def test_command_mutation_flags():
+    assert put("k", "v").is_mutation
+    assert incr("k").is_mutation
+    assert not get("k").is_mutation
+    assert Command.noop().is_noop
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def test_checkpoint_capture_digest_stable():
+    a = Checkpoint.capture(10, {"k": "v"})
+    b = Checkpoint.capture(10, {"k": "v"})
+    assert a.state_digest == b.state_digest
+
+
+def test_checkpoint_store_stabilizes_at_quorum():
+    store = CheckpointStore(quorum=3, interval=10)
+    cp = Checkpoint.capture(10, {"k": "v"})
+    store.record_local(cp)  # counts as our own attestation
+    assert store.stable is None
+    store.attest(10, cp.state_digest, "r1")
+    assert store.stable is None
+    store.attest(10, cp.state_digest, "r2")
+    assert store.stable is cp
+
+
+def test_checkpoint_store_mismatched_digest_never_stabilizes():
+    store = CheckpointStore(quorum=2, interval=10)
+    cp = Checkpoint.capture(10, {"k": "v"})
+    store.record_local(cp)
+    store.attest(10, "different-digest", "r1")
+    assert store.stable is None
+
+
+def test_checkpoint_due_respects_interval():
+    store = CheckpointStore(quorum=2, interval=10)
+    assert not store.due(0)
+    assert not store.due(9)
+    assert store.due(10)
+    assert store.due(25)
+
+
+def test_checkpoint_due_measured_from_last_stable():
+    store = CheckpointStore(quorum=1, interval=10)
+    cp = Checkpoint.capture(10, {})
+    store.record_local(cp)
+    assert store.stable is not None
+    assert not store.due(15)
+    assert store.due(20)
+
+
+def test_checkpoint_gc_drops_older_state():
+    store = CheckpointStore(quorum=1, interval=10)
+    store.record_local(Checkpoint.capture(10, {"a": 1}))
+    store.record_local(Checkpoint.capture(20, {"a": 2}))
+    assert store.stable.watermark == 20
+    assert 10 not in store._local

@@ -1,0 +1,135 @@
+"""Asyncio TCP transport tests (real sockets on localhost)."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.asyncio_tcp import AsyncioCluster, AsyncioNode
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+BASE_PORT = 43900  # distinct from the example's port range
+
+
+def test_frame_roundtrip_between_two_nodes():
+    async def scenario():
+        from repro.statemachine.base import Command
+        from repro.messages.ezbft import Request
+
+        addresses = {"a": ("127.0.0.1", BASE_PORT),
+                     "b": ("127.0.0.1", BASE_PORT + 1)}
+        received = []
+        node_a = AsyncioNode("a", addresses["a"], addresses)
+        node_b = AsyncioNode("b", addresses["b"], addresses)
+        node_b.handler = lambda sender, msg: received.append(
+            (sender, msg))
+        await node_a.start()
+        await node_b.start()
+        request = Request(command=Command(
+            client_id="c", timestamp=1, op="put", key="k", value="v"))
+        node_a.send("b", request)
+        await asyncio.sleep(0.1)
+        await node_a.stop()
+        await node_b.stop()
+        return received
+
+    received = run(scenario())
+    assert len(received) == 1
+    sender, message = received[0]
+    assert sender == "a"
+    assert message.command.key == "k"
+
+
+def test_send_to_unknown_destination_raises():
+    async def scenario():
+        addresses = {"a": ("127.0.0.1", BASE_PORT + 10)}
+        node = AsyncioNode("a", addresses["a"], addresses)
+        await node.start()
+        try:
+            with pytest.raises(TransportError):
+                node.send("ghost", object())
+        finally:
+            await node.stop()
+
+    run(scenario())
+
+
+def test_send_to_dead_peer_is_lossy_not_fatal():
+    async def scenario():
+        from repro.statemachine.base import Command
+        from repro.messages.ezbft import Request
+
+        addresses = {"a": ("127.0.0.1", BASE_PORT + 20),
+                     "dead": ("127.0.0.1", BASE_PORT + 21)}
+        node = AsyncioNode("a", addresses["a"], addresses)
+        await node.start()
+        request = Request(command=Command(
+            client_id="c", timestamp=1, op="noop"))
+        node.send("dead", request)  # nothing listening there
+        await asyncio.sleep(0.1)
+        await node.stop()
+        return node.frames_sent
+
+    assert run(scenario()) == 0  # dropped, no exception
+
+
+def test_timer_fires_and_cancels():
+    async def scenario():
+        addresses = {"a": ("127.0.0.1", BASE_PORT + 30)}
+        node = AsyncioNode("a", addresses["a"], addresses)
+        ctx = node.context()
+        fired = []
+        timer1 = ctx.set_timer(20.0, fired.append, "yes")
+        timer2 = ctx.set_timer(20.0, fired.append, "no")
+        timer2.cancel()
+        assert timer1.pending
+        assert not timer2.pending
+        await asyncio.sleep(0.08)
+        assert fired == ["yes"]
+        assert not timer1.pending
+
+    run(scenario())
+
+
+def test_full_ezbft_consensus_over_tcp():
+    async def scenario():
+        cluster = AsyncioCluster(num_replicas=4,
+                                 base_port=BASE_PORT + 40)
+        await cluster.start()
+        client = await cluster.add_client("c0")
+        results = []
+        for i in range(3):
+            result, latency, path = await cluster.request(
+                client, "put", f"k{i}", i)
+            results.append((result, path))
+        # COMMITFAST is off the latency-critical path (asynchronous);
+        # give the in-flight commits a moment to land before comparing
+        # final state.
+        await asyncio.sleep(0.2)
+        states = [replica.statemachine.final_items()
+                  for replica in cluster.replicas.values()]
+        await cluster.stop()
+        return results, states
+
+    results, states = run(scenario())
+    assert results == [("OK", "fast")] * 3
+    assert all(state == states[0] for state in states)
+    assert states[0] == {"k0": 0, "k1": 1, "k2": 2}
+
+
+def test_tcp_reads_after_writes():
+    async def scenario():
+        cluster = AsyncioCluster(num_replicas=4,
+                                 base_port=BASE_PORT + 50)
+        await cluster.start()
+        client = await cluster.add_client("c0")
+        await cluster.request(client, "incr", "n", 5)
+        result, _, _ = await cluster.request(client, "get", "n")
+        await cluster.stop()
+        return result
+
+    assert run(scenario()) == 5

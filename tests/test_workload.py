@@ -1,0 +1,128 @@
+"""Workload generator and driver tests."""
+
+import pytest
+
+from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.generator import KVWorkload
+
+from conftest import DeliveryLog, lan_cluster
+
+
+def test_zero_contention_uses_private_keys():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    workload = KVWorkload("c0", contention=0.0, seed=1)
+    keys = {workload.next_op(client).key for _ in range(20)}
+    assert all(k.startswith("c0/") for k in keys)
+    assert len(keys) == 20  # fresh key per request
+    assert workload.hot_requests == 0
+
+
+def test_full_contention_always_hot():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    workload = KVWorkload("c0", contention=1.0, seed=1)
+    keys = {workload.next_op(client).key for _ in range(20)}
+    assert keys == {workload.hot_key}
+
+
+def test_partial_contention_fraction():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    workload = KVWorkload("c0", contention=0.3, seed=42)
+    for _ in range(1000):
+        workload.next_op(client)
+    fraction = workload.hot_requests / workload.total_requests
+    assert fraction == pytest.approx(0.3, abs=0.05)
+
+
+def test_invalid_contention_rejected():
+    with pytest.raises(ValueError):
+        KVWorkload("c0", contention=1.5)
+
+
+def test_value_size():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    workload = KVWorkload("c0", value_size=16, seed=1)
+    command = workload.next_op(client)
+    assert len(command.value) == 16
+
+
+def test_closed_loop_driver_completes():
+    cluster = lan_cluster()
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    workload = KVWorkload("c0", contention=0.0, seed=1)
+    driver = ClosedLoopDriver(client, workload, num_requests=10)
+    driver.start()
+    cluster.run_until_idle()
+    assert driver.done
+    assert driver.completed == 10
+    assert len(log.records) == 10
+
+
+def test_closed_loop_one_at_a_time():
+    """Closed loop never has more than one request in flight."""
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    max_in_flight = 0
+    original_submit = client.submit
+
+    def tracking_submit(command):
+        nonlocal max_in_flight
+        original_submit(command)
+        max_in_flight = max(max_in_flight, client.in_flight)
+
+    client.submit = tracking_submit
+    driver = ClosedLoopDriver(client, KVWorkload("c0", seed=1),
+                              num_requests=5)
+    driver.start()
+    cluster.run_until_idle()
+    assert max_in_flight == 1
+
+
+def test_closed_loop_think_time_spreads_requests():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    driver = ClosedLoopDriver(client, KVWorkload("c0", seed=1),
+                              num_requests=3, think_time_ms=100.0)
+    driver.start()
+    cluster.run_until_idle()
+    assert driver.done
+    assert cluster.sim.now >= 200.0  # two think gaps
+
+
+def test_open_loop_driver_issues_at_rate():
+    cluster = lan_cluster()
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    driver = OpenLoopDriver(client, KVWorkload("c0", seed=1),
+                            rate_per_sec=1000.0, duration_ms=100.0)
+    driver.start()
+    cluster.run_until_idle()
+    # 100ms at 1 req/ms -> about 100 requests (first tick at t=0).
+    assert driver.issued == pytest.approx(100, abs=2)
+    assert len(log.records) == driver.issued
+
+
+def test_open_loop_invalid_rate():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    with pytest.raises(ValueError):
+        OpenLoopDriver(client, KVWorkload("c0"), rate_per_sec=0,
+                       duration_ms=10)
+
+
+def test_open_loop_respects_outstanding_cap():
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    driver = OpenLoopDriver(client, KVWorkload("c0", seed=1),
+                            rate_per_sec=10_000.0, duration_ms=50.0,
+                            max_outstanding=1)
+    driver.start()
+    cluster.run_until_idle()
+    assert driver.skipped > 0
+    assert client.in_flight == 0  # everything issued was served
