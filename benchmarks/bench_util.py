@@ -15,7 +15,11 @@ from repro.cluster.builder import Cluster, build_cluster
 from repro.cluster.metrics import LatencyRecorder
 from repro.sim.latency import EXPERIMENT1, EXPERIMENT2, LatencyMatrix
 from repro.sim.network import CpuModel
-from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.drivers import (
+    BatchingOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+)
 from repro.workload.generator import KVWorkload
 
 #: Experiment 1 deployment (Table I, Figures 4, 6, 7).
@@ -102,6 +106,54 @@ def run_open_loop(protocol: str,
             drivers.append(OpenLoopDriver(
                 client, workload, rate_per_sec=rate_per_client,
                 duration_ms=duration_ms))
+    for driver in drivers:
+        driver.start()
+    cluster.run_until_idle(max_events=MAX_EVENTS)
+    return cluster
+
+
+def run_open_loop_batched(protocol: str,
+                          regions: Sequence[str] = tuple(EXP1_REGIONS),
+                          latency: LatencyMatrix = EXPERIMENT1,
+                          *,
+                          batch_size: int = 1,
+                          batch_timeout_ms: float = 25.0,
+                          primary_region: Optional[str] = None,
+                          client_regions: Sequence[str] = ("virginia",),
+                          clients_per_region: int = 8,
+                          rate_per_client: float = 400.0,
+                          duration_ms: float = 2000.0,
+                          cpu: Optional[CpuModel] = None,
+                          seed: int = 0) -> Cluster:
+    """Throughput methodology with request batching enabled end-to-end:
+    clients pack commands into signed BatchRequests and the ordering
+    point (ezBFT owner / PBFT primary) flushes batched proposals.
+
+    ``batch_size=1`` reproduces :func:`run_open_loop` exactly (every
+    path degrades to the unbatched protocol), so sweeping batch sizes
+    isolates the amortization win."""
+    cluster = build_cluster(protocol, list(regions), latency,
+                            primary_region=primary_region,
+                            cpu=cpu, seed=seed,
+                            batch_size=batch_size,
+                            batch_timeout_ms=batch_timeout_ms,
+                            slow_path_timeout=30_000.0,
+                            retry_timeout=300_000.0,
+                            suspicion_timeout=300_000.0,
+                            view_change_timeout=300_000.0)
+    drivers = []
+    counter = 0
+    for region in client_regions:
+        for _ in range(clients_per_region):
+            client_id = f"c{counter}"
+            counter += 1
+            client = cluster.add_client(client_id, region)
+            workload = KVWorkload(client_id, contention=0.0,
+                                  seed=seed * 1000 + counter)
+            drivers.append(BatchingOpenLoopDriver(
+                client, workload, rate_per_sec=rate_per_client,
+                duration_ms=duration_ms, batch_size=batch_size,
+                batch_timeout_ms=batch_timeout_ms))
     for driver in drivers:
         driver.start()
     cluster.run_until_idle(max_events=MAX_EVENTS)

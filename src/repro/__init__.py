@@ -25,8 +25,15 @@ paper-vs-measured comparison of every table and figure.
 from repro.cluster.builder import Cluster, PROTOCOLS, build_cluster
 from repro.cluster.metrics import LatencyRecorder, summarize
 from repro.config import ProtocolConfig
+from repro.core.batching import RequestBatcher
 from repro.core.client import EzBFTClient
 from repro.core.replica import EzBFTReplica
+from repro.protocols.registry import (
+    ProtocolSpec,
+    available_protocols,
+    get_protocol,
+    register_protocol,
+)
 from repro.sim.events import Simulator
 from repro.sim.latency import (
     EXPERIMENT1,
@@ -42,8 +49,15 @@ from repro.statemachine.interference import (
     KVInterference,
     NeverInterfere,
 )
+from repro.statemachine.base import StateMachine
+from repro.statemachine.bank import BankMachine
+from repro.statemachine.counter import CounterMachine
 from repro.statemachine.kvstore import KVStore
-from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
+from repro.workload.drivers import (
+    BatchingOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+)
 from repro.workload.generator import KVWorkload
 
 __version__ = "1.0.0"
@@ -52,7 +66,12 @@ __all__ = [
     "build_cluster",
     "Cluster",
     "PROTOCOLS",
+    "ProtocolSpec",
+    "register_protocol",
+    "get_protocol",
+    "available_protocols",
     "ProtocolConfig",
+    "RequestBatcher",
     "EzBFTReplica",
     "EzBFTClient",
     "Simulator",
@@ -65,13 +84,17 @@ __all__ = [
     "LOCAL",
     "uniform_matrix",
     "Command",
+    "StateMachine",
     "KVStore",
+    "CounterMachine",
+    "BankMachine",
     "KVInterference",
     "AlwaysInterfere",
     "NeverInterfere",
     "KVWorkload",
     "ClosedLoopDriver",
     "OpenLoopDriver",
+    "BatchingOpenLoopDriver",
     "LatencyRecorder",
     "summarize",
 ]

@@ -88,28 +88,32 @@ class DepSuppressingReplica(EzBFTReplica):
     SPECREPLYs (the TLA+ 'bad' branch / Figure 3's R2)."""
 
     def _send_spec_reply(self, entry: LogEntry,
-                         signed_order: SignedPayload) -> None:
+                         signed_order: SignedPayload,
+                         request_digest=None) -> None:
         lied = LogEntry(instance=entry.instance,
                         owner_number=entry.owner_number,
                         command=entry.command,
                         deps=(), seq=1,
                         spec_order=entry.spec_order)
         lied.spec_result = entry.spec_result
-        super()._send_spec_reply(lied, signed_order)
+        super()._send_spec_reply(lied, signed_order,
+                                 request_digest=request_digest)
 
 
 class CorruptResultReplica(EzBFTReplica):
     """Replies with a corrupted execution result."""
 
     def _send_spec_reply(self, entry: LogEntry,
-                         signed_order: SignedPayload) -> None:
+                         signed_order: SignedPayload,
+                         request_digest=None) -> None:
         corrupted = LogEntry(instance=entry.instance,
                              owner_number=entry.owner_number,
                              command=entry.command,
                              deps=entry.deps, seq=entry.seq,
                              spec_order=entry.spec_order)
         corrupted.spec_result = "##corrupt##"
-        super()._send_spec_reply(corrupted, signed_order)
+        super()._send_spec_reply(corrupted, signed_order,
+                                 request_digest=request_digest)
 
 
 def install_byzantine(cluster, replica_id: str,

@@ -8,44 +8,44 @@ WAN with one call.
 >>> client = cluster.add_client("c0", region="tokyo")
 >>> client.submit(client.next_command("put", "k", "v"))
 >>> cluster.run_until_idle()
+
+Construction is entirely registry-driven: the builder looks the protocol
+up in :mod:`repro.protocols.registry` and lets its
+:class:`~repro.protocols.registry.ProtocolSpec` supply the
+protocol-specific constructor kwargs.  There is no per-protocol branching
+here -- new protocols plug in by registering a spec, and new replicated
+applications plug in via ``statemachine_factory``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.cluster.metrics import LatencyRecorder
 from repro.cluster.node import NodeContext
 from repro.config import ProtocolConfig
-from repro.core.client import EzBFTClient
-from repro.core.replica import EzBFTReplica
 from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigurationError
-from repro.protocols.fab.client import FabClient
-from repro.protocols.fab.replica import FabReplica
-from repro.protocols.pbft.client import PBFTClient
-from repro.protocols.pbft.replica import PBFTReplica
-from repro.protocols.zyzzyva.client import ZyzzyvaClient
-from repro.protocols.zyzzyva.replica import ZyzzyvaReplica
+from repro.protocols.registry import (
+    ProtocolSpec,
+    WiringContext,
+    available_protocols,
+    get_protocol,
+)
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyMatrix, LOCAL
 from repro.sim.network import CpuModel, NetworkConditions, SimNetwork
+from repro.statemachine.base import StateMachine
 from repro.statemachine.interference import (
     InterferenceRelation,
     KVInterference,
 )
 from repro.statemachine.kvstore import KVStore
 
-PROTOCOLS = ("ezbft", "pbft", "zyzzyva", "fab")
-
-#: Per-protocol (replica class, client class).
-_FACTORIES = {
-    "ezbft": (EzBFTReplica, EzBFTClient),
-    "pbft": (PBFTReplica, PBFTClient),
-    "zyzzyva": (ZyzzyvaReplica, ZyzzyvaClient),
-    "fab": (FabReplica, FabClient),
-}
+#: Builtin protocol names (the live list is
+#: :func:`repro.protocols.registry.available_protocols`).
+PROTOCOLS = available_protocols()
 
 
 @dataclass
@@ -53,6 +53,7 @@ class Cluster:
     """A fully wired simulated deployment."""
 
     protocol: str
+    spec: ProtocolSpec
     sim: Simulator
     network: SimNetwork
     registry: KeyRegistry
@@ -90,8 +91,9 @@ class Cluster:
                    record_group: Optional[str] = None) -> Any:
         """Create, register and return a protocol client in ``region``.
 
-        For ezBFT the client targets its nearest replica (the paper's
-        step 1); primary-based protocols always target the primary.
+        The protocol's spec decides the wiring: leaderless clients
+        target their nearest replica (the paper's step 1) while
+        primary-based clients track the initial primary.
         ``record=True`` wires deliveries into the cluster's
         :class:`LatencyRecorder`, grouped by region (or
         ``record_group``).
@@ -108,17 +110,17 @@ class Cluster:
 
         keypair = self.registry.create(client_id, seed=b"client-seed")
         ctx = self.context_for(client_id)
-        _, client_cls = _FACTORIES[self.protocol]
-        if self.protocol == "ezbft":
-            target = target_replica or self.nearest_replica(region)
-            client = client_cls(client_id, self.config, ctx, keypair,
-                                self.registry, target_replica=target,
-                                on_delivery=_recording_delivery)
-        else:
-            client = client_cls(client_id, self.config, ctx, keypair,
-                                self.registry,
-                                initial_view=self.primary_index,
-                                on_delivery=_recording_delivery)
+        wiring = WiringContext(
+            config=self.config,
+            primary_index=self.primary_index,
+            target_replica=(target_replica
+                            or self.nearest_replica(region)),
+            region=region,
+        )
+        client = self.spec.client_cls(
+            client_id, self.config, ctx, keypair, self.registry,
+            on_delivery=_recording_delivery,
+            **self.spec.client_kwargs(wiring))
         self.network.register(client_id, region, client.on_message)
         self.clients[client_id] = client
         self.client_regions[client_id] = region
@@ -140,8 +142,14 @@ class Cluster:
     def replica_stats(self) -> Dict[str, Dict[str, int]]:
         return {rid: dict(r.stats) for rid, r in self.replicas.items()}
 
-    def kvstores(self) -> Dict[str, KVStore]:
+    def statemachines(self) -> Dict[str, StateMachine]:
+        """Each replica's application state machine."""
         return {rid: r.statemachine for rid, r in self.replicas.items()}
+
+    def kvstores(self) -> Dict[str, Any]:
+        """Backwards-compatible alias for :meth:`statemachines` (the
+        default application is a :class:`~repro.statemachine.KVStore`)."""
+        return self.statemachines()
 
 
 def build_cluster(protocol: str,
@@ -154,20 +162,29 @@ def build_cluster(protocol: str,
                   primary_region: Optional[str] = None,
                   primary_index: int = 0,
                   interference: Optional[InterferenceRelation] = None,
+                  statemachine_factory: Callable[[], StateMachine]
+                  = KVStore,
                   slow_path_timeout: float = 400.0,
                   retry_timeout: float = 1200.0,
                   suspicion_timeout: float = 600.0,
                   view_change_timeout: float = 1500.0,
-                  checkpoint_interval: int = 128) -> Cluster:
+                  checkpoint_interval: int = 128,
+                  batch_size: int = 1,
+                  batch_timeout_ms: float = 10.0) -> Cluster:
     """Build a simulated deployment of ``protocol``.
 
     ``replica_regions`` places one replica per entry (ids r0..rN-1).
     ``primary_region``/``primary_index`` choose the initial primary for
-    the single-leader baselines (ignored by ezBFT).
+    the single-leader baselines (ignored by leaderless protocols).
+    ``statemachine_factory`` is called once per replica to create the
+    replicated application (default: a fresh
+    :class:`~repro.statemachine.KVStore`); any
+    :class:`~repro.statemachine.StateMachine` plugs in here.
+    ``batch_size``/``batch_timeout_ms`` configure the amortizing
+    batcher at the protocol's ordering point (see
+    :mod:`repro.core.batching`); ``batch_size=1`` disables batching.
     """
-    if protocol not in PROTOCOLS:
-        raise ConfigurationError(
-            f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
+    spec = get_protocol(protocol)
     replica_ids = tuple(f"r{i}" for i in range(len(replica_regions)))
     regions_by_id = dict(zip(replica_ids, replica_regions))
     if primary_region is not None:
@@ -188,31 +205,30 @@ def build_cluster(protocol: str,
         suspicion_timeout=suspicion_timeout,
         view_change_timeout=view_change_timeout,
         checkpoint_interval=checkpoint_interval,
+        batch_size=batch_size,
+        batch_timeout_ms=batch_timeout_ms,
     )
     sim = Simulator()
     network = SimNetwork(sim, latency, cpu=cpu, conditions=conditions,
                          seed=seed)
     registry = KeyRegistry()
-    replica_cls, _ = _FACTORIES[protocol]
     relation = interference if interference is not None \
         else KVInterference()
 
-    cluster = Cluster(protocol=protocol, sim=sim, network=network,
-                      registry=registry, config=config, latency=latency,
-                      replicas={}, replica_regions=regions_by_id,
+    cluster = Cluster(protocol=protocol, spec=spec, sim=sim,
+                      network=network, registry=registry, config=config,
+                      latency=latency, replicas={},
+                      replica_regions=regions_by_id,
                       primary_index=primary_index)
 
+    wiring = WiringContext(config=config, primary_index=primary_index,
+                           interference=relation)
     for rid in replica_ids:
         keypair = registry.create(rid, seed=b"replica-seed")
         ctx = cluster.context_for(rid)
-        if protocol == "ezbft":
-            replica = replica_cls(rid, config, ctx, keypair, registry,
-                                  statemachine=KVStore(),
-                                  interference=relation)
-        else:
-            replica = replica_cls(rid, config, ctx, keypair, registry,
-                                  statemachine=KVStore(),
-                                  initial_view=primary_index)
+        replica = spec.replica_cls(rid, config, ctx, keypair, registry,
+                                   statemachine=statemachine_factory(),
+                                   **spec.replica_kwargs(wiring))
         network.register(rid, regions_by_id[rid], replica.on_message)
         cluster.replicas[rid] = replica
     return cluster

@@ -26,6 +26,16 @@ class ProtocolConfig:
     - ``suspicion_timeout``: how long a replica relaying a RESENDREQ waits
       for the command-leader's SPECORDER before voting to change owners,
     - ``view_change_timeout``: PBFT/Zyzzyva request-progress timer.
+
+    Batching knobs (consumed by :mod:`repro.core.batching`):
+
+    - ``batch_size``: how many requests an amortizing point (the ezBFT
+      owner, the PBFT primary, a batching client driver) accumulates
+      before flushing one batched message.  ``1`` disables batching --
+      every path degrades to the classic per-request protocol.
+    - ``batch_timeout_ms``: upper bound on how long a partial batch may
+      wait before being flushed anyway, so batching trades bounded
+      latency for throughput.
     """
 
     replica_ids: Tuple[str, ...]
@@ -34,6 +44,8 @@ class ProtocolConfig:
     suspicion_timeout: float = 600.0
     view_change_timeout: float = 1500.0
     checkpoint_interval: int = 128
+    batch_size: int = 1
+    batch_timeout_ms: float = 10.0
 
     def __post_init__(self) -> None:
         n = len(self.replica_ids)
@@ -42,6 +54,13 @@ class ProtocolConfig:
                 f"BFT needs at least 4 replicas (3f+1, f>=1); got {n}")
         if len(set(self.replica_ids)) != n:
             raise ConfigurationError("replica ids must be unique")
+        if self.batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {self.batch_size}")
+        if self.batch_timeout_ms <= 0:
+            raise ConfigurationError(
+                f"batch_timeout_ms must be positive, "
+                f"got {self.batch_timeout_ms}")
         if (n - 1) % 3 != 0:
             # Permitted (extra replicas raise quorum sizes), but f is
             # still floor((n-1)/3).

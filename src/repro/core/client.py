@@ -18,6 +18,7 @@ from repro.config import ProtocolConfig
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ProtocolError
 from repro.messages.base import SignedPayload
+from repro.messages.batching import BatchRequest
 from repro.messages.ezbft import (
     Commit,
     CommitFast,
@@ -76,6 +77,7 @@ class EzBFTClient:
         self._pending: Dict[Tuple[str, int], _Pending] = {}
         self.stats = {
             "submitted": 0,
+            "batches_submitted": 0,
             "delivered_fast": 0,
             "delivered_slow": 0,
             "retries": 0,
@@ -96,21 +98,56 @@ class EzBFTClient:
 
     def submit(self, command: Command) -> None:
         """Step 1: send the signed request to the target replica."""
+        self._register_pending(command)
+        request = Request(command=command)
+        self.ctx.send(self.target_replica,
+                      SignedPayload.create(request, self.keypair))
+
+    def _register_pending(self, command: Command) -> _Pending:
+        """Record a command as in flight and arm its timers (shared by
+        the singleton and batched submission paths)."""
         if command.client_id != self.client_id:
             raise ProtocolError("command does not belong to this client")
         pending = _Pending(command=command, target=self.target_replica,
                            start_time=self.ctx.now)
         self._pending[command.ident] = pending
         self.stats["submitted"] += 1
-        request = Request(command=command)
-        self.ctx.send(self.target_replica,
-                      SignedPayload.create(request, self.keypair))
         pending.slow_timer = self.ctx.set_timer(
             self.config.slow_path_timeout, self._on_slow_timeout,
             command.ident)
         pending.retry_timer = self.ctx.set_timer(
             self.config.retry_timeout, self._on_retry_timeout,
             command.ident)
+        return pending
+
+    def submit_batch(self, commands) -> None:
+        """Submit several of this client's commands under one signature.
+
+        The whole batch travels as a single
+        :class:`~repro.messages.batching.BatchRequest`, amortizing the
+        replica's client-facing verification cost over the batch.  Each
+        command keeps its own pending state and timers, so slow-path
+        fallback and retries remain per-command (retries degrade to
+        singleton :class:`Request` messages).  A batch of one degrades
+        to :meth:`submit`.
+        """
+        commands = list(commands)
+        if not commands:
+            return
+        if len(commands) == 1:
+            self.submit(commands[0])
+            return
+        for command in commands:
+            # Validate the whole batch before arming any timers.
+            if command.client_id != self.client_id:
+                raise ProtocolError(
+                    "command does not belong to this client")
+        for command in commands:
+            self._register_pending(command)
+        self.stats["batches_submitted"] += 1
+        batch = BatchRequest(commands=tuple(commands))
+        self.ctx.send(self.target_replica,
+                      SignedPayload.create(batch, self.keypair))
 
     @property
     def in_flight(self) -> int:

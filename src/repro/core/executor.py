@@ -34,15 +34,39 @@ class DependencyExecutor:
         self.executed: Set[InstanceID] = set()
         self._executed_idents: Set[CommandIdent] = set()
         self._results: Dict[CommandIdent, Any] = {}
+        #: Committed entries from earlier calls still blocked on
+        #: uncommitted dependencies (the incremental-frontier cache).
+        self._deferred: Dict[InstanceID, LogEntry] = {}
         #: Execution history as (instance, command ident) pairs -- the
         #: cross-replica consistency tests compare these verbatim.
         self.history: List[Tuple[InstanceID, CommandIdent]] = []
 
-    def try_execute(self, log_index: Dict[InstanceID, LogEntry]
-                    ) -> List[LogEntry]:
+    def try_execute(self, log_index: Dict[InstanceID, LogEntry],
+                    candidates: Any = None) -> List[LogEntry]:
         """Execute every committed entry whose dependency closure is
-        committed.  Returns the entries executed by this call, in order."""
-        ready = self._ready_set(log_index)
+        committed.  Returns the entries executed by this call, in order.
+
+        ``candidates`` (an iterable of newly committed entries) keeps
+        the hot path incremental: only those entries plus the blocked
+        frontier from earlier calls are considered, instead of
+        re-scanning the whole log on every commit.  Without it, the
+        full ``log_index`` is scanned (the original semantics)."""
+        if candidates is None:
+            pool = {
+                iid: entry for iid, entry in log_index.items()
+                if entry.status == EntryStatus.COMMITTED
+            }
+        else:
+            pool = dict(self._deferred)
+            for entry in candidates:
+                if entry.status == EntryStatus.COMMITTED and \
+                        entry.instance not in self.executed:
+                    pool[entry.instance] = entry
+        ready = self._ready_set(pool)
+        self._deferred = {
+            iid: entry for iid, entry in pool.items()
+            if iid not in ready
+        }
         if not ready:
             return []
         graph = {
@@ -70,14 +94,11 @@ class DependencyExecutor:
         return len(self.history)
 
     # ------------------------------------------------------------------
-    def _ready_set(self, log_index: Dict[InstanceID, LogEntry]
+    def _ready_set(self, pool: Dict[InstanceID, LogEntry]
                    ) -> Dict[InstanceID, LogEntry]:
         """Committed-but-unexecuted entries whose dependencies are all
         either executed or also in the returned set (fixpoint)."""
-        candidates = {
-            iid: entry for iid, entry in log_index.items()
-            if entry.status == EntryStatus.COMMITTED
-        }
+        candidates = dict(pool)
         changed = True
         while changed:
             changed = False

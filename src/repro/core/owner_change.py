@@ -35,7 +35,9 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.core.instance import EntryStatus, LogEntry
+from repro.crypto.digest import digest
 from repro.messages.base import SignedPayload
+from repro.messages.batching import BatchSpecOrder
 from repro.messages.ezbft import (
     LogEntrySummary,
     NewOwner,
@@ -102,22 +104,46 @@ class OwnerChangeManager:
         a, b = pom.evidence
         if not (a.verify(replica.registry) and b.verify(replica.registry)):
             return False
-        pa, pb = a.payload, b.payload
-        if not (isinstance(pa, SpecOrder) and isinstance(pb, SpecOrder)):
-            return False
-        if pa.leader != pom.suspect or pb.leader != pom.suspect:
-            return False
         if a.signer != pom.suspect or b.signer != pom.suspect:
             return False
+        orders_a = self._evidence_orders(a, pom.suspect)
+        orders_b = self._evidence_orders(b, pom.suspect)
+        if orders_a is None or orders_b is None:
+            return False
         # Conflict: same slot ordered twice with different content, or the
-        # same request placed at two different instances.
-        same_slot_diff_payload = (
-            pa.instance == pb.instance
-            and a.payload_digest() != b.payload_digest())
-        same_request_diff_instance = (
-            pa.request_digest == pb.request_digest
-            and pa.instance != pb.instance)
-        return same_slot_diff_payload or same_request_diff_instance
+        # same request placed at two different instances.  Batched
+        # evidence conflicts when any inner pair does.
+        for pa in orders_a:
+            for pb in orders_b:
+                same_slot_diff_payload = (
+                    pa.instance == pb.instance
+                    and digest(pa.to_wire()) != digest(pb.to_wire()))
+                same_request_diff_instance = (
+                    pa.request_digest == pb.request_digest
+                    and pa.instance != pb.instance)
+                if same_slot_diff_payload or same_request_diff_instance:
+                    return True
+        return False
+
+    @staticmethod
+    def _evidence_orders(envelope: SignedPayload, suspect: str
+                         ) -> Optional[Tuple[SpecOrder, ...]]:
+        """The SPECORDERs a piece of POM evidence attributes to
+        ``suspect`` -- the payload itself, or a batch's inner orders.
+        ``None`` when the payload is no proposal of the suspect's."""
+        payload = envelope.payload
+        if isinstance(payload, SpecOrder):
+            orders: Tuple[SpecOrder, ...] = (payload,)
+        elif isinstance(payload, BatchSpecOrder):
+            if payload.leader != suspect:
+                return None
+            orders = payload.orders
+        else:
+            return None
+        for order in orders:
+            if order.leader != suspect:
+                return None
+        return orders
 
     # ------------------------------------------------------------------
     # STARTOWNERCHANGE
@@ -312,7 +338,15 @@ class OwnerChangeManager:
             if existing is not None:
                 entry.reply_to = existing.reply_to
             space.force_put(entry)
-            replica._log_index[summary.instance] = entry
+            if existing is None or \
+                    existing.command.ident != entry.command.ident:
+                # Full indexing (key index included) so duplicate
+                # detection and dependency collection find recovered
+                # commands -- including when recovery replaces a slot's
+                # command with a different one.
+                replica._index_entry(entry)
+            else:
+                replica._log_index[summary.instance] = entry
         space.owner_number = msg.new_owner_number
         space.frozen = True  # the space stays frozen per the paper
         space.expected_slot = max(space.expected_slot,

@@ -13,6 +13,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.node import NodeContext, Timer
 from repro.config import ProtocolConfig
+from repro.core.batching import (
+    RequestBatcher,
+    batch_request_is_authentic,
+    fresh_batch_commands,
+)
 from repro.core.executor import DependencyExecutor
 from repro.core.instance import EntryStatus, InstanceSpace, LogEntry
 from repro.core.owner_change import OwnerChangeManager
@@ -20,6 +25,7 @@ from repro.crypto.digest import digest
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ProtocolError
 from repro.messages.base import SignedPayload
+from repro.messages.batching import BatchRequest, BatchSpecOrder
 from repro.messages.ezbft import (
     Commit,
     CommitFast,
@@ -82,21 +88,36 @@ class EzBFTReplica:
         self._key_index: Dict[str, List[InstanceID]] = {}
         self.executor = DependencyExecutor(statemachine)
         self.owner_changes = OwnerChangeManager(self)
+        #: Owner-path batcher: requests this replica will lead are
+        #: accumulated and flushed as one BATCHSPECORDER (pass-through
+        #: when ``config.batch_size == 1``).
+        self.batcher = RequestBatcher(
+            batch_size=config.batch_size,
+            batch_timeout_ms=config.batch_timeout_ms,
+            flush_fn=self._flush_lead_batch,
+            set_timer_fn=ctx.set_timer)
 
         #: Exactly-once bookkeeping (paper's "Nitpick" in step 2).
         self._client_ts: Dict[str, int] = {}
         self._client_reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
 
-        #: SPECORDERs that arrived before their predecessor slot.
+        #: SPECORDERs that arrived before their predecessor slot:
+        #: (space owner, slot) -> (inner order, signed envelope).  The
+        #: envelope may be a singleton SPECORDER or a BATCHSPECORDER
+        #: covering the order.
         self._pending_spec_orders: Dict[
-            Tuple[str, int], Tuple[str, SignedPayload]] = {}
+            Tuple[str, int], Tuple[SpecOrder, SignedPayload]] = {}
         #: Suspicion timers set after relaying a RESENDREQ (step 4.3):
         #: command digest -> (suspected replica, timer).
         self._suspicions: Dict[str, Tuple[str, Timer]] = {}
+        #: Rolling per-space digest of our own proposal history (the
+        #: SPECORDER ``log_digest`` field, maintained incrementally).
+        self._space_chain: Dict[str, str] = {}
 
         # Metrics.
         self.stats = {
             "led": 0,
+            "batches_led": 0,
             "spec_ordered": 0,
             "committed_fast": 0,
             "committed_slow": 0,
@@ -152,7 +173,105 @@ class EzBFTReplica:
             self._relay_resend(request)
             return
 
-        self._lead(request)
+        self._enqueue_lead(request)
+
+    def _on_batch_request(self, sender: str, batch: BatchRequest,
+                          envelope: SignedPayload) -> None:
+        """A client's batched submission: one signature, many commands.
+
+        Unpacks into the normal leading path after per-command
+        exactly-once checks; all commands must belong to the signer.
+        """
+        if not batch_request_is_authentic(batch, envelope):
+            self.stats["invalid_messages"] += 1
+            return
+        for command in fresh_batch_commands(
+                batch, self._client_ts, self._client_reply_cache,
+                lambda cached: self.ctx.send(batch.client_id, cached)):
+            self._enqueue_lead(Request(command=command))
+
+    def _enqueue_lead(self, request: Request) -> None:
+        """Hand a request we will lead to the owner-path batcher (which
+        passes straight through when batching is disabled)."""
+        self.batcher.add(request)
+
+    def _flush_lead_batch(self, requests: List[Request]) -> None:
+        """Batcher flush: lead the accumulated requests.
+
+        Duplicates that slipped in while queued (e.g. a client retry
+        during the batch window) are dropped here, where the whole
+        batch is visible; singletons degrade to the classic unbatched
+        SPECORDER path.
+        """
+        space = self.spaces[self.node_id]
+        if space.frozen:
+            # We were deposed by an owner change; we may no longer
+            # propose.  The clients' retries will reach other replicas.
+            return
+        fresh: List[Request] = []
+        seen = set()
+        for request in requests:
+            ident = request.command.ident
+            if ident in seen:
+                continue
+            seen.add(ident)
+            if self._find_entry_for_command(request.command) is not None:
+                continue
+            fresh.append(request)
+        if not fresh:
+            return
+        if len(fresh) == 1:
+            self._lead(fresh[0])
+        else:
+            self._lead_batch(fresh)
+
+    def _lead_batch(self, requests: List[Request]) -> None:
+        """Become the command-leader for a whole batch: allocate
+        consecutive slots and broadcast one signed BATCHSPECORDER
+        covering all of them (paper step 2, amortized)."""
+        space = self.spaces[self.node_id]
+        orders: List[SpecOrder] = []
+        entries: List[LogEntry] = []
+        for request in requests:
+            command = request.command
+            self._client_ts[command.client_id] = command.timestamp
+            slot = space.allocate_slot()
+            instance = InstanceID(self.node_id, slot)
+            deps = self._collect_deps(command, exclude=instance)
+            seq = 1 + self._max_dep_seq(deps)
+            order = SpecOrder(
+                leader=self.node_id,
+                owner_number=space.owner_number,
+                instance=instance,
+                command=command,
+                deps=deps,
+                seq=seq,
+                log_digest=self._space_digest(space),
+                request_digest=digest(request.to_wire()),
+            )
+            entry = LogEntry(instance=instance,
+                             owner_number=space.owner_number,
+                             command=command, deps=deps, seq=seq)
+            # Install before processing the next request so later batch
+            # members see dependencies on earlier ones.
+            self._install_entry(entry)
+            self._advance_space_digest(space, entry)
+            space.expected_slot = slot + 1
+            self._speculative_execute(entry)
+            self.stats["led"] += 1
+            orders.append(order)
+            entries.append(entry)
+        batch = BatchSpecOrder(leader=self.node_id,
+                               owner_number=space.owner_number,
+                               orders=tuple(orders))
+        signed_batch = SignedPayload.create(batch, self.keypair)
+        for entry in entries:
+            entry.spec_order = signed_batch
+        self.stats["batches_led"] += 1
+        self.ctx.broadcast(self.config.others(self.node_id), signed_batch)
+        for entry, order in zip(entries, orders):
+            self._send_spec_reply(entry, signed_batch,
+                                  request_digest=order.request_digest)
 
     def _lead(self, request: Request) -> None:
         """Become the command-leader for ``request`` (paper step 2)."""
@@ -184,6 +303,7 @@ class EzBFTReplica:
                          command=command, deps=deps, seq=seq,
                          spec_order=signed_order)
         self._install_entry(entry)
+        self._advance_space_digest(space, entry)
         space.expected_slot = slot + 1
         self._speculative_execute(entry)
         self.stats["led"] += 1
@@ -261,18 +381,57 @@ class EzBFTReplica:
             # validates I = maxI + 1; buffering (rather than rejecting)
             # tolerates network jitter without spurious owner changes.
             self._pending_spec_orders[(space.owner, slot)] = \
-                (sender, envelope)
+                (order, envelope)
             return
 
         self._accept_spec_order(order, envelope)
-        # Drain any buffered successors.
+        self._drain_pending(space)
+
+    def _on_batch_spec_order(self, sender: str, batch: BatchSpecOrder,
+                             envelope: SignedPayload) -> None:
+        """An owner's batched proposal: verify once, accept each inner
+        SPECORDER exactly as a singleton."""
+        if envelope.signer != batch.leader:
+            self.stats["invalid_messages"] += 1
+            return
+        space = self.spaces.get(batch.leader)
+        if space is None:
+            self.stats["invalid_messages"] += 1
+            return
+        if space.frozen:
+            return  # we committed to an owner change for this space
+        if batch.leader != self.config.owner_for_number(
+                space.owner_number) or \
+                batch.owner_number != space.owner_number:
+            self.stats["invalid_messages"] += 1
+            return
+        orders = sorted(batch.orders, key=lambda o: o.instance.slot)
+        for order in orders:
+            if order.leader != batch.leader or \
+                    order.instance.owner != batch.leader or \
+                    order.owner_number != batch.owner_number:
+                self.stats["invalid_messages"] += 1
+                return
+        for order in orders:
+            slot = order.instance.slot
+            if slot < space.expected_slot:
+                continue  # duplicate
+            if slot > space.expected_slot:
+                self._pending_spec_orders[(space.owner, slot)] = \
+                    (order, envelope)
+                continue
+            self._accept_spec_order(order, envelope)
+            self._drain_pending(space)
+
+    def _drain_pending(self, space) -> None:
+        """Accept any buffered successors now contiguous with the log."""
         while True:
             nxt = self._pending_spec_orders.pop(
                 (space.owner, space.expected_slot), None)
             if nxt is None:
                 break
-            _, pending_env = nxt
-            self._accept_spec_order(pending_env.payload, pending_env)
+            pending_order, pending_env = nxt
+            self._accept_spec_order(pending_order, pending_env)
 
     def _accept_spec_order(self, order: SpecOrder,
                            envelope: SignedPayload) -> None:
@@ -294,7 +453,8 @@ class EzBFTReplica:
             self._client_ts.get(command.client_id, -1), command.timestamp)
         self._speculative_execute(entry)
         self.stats["spec_ordered"] += 1
-        self._send_spec_reply(entry, envelope)
+        self._send_spec_reply(entry, envelope,
+                              request_digest=order.request_digest)
         # A SPECORDER from the suspected replica resolves suspicion for
         # the command (paper step 4.3: the timer waits for the original
         # recipient's SPECORDER, not anyone else's).
@@ -308,14 +468,17 @@ class EzBFTReplica:
             del self._suspicions[key]
 
     def _send_spec_reply(self, entry: LogEntry,
-                         signed_order: SignedPayload) -> None:
+                         signed_order: SignedPayload,
+                         request_digest: Optional[str] = None) -> None:
+        if request_digest is None:
+            request_digest = self._request_digest_for(entry, signed_order)
         reply = SpecReply(
             replica=self.node_id,
             owner_number=entry.owner_number,
             instance=entry.instance,
             deps=entry.deps,
             seq=entry.seq,
-            request_digest=signed_order.payload.request_digest,
+            request_digest=request_digest,
             client_id=entry.command.client_id,
             timestamp=entry.command.timestamp,
             result=entry.spec_result,
@@ -325,6 +488,16 @@ class EzBFTReplica:
         self._client_reply_cache[entry.command.client_id] = \
             (entry.command.timestamp, envelope)
         self.ctx.send(entry.command.client_id, envelope)
+
+    def _request_digest_for(self, entry: LogEntry,
+                            signed_order: SignedPayload) -> str:
+        """The request digest the entry's proposal committed to,
+        whether the envelope is a singleton SPECORDER or a batch."""
+        payload = signed_order.payload
+        if isinstance(payload, BatchSpecOrder):
+            inner = payload.order_for(entry.instance)
+            return inner.request_digest if inner is not None else ""
+        return payload.request_digest
 
     def _speculative_execute(self, entry: LogEntry) -> None:
         """Paper Section IV-B: speculative execution runs on the latest
@@ -353,7 +526,7 @@ class EzBFTReplica:
         entry.commit_proof = commit.certificate
         entry.reply_to = None  # fast path: no COMMITREPLY
         self.stats["committed_fast"] += 1
-        self._advance_execution()
+        self._advance_execution([entry])
 
     def _on_commit(self, sender: str, commit: Commit,
                    envelope: SignedPayload) -> None:
@@ -390,10 +563,13 @@ class EzBFTReplica:
         # state (paper step 5.2).
         self.statemachine.rollback_speculative()
         self.stats["committed_slow"] += 1
-        self._advance_execution()
+        self._advance_execution([entry])
 
-    def _advance_execution(self) -> None:
-        executed = self.executor.try_execute(self._log_index)
+    def _advance_execution(self, newly_committed=None) -> None:
+        """Run the executor over the newly committed entries (plus its
+        blocked frontier); ``None`` forces a full log scan."""
+        executed = self.executor.try_execute(self._log_index,
+                                             candidates=newly_committed)
         for entry in executed:
             self.stats["executed"] += 1
             if entry.reply_to is not None:
@@ -483,13 +659,13 @@ class EzBFTReplica:
                       exclude: InstanceID) -> Tuple[InstanceID, ...]:
         """Every instance in the log whose command interferes with
         ``command`` (paper's dependency set D)."""
-        deps = []
+        deps = set()
         for iid in self._candidate_instances(command):
             if iid == exclude:
                 continue
             entry = self._log_index[iid]
             if self.interference.interferes(entry.command, command):
-                deps.append(iid)
+                deps.add(iid)
         return tuple(sorted(deps))
 
     def _candidate_instances(self, command: Command):
@@ -525,21 +701,31 @@ class EzBFTReplica:
 
     def _find_entry_for_command(self, command: Command
                                 ) -> Optional[LogEntry]:
+        # The candidate set is authoritative: key-based relations keep a
+        # complete per-key index, and every other case already scans the
+        # full log -- so no O(|log|) fallback is needed on the hot path.
         for iid in self._candidate_instances(command):
             entry = self._log_index[iid]
-            if entry.command.ident == command.ident:
-                return entry
-        # Full-scan fallback (keyless commands).
-        for entry in self._log_index.values():
             if entry.command.ident == command.ident:
                 return entry
         return None
 
     def _space_digest(self, space: InstanceSpace) -> str:
-        """Digest of a space's occupied slots (the paper's ``h``)."""
-        return digest([
-            [e.instance.to_wire(), e.command.to_wire(), e.seq]
-            for e in space.entries()
+        """Rolling digest of a space's proposal history (the paper's
+        ``h``).
+
+        Maintained as a hash chain advanced per appended proposal
+        (:meth:`_advance_space_digest`), keeping the owner's hot path
+        O(1) instead of re-serializing the whole space per SPECORDER.
+        """
+        return self._space_chain.get(space.owner, "")
+
+    def _advance_space_digest(self, space: InstanceSpace,
+                              entry: LogEntry) -> None:
+        """Chain the freshly led entry into the space's rolling digest."""
+        self._space_chain[space.owner] = digest([
+            self._space_chain.get(space.owner, ""),
+            entry.instance.to_wire(), entry.command.to_wire(), entry.seq,
         ])
 
     # ------------------------------------------------------------------
@@ -547,7 +733,9 @@ class EzBFTReplica:
     # ------------------------------------------------------------------
     _SIGNED_HANDLERS = {
         Request.MSG_TYPE: _on_request,
+        BatchRequest.MSG_TYPE: _on_batch_request,
         SpecOrder.MSG_TYPE: _on_spec_order,
+        BatchSpecOrder.MSG_TYPE: _on_batch_spec_order,
         Commit.MSG_TYPE: _on_commit,
         StartOwnerChange.MSG_TYPE: _on_start_owner_change,
         OwnerChange.MSG_TYPE: _on_owner_change,

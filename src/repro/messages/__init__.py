@@ -18,7 +18,13 @@ from repro.messages.base import (
     decode,
     register_message,
 )
-from repro.messages import ezbft, fab, pbft, zyzzyva  # noqa: F401 (register)
+from repro.messages import (  # noqa: F401 (register)
+    batching,
+    ezbft,
+    fab,
+    pbft,
+    zyzzyva,
+)
 
 __all__ = [
     "MESSAGE_REGISTRY",
@@ -29,4 +35,5 @@ __all__ = [
     "pbft",
     "zyzzyva",
     "fab",
+    "batching",
 ]

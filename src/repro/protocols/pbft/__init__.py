@@ -2,5 +2,17 @@
 
 from repro.protocols.pbft.replica import PBFTReplica
 from repro.protocols.pbft.client import PBFTClient
+from repro.protocols.registry import ProtocolSpec, register_protocol
 
-__all__ = ["PBFTReplica", "PBFTClient"]
+SPEC = register_protocol(ProtocolSpec(
+    name="pbft",
+    replica_cls=PBFTReplica,
+    client_cls=PBFTClient,
+    leaderless=False,
+    speculative=False,
+    supports_batching=True,
+    description="Primary-based three-phase BFT: "
+                "pre-prepare / prepare / commit, 5-step latency.",
+))
+
+__all__ = ["SPEC", "PBFTReplica", "PBFTClient"]

@@ -8,7 +8,9 @@ from typing import Any, Dict, Optional, Tuple
 from repro.cluster.node import NodeContext, Timer
 from repro.config import ProtocolConfig
 from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import ProtocolError
 from repro.messages.base import SignedPayload
+from repro.messages.batching import BatchRequest
 from repro.messages.pbft import PBFTReply, PBFTRequest
 from repro.protocols.base import BaseClient, DeliveryCallback
 from repro.statemachine.base import Command
@@ -33,15 +35,46 @@ class PBFTClient(BaseClient):
         super().__init__(client_id, config, ctx, keypair, registry,
                          initial_view, on_delivery)
         self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self.stats["batches_submitted"] = 0
 
     def submit(self, command: Command) -> None:
+        self._register_pending(command)
+        request = PBFTRequest(command=command)
+        self.ctx.send(self.primary, self.sign(request))
+
+    def _register_pending(self, command: Command) -> _Pending:
+        """Record a command as in flight and arm its retry timer (shared
+        by the singleton and batched submission paths)."""
         pending = _Pending(command=command, start_time=self.ctx.now)
         self._pending[command.ident] = pending
         self.stats["submitted"] += 1
-        request = PBFTRequest(command=command)
-        self.ctx.send(self.primary, self.sign(request))
         pending.retry_timer = self.ctx.set_timer(
             self.config.retry_timeout, self._on_retry, command.ident)
+        return pending
+
+    def submit_batch(self, commands) -> None:
+        """Submit several of this client's commands under one signature.
+
+        One :class:`~repro.messages.batching.BatchRequest` travels to
+        the primary; each command keeps its own pending state and retry
+        timer (retries degrade to singleton broadcast requests).  A
+        batch of one degrades to :meth:`submit`.
+        """
+        commands = list(commands)
+        if not commands:
+            return
+        if len(commands) == 1:
+            self.submit(commands[0])
+            return
+        for command in commands:
+            if command.client_id != self.client_id:
+                raise ProtocolError(
+                    "command does not belong to this client")
+        for command in commands:
+            self._register_pending(command)
+        self.stats["batches_submitted"] += 1
+        batch = BatchRequest(commands=tuple(commands))
+        self.ctx.send(self.primary, self.sign(batch))
 
     @property
     def in_flight(self) -> int:

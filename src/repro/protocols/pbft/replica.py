@@ -16,9 +16,15 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.cluster.node import NodeContext, Timer
 from repro.config import ProtocolConfig
+from repro.core.batching import (
+    RequestBatcher,
+    batch_request_is_authentic,
+    fresh_batch_commands,
+)
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.messages.base import SignedPayload
+from repro.messages.batching import BatchPrePrepare, BatchRequest
 from repro.messages.pbft import (
     NewView,
     PBFTCheckpoint,
@@ -66,8 +72,17 @@ class PBFTReplica(BaseReplica):
         self.checkpoints = CheckpointStore(
             quorum=config.slow_quorum_size,
             interval=config.checkpoint_interval)
+        #: Primary-path batcher: requests this replica proposes while
+        #: primary are accumulated and flushed as one BATCHPREPREPARE
+        #: (pass-through when ``config.batch_size == 1``).
+        self.batcher = RequestBatcher(
+            batch_size=config.batch_size,
+            batch_timeout_ms=config.batch_timeout_ms,
+            flush_fn=self._flush_proposals,
+            set_timer_fn=ctx.set_timer)
         self.stats.update({
             "pre_prepares": 0,
+            "batches_proposed": 0,
             "view_changes": 0,
             "checkpoints": 0,
         })
@@ -83,8 +98,12 @@ class PBFTReplica(BaseReplica):
             payload = message.payload
             if isinstance(payload, PBFTRequest):
                 self._on_request(payload, message)
+            elif isinstance(payload, BatchRequest):
+                self._on_batch_request(payload, message)
             elif isinstance(payload, PrePrepare):
                 self._on_pre_prepare(message.signer, payload)
+            elif isinstance(payload, BatchPrePrepare):
+                self._on_batch_pre_prepare(message.signer, payload)
             elif isinstance(payload, Prepare):
                 self._on_prepare(payload)
             elif isinstance(payload, PBFTCommit):
@@ -117,7 +136,7 @@ class PBFTReplica(BaseReplica):
                 self.ctx.send(client, cached[1])
             return
         if self.is_primary:
-            self._propose(request, envelope)
+            self.batcher.add(request)
         else:
             # Forward to the primary and watch for progress.
             self.ctx.send(self.primary, envelope)
@@ -127,8 +146,61 @@ class PBFTReplica(BaseReplica):
                     self.config.view_change_timeout,
                     self._on_progress_timeout, key)
 
-    def _propose(self, request: PBFTRequest,
-                 envelope: SignedPayload) -> None:
+    def _on_batch_request(self, batch: BatchRequest,
+                          envelope: SignedPayload) -> None:
+        """A client's batched submission: one signature, many commands.
+
+        The primary unpacks it into its proposal batcher; backups
+        forward the whole envelope to the primary (retries fall back to
+        singleton requests, which carry the progress timers).
+        """
+        if not batch_request_is_authentic(batch, envelope):
+            self.stats["invalid_messages"] += 1
+            return
+        if not self.is_primary:
+            self.ctx.send(self.primary, envelope)
+            return
+        for command in fresh_batch_commands(
+                batch, self._client_ts, self._reply_cache,
+                lambda cached: self.ctx.send(batch.client_id, cached)):
+            self.batcher.add(PBFTRequest(command=command))
+
+    def _flush_proposals(self, requests) -> None:
+        """Batcher flush: order the accumulated requests.
+
+        Singletons degrade to the classic per-request PRE-PREPARE;
+        larger flushes are proposed as one signed BATCHPREPREPARE over
+        consecutive sequence numbers.  Duplicates that slipped in during
+        the batch window are dropped here.
+        """
+        if self._view_changing:
+            return  # clients will retry into the new view
+        fresh = []
+        seen = set()
+        for request in requests:
+            if request.command.ident in seen:
+                continue
+            seen.add(request.command.ident)
+            fresh.append(request)
+        if not fresh:
+            return
+        if len(fresh) == 1:
+            self._propose(fresh[0])
+            return
+        inner = []
+        for request in fresh:
+            inner.append(self._order_request(request))
+        batch = BatchPrePrepare(view=self.view,
+                                pre_prepares=tuple(inner))
+        self.stats["batches_proposed"] += 1
+        self.broadcast_others(self.sign(batch))
+        # The primary counts as having pre-prepared + prepared.
+        for pre_prepare in inner:
+            self._broadcast_prepare(pre_prepare.seqno,
+                                    pre_prepare.request_digest)
+
+    def _order_request(self, request: PBFTRequest) -> PrePrepare:
+        """Assign the next sequence number and record the slot."""
         seqno = self._next_seqno
         self._next_seqno += 1
         d = digest(request.to_wire())
@@ -139,13 +211,35 @@ class PBFTReplica(BaseReplica):
         slot.request = request
         slot.request_digest = d
         slot.pre_prepare = pre_prepare
+        return pre_prepare
+
+    def _propose(self, request: PBFTRequest) -> None:
+        pre_prepare = self._order_request(request)
         self.broadcast_others(self.sign(pre_prepare))
         # The primary counts as having pre-prepared + prepared.
-        self._broadcast_prepare(seqno, d)
+        self._broadcast_prepare(pre_prepare.seqno,
+                                pre_prepare.request_digest)
 
     # ------------------------------------------------------------------
     # Three-phase commit
     # ------------------------------------------------------------------
+    def _on_batch_pre_prepare(self, sender: str,
+                              batch: BatchPrePrepare) -> None:
+        """The primary's batched ordering: verify once, process each
+        inner PRE-PREPARE exactly as a singleton."""
+        if batch.view != self.view or self._view_changing:
+            return
+        if sender != self.config.primary_for_view(batch.view):
+            self.stats["invalid_messages"] += 1
+            return
+        for pre_prepare in batch.pre_prepares:
+            if pre_prepare.view != batch.view:
+                self.stats["invalid_messages"] += 1
+                return
+        for pre_prepare in sorted(batch.pre_prepares,
+                                  key=lambda p: p.seqno):
+            self._on_pre_prepare(sender, pre_prepare)
+
     def _on_pre_prepare(self, sender: str, msg: PrePrepare) -> None:
         if msg.view != self.view or self._view_changing:
             return

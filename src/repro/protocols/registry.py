@@ -1,0 +1,141 @@
+"""Declarative protocol registry: plug a protocol in, never edit the
+builder.
+
+Every protocol in the repository describes itself with a
+:class:`ProtocolSpec` -- its replica/client classes, capability flags,
+and (optionally) custom wiring hooks -- and registers it with
+:func:`register_protocol` from its own package.  The cluster builder
+(:mod:`repro.cluster.builder`) is purely registry-driven: it looks the
+spec up by name and lets the spec decide its own constructor keyword
+arguments, so adding a fifth protocol (or a new scenario/state machine)
+never touches the builder again.
+
+This module is deliberately dependency-light (errors + stdlib only) so
+any protocol package can import it without cycles; the builtin specs are
+registered as a side effect of importing :mod:`repro.protocols`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Registered name -> spec, in registration order.
+_REGISTRY: Dict[str, "ProtocolSpec"] = {}
+
+
+@dataclass(frozen=True)
+class WiringContext:
+    """Everything a spec's wiring hooks may need to construct a node.
+
+    The builder fills this in; specs read from it.  ``target_replica``
+    and ``region`` are only meaningful for client wiring.
+    """
+
+    config: Any
+    primary_index: int = 0
+    interference: Any = None
+    target_replica: Optional[str] = None
+    region: Optional[str] = None
+
+
+#: Wiring hook signature: ``hook(spec, wiring) -> extra kwargs``.
+WiringHook = Callable[["ProtocolSpec", WiringContext], Dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One protocol's construction recipe and capability surface.
+
+    Capability flags:
+
+    - ``leaderless``: no distinguished primary -- clients target their
+      nearest replica and replicas take an interference relation (the
+      ezBFT shape).  Primary-based protocols instead take an
+      ``initial_view``.
+    - ``speculative``: replies may be speculative (Zyzzyva/ezBFT), i.e.
+      the state machine needs the speculative-overlay interface.
+    - ``supports_batching``: the replica/client pair understands the
+      batched messages in :mod:`repro.messages.batching`; the batching
+      workload drivers check this flag (via the client's
+      ``submit_batch``) and degrade to per-command submission otherwise.
+
+    ``replica_wiring``/``client_wiring`` override the default
+    capability-derived constructor kwargs for protocols whose
+    constructors deviate from both builtin shapes.
+    """
+
+    name: str
+    replica_cls: Any
+    client_cls: Any
+    leaderless: bool = False
+    speculative: bool = False
+    supports_batching: bool = False
+    description: str = ""
+    replica_wiring: Optional[WiringHook] = field(default=None, repr=False)
+    client_wiring: Optional[WiringHook] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.islower():
+            raise ConfigurationError(
+                f"protocol name must be a non-empty lowercase string, "
+                f"got {self.name!r}")
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def replica_kwargs(self, wiring: WiringContext) -> Dict[str, Any]:
+        """Extra constructor kwargs for ``replica_cls`` beyond the
+        universal ``(node_id, config, ctx, keypair, registry,
+        statemachine)`` prefix."""
+        if self.replica_wiring is not None:
+            return dict(self.replica_wiring(self, wiring))
+        if self.leaderless:
+            return {"interference": wiring.interference}
+        return {"initial_view": wiring.primary_index}
+
+    def client_kwargs(self, wiring: WiringContext) -> Dict[str, Any]:
+        """Extra constructor kwargs for ``client_cls`` beyond the
+        universal ``(client_id, config, ctx, keypair, registry)`` prefix
+        and ``on_delivery``."""
+        if self.client_wiring is not None:
+            return dict(self.client_wiring(self, wiring))
+        if self.leaderless:
+            return {"target_replica": wiring.target_replica}
+        return {"initial_view": wiring.primary_index}
+
+
+# ----------------------------------------------------------------------
+# Registry operations
+# ----------------------------------------------------------------------
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Register ``spec`` under ``spec.name``; duplicate names raise."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"protocol {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_protocol(name: str) -> None:
+    """Remove a registered protocol (primarily for tests and plugins)."""
+    if name not in _REGISTRY:
+        raise ConfigurationError(f"protocol {name!r} is not registered")
+    del _REGISTRY[name]
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a spec by name, raising with the available choices."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; choose from "
+            f"{available_protocols()}")
+    return spec
+
+
+def available_protocols() -> Tuple[str, ...]:
+    """Registered protocol names, in registration order."""
+    return tuple(_REGISTRY)

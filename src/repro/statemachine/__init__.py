@@ -14,6 +14,8 @@ from repro.statemachine.interference import (
     NeverInterfere,
 )
 from repro.statemachine.kvstore import KVStore
+from repro.statemachine.counter import CounterMachine
+from repro.statemachine.bank import BankMachine
 from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
 
 __all__ = [
@@ -24,6 +26,8 @@ __all__ = [
     "AlwaysInterfere",
     "NeverInterfere",
     "KVStore",
+    "CounterMachine",
+    "BankMachine",
     "Checkpoint",
     "CheckpointStore",
 ]

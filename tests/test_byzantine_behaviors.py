@@ -13,7 +13,7 @@ from repro.byzantine import (
 from repro.messages.base import SignedPayload
 from repro.messages.ezbft import SpecOrder, SpecReply
 
-from conftest import DeliveryLog, lan_cluster
+from helpers import DeliveryLog, lan_cluster
 
 
 def test_install_byzantine_swaps_replica_object():

@@ -6,7 +6,7 @@ from repro.cluster.builder import build_cluster
 from repro.errors import ConfigurationError
 from repro.sim.latency import EXPERIMENT1, LOCAL
 
-from conftest import DeliveryLog, geo_cluster, lan_cluster
+from helpers import DeliveryLog, geo_cluster, lan_cluster
 
 
 def test_unknown_protocol_rejected():

@@ -6,7 +6,7 @@ from repro.core.instance import EntryStatus
 from repro.sim.latency import EXPERIMENT1
 from repro.types import InstanceID
 
-from conftest import (
+from helpers import (
     DeliveryLog,
     assert_replicas_consistent,
     geo_cluster,

@@ -15,7 +15,7 @@ from repro.core.instance import EntryStatus
 from repro.workload.drivers import ClosedLoopDriver
 from repro.workload.generator import KVWorkload
 
-from conftest import (
+from helpers import (
     DeliveryLog,
     assert_histories_consistent,
     assert_replicas_consistent,

@@ -12,7 +12,7 @@ from repro.byzantine import (
 )
 from repro.core.instance import EntryStatus
 
-from conftest import (
+from helpers import (
     DeliveryLog,
     assert_replicas_consistent,
     geo_cluster,

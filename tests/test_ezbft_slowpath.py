@@ -5,7 +5,7 @@ import pytest
 from repro.core.instance import EntryStatus
 from repro.statemachine.interference import AlwaysInterfere
 
-from conftest import (
+from helpers import (
     DeliveryLog,
     assert_histories_consistent,
     assert_replicas_consistent,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.byzantine import silence_node
 
-from conftest import (
+from helpers import (
     DeliveryLog,
     assert_replicas_consistent,
     lan_cluster,

@@ -12,7 +12,7 @@ from repro.sim.latency import EXPERIMENT1, EXPERIMENT2
 from repro.workload.drivers import ClosedLoopDriver
 from repro.workload.generator import KVWorkload
 
-from conftest import DeliveryLog, GEO_REGIONS
+from helpers import DeliveryLog, GEO_REGIONS
 
 
 def measure_latency(protocol, client_region, primary_region="virginia",

@@ -14,7 +14,7 @@ from repro.messages.ezbft import (
 from repro.statemachine.base import Command
 from repro.types import InstanceID
 
-from conftest import lan_cluster
+from helpers import lan_cluster
 
 
 def summary(slot, command, owner_number=1, kind="spec-order",

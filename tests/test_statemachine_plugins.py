@@ -1,0 +1,142 @@
+"""Pluggable state machines: CounterMachine/BankMachine units plus the
+``statemachine_factory`` extension point of ``build_cluster``."""
+
+import pytest
+
+from helpers import DeliveryLog, lan_cluster
+
+from repro.errors import StateMachineError
+from repro.protocols.registry import available_protocols
+from repro.sim.network import CpuModel
+from repro.statemachine.bank import BankMachine
+from repro.statemachine.base import Command
+from repro.statemachine.counter import CounterMachine
+
+
+def cmd(op, key="k", value=None, ts=1):
+    return Command(client_id="c0", timestamp=ts, op=op, key=key,
+                   value=value)
+
+
+# ----------------------------------------------------------------------
+# CounterMachine
+# ----------------------------------------------------------------------
+def test_counter_incr_and_get():
+    sm = CounterMachine()
+    assert sm.apply(cmd("incr", value=3)) == "OK"
+    assert sm.apply(cmd("incr")) == "OK"  # default delta 1
+    assert sm.apply(cmd("get")) == 4
+    assert sm.value("k") == 4
+    assert sm.value("missing") == 0
+
+
+def test_counter_speculative_overlay_and_rollback():
+    sm = CounterMachine()
+    sm.apply(cmd("incr", value=10))
+    assert sm.apply_speculative(cmd("incr", value=5)) == "OK"
+    assert sm.speculative_value("k") == 15
+    assert sm.value("k") == 10  # final state untouched
+    sm.rollback_speculative()
+    assert sm.speculative_value("k") == 10
+    assert sm.rollbacks == 1
+
+
+def test_counter_snapshot_restore():
+    sm = CounterMachine()
+    sm.apply(cmd("incr", value=7))
+    snap = sm.snapshot()
+    sm.apply(cmd("incr", value=1))
+    sm.apply_speculative(cmd("incr", value=99))
+    sm.restore(snap)
+    assert sm.final_items() == {"k": 7}
+    assert sm.speculative_items() == {"k": 7}
+
+
+def test_counter_rejects_unknown_ops_and_bad_deltas():
+    sm = CounterMachine()
+    with pytest.raises(StateMachineError):
+        sm.apply(cmd("put", value="x"))
+    with pytest.raises(StateMachineError):
+        sm.apply(cmd("incr", value="not-an-int"))
+    assert sm.apply(cmd("noop")) is None
+
+
+# ----------------------------------------------------------------------
+# BankMachine
+# ----------------------------------------------------------------------
+def test_bank_deposit_withdraw_balance():
+    sm = BankMachine()
+    assert sm.apply(cmd("deposit", key="acct", value=100)) == "OK"
+    assert sm.apply(cmd("withdraw", key="acct", value=30)) == "OK"
+    assert sm.apply(cmd("balance", key="acct")) == 70
+    assert sm.balance("acct") == 70
+
+
+def test_bank_rejects_overdraft_without_state_change():
+    sm = BankMachine()
+    sm.apply(cmd("deposit", key="acct", value=10))
+    assert sm.apply(cmd("withdraw", key="acct", value=11)) == \
+        "INSUFFICIENT"
+    assert sm.balance("acct") == 10
+    assert sm.rejected_withdrawals == 1
+
+
+def test_bank_speculative_overlay():
+    sm = BankMachine()
+    sm.apply(cmd("deposit", key="a", value=50))
+    assert sm.apply_speculative(cmd("withdraw", key="a", value=20)) == \
+        "OK"
+    assert sm.speculative_balance("a") == 30
+    assert sm.balance("a") == 50
+    sm.rollback_speculative()
+    assert sm.speculative_balance("a") == 50
+
+
+def test_bank_validates_amounts():
+    sm = BankMachine()
+    with pytest.raises(StateMachineError):
+        sm.apply(cmd("deposit", key="a", value=-5))
+    with pytest.raises(StateMachineError):
+        sm.apply(cmd("deposit", key="a", value="ten"))
+    with pytest.raises(StateMachineError):
+        sm.apply(cmd("put", key="a", value=1))
+
+
+# ----------------------------------------------------------------------
+# statemachine_factory plumbing
+# ----------------------------------------------------------------------
+def test_build_cluster_with_counter_machine():
+    """The acceptance-criteria scenario: a counter service on ezBFT with
+    zero builder edits."""
+    cluster = lan_cluster("ezbft", cpu=CpuModel.free(),
+                          statemachine_factory=CounterMachine)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", region="local",
+                                on_delivery=log.hook("c0"))
+    for _ in range(3):
+        client.submit(client.next_command("incr", "hits", 2))
+    cluster.run_until_idle()
+    assert log.results == ["OK"] * 3
+    for sm in cluster.statemachines().values():
+        assert isinstance(sm, CounterMachine)
+        assert sm.speculative_value("hits") == 6
+
+
+@pytest.mark.parametrize("protocol", available_protocols())
+def test_bank_machine_on_every_protocol(protocol):
+    cluster = lan_cluster(protocol, cpu=CpuModel.free(),
+                          statemachine_factory=BankMachine)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", region="local",
+                                on_delivery=log.hook("c0"))
+    client.submit(client.next_command("deposit", "acct", 100))
+    cluster.run_until_idle()
+    client.submit(client.next_command("withdraw", "acct", 40))
+    cluster.run_until_idle()
+    assert log.results == ["OK", "OK"]
+    balances = {
+        rid: sm.speculative_balance("acct")
+        for rid, sm in cluster.statemachines().items()
+    }
+    agreeing = [b for b in balances.values() if b == 60]
+    assert len(agreeing) >= cluster.config.slow_quorum_size, balances

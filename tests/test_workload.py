@@ -5,7 +5,7 @@ import pytest
 from repro.workload.drivers import ClosedLoopDriver, OpenLoopDriver
 from repro.workload.generator import KVWorkload
 
-from conftest import DeliveryLog, lan_cluster
+from helpers import DeliveryLog, lan_cluster
 
 
 def test_zero_contention_uses_private_keys():
