@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Sequence
 
-from repro.cluster.metrics import LatencyRecorder
+from repro.cluster.metrics import LatencyRecorder, replica_footprint
 from repro.cluster.node import NodeContext
 from repro.config import ProtocolConfig
 from repro.crypto.keys import KeyRegistry
@@ -150,6 +150,12 @@ class Cluster:
         """Backwards-compatible alias for :meth:`statemachines` (the
         default application is a :class:`~repro.statemachine.KVStore`)."""
         return self.statemachines()
+
+    def log_footprint(self) -> Dict[str, Dict[str, int]]:
+        """Per-replica resident log/execution structure sizes (see
+        :func:`repro.cluster.metrics.replica_footprint`)."""
+        return {rid: replica_footprint(r)
+                for rid, r in self.replicas.items()}
 
 
 def build_cluster(protocol: str,

@@ -61,6 +61,10 @@ class ProtocolConfig:
             raise ConfigurationError(
                 f"batch_timeout_ms must be positive, "
                 f"got {self.batch_timeout_ms}")
+        if self.checkpoint_interval < 0:
+            raise ConfigurationError(
+                f"checkpoint_interval must be >= 0 (0 disables "
+                f"checkpointing), got {self.checkpoint_interval}")
         if (n - 1) % 3 != 0:
             # Permitted (extra replicas raise quorum sizes), but f is
             # still floor((n-1)/3).

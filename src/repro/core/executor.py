@@ -12,11 +12,19 @@ the client's retry through another leader).  The executor therefore
 de-duplicates by command identity -- the second occurrence is treated as
 a no-op but still marked executed so the graph makes progress, and the
 original result is preserved for the client.
+
+Checkpoint garbage collection: :meth:`truncate` drops the execution
+bookkeeping below a stable checkpoint's per-space frontier, and
+:meth:`install` fast-forwards a lagging replica onto a transferred
+snapshot.  Executed-command identities are tracked as a per-client
+contiguous floor plus a sparse out-of-order window (clients assign
+consecutive timestamps), so exactly-once bookkeeping stays bounded by
+the in-flight window instead of growing with history.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.instance import EntryStatus, LogEntry
 from repro.graph import execution_batches
@@ -31,15 +39,30 @@ class DependencyExecutor:
 
     def __init__(self, statemachine: StateMachine) -> None:
         self.statemachine = statemachine
+        #: Called after every single entry executes (checkpoint capture
+        #: hook).  Captures must happen exactly at interval boundaries:
+        #: one try_execute call can execute a whole dependency wave, so
+        #: checking only between calls would capture at stray watermarks
+        #: that never match other replicas' attestations.
+        self.on_execute = None
         self.executed: Set[InstanceID] = set()
-        self._executed_idents: Set[CommandIdent] = set()
         self._results: Dict[CommandIdent, Any] = {}
         #: Committed entries from earlier calls still blocked on
         #: uncommitted dependencies (the incremental-frontier cache).
         self._deferred: Dict[InstanceID, LogEntry] = {}
         #: Execution history as (instance, command ident) pairs -- the
         #: cross-replica consistency tests compare these verbatim.
+        #: ``history_offset`` counts entries truncated at checkpoints,
+        #: so absolute execution positions stay comparable.
         self.history: List[Tuple[InstanceID, CommandIdent]] = []
+        self.history_offset = 0
+        #: Per-space first retained slot; instances below are durably
+        #: executed (stable checkpoint) and treated as executed deps.
+        self._low_slots: Dict[str, int] = {}
+        #: Exactly-once tracking: every timestamp <= floor is executed,
+        #: plus a sparse set of executed timestamps above the floor.
+        self._client_floor: Dict[str, int] = {}
+        self._client_sparse: Dict[str, Set[int]] = {}
 
     def try_execute(self, log_index: Dict[InstanceID, LogEntry],
                     candidates: Any = None) -> List[LogEntry]:
@@ -87,11 +110,110 @@ class DependencyExecutor:
         return self._results.get(ident)
 
     def has_executed(self, ident: CommandIdent) -> bool:
-        return ident in self._executed_idents
+        client, timestamp = ident
+        if timestamp <= self._client_floor.get(client, 0):
+            return True
+        return timestamp in self._client_sparse.get(client, ())
+
+    def is_executed_instance(self, iid: InstanceID) -> bool:
+        """Executed here, or durably executed below a checkpoint."""
+        return iid in self.executed or \
+            iid.slot < self._low_slots.get(iid.owner, 0)
 
     @property
     def executed_count(self) -> int:
-        return len(self.history)
+        return self.history_offset + len(self.history)
+
+    def latest_executed_ts(self) -> Dict[str, int]:
+        """Per-client highest executed timestamp."""
+        latest = dict(self._client_floor)
+        for client, sparse in self._client_sparse.items():
+            if sparse:
+                latest[client] = max(latest.get(client, 0), max(sparse))
+        return latest
+
+    def client_progress(self) -> Tuple[Dict[str, int],
+                                       Dict[str, List[int]]]:
+        """Deterministic exactly-once state for checkpoint snapshots:
+        (contiguous floors, sorted executed timestamps above floor)."""
+        floors = dict(self._client_floor)
+        sparse = {client: sorted(ts_set)
+                  for client, ts_set in self._client_sparse.items()
+                  if ts_set}
+        return floors, sparse
+
+    def latest_results(self) -> Dict[str, Any]:
+        """Per-client result of the latest executed command, where still
+        retained -- the reply-cache portion of a checkpoint snapshot."""
+        out: Dict[str, Any] = {}
+        for client, timestamp in self.latest_executed_ts().items():
+            ident = (client, timestamp)
+            if ident in self._results:
+                out[client] = self._results[ident]
+        return out
+
+    # ------------------------------------------------------------------
+    # Checkpoint GC and state transfer
+    # ------------------------------------------------------------------
+    def truncate(self, watermark: int,
+                 low_slots: Dict[str, int]) -> None:
+        """Garbage-collect bookkeeping below a stable checkpoint.
+
+        ``watermark`` is the checkpoint's executed-command count (the
+        history prefix to drop); ``low_slots`` maps each space to its
+        first retained slot.  Results are retained for each client's
+        latest executed command (the reply-cache contract); everything
+        older is durable in the checkpoint and can go."""
+        for owner, slot in low_slots.items():
+            if slot > self._low_slots.get(owner, 0):
+                self._low_slots[owner] = slot
+        self.executed = {
+            iid for iid in self.executed
+            if iid.slot >= self._low_slots.get(iid.owner, 0)
+        }
+        keep_from = watermark - self.history_offset
+        if keep_from <= 0:
+            return
+        dropped = self.history[:keep_from]
+        self.history = self.history[keep_from:]
+        self.history_offset = watermark
+        latest = self.latest_executed_ts()
+        for _, ident in dropped:
+            client, timestamp = ident
+            if timestamp != latest.get(client):
+                self._results.pop(ident, None)
+
+    def install(self, watermark: int, low_slots: Dict[str, int],
+                client_floors: Dict[str, int],
+                client_sparse: Dict[str, Iterable[int]],
+                executed_above: Iterable[InstanceID],
+                client_results: Optional[Dict[str, Any]] = None) -> None:
+        """Fast-forward onto a transferred stable checkpoint.
+
+        The snapshot's state already reflects the first ``watermark``
+        executions; ``executed_above`` lists the instances among them
+        that sit above the GC frontier (they must be marked executed
+        without re-applying their commands).  ``client_results`` seeds
+        the latest-result-per-client cache so duplicate commits keep
+        answering with the real result after the transfer."""
+        for owner, slot in low_slots.items():
+            if slot > self._low_slots.get(owner, 0):
+                self._low_slots[owner] = slot
+        self.history = []
+        self.history_offset = watermark
+        self.executed = set(executed_above)
+        self._client_floor = dict(client_floors)
+        self._client_sparse = {
+            client: set(ts_list)
+            for client, ts_list in client_sparse.items() if ts_list
+        }
+        self._results = {}
+        if client_results:
+            latest = self.latest_executed_ts()
+            for client, result in client_results.items():
+                if client in latest:
+                    self._results[(client, latest[client])] = result
+        self._deferred = {}
 
     # ------------------------------------------------------------------
     def _ready_set(self, pool: Dict[InstanceID, LogEntry]
@@ -105,7 +227,8 @@ class DependencyExecutor:
             for iid in list(candidates):
                 entry = candidates[iid]
                 for dep in entry.deps:
-                    if dep in self.executed or dep in candidates:
+                    if dep in candidates or \
+                            self.is_executed_instance(dep):
                         continue
                     del candidates[iid]
                     changed = True
@@ -116,12 +239,29 @@ class DependencyExecutor:
         ident = entry.command.ident
         if entry.command.is_noop:
             entry.final_result = None
-        elif ident in self._executed_idents:
+        elif self.has_executed(ident):
             entry.final_result = self._results.get(ident)
         else:
             entry.final_result = self.statemachine.apply(entry.command)
-            self._executed_idents.add(ident)
             self._results[ident] = entry.final_result
+        if not entry.command.is_noop:
+            self._record_ident(ident)
         entry.status = EntryStatus.EXECUTED
         self.executed.add(entry.instance)
         self.history.append((entry.instance, ident))
+        if self.on_execute is not None:
+            self.on_execute(entry)
+
+    def _record_ident(self, ident: CommandIdent) -> None:
+        client, timestamp = ident
+        floor = self._client_floor.get(client, 0)
+        if timestamp <= floor:
+            return
+        sparse = self._client_sparse.setdefault(client, set())
+        sparse.add(timestamp)
+        while floor + 1 in sparse:
+            floor += 1
+            sparse.discard(floor)
+        self._client_floor[client] = floor
+        if not sparse:
+            self._client_sparse.pop(client, None)

@@ -78,6 +78,9 @@ class InstanceSpace:
         #: Next slot this node expects in a SPECORDER from the owner --
         #: the paper's ``maxI + 1`` validation.
         self.expected_slot = 0
+        #: First slot still held: everything below was garbage-collected
+        #: at a stable checkpoint (its commands are durably executed).
+        self.low_slot = 0
 
     def __contains__(self, slot: int) -> bool:
         return slot in self._slots
@@ -109,6 +112,21 @@ class InstanceSpace:
         slot = self.next_slot
         self.next_slot += 1
         return slot
+
+    def truncate(self, before_slot: int) -> int:
+        """Drop every slot below ``before_slot`` (checkpoint GC).
+
+        Returns the number of entries removed.  Callers are responsible
+        for only truncating below a stable checkpoint's frontier."""
+        if before_slot <= self.low_slot:
+            return 0
+        doomed = [s for s in self._slots if s < before_slot]
+        for slot in doomed:
+            del self._slots[slot]
+        self.low_slot = before_slot
+        self.expected_slot = max(self.expected_slot, before_slot)
+        self.next_slot = max(self.next_slot, before_slot)
+        return len(doomed)
 
     @property
     def max_occupied_slot(self) -> int:

@@ -53,6 +53,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.replica import EzBFTReplica
 
 
+def summarize_entry(entry: LogEntry) -> LogEntrySummary:
+    """One log entry with the strongest evidence held for it -- shared
+    by owner-change recovery payloads and state-transfer log suffixes."""
+    if entry.status.at_least(EntryStatus.COMMITTED):
+        kind = "commit"
+        proof = tuple(entry.commit_proof)
+    else:
+        kind = "spec-order"
+        proof = ((entry.spec_order,)
+                 if entry.spec_order is not None else ())
+    return LogEntrySummary(
+        instance=entry.instance, command=entry.command,
+        deps=entry.deps, seq=entry.seq,
+        status=entry.status.value,
+        owner_number=entry.owner_number,
+        proof_kind=kind, proof=proof)
+
+
 class OwnerChangeManager:
     """Per-replica owner-change state machine."""
 
@@ -186,35 +204,26 @@ class OwnerChangeManager:
         space = replica.spaces[suspect]
         space.frozen = True
         new_owner = replica.config.owner_for_number(new_number)
-        entries = self._summarize_space(suspect)
+        base_slot = replica.checkpoint_base_slot(suspect)
+        entries = self._summarize_space(suspect, base_slot)
         msg = OwnerChange(sender=replica.node_id, suspect=suspect,
-                          new_owner_number=new_number, entries=entries)
+                          new_owner_number=new_number, entries=entries,
+                          base_slot=base_slot)
         signed = SignedPayload.create(msg, replica.keypair)
         if new_owner == replica.node_id:
             self.on_owner_change(msg, signed)
         else:
             replica.ctx.send(new_owner, signed)
 
-    def _summarize_space(self, suspect: str
+    def _summarize_space(self, suspect: str, base_slot: int = 0
                          ) -> Tuple[LogEntrySummary, ...]:
+        """The paper's recovery info: "instances executed or committed
+        since the last checkpoint" -- slots below ``base_slot`` are
+        durably executed at a quorum and omitted."""
         replica = self.replica
         space = replica.spaces[suspect]
-        summaries = []
-        for entry in space.entries():
-            if entry.status.at_least(EntryStatus.COMMITTED):
-                kind = "commit"
-                proof = tuple(entry.commit_proof)
-            else:
-                kind = "spec-order"
-                proof = ((entry.spec_order,)
-                         if entry.spec_order is not None else ())
-            summaries.append(LogEntrySummary(
-                instance=entry.instance, command=entry.command,
-                deps=entry.deps, seq=entry.seq,
-                status=entry.status.value,
-                owner_number=entry.owner_number,
-                proof_kind=kind, proof=proof))
-        return tuple(summaries)
+        return tuple(summarize_entry(entry) for entry in space.entries()
+                     if entry.instance.slot >= base_slot)
 
     # ------------------------------------------------------------------
     # OWNERCHANGE (new-owner side)
@@ -239,20 +248,36 @@ class OwnerChangeManager:
         key = (suspect, new_number)
         self._finalized.add(key)
         bucket = self._collected[key]
-        safe = self._select_safe_history(
-            [m for m, _ in bucket.values()])
+        messages = [m for m, _ in bucket.values()]
+        # Slots below every reporter's checkpoint base are durably
+        # executed at a quorum: the finalized history starts above them.
+        base_slot = min((m.base_slot for m in messages), default=0)
+        safe = self._select_safe_history(messages, base_slot)
         proof = tuple(envelope for _, envelope in bucket.values())
         msg = NewOwner(new_owner=replica.node_id, suspect=suspect,
                        new_owner_number=new_number,
-                       safe_entries=safe, proof=proof)
+                       safe_entries=safe, proof=proof,
+                       base_slot=base_slot)
         signed = SignedPayload.create(msg, replica.keypair)
         replica.ctx.broadcast(replica.config.others(replica.node_id),
                               signed)
         self.on_new_owner(msg)  # apply locally
 
-    def _select_safe_history(self, messages: List[OwnerChange]
+    def _select_safe_history(self, messages: List[OwnerChange],
+                             base_slot: int = 0
                              ) -> Tuple[LogEntrySummary, ...]:
-        """Per-slot resolution using the paper's Conditions 1 and 2."""
+        """Per-slot resolution using the paper's Conditions 1 and 2,
+        over the slots at or above ``base_slot`` (every reporter only
+        ships entries above its own checkpoint base, so all candidates
+        are above the minimum base).
+
+        Gap slots are finalized as no-ops only at or above the *highest*
+        reported base: below it, some reporter's stable checkpoint
+        proves the slot durably executed at a quorum -- its real command
+        simply got garbage-collected out of that reporter's payload, and
+        finalizing a no-op over it would overwrite the executed command
+        at any replica still holding it un-executed.  Such slots are
+        omitted (left to checkpoint/state-transfer repair) instead."""
         replica = self.replica
         weak = replica.config.weak_quorum_size
         by_slot: Dict[int, List[LogEntrySummary]] = {}
@@ -292,19 +317,21 @@ class OwnerChangeManager:
 
         if not chosen:
             return ()
+        fill_floor = max((m.base_slot for m in messages), default=0)
         max_slot = max(chosen)
         safe: List[LogEntrySummary] = []
         suspect = messages[0].suspect
-        for slot in range(max_slot + 1):
+        for slot in range(base_slot, max_slot + 1):
             if slot in chosen:
                 safe.append(chosen[slot])
-            else:
+            elif slot >= fill_floor:
                 # Unresolvable gap below a safe slot: finalize as no-op.
                 safe.append(LogEntrySummary(
                     instance=InstanceID(suspect, slot),
                     command=Command.noop(), deps=(), seq=0,
                     status="committed", owner_number=0,
                     proof_kind="commit", proof=()))
+            # else: checkpoint-covered at some reporter; never no-op it.
         return tuple(safe)
 
     # ------------------------------------------------------------------
@@ -322,6 +349,10 @@ class OwnerChangeManager:
         # Adopt the finalized history.
         replica.statemachine.rollback_speculative()
         for summary in msg.safe_entries:
+            if summary.instance.slot < space.low_slot:
+                # Below our stable checkpoint: durably executed and
+                # already garbage-collected here.
+                continue
             existing = replica._log_index.get(summary.instance)
             if existing is not None and \
                     existing.status == EntryStatus.EXECUTED:
@@ -349,6 +380,8 @@ class OwnerChangeManager:
                 replica._log_index[summary.instance] = entry
         space.owner_number = msg.new_owner_number
         space.frozen = True  # the space stays frozen per the paper
-        space.expected_slot = max(space.expected_slot,
-                                  len(msg.safe_entries))
+        top = max((s.instance.slot for s in msg.safe_entries),
+                  default=msg.base_slot - 1)
+        space.expected_slot = max(space.expected_slot, top + 1,
+                                  msg.base_slot)
         replica._advance_execution()

@@ -20,7 +20,7 @@ from repro.core.batching import (
 )
 from repro.core.executor import DependencyExecutor
 from repro.core.instance import EntryStatus, InstanceSpace, LogEntry
-from repro.core.owner_change import OwnerChangeManager
+from repro.core.owner_change import OwnerChangeManager, summarize_entry
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ProtocolError
@@ -30,6 +30,8 @@ from repro.messages.ezbft import (
     Commit,
     CommitFast,
     CommitReply,
+    EzCheckpoint,
+    LogEntrySummary,
     NewOwner,
     OwnerChange,
     ProofOfMisbehavior,
@@ -38,8 +40,11 @@ from repro.messages.ezbft import (
     SpecOrder,
     SpecReply,
     StartOwnerChange,
+    StateTransferReply,
+    StateTransferRequest,
 )
 from repro.statemachine.base import Command, StateMachine
+from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
 from repro.statemachine.interference import InterferenceRelation
 from repro.types import InstanceID
 
@@ -87,6 +92,11 @@ class EzBFTReplica:
         #: O(|same-key history|) instead of O(|log|).
         self._key_index: Dict[str, List[InstanceID]] = {}
         self.executor = DependencyExecutor(statemachine)
+        #: Checkpoint captures hook in per executed entry, not per
+        #: commit wave: a wave can straddle an interval boundary, and a
+        #: capture at a stray watermark would never match the other
+        #: replicas' attestations (permanently disabling GC here).
+        self.executor.on_execute = self._on_entry_executed
         self.owner_changes = OwnerChangeManager(self)
         #: Owner-path batcher: requests this replica will lead are
         #: accumulated and flushed as one BATCHSPECORDER (pass-through
@@ -114,6 +124,36 @@ class EzBFTReplica:
         #: SPECORDER ``log_digest`` field, maintained incrementally).
         self._space_chain: Dict[str, str] = {}
 
+        #: Checkpointing: local snapshots + peer attestations; on
+        #: stability the log below the checkpoint's per-space frontier
+        #: is garbage-collected (paper: owner changes carry "instances
+        #: executed or committed since the last checkpoint").
+        self.checkpoints = CheckpointStore(
+            quorum=config.slow_quorum_size,
+            interval=config.checkpoint_interval)
+        #: (watermark, digest) -> replica -> its signed EZCHECKPOINT;
+        #: the stable set doubles as the state-transfer proof.
+        self._checkpoint_proofs: Dict[
+            Tuple[int, str], Dict[str, SignedPayload]] = {}
+        #: Signed attestation quorum for the current stable checkpoint,
+        #: tagged with its watermark (stability can advance on vote
+        #: counts while the retained envelopes lag; a mismatched proof
+        #: must never be served).
+        self._stable_proof: Tuple[SignedPayload, ...] = ()
+        self._stable_proof_watermark = -1
+        #: Per-space cached contiguous-executed frontier cursor, so
+        #: captures cost O(new executions) instead of rescanning the
+        #: whole executed prefix when stability stalls.
+        self._frontier_cursor: Dict[str, int] = {}
+        #: Every (watermark, digest) that became stable here, in order --
+        #: cross-replica agreement tests compare these.
+        self.checkpoint_log: List[Tuple[int, str]] = []
+        #: Highest watermark we already requested a state transfer for,
+        #: and the peers asked at that watermark (up to f+1 distinct
+        #: peers, so at least one is correct and answers).
+        self._transfer_requested = -1
+        self._transfer_peers_asked: set = set()
+
         # Metrics.
         self.stats = {
             "led": 0,
@@ -124,6 +164,11 @@ class EzBFTReplica:
             "executed": 0,
             "owner_changes_started": 0,
             "invalid_messages": 0,
+            "checkpoints": 0,
+            "checkpoints_stable": 0,
+            "log_entries_gcd": 0,
+            "state_transfers_served": 0,
+            "state_transfers_installed": 0,
         }
 
     # ------------------------------------------------------------------
@@ -538,11 +583,24 @@ class EzBFTReplica:
             return
         entry = self._log_index.get(commit.instance)
         if entry is None:
-            # We never saw the SPECORDER (e.g. we were partitioned); adopt
-            # the commit wholesale.
             space = self.spaces.get(commit.instance.owner)
             if space is None:
                 return
+            if commit.instance.slot < space.low_slot:
+                # Below a stable checkpoint: the instance was executed
+                # durably and garbage-collected.  Resurrecting the slot
+                # would shift our execution count off every other
+                # replica's watermarks; answer from retained state.
+                reply = CommitReply(
+                    replica=self.node_id, instance=commit.instance,
+                    client_id=commit.client_id,
+                    timestamp=commit.command.timestamp,
+                    result=self.executor.result_of(commit.command.ident))
+                self.ctx.send(commit.client_id,
+                              SignedPayload.create(reply, self.keypair))
+                return
+            # We never saw the SPECORDER (e.g. we were partitioned); adopt
+            # the commit wholesale.
             entry = LogEntry(instance=commit.instance,
                              owner_number=space.owner_number,
                              command=commit.command, deps=commit.deps,
@@ -574,6 +632,453 @@ class EzBFTReplica:
             self.stats["executed"] += 1
             if entry.reply_to is not None:
                 self._send_commit_reply(entry, entry.reply_to)
+
+    # ------------------------------------------------------------------
+    # Checkpointing, log compaction, state transfer
+    # ------------------------------------------------------------------
+    def _on_entry_executed(self, entry: LogEntry) -> None:
+        """Executor hook: runs after every single final execution, so
+        captures land exactly on interval boundaries."""
+        self._maybe_checkpoint()
+
+    def _maybe_checkpoint(self) -> None:
+        """Capture and broadcast a checkpoint at interval boundaries."""
+        count = self.executor.executed_count
+        if not self.checkpoints.due(count):
+            return
+        checkpoint = Checkpoint.capture(count, self._capture_snapshot())
+        msg = EzCheckpoint(replica=self.node_id, watermark=count,
+                           state_digest=checkpoint.state_digest)
+        signed = SignedPayload.create(msg, self.keypair)
+        self._checkpoint_proofs.setdefault(
+            (count, checkpoint.state_digest), {})[self.node_id] = signed
+        stable_before = self.checkpoints.stable
+        self.checkpoints.record_local(checkpoint)
+        self.stats["checkpoints"] += 1
+        self.ctx.broadcast(self.config.others(self.node_id), signed)
+        if self.checkpoints.stable is not stable_before:
+            # Peer attestations had already reached quorum before our
+            # own capture; stability fired inside record_local.
+            self._on_checkpoint_stable(self.checkpoints.stable)
+
+    def _capture_snapshot(self) -> dict:
+        """Everything a lagging replica needs to resume past us.
+
+        Every field is a deterministic function of the first
+        ``executed_count`` executions, so digests agree across replicas
+        that executed the same prefix."""
+        frontier = {owner: self._executed_frontier(space)
+                    for owner, space in self.spaces.items()}
+        floors, sparse = self.executor.client_progress()
+        executed_above = sorted(
+            [iid.owner, iid.slot] for iid in self.executor.executed
+            if iid.slot >= frontier[iid.owner])
+        return {
+            "state": self.statemachine.snapshot(),
+            "frontier": frontier,
+            "client_floors": floors,
+            "client_sparse": sparse,
+            "client_results": self.executor.latest_results(),
+            "executed_above": executed_above,
+        }
+
+    def _executed_frontier(self, space: InstanceSpace) -> int:
+        """First slot of ``space`` that is not contiguously executed --
+        the GC cut: everything below is final at this replica.
+
+        Resumes from a cached cursor (execution never un-happens, so
+        the frontier is monotone): amortized O(new executions) per
+        capture instead of O(whole executed prefix)."""
+        slot = max(space.low_slot,
+                   self._frontier_cursor.get(space.owner, 0))
+        while True:
+            entry = space.get(slot)
+            if entry is None or entry.status != EntryStatus.EXECUTED:
+                break
+            slot += 1
+        self._frontier_cursor[space.owner] = slot
+        return slot
+
+    def _on_ez_checkpoint(self, sender: str, msg: EzCheckpoint,
+                          envelope: SignedPayload) -> None:
+        if envelope.signer != msg.replica or \
+                msg.replica not in self.config.replica_ids:
+            self.stats["invalid_messages"] += 1
+            return
+        if msg.replica == self.node_id:
+            # Our own attestation replayed back at us: we already voted
+            # as "__self__" at capture, and counting the replay as a
+            # second distinct voter would let f+1 real replicas fake a
+            # 2f+1 quorum.
+            return
+        stable = self.checkpoints.stable
+        if stable is not None and msg.watermark <= stable.watermark:
+            return  # below our stable watermark; nothing to learn
+        became_stable = self.checkpoints.attest(
+            msg.watermark, msg.state_digest, msg.replica)
+        horizon = self.executor.executed_count + \
+            8 * max(1, self.checkpoints.interval)
+        if msg.watermark <= horizon and \
+                self.checkpoints.vote_of(msg.replica, msg.watermark) == \
+                msg.state_digest:
+            # Vote accepted (not an equivocating re-vote) and near our
+            # own execution horizon: retain the signed attestation for
+            # the state-transfer proof.  Far-future watermarks are
+            # never ones we will stabilize (if we lag that far we
+            # install a transferred proof instead), so dropping them
+            # bounds what a byzantine flood can pin in memory.
+            self._checkpoint_proofs.setdefault(
+                (msg.watermark, msg.state_digest), {}).setdefault(
+                msg.replica, envelope)
+        if became_stable:
+            self._on_checkpoint_stable(self.checkpoints.stable)
+        elif self.checkpoints.has_quorum(msg.watermark, msg.state_digest):
+            # The cluster proved a checkpoint we never captured: we are
+            # behind.  If the gap is at least one interval, the prefix
+            # below it may already be truncated everywhere -- catch up
+            # via state transfer instead of waiting for messages that
+            # will never be resent.
+            self._maybe_request_state_transfer(msg.watermark, msg.replica)
+
+    def _on_checkpoint_stable(self, checkpoint: Checkpoint) -> None:
+        self.stats["checkpoints_stable"] += 1
+        self.checkpoint_log.append(
+            (checkpoint.watermark, checkpoint.state_digest))
+        key = (checkpoint.watermark, checkpoint.state_digest)
+        proof = self._checkpoint_proofs.get(key, {})
+        if len(proof) >= self.config.slow_quorum_size:
+            self._stable_proof = tuple(proof.values())
+            self._stable_proof_watermark = checkpoint.watermark
+        self._checkpoint_proofs = {
+            k: v for k, v in self._checkpoint_proofs.items()
+            if k[0] > checkpoint.watermark
+        }
+        self._gc_below(checkpoint)
+
+    def _gc_below(self, checkpoint: Checkpoint) -> None:
+        """Truncate the log below the stable checkpoint's frontier.
+
+        Only contiguously *executed* prefixes are dropped: the frontier
+        is re-clamped locally so a committed-but-unexecuted instance can
+        never be garbage-collected."""
+        frontier = checkpoint.snapshot.get("frontier", {})
+        removed = 0
+        effective: Dict[str, int] = {}
+        for owner, space in self.spaces.items():
+            cut = min(int(frontier.get(owner, 0)),
+                      self._executed_frontier(space))
+            effective[owner] = cut
+            if cut <= space.low_slot:
+                continue
+            for slot in range(space.low_slot, cut):
+                entry = space.get(slot)
+                if entry is not None:
+                    self._log_index.pop(entry.instance, None)
+            removed += space.truncate(cut)
+        if removed:
+            self._pending_spec_orders = {
+                k: v for k, v in self._pending_spec_orders.items()
+                if k[1] >= effective.get(k[0], 0)
+            }
+            self._rebuild_key_index()
+        self.executor.truncate(checkpoint.watermark, effective)
+        self.stats["log_entries_gcd"] += removed
+
+    def _rebuild_key_index(self) -> None:
+        self._key_index = {}
+        for iid, entry in self._log_index.items():
+            if entry.command.key:
+                self._key_index.setdefault(entry.command.key,
+                                           []).append(iid)
+
+    def checkpoint_base_slot(self, owner: str) -> int:
+        """First slot of ``owner``'s space above the last stable
+        checkpoint -- the base of owner-change recovery payloads."""
+        space = self.spaces[owner]
+        base = space.low_slot
+        stable = self.checkpoints.stable
+        if stable is not None:
+            frontier = stable.snapshot.get("frontier", {})
+            base = max(base, int(frontier.get(owner, 0)))
+        return base
+
+    def _maybe_request_state_transfer(self, watermark: int,
+                                      peer: str) -> None:
+        interval = max(1, self.checkpoints.interval)
+        if watermark < self.executor.executed_count + interval:
+            return  # close enough to catch up from live traffic
+        if watermark > self._transfer_requested:
+            self._transfer_requested = watermark
+            self._transfer_peers_asked = set()
+        # One ask per peer, up to f+1 distinct attesters per watermark:
+        # a single unlucky choice (peer without a provable stable
+        # checkpoint) must not strand us for another whole interval.
+        if peer in self._transfer_peers_asked or \
+                len(self._transfer_peers_asked) >= \
+                self.config.weak_quorum_size:
+            return
+        self._transfer_peers_asked.add(peer)
+        request = StateTransferRequest(
+            replica=self.node_id,
+            have_watermark=self.executor.executed_count)
+        self.ctx.send(peer, request)
+
+    def _on_state_transfer_request(self, sender: str,
+                                   request: StateTransferRequest) -> None:
+        if request.replica != sender or \
+                request.replica not in self.config.replica_ids:
+            # Snapshot replies are expensive; an unsigned request with a
+            # spoofed reply target would be a cheap reflection vector.
+            self.stats["invalid_messages"] += 1
+            return
+        stable = self.checkpoints.stable
+        if stable is None or stable.watermark <= request.have_watermark:
+            return
+        if len(self._stable_proof) < self.config.slow_quorum_size or \
+                self._stable_proof_watermark != stable.watermark:
+            return  # cannot prove this checkpoint; let a peer serve it
+        reply = StateTransferReply(
+            replica=self.node_id,
+            watermark=stable.watermark,
+            snapshot=stable.snapshot,
+            proof=self._stable_proof,
+            entries=self._summarize_log_suffix(stable),
+        )
+        self.ctx.send(request.replica, reply)
+        self.stats["state_transfers_served"] += 1
+
+    def _summarize_log_suffix(self, stable: Checkpoint
+                              ) -> Tuple[LogEntrySummary, ...]:
+        """The retained log above the stable checkpoint's frontier, with
+        the strongest proof held per entry -- what a lagging replica
+        needs on top of the snapshot to rejoin live traffic."""
+        frontier = stable.snapshot.get("frontier", {})
+        return tuple(
+            summarize_entry(entry)
+            for owner, space in self.spaces.items()
+            for entry in space.entries()
+            if entry.instance.slot >= int(frontier.get(owner, 0)))
+
+    def _on_state_transfer_reply(self, sender: str,
+                                 reply: StateTransferReply) -> None:
+        if reply.watermark <= self.executor.executed_count:
+            return  # caught up by other means in the meantime
+        behind = reply.watermark >= self.executor.executed_count + \
+            max(1, self.checkpoints.interval)
+        solicited = bool(self._transfer_peers_asked) and \
+            reply.watermark >= self._transfer_requested
+        if not (behind or solicited):
+            # Unsolicited and we are not meaningfully behind: installing
+            # would needlessly discard speculation, pending orders, and
+            # reply-cache results that live execution will cover anyway.
+            return
+        if not self._verify_checkpoint_proof(reply):
+            self.stats["invalid_messages"] += 1
+            return
+        self._install_snapshot(reply)
+
+    def _verify_checkpoint_proof(self, reply: StateTransferReply) -> bool:
+        """2f+1 distinct, valid EZCHECKPOINT signatures binding the
+        reply's watermark to the digest of the shipped snapshot."""
+        state_digest = digest(reply.snapshot)
+        signers = set()
+        for envelope in reply.proof:
+            if not isinstance(envelope, SignedPayload):
+                return False
+            payload = envelope.payload
+            if not isinstance(payload, EzCheckpoint):
+                return False
+            if payload.watermark != reply.watermark or \
+                    payload.state_digest != state_digest:
+                return False
+            if not envelope.verify(self.registry):
+                return False
+            if envelope.signer != payload.replica or \
+                    payload.replica not in self.config.replica_ids:
+                return False
+            signers.add(payload.replica)
+        return len(signers) >= self.config.slow_quorum_size
+
+    def _install_snapshot(self, reply: StateTransferReply) -> None:
+        """Adopt a proven stable checkpoint wholesale (state transfer).
+
+        Restores the application state, truncates every space to the
+        checkpoint's frontier, fast-forwards the executor, installs the
+        transferred log suffix entry-by-entry (each individually
+        verified), and resumes normal execution."""
+        snapshot = reply.snapshot
+        frontier = {owner: int(slot)
+                    for owner, slot in
+                    snapshot.get("frontier", {}).items()}
+        executed_above = {
+            InstanceID(owner, slot)
+            for owner, slot in snapshot.get("executed_above", ())
+        }
+        self.statemachine.rollback_speculative()
+        self.statemachine.restore(snapshot.get("state", {}))
+        for owner, space in self.spaces.items():
+            cut = frontier.get(owner, 0)
+            for slot in range(space.low_slot, cut):
+                entry = space.get(slot)
+                if entry is not None:
+                    self._log_index.pop(entry.instance, None)
+            space.truncate(cut)
+        self._pending_spec_orders = {
+            k: v for k, v in self._pending_spec_orders.items()
+            if k[1] >= frontier.get(k[0], 0)
+        }
+        # Forget cached frontier cursors: entries above the cut that we
+        # had executed locally are being demoted below (their effects
+        # died with the restore), so the contiguous-executed scan must
+        # resume from the installed frontier, not our old progress.
+        self._frontier_cursor = dict(frontier)
+        self.executor.install(
+            reply.watermark, frontier,
+            {c: int(t) for c, t in
+             snapshot.get("client_floors", {}).items()},
+            snapshot.get("client_sparse", {}),
+            executed_above,
+            client_results=snapshot.get("client_results", {}))
+        # Entries we executed locally but that are NOT inside the
+        # snapshot's first ``watermark`` executions lost their effects
+        # with the restore; demote them so they re-apply.
+        for iid, entry in self._log_index.items():
+            if entry.status == EntryStatus.EXECUTED and \
+                    iid not in executed_above:
+                entry.status = EntryStatus.COMMITTED
+        for summary in reply.entries:
+            self._install_transferred_entry(summary, frontier)
+        for iid in executed_above:
+            entry = self._log_index.get(iid)
+            if entry is not None:
+                # Its effect is inside the snapshot state already; mark
+                # executed so it is never re-applied.
+                entry.status = EntryStatus.EXECUTED
+        self._rebuild_key_index()
+        for space in self.spaces.values():
+            while space.expected_slot in space:
+                space.expected_slot += 1
+            if space.owner == self.node_id:
+                space.next_slot = max(space.next_slot,
+                                      space.max_occupied_slot + 1)
+        state_digest = digest(snapshot)
+        self.checkpoints.install_stable(Checkpoint(
+            watermark=reply.watermark, state_digest=state_digest,
+            snapshot=snapshot))
+        self.checkpoint_log.append((reply.watermark, state_digest))
+        self._stable_proof = reply.proof
+        self._stable_proof_watermark = reply.watermark
+        self._transfer_requested = max(self._transfer_requested,
+                                       reply.watermark)
+        self._transfer_peers_asked = set()
+        self.stats["state_transfers_installed"] += 1
+        for space in self.spaces.values():
+            if not space.frozen:
+                self._drain_pending(space)
+        self._advance_execution()
+
+    def _install_transferred_entry(self, summary: LogEntrySummary,
+                                   frontier: Dict[str, int]) -> None:
+        """Install one suffix entry, trusting only verifiable evidence.
+
+        The suffix is not covered by the snapshot digest, so every
+        entry's command/deps/seq are adopted from its *verified* proof
+        (a commit certificate or the owner's signed SPECORDER), never
+        from the unverified summary; proofless summaries are skipped --
+        safety over liveness, the live protocol re-delivers anything
+        still open."""
+        instance = summary.instance
+        if summary.command is None or \
+                instance.slot < frontier.get(instance.owner, 0):
+            return
+        space = self.spaces.get(instance.owner)
+        if space is None:
+            return
+        existing = self._log_index.get(instance)
+        committed = summary.proof_kind == "commit"
+        if existing is not None and (
+                existing.status.at_least(EntryStatus.COMMITTED)
+                or not committed):
+            return  # never downgrade what we already hold
+        if committed:
+            entry = self._entry_from_commit_proof(summary)
+        else:
+            entry = self._entry_from_spec_order_proof(summary)
+        if entry is None:
+            return
+        space.force_put(entry)
+        self._log_index[instance] = entry
+
+    def _entry_from_commit_proof(self, summary: LogEntrySummary
+                                 ) -> Optional[LogEntry]:
+        """A committed suffix entry backed by either a 2f+1 SPECREPLY
+        certificate (fast path evidence) or the client's signed COMMIT
+        (slow path evidence); metadata comes from the certificate."""
+        proof = summary.proof
+        if not proof or not all(isinstance(p, SignedPayload)
+                                for p in proof):
+            return None
+        payloads = [p.payload for p in proof]
+        if all(isinstance(p, SpecReply) for p in payloads):
+            if len(proof) < self.config.slow_quorum_size:
+                return None
+            if not self._validate_reply_certificate(
+                    proof, summary.instance, require_match=True):
+                return None
+            sample: SpecReply = payloads[0]
+            command = summary.command
+            if command.ident != (sample.client_id, sample.timestamp):
+                return None
+            return LogEntry(
+                instance=summary.instance,
+                owner_number=sample.owner_number,
+                command=command, deps=sample.deps, seq=sample.seq,
+                status=EntryStatus.COMMITTED,
+                commit_proof=tuple(proof))
+        if len(proof) == 1 and isinstance(payloads[0], Commit):
+            envelope, commit = proof[0], payloads[0]
+            if not envelope.verify(self.registry) or \
+                    envelope.signer != commit.client_id:
+                return None
+            if commit.instance != summary.instance or \
+                    not self._validate_slow_certificate(commit):
+                return None
+            return LogEntry(
+                instance=summary.instance,
+                owner_number=summary.owner_number,
+                command=commit.command, deps=commit.deps,
+                seq=commit.seq, status=EntryStatus.COMMITTED,
+                commit_proof=tuple(proof))
+        return None
+
+    def _entry_from_spec_order_proof(self, summary: LogEntrySummary
+                                     ) -> Optional[LogEntry]:
+        """An uncommitted suffix entry: only the owner's own signed
+        SPECORDER (or a batch covering the instance) is evidence."""
+        if len(summary.proof) != 1:
+            return None
+        envelope = summary.proof[0]
+        if not isinstance(envelope, SignedPayload) or \
+                not envelope.verify(self.registry):
+            return None
+        payload = envelope.payload
+        if isinstance(payload, BatchSpecOrder):
+            inner = payload.order_for(summary.instance)
+        elif isinstance(payload, SpecOrder) and \
+                payload.instance == summary.instance:
+            inner = payload
+        else:
+            return None
+        if inner is None or envelope.signer != inner.leader:
+            return None
+        if inner.leader != self.config.owner_for_number(
+                inner.owner_number):
+            return None
+        return LogEntry(
+            instance=summary.instance,
+            owner_number=inner.owner_number,
+            command=inner.command, deps=inner.deps, seq=inner.seq,
+            status=EntryStatus.SPEC_ORDERED, spec_order=envelope)
 
     def _send_commit_reply(self, entry: LogEntry, client_id: str) -> None:
         reply = CommitReply(
@@ -740,9 +1245,12 @@ class EzBFTReplica:
         StartOwnerChange.MSG_TYPE: _on_start_owner_change,
         OwnerChange.MSG_TYPE: _on_owner_change,
         NewOwner.MSG_TYPE: _on_new_owner,
+        EzCheckpoint.MSG_TYPE: _on_ez_checkpoint,
     }
     _PLAIN_HANDLERS = {
         CommitFast.MSG_TYPE: _on_commit_fast,
         ResendRequest.MSG_TYPE: _on_resend_request,
         ProofOfMisbehavior.MSG_TYPE: _on_pom,
+        StateTransferRequest.MSG_TYPE: _on_state_transfer_request,
+        StateTransferReply.MSG_TYPE: _on_state_transfer_reply,
     }

@@ -416,7 +416,13 @@ class LogEntrySummary:
 @dataclass(frozen=True)
 class OwnerChange:
     """<OWNERCHANGE> -- a replica's view of the suspect's instance space,
-    sent to the prospective new owner."""
+    sent to the prospective new owner.
+
+    ``base_slot`` is the first slot above the sender's last stable
+    checkpoint: the paper's recovery payload carries only "instances
+    executed or committed since the last checkpoint", so everything
+    below ``base_slot`` is omitted (it is durably executed at a quorum).
+    """
 
     MSG_TYPE = "ez-owner-change"
 
@@ -424,6 +430,7 @@ class OwnerChange:
     suspect: str
     new_owner_number: int
     entries: Tuple[LogEntrySummary, ...]
+    base_slot: int = 0
 
     @property
     def cpu_cost_units(self) -> int:
@@ -436,6 +443,7 @@ class OwnerChange:
             "suspect": self.suspect,
             "new_owner_number": self.new_owner_number,
             "entries": [e.to_wire() for e in self.entries],
+            "base_slot": self.base_slot,
         }
 
     @classmethod
@@ -446,6 +454,7 @@ class OwnerChange:
             new_owner_number=wire["new_owner_number"],
             entries=tuple(LogEntrySummary.from_wire(e)
                           for e in wire["entries"]),
+            base_slot=wire.get("base_slot", 0),
         )
 
 
@@ -462,6 +471,9 @@ class NewOwner:
     new_owner_number: int
     safe_entries: Tuple[LogEntrySummary, ...]
     proof: Tuple[SignedPayload, ...] = ()
+    #: First slot the finalized history covers; slots below it are
+    #: protected by a stable checkpoint and are not re-finalized.
+    base_slot: int = 0
 
     @property
     def cpu_cost_units(self) -> int:
@@ -475,6 +487,7 @@ class NewOwner:
             "new_owner_number": self.new_owner_number,
             "safe_entries": [e.to_wire() for e in self.safe_entries],
             "proof": [p.to_wire() for p in self.proof],
+            "base_slot": self.base_slot,
         }
 
     @classmethod
@@ -487,4 +500,111 @@ class NewOwner:
                                for e in wire["safe_entries"]),
             proof=tuple(SignedPayload.from_wire(p)
                         for p in wire["proof"]),
+            base_slot=wire.get("base_slot", 0),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class EzCheckpoint:
+    """<EZCHECKPOINT, W, d, R> -- replica R attests that after executing
+    its first W commands its application state digests to ``d``.
+
+    2f+1 matching attestations make the checkpoint *stable*: the prefix
+    below W is durable at a quorum, so the log below the checkpoint's
+    per-space frontier can be garbage-collected and owner-change
+    payloads can start above it."""
+
+    MSG_TYPE = "ez-checkpoint"
+    cpu_cost_units = 1
+
+    replica: str
+    watermark: int
+    state_digest: str
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "replica": self.replica,
+            "watermark": self.watermark,
+            "state_digest": self.state_digest,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "EzCheckpoint":
+        return cls(replica=wire["replica"],
+                   watermark=wire["watermark"],
+                   state_digest=wire["state_digest"])
+
+
+@register_message
+@dataclass(frozen=True)
+class StateTransferRequest:
+    """<STATEXFERREQ, R, W> -- replica R is behind (its execution
+    watermark is W) and asks a peer for its latest stable checkpoint, so
+    it can catch up past log prefixes the cluster already truncated."""
+
+    MSG_TYPE = "ez-state-transfer-request"
+    cpu_cost_units = 1
+
+    replica: str
+    have_watermark: int
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "replica": self.replica,
+            "have_watermark": self.have_watermark,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "StateTransferRequest":
+        return cls(replica=wire["replica"],
+                   have_watermark=wire["have_watermark"])
+
+
+@register_message
+@dataclass(frozen=True)
+class StateTransferReply:
+    """<STATEXFERREPLY, W, snapshot, proof> -- a stable checkpoint's full
+    snapshot plus the 2f+1 signed EZCHECKPOINT attestations proving it.
+
+    The reply is self-certifying: the receiver verifies the proof set
+    against the snapshot digest, so it can be served by any single
+    (possibly faulty) peer without trusting it."""
+
+    MSG_TYPE = "ez-state-transfer-reply"
+
+    replica: str
+    watermark: int
+    snapshot: dict
+    proof: Tuple[SignedPayload, ...] = ()
+    #: Retained log above the snapshot's frontier (each entry carries
+    #: its own verifiable evidence; not covered by the state digest).
+    entries: Tuple[LogEntrySummary, ...] = ()
+
+    @property
+    def cpu_cost_units(self) -> int:
+        return max(1, len(self.proof) + len(self.entries))
+
+    def to_wire(self) -> dict:
+        return {
+            "type": self.MSG_TYPE,
+            "replica": self.replica,
+            "watermark": self.watermark,
+            "snapshot": self.snapshot,
+            "proof": [p.to_wire() for p in self.proof],
+            "entries": [e.to_wire() for e in self.entries],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "StateTransferReply":
+        return cls(
+            replica=wire["replica"],
+            watermark=wire["watermark"],
+            snapshot=wire["snapshot"],
+            proof=tuple(SignedPayload.from_wire(p)
+                        for p in wire["proof"]),
+            entries=tuple(LogEntrySummary.from_wire(e)
+                          for e in wire.get("entries", ())),
         )

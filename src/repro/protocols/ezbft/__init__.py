@@ -17,6 +17,7 @@ SPEC = register_protocol(ProtocolSpec(
     leaderless=True,
     speculative=True,
     supports_batching=True,
+    supports_checkpointing=True,
     description="Leaderless speculative BFT: every replica is a "
                 "command-leader; 2-step fast path, 3-step slow path.",
 ))

@@ -11,6 +11,7 @@ SPEC = register_protocol(ProtocolSpec(
     leaderless=False,
     speculative=False,
     supports_batching=True,
+    supports_checkpointing=True,
     description="Primary-based three-phase BFT: "
                 "pre-prepare / prepare / commit, 5-step latency.",
 ))

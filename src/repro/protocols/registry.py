@@ -61,6 +61,10 @@ class ProtocolSpec:
       batched messages in :mod:`repro.messages.batching`; the batching
       workload drivers check this flag (via the client's
       ``submit_batch``) and degrade to per-command submission otherwise.
+    - ``supports_checkpointing``: the replica garbage-collects its log
+      at stable checkpoints (``config.checkpoint_interval``) and keeps
+      resident state bounded; long-running deployments should prefer
+      protocols with this flag.
 
     ``replica_wiring``/``client_wiring`` override the default
     capability-derived constructor kwargs for protocols whose
@@ -73,6 +77,7 @@ class ProtocolSpec:
     leaderless: bool = False
     speculative: bool = False
     supports_batching: bool = False
+    supports_checkpointing: bool = False
     description: str = ""
     replica_wiring: Optional[WiringHook] = field(default=None, repr=False)
     client_wiring: Optional[WiringHook] = field(default=None, repr=False)

@@ -10,7 +10,7 @@ matching digests proving the snapshot is correct.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 from repro.crypto.digest import digest
 
@@ -41,28 +41,67 @@ class CheckpointStore:
     Only the latest stable checkpoint is retained.
     """
 
+    #: Local snapshots retained while waiting for stability.  Bounds
+    #: memory if checkpoints stop stabilizing (e.g. a partitioned
+    #: minority): a late quorum on a pruned watermark simply waits for
+    #: the next boundary.
+    MAX_LOCAL = 8
+    #: Live votes retained per replica.  A byzantine replica attesting
+    #: ever-higher watermarks would otherwise grow the vote and
+    #: attestation maps without bound (nothing below them ever
+    #: stabilizes, so ``_gc`` never prunes them); evicting its oldest
+    #: vote caps the damage at a constant per replica.
+    MAX_VOTES_PER_REPLICA = 16
+
     def __init__(self, quorum: int, interval: int = 128) -> None:
         self.quorum = quorum
         self.interval = interval
         self._local: Dict[int, Checkpoint] = {}
         self._attestations: Dict[tuple, set] = {}
+        #: (replica, watermark) -> digest it attested; one live vote per
+        #: replica per watermark, first vote wins (a byzantine replica
+        #: could otherwise flood arbitrarily many digests per watermark).
+        self._votes: Dict[Tuple[str, int], str] = {}
+        #: Highest watermark we have captured locally.  ``due`` keys off
+        #: this, not ``stable``: stability needs a quorum round-trip, and
+        #: measuring from ``stable`` would re-capture a full O(state)
+        #: snapshot on every execution until the first quorum forms.
+        self.last_captured = 0
         self.stable: Optional[Checkpoint] = None
 
     def due(self, executed_count: int) -> bool:
         """True when ``executed_count`` has crossed a checkpoint boundary."""
         if executed_count == 0 or self.interval <= 0:
             return False
-        last = self.stable.watermark if self.stable else 0
+        last = self.last_captured
+        if self.stable is not None:
+            last = max(last, self.stable.watermark)
         return executed_count - last >= self.interval
 
     def record_local(self, checkpoint: Checkpoint) -> None:
         self._local[checkpoint.watermark] = checkpoint
+        self.last_captured = max(self.last_captured, checkpoint.watermark)
+        if len(self._local) > self.MAX_LOCAL:
+            for watermark in sorted(self._local)[:-self.MAX_LOCAL]:
+                del self._local[watermark]
         self.attest(checkpoint.watermark, checkpoint.state_digest,
                     replica_id="__self__")
 
     def attest(self, watermark: int, state_digest: str,
                replica_id: str) -> bool:
-        """Record a peer attestation; returns True if it became stable."""
+        """Record a peer attestation; returns True if it became stable.
+
+        At most one vote per (replica, watermark) is ever live: the
+        first digest a replica attests at a watermark wins, and
+        conflicting re-votes are dropped.
+        """
+        vote_key = (replica_id, watermark)
+        prior = self._votes.get(vote_key)
+        if prior is not None and prior != state_digest:
+            return False  # equivocating re-vote; first vote stands
+        if prior is None:
+            self._evict_excess_votes(replica_id)
+        self._votes[vote_key] = state_digest
         key = (watermark, state_digest)
         voters = self._attestations.setdefault(key, set())
         voters.add(replica_id)
@@ -75,10 +114,52 @@ class CheckpointStore:
                 return True
         return False
 
+    def has_quorum(self, watermark: int, state_digest: str) -> bool:
+        """True when ``quorum`` replicas attested (watermark, digest) --
+        proof the checkpoint is stable cluster-wide even if we never
+        captured it locally (the lagging-replica signal)."""
+        voters = self._attestations.get((watermark, state_digest), ())
+        return len(voters) >= self.quorum
+
+    def attestation_count(self, watermark: int, state_digest: str) -> int:
+        return len(self._attestations.get((watermark, state_digest), ()))
+
+    def vote_of(self, replica_id: str, watermark: int) -> Optional[str]:
+        """The digest ``replica_id``'s live vote backs at ``watermark``."""
+        return self._votes.get((replica_id, watermark))
+
+    def install_stable(self, checkpoint: Checkpoint) -> None:
+        """Adopt an externally proven stable checkpoint (state transfer)."""
+        if self.stable is not None and \
+                checkpoint.watermark <= self.stable.watermark:
+            return
+        self._local[checkpoint.watermark] = checkpoint
+        self.last_captured = max(self.last_captured, checkpoint.watermark)
+        self.stable = checkpoint
+        self._gc(checkpoint.watermark)
+
+    def _evict_excess_votes(self, replica_id: str) -> None:
+        """Keep at most ``MAX_VOTES_PER_REPLICA`` live votes for one
+        replica, dropping its lowest watermarks first."""
+        watermarks = sorted(w for (rid, w) in self._votes
+                            if rid == replica_id)
+        while len(watermarks) >= self.MAX_VOTES_PER_REPLICA:
+            oldest = watermarks.pop(0)
+            digest_voted = self._votes.pop((replica_id, oldest))
+            voters = self._attestations.get((oldest, digest_voted))
+            if voters is not None:
+                voters.discard(replica_id)
+                if not voters:
+                    del self._attestations[(oldest, digest_voted)]
+
     def _gc(self, stable_watermark: int) -> None:
         self._local = {w: c for w, c in self._local.items()
                        if w >= stable_watermark}
         self._attestations = {
             key: voters for key, voters in self._attestations.items()
             if key[0] >= stable_watermark
+        }
+        self._votes = {
+            key: d for key, d in self._votes.items()
+            if key[1] >= stable_watermark
         }

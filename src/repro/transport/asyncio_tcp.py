@@ -17,7 +17,7 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.cluster.node import NodeContext
 from repro.errors import TransportError
@@ -59,12 +59,29 @@ class AsyncioNode:
         self.node_id = node_id
         self.address = address
         self.addresses = addresses
-        self.loop = loop or asyncio.get_event_loop()
+        self._loop = loop
         self.handler: Optional[Callable[[str, Any], None]] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: Dict[str, asyncio.StreamWriter] = {}
+        #: Per-destination dial lock: two concurrent sends to an
+        #: uncached destination must not open duplicate connections
+        #: (the loser's writer would leak, never closed).
+        self._dial_locks: Dict[str, asyncio.Lock] = {}
+        #: Strong references to in-flight send tasks.  The event loop
+        #: only keeps weak references to tasks, so a fire-and-forget
+        #: ``create_task`` can be garbage-collected mid-send.
+        self._send_tasks: Set[asyncio.Task] = set()
         self.frames_received = 0
         self.frames_sent = 0
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        """The bound event loop, resolved lazily from the running loop
+        (``asyncio.get_event_loop`` outside a running loop is
+        deprecated and binds to the wrong loop under ``asyncio.run``)."""
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
 
     # ------------------------------------------------------------------
     # NodeContext glue
@@ -99,6 +116,9 @@ class AsyncioNode:
             self._on_connection, host, port)
 
     async def stop(self) -> None:
+        for task in list(self._send_tasks):
+            task.cancel()
+        self._send_tasks.clear()
         for writer in self._writers.values():
             writer.close()
         self._writers.clear()
@@ -141,7 +161,9 @@ class AsyncioNode:
         """Fire-and-forget send (queued on the event loop)."""
         if dst not in self.addresses:
             raise TransportError(f"unknown destination {dst!r}")
-        self.loop.create_task(self._send(dst, message))
+        task = self.loop.create_task(self._send(dst, message))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
 
     async def _send(self, dst: str, message: Any) -> None:
         frame = json.dumps({
@@ -160,19 +182,25 @@ class AsyncioNode:
             self._writers.pop(dst, None)
 
     async def _writer_for(self, dst: str) -> asyncio.StreamWriter:
-        writer = self._writers.get(dst)
-        if writer is not None and not writer.is_closing():
+        lock = self._dial_locks.setdefault(dst, asyncio.Lock())
+        async with lock:
+            writer = self._writers.get(dst)
+            if writer is not None and not writer.is_closing():
+                return writer
+            host, port = self.addresses[dst]
+            _, writer = await asyncio.open_connection(host, port)
+            self._writers[dst] = writer
             return writer
-        host, port = self.addresses[dst]
-        _, writer = await asyncio.open_connection(host, port)
-        self._writers[dst] = writer
-        return writer
 
 
 class AsyncioCluster:
     """Convenience wrapper: a full protocol deployment on localhost.
 
-    >>> cluster = AsyncioCluster.ezbft(num_replicas=4)
+    Registry-driven exactly like the simulator's cluster builder: any
+    protocol registered in :mod:`repro.protocols.registry` deploys on
+    real sockets with no per-protocol branching here.
+
+    >>> cluster = AsyncioCluster(protocol="pbft", num_replicas=4)
     >>> await cluster.start()
     >>> client = await cluster.add_client("c0")
     >>> result = await cluster.request(client, "put", "k", "v")
@@ -183,12 +211,18 @@ class AsyncioCluster:
     def __init__(self, protocol: str = "ezbft",
                  num_replicas: int = 4,
                  host: str = "127.0.0.1",
-                 base_port: int = BASE_PORT) -> None:
+                 base_port: int = BASE_PORT,
+                 statemachine_factory: Optional[Callable[[], Any]] = None
+                 ) -> None:
         from repro.config import ProtocolConfig
         from repro.crypto.keys import KeyRegistry
+        from repro.protocols.registry import get_protocol
+        from repro.statemachine.kvstore import KVStore
 
         self.protocol = protocol
+        self.spec = get_protocol(protocol)
         self.host = host
+        self.statemachine_factory = statemachine_factory or KVStore
         self.replica_ids = tuple(f"r{i}" for i in range(num_replicas))
         self.config = ProtocolConfig(
             replica_ids=self.replica_ids,
@@ -204,17 +238,27 @@ class AsyncioCluster:
         self.replicas: Dict[str, Any] = {}
         self.clients: Dict[str, Any] = {}
 
-    async def start(self) -> None:
-        from repro.core.replica import EzBFTReplica
+    def _wiring(self, target_replica: Optional[str] = None):
+        from repro.protocols.registry import WiringContext
         from repro.statemachine.interference import KVInterference
-        from repro.statemachine.kvstore import KVStore
 
+        return WiringContext(
+            config=self.config,
+            primary_index=0,
+            interference=KVInterference(),
+            target_replica=target_replica,
+        )
+
+    async def start(self) -> None:
+        wiring = self._wiring()
         for rid in self.replica_ids:
             node = AsyncioNode(rid, self.addresses[rid], self.addresses)
             keypair = self.registry.create(rid, seed=b"tcp-demo")
-            replica = EzBFTReplica(
+            replica = self.spec.replica_cls(
                 rid, self.config, node.context(), keypair,
-                self.registry, KVStore(), KVInterference())
+                self.registry,
+                statemachine=self.statemachine_factory(),
+                **self.spec.replica_kwargs(wiring))
             node.handler = replica.on_message
             await node.start()
             self.nodes[rid] = node
@@ -222,17 +266,16 @@ class AsyncioCluster:
 
     async def add_client(self, client_id: str,
                          target_replica: Optional[str] = None):
-        from repro.core.client import EzBFTClient
-
         address = (self.host, self._next_port)
         self._next_port += 1
         self.addresses[client_id] = address
         node = AsyncioNode(client_id, address, self.addresses)
         keypair = self.registry.create(client_id, seed=b"tcp-demo")
-        client = EzBFTClient(
-            client_id, self.config, node.context(), keypair,
-            self.registry,
+        wiring = self._wiring(
             target_replica=target_replica or self.replica_ids[0])
+        client = self.spec.client_cls(
+            client_id, self.config, node.context(), keypair,
+            self.registry, **self.spec.client_kwargs(wiring))
         node.handler = client.on_message
         await node.start()
         self.nodes[client_id] = node
@@ -242,7 +285,7 @@ class AsyncioCluster:
     async def request(self, client, op: str, key: str = "",
                       value: Any = None, timeout: float = 10.0):
         """Submit one command and await its (result, latency, path)."""
-        loop = asyncio.get_event_loop()
+        loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
 
         def on_delivery(command, result, latency, path):

@@ -1,0 +1,561 @@
+"""ezBFT checkpointing, log compaction, and state transfer.
+
+The paper's owner-change payloads carry "instances executed or committed
+since the last checkpoint"; these tests pin the machinery behind that:
+periodic EZCHECKPOINT attestations, garbage collection below stable
+checkpoints, shrunken recovery payloads, and snapshot-based catch-up for
+replicas that fell behind a truncated log.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.instance import EntryStatus, LogEntry
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import EzCheckpoint, StateTransferReply
+from repro.statemachine.base import Command
+from repro.statemachine.checkpoint import Checkpoint
+from repro.types import InstanceID
+
+from helpers import DeliveryLog, assert_replicas_consistent, lan_cluster
+
+INTERVAL = 8
+
+
+def run_commands(cluster, client, n, key_fn=lambda i: f"k{i % 4}",
+                 start=0):
+    for i in range(start, start + n):
+        client.submit(client.next_command("put", key_fn(i), i))
+        cluster.run_until_idle()
+
+
+# ----------------------------------------------------------------------
+# Stability, agreement, and GC
+# ----------------------------------------------------------------------
+def test_checkpoints_stabilize_and_gc_log():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", on_delivery=log.hook("c0"))
+    run_commands(cluster, client, 5 * INTERVAL)
+    assert log.results == ["OK"] * 5 * INTERVAL
+    for replica in cluster.replicas.values():
+        stable = replica.checkpoints.stable
+        assert stable is not None
+        assert stable.watermark >= 4 * INTERVAL
+        assert replica.stats["checkpoints_stable"] >= 4
+        assert replica.stats["log_entries_gcd"] >= 3 * INTERVAL
+        # Everything below the stable frontier is gone from every
+        # resident structure.
+        frontier = stable.snapshot["frontier"]
+        for owner, space in replica.spaces.items():
+            assert space.low_slot == frontier[owner]
+            assert all(e.instance.slot >= frontier[owner]
+                       for e in space.entries())
+        assert all(iid.slot >= frontier[iid.owner]
+                   for iid in replica._log_index)
+        assert len(replica.executor.history) < 2 * INTERVAL
+    assert_replicas_consistent(cluster)
+
+
+def test_stable_checkpoint_digests_agree_at_every_watermark():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    client = cluster.add_client("c0", "local")
+    run_commands(cluster, client, 4 * INTERVAL)
+    logs = {rid: r.checkpoint_log for rid, r in cluster.replicas.items()}
+    by_watermark = {}
+    for rid, entries in logs.items():
+        assert entries, f"{rid} stabilized no checkpoints"
+        for watermark, state_digest in entries:
+            by_watermark.setdefault(watermark, set()).add(state_digest)
+    for watermark, digests in by_watermark.items():
+        assert len(digests) == 1, (
+            f"digest disagreement at watermark {watermark}: {digests}")
+
+
+def test_history_prefixes_align_after_truncation():
+    """Absolute execution positions stay comparable across replicas
+    after each truncates a different-age prefix."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    client = cluster.add_client("c0", "local")
+    # Single hot key -> totally ordered (interfering) history.
+    run_commands(cluster, client, 4 * INTERVAL, key_fn=lambda i: "hot")
+    replicas = list(cluster.replicas.values())
+    for replica in replicas:
+        assert replica.executor.executed_count == 4 * INTERVAL
+        assert replica.executor.history_offset > 0
+    by_position = {}
+    for replica in replicas:
+        offset = replica.executor.history_offset
+        for pos, (iid, ident) in enumerate(replica.executor.history):
+            by_position.setdefault(offset + pos, set()).add((iid, ident))
+    for position, observed in by_position.items():
+        assert len(observed) == 1, (
+            f"divergent execution at position {position}: {observed}")
+
+
+def test_gc_retains_reply_cache_and_exactly_once_state():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", on_delivery=log.hook("c0"))
+    run_commands(cluster, client, 3 * INTERVAL)
+    replica = cluster.replicas["r0"]
+    assert replica.stats["log_entries_gcd"] > 0
+    # The per-client reply cache and timestamp floor survive GC, so a
+    # duplicate of the latest request is answered from cache...
+    assert "c0" in replica._client_reply_cache
+    assert replica._client_ts["c0"] == 3 * INTERVAL
+    # ...and every executed command is still deduplicated even though
+    # the ident set was compacted to a per-client floor.
+    for timestamp in range(1, 3 * INTERVAL + 1):
+        assert replica.executor.has_executed(("c0", timestamp))
+    assert not replica.executor.has_executed(("c0", 3 * INTERVAL + 1))
+
+
+def test_checkpointing_disabled_with_zero_interval():
+    cluster = lan_cluster(checkpoint_interval=0)
+    client = cluster.add_client("c0", "local")
+    run_commands(cluster, client, 3 * INTERVAL)
+    for replica in cluster.replicas.values():
+        assert replica.stats["checkpoints"] == 0
+        assert replica.stats["log_entries_gcd"] == 0
+        assert len(replica._log_index) == 3 * INTERVAL
+
+
+def test_no_gc_without_attestation_quorum():
+    """A replica that never hears peer attestations captures local
+    checkpoints but must not stabilize or garbage-collect."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    deaf = cluster.replicas["r0"]
+    original = deaf.on_message
+
+    def drop_attestations(sender, message):
+        payload = getattr(message, "payload", None)
+        if isinstance(payload, EzCheckpoint):
+            return
+        original(sender, message)
+
+    cluster.network.set_handler("r0", drop_attestations)
+    client = cluster.add_client("c0", "local", target_replica="r1")
+    run_commands(cluster, client, 3 * INTERVAL)
+    assert deaf.stats["checkpoints"] >= 2  # it still captures locally
+    assert deaf.checkpoints.stable is None  # only its own vote
+    assert deaf.stats["log_entries_gcd"] == 0
+    assert all(s.low_slot == 0 for s in deaf.spaces.values())
+    # Its peers heard each other and garbage-collected normally.
+    assert cluster.replicas["r1"].stats["log_entries_gcd"] > 0
+
+
+# ----------------------------------------------------------------------
+# Owner-change payloads above the stable checkpoint
+# ----------------------------------------------------------------------
+def test_owner_change_payload_starts_above_stable_checkpoint():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r1",
+                                on_delivery=log.hook("c0"))
+    run_commands(cluster, client, 4 * INTERVAL)
+    replica = cluster.replicas["r0"]
+    base = replica.checkpoint_base_slot("r1")
+    assert base >= 2 * INTERVAL
+    summaries = replica.owner_changes._summarize_space("r1", base)
+    # The recovery payload covers only the post-checkpoint suffix, not
+    # the whole executed history.
+    assert len(summaries) <= 2 * INTERVAL
+    assert all(s.instance.slot >= base for s in summaries)
+
+
+def test_owner_change_after_gc_preserves_consistency():
+    """Depose an owner whose space has been GC'd: the finalized history
+    must not resurrect (or no-op over) checkpoint-covered slots."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r1",
+                                on_delivery=log.hook("c0"))
+    run_commands(cluster, client, 3 * INTERVAL)
+    assert log.results == ["OK"] * 3 * INTERVAL
+    state_before = assert_replicas_consistent(cluster)
+    for rid in ("r0", "r2", "r3"):
+        cluster.replicas[rid].owner_changes.suspect("r1")
+    cluster.run_until_idle()
+    for rid in ("r0", "r2", "r3"):
+        space = cluster.replicas[rid].spaces["r1"]
+        assert space.frozen
+        assert space.owner_number == 2
+        # No noop backfill below the checkpoint base.
+        assert all(not e.command.is_noop or e.instance.slot >=
+                   cluster.replicas[rid].checkpoint_base_slot("r1")
+                   for e in space.entries())
+    assert assert_replicas_consistent(cluster) == state_before
+
+
+# ----------------------------------------------------------------------
+# State transfer
+# ----------------------------------------------------------------------
+def test_partitioned_replica_rejoins_via_state_transfer():
+    """The tentpole recovery scenario: a replica is partitioned while
+    the cluster GCs past it, then rejoins.  Without state transfer it
+    would wait forever for truncated SPECORDERs; with it, it installs
+    the latest stable snapshot and resumes live execution."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r0",
+                                on_delivery=log.hook("c0"))
+    cluster.network.isolate("r3")
+    run_commands(cluster, client, 4 * INTERVAL)
+    lagging = cluster.replicas["r3"]
+    assert lagging.executor.executed_count == 0
+    assert cluster.replicas["r0"].checkpoints.stable.watermark >= \
+        3 * INTERVAL
+    cluster.network.heal("r3")
+    run_commands(cluster, client, 2 * INTERVAL, start=4 * INTERVAL)
+    assert lagging.stats["state_transfers_installed"] >= 1
+    assert sum(r.stats["state_transfers_served"]
+               for r in cluster.replicas.values()) >= 1
+    assert lagging.executor.executed_count == 6 * INTERVAL
+    assert_replicas_consistent(cluster)
+    # The rejoined replica now holds a stable checkpoint of its own and
+    # participates in later ones.
+    assert lagging.checkpoints.stable is not None
+
+
+def test_state_transfer_reply_with_insufficient_proof_rejected():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    client = cluster.add_client("c0", "local")
+    run_commands(cluster, client, INTERVAL)
+    replica = cluster.replicas["r0"]
+    bogus = StateTransferReply(
+        replica="r1", watermark=10 ** 6,
+        snapshot={"state": {"evil": 1}, "frontier": {},
+                  "client_floors": {}, "client_sparse": {},
+                  "executed_above": []},
+        proof=())
+    before = dict(replica.stats)
+    replica.on_message("r1", bogus)
+    assert replica.stats["invalid_messages"] == \
+        before["invalid_messages"] + 1
+    assert replica.stats["state_transfers_installed"] == 0
+    assert replica.statemachine.get_final("evil") is None
+
+
+def test_state_transfer_reply_with_forged_signatures_rejected():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    client = cluster.add_client("c0", "local")
+    run_commands(cluster, client, INTERVAL)
+    replica = cluster.replicas["r0"]
+    snapshot = {"state": {"evil": 1}, "frontier": {},
+                "client_floors": {}, "client_sparse": {},
+                "executed_above": []}
+    from repro.crypto.digest import digest as _digest
+    # r1's key signs attestations *claiming* to be from every replica:
+    # distinct-signer validation must reject the quorum.
+    r1 = cluster.replicas["r1"]
+    forged = tuple(
+        SignedPayload.create(
+            EzCheckpoint(replica=rid, watermark=10 ** 6,
+                         state_digest=_digest(snapshot)),
+            r1.keypair)
+        for rid in cluster.config.replica_ids)
+    bogus = StateTransferReply(replica="r1", watermark=10 ** 6,
+                               snapshot=snapshot, proof=forged)
+    replica.on_message("r1", bogus)
+    assert replica.stats["state_transfers_installed"] == 0
+    assert replica.statemachine.get_final("evil") is None
+
+
+def test_capture_lands_on_interval_boundary_mid_wave():
+    """A single commit wave can execute past an interval boundary; the
+    capture must still happen exactly at the boundary watermark, or the
+    attestation never matches other replicas' and GC wedges."""
+    cluster = lan_cluster(checkpoint_interval=4)
+    replica = cluster.replicas["r2"]
+    entries = []
+    prev = None
+    for slot in range(6):  # one dependency chain, executed as one wave
+        command = Command(client_id="cw", timestamp=slot + 1, op="put",
+                          key="hot", value=slot)
+        entry = LogEntry(
+            instance=InstanceID("r0", slot), owner_number=0,
+            command=command,
+            deps=(prev,) if prev is not None else (),
+            seq=slot + 1, status=EntryStatus.COMMITTED)
+        replica.spaces["r0"].put(entry)
+        replica._index_entry(entry)
+        prev = entry.instance
+        entries.append(entry)
+    replica._advance_execution(entries)
+    assert replica.executor.executed_count == 6
+    assert replica.stats["checkpoints"] == 1
+    assert replica.checkpoints.last_captured == 4  # not 6
+
+
+def test_byzantine_watermark_flood_is_bounded():
+    from repro.statemachine.checkpoint import CheckpointStore
+
+    store = CheckpointStore(quorum=3, interval=10)
+    for k in range(200):
+        store.attest(10 * (k + 1), f"d{k}", "byz")
+    live = [key for key in store._votes if key[0] == "byz"]
+    assert len(live) <= CheckpointStore.MAX_VOTES_PER_REPLICA
+    assert len(store._attestations) <= CheckpointStore.MAX_VOTES_PER_REPLICA
+    # The surviving votes are the most recent ones.
+    assert max(w for _, w in live) == 2000
+
+
+def test_state_transfer_asks_multiple_peers_but_each_once():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    replica = cluster.replicas["r0"]
+    target = replica.executor.executed_count + 10 * INTERVAL
+    replica._maybe_request_state_transfer(target, "r1")
+    replica._maybe_request_state_transfer(target, "r1")  # duplicate
+    replica._maybe_request_state_transfer(target, "r2")
+    assert replica._transfer_peers_asked == {"r1", "r2"}
+    # Capped at f+1 distinct peers per watermark.
+    replica._maybe_request_state_transfer(target, "r3")
+    assert len(replica._transfer_peers_asked) == \
+        cluster.config.weak_quorum_size
+    # A higher watermark resets the ask set.
+    replica._maybe_request_state_transfer(target + INTERVAL, "r3")
+    assert replica._transfer_peers_asked == {"r3"}
+
+
+def test_gap_fill_never_noops_checkpoint_covered_slots():
+    """A slot GC'd at one owner-change reporter (covered by its stable
+    checkpoint) but lacking a quorum of candidates must be omitted from
+    the finalized history, not finalized as a no-op: a no-op there
+    would overwrite the durably executed command at lagging replicas."""
+    from repro.messages.ezbft import LogEntrySummary, OwnerChange
+
+    cluster = lan_cluster()
+    manager = cluster.replicas["r2"].owner_changes
+    cmd = Command(client_id="ca", timestamp=1, op="put", key="k",
+                  value="real")
+    top = Command(client_id="cb", timestamp=1, op="put", key="k2",
+                  value="top")
+
+    def entry(slot, command, kind, status):
+        return LogEntrySummary(
+            instance=InstanceID("r1", slot), command=command, deps=(),
+            seq=1, status=status, owner_number=1, proof_kind=kind)
+
+    messages = [
+        # Reporter X GC'd slots < 3 at its stable checkpoint.
+        OwnerChange(sender="r0", suspect="r1", new_owner_number=2,
+                    base_slot=3,
+                    entries=(entry(4, top, "commit", "committed"),)),
+        # Reporter Y still holds slot 1 spec-ordered only (it missed
+        # the commit) -- a single candidate, below Condition 2's bar.
+        OwnerChange(sender="r3", suspect="r1", new_owner_number=2,
+                    base_slot=0,
+                    entries=(entry(1, cmd, "spec-order", "spec-ordered"),
+                             entry(4, top, "commit", "committed"))),
+    ]
+    safe = manager._select_safe_history(messages, base_slot=0)
+    by_slot = {s.instance.slot: s for s in safe}
+    # Slot 1 is checkpoint-covered at reporter X: omitted, never nooped.
+    assert 1 not in by_slot
+    # Slots >= the highest reported base still get the paper's no-op
+    # gap fill (slot 3), and real candidates survive (slot 4).
+    assert by_slot[3].command.is_noop
+    assert by_slot[4].command == top
+
+
+def test_install_resets_frontier_cursor():
+    """After a state transfer, the cached contiguous-executed cursor
+    must restart at the installed frontier -- entries above it were
+    demoted for re-execution, and a stale cursor would let a capture
+    (or GC clamp) claim them executed while they are not."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r0",
+                                on_delivery=log.hook("c0"))
+    cluster.network.isolate("r3")
+    run_commands(cluster, client, 3 * INTERVAL)
+    lagging = cluster.replicas["r3"]
+    lagging._frontier_cursor["r0"] = 10 ** 6  # poison: stale progress
+    cluster.network.heal("r3")
+    run_commands(cluster, client, INTERVAL, start=3 * INTERVAL)
+    assert lagging.stats["state_transfers_installed"] >= 1
+    frontier = lagging.checkpoints.stable.snapshot["frontier"]
+    # The cursor was re-anchored and tracks the true frontier again.
+    assert lagging._frontier_cursor["r0"] <= \
+        lagging.spaces["r0"].expected_slot
+    assert lagging._executed_frontier(lagging.spaces["r0"]) >= \
+        frontier["r0"]
+    assert_replicas_consistent(cluster)
+
+
+def test_replayed_commit_below_checkpoint_does_not_resurrect_slot():
+    """A client's retransmitted slow-path COMMIT for a GC'd instance
+    must not re-install the slot: that would inflate this replica's
+    execution count and desync every later checkpoint watermark."""
+    from repro.byzantine import SilentReplica, install_byzantine
+    from repro.messages.ezbft import Commit
+
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r0",
+                                on_delivery=log.hook("c0"))
+    # Force slow-path commits (no fast quorum) so the client mints
+    # signed COMMITs, and capture them off the wire for replay.
+    install_byzantine(cluster, "r3", SilentReplica)
+    replica = cluster.replicas["r0"]
+    original = replica.on_message
+    commits = []
+
+    def capturing(sender, message):
+        payload = getattr(message, "payload", None)
+        if isinstance(payload, Commit):
+            commits.append((sender, message))
+        original(sender, message)
+
+    cluster.network.set_handler("r0", capturing)
+    run_commands(cluster, client, 2 * INTERVAL)
+    assert "slow" in log.paths
+    assert replica.stats["log_entries_gcd"] > 0
+    # Pick a captured commit whose slot has since been GC'd.
+    low = replica.spaces["r0"].low_slot
+    assert low > 0
+    replayable = [(s, m) for s, m in commits
+                  if m.payload.instance.slot < low]
+    assert replayable
+    count_before = replica.executor.executed_count
+    for sender, envelope in replayable:
+        capturing(sender, envelope)  # genuine signed commit, replayed
+    cluster.run_until_idle()
+    assert replica.executor.executed_count == count_before
+    assert all(m.payload.instance not in replica._log_index
+               for _, m in replayable)
+    assert replica.spaces["r0"].low_slot >= low
+
+
+def test_replayed_self_attestation_is_not_a_second_vote():
+    """A byzantine peer replaying r0's own signed EZCHECKPOINT back at
+    r0 must not count as a voter distinct from r0's '__self__' vote --
+    that would fake a 2f+1 quorum out of f+1 real replicas."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    deaf = cluster.replicas["r0"]
+    original = deaf.on_message
+    captured = []
+
+    def intercept(sender, message):
+        payload = getattr(message, "payload", None)
+        if isinstance(payload, EzCheckpoint):
+            if payload.replica == "r0":
+                captured.append(message)
+            return  # silence real peer attestations
+        original(sender, message)
+
+    cluster.network.set_handler("r0", intercept)
+    # r0's outgoing attestations pass through the network loopback?  No
+    # -- broadcast excludes self, so grab them from a peer's inbox via
+    # the proof store after a capture instead: simplest is to replay
+    # r0's own envelope, which we reconstruct by signing as r0 does.
+    client = cluster.add_client("c0", "local", target_replica="r1")
+    run_commands(cluster, client, 2 * INTERVAL)
+    assert deaf.stats["checkpoints"] >= 1
+    own = deaf._checkpoint_proofs  # r0's own envelopes live here
+    replayed = [env for bucket in own.values() for env in bucket.values()
+                if env.signer == "r0"]
+    assert replayed
+    before = deaf.checkpoints.attestation_count(
+        replayed[0].payload.watermark, replayed[0].payload.state_digest)
+    for env in replayed:
+        original("byz", env)  # byzantine replay of r0's own attestation
+        original("byz", env)
+    after = deaf.checkpoints.attestation_count(
+        replayed[0].payload.watermark, replayed[0].payload.state_digest)
+    assert after == before  # no extra voters appeared
+    assert deaf.checkpoints.stable is None
+
+
+def test_state_transfer_request_with_spoofed_target_rejected():
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    client = cluster.add_client("c0", "local")
+    run_commands(cluster, client, 2 * INTERVAL)
+    from repro.messages.ezbft import StateTransferRequest
+    serving = cluster.replicas["r1"]
+    assert serving.checkpoints.stable is not None
+    before = serving.stats["state_transfers_served"]
+    # Sender does not match the claimed reply target.
+    serving.on_message("r2", StateTransferRequest(replica="r3",
+                                                  have_watermark=0))
+    # Target is not a replica at all.
+    serving.on_message("c0", StateTransferRequest(replica="c0",
+                                                  have_watermark=0))
+    assert serving.stats["state_transfers_served"] == before
+
+
+def test_forged_log_suffix_entries_are_rejected():
+    """The suffix is outside the digest-proven snapshot: a faulty peer
+    shipping a genuine snapshot plus fabricated 'committed' entries
+    must not get them installed."""
+    cluster = lan_cluster(checkpoint_interval=INTERVAL)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local", target_replica="r0",
+                                on_delivery=log.hook("c0"))
+    cluster.network.isolate("r3")
+    run_commands(cluster, client, 3 * INTERVAL)
+    serving = cluster.replicas["r1"]
+    stable = serving.checkpoints.stable
+    assert stable is not None
+    evil = Command(client_id="cx", timestamp=1, op="put", key="pwned",
+                   value="yes")
+    from repro.messages.ezbft import LogEntrySummary
+    forged = LogEntrySummary(
+        instance=InstanceID("r0", stable.snapshot["frontier"]["r0"] + 1),
+        command=evil, deps=(), seq=1, status="committed",
+        owner_number=0, proof_kind="commit",
+        # Validly signed -- but not a commit certificate for this entry.
+        proof=tuple(serving._stable_proof[:3]))
+    reply = StateTransferReply(
+        replica="r1", watermark=stable.watermark,
+        snapshot=stable.snapshot, proof=serving._stable_proof,
+        entries=(forged,))
+    lagging = cluster.replicas["r3"]
+    lagging.on_message("r1", reply)
+    # The proven snapshot installs; the fabricated entry does not.
+    assert lagging.stats["state_transfers_installed"] == 1
+    assert lagging.executor.executed_count == stable.watermark
+    assert forged.instance not in lagging._log_index
+    assert lagging.statemachine.get_final("pwned") is None
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: GC never drops an unexecuted committed instance
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(statuses=st.lists(
+    st.sampled_from([EntryStatus.EXECUTED, EntryStatus.COMMITTED,
+                     EntryStatus.SPEC_ORDERED]),
+    min_size=1, max_size=24),
+    claimed_cut=st.integers(min_value=0, max_value=30))
+def test_gc_never_drops_unexecuted_committed_instance(statuses,
+                                                      claimed_cut):
+    cluster = lan_cluster()
+    replica = cluster.replicas["r2"]
+    space = replica.spaces["r0"]
+    for slot, status in enumerate(statuses):
+        command = Command(client_id="cq", timestamp=slot + 1, op="put",
+                          key=f"k{slot}", value=slot)
+        entry = LogEntry(instance=InstanceID("r0", slot),
+                         owner_number=0, command=command, deps=(),
+                         seq=slot + 1, status=status)
+        space.put(entry)
+        replica._index_entry(entry)
+        if status == EntryStatus.EXECUTED:
+            replica.executor.executed.add(entry.instance)
+    committed_unexecuted = {
+        InstanceID("r0", slot) for slot, status in enumerate(statuses)
+        if status != EntryStatus.EXECUTED
+    }
+    # An (over-)aggressive frontier claim: GC must clamp to the local
+    # contiguous-executed prefix regardless.
+    checkpoint = Checkpoint.capture(0, {
+        "state": {}, "frontier": {"r0": claimed_cut},
+        "client_floors": {}, "client_sparse": {}, "executed_above": []})
+    replica._gc_below(checkpoint)
+    for iid in committed_unexecuted:
+        assert iid in replica._log_index, (
+            f"GC dropped unexecuted instance {iid}")
+        assert space.get(iid.slot) is not None

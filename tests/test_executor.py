@@ -149,3 +149,66 @@ def test_result_of_and_has_executed():
     assert executor.has_executed(("cq", 3))
     assert executor.result_of(("cq", 3)) == "OK"
     assert not executor.has_executed(("cq", 4))
+
+
+# ----------------------------------------------------------------------
+# Checkpoint truncation and state-transfer install
+# ----------------------------------------------------------------------
+def test_truncate_gcs_bookkeeping_but_keeps_dedup():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    entries = [committed("r0", slot, slot + 1, client="cq", ts=slot + 1,
+                         key=f"k{slot}")
+               for slot in range(6)]
+    executor.try_execute(index_of(*entries))
+    assert executor.executed_count == 6
+    executor.truncate(4, {"r0": 4})
+    # Absolute accounting is preserved; resident structures shrink.
+    assert executor.executed_count == 6
+    assert executor.history_offset == 4
+    assert len(executor.history) == 2
+    assert executor.executed == {InstanceID("r0", 4), InstanceID("r0", 5)}
+    # Exactly-once dedup still covers truncated commands.
+    for ts in range(1, 7):
+        assert executor.has_executed(("cq", ts))
+    assert not executor.has_executed(("cq", 7))
+    # The latest result per client is retained (reply-cache contract).
+    assert executor.result_of(("cq", 6)) == "OK"
+
+
+def test_truncated_instances_count_as_executed_dependencies():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    executor.truncate(3, {"r0": 3})
+    # An entry depending on a GC'd (durably executed) instance runs.
+    e = committed("r1", 0, 5, deps=[InstanceID("r0", 1)])
+    done = executor.try_execute(index_of(e))
+    assert [d.instance for d in done] == [e.instance]
+
+
+def test_install_fast_forwards_past_snapshot():
+    kv = KVStore()
+    executor = DependencyExecutor(kv)
+    kv.restore({"k0": "transferred"})
+    executor.install(
+        10, {"r0": 4},
+        client_floors={"cq": 8}, client_sparse={"cq": [10]},
+        executed_above=[InstanceID("r0", 5)],
+        client_results={"cq": "OK"})
+    # The latest result per client survives the transfer, so a
+    # duplicate commit of the client's newest command replies with the
+    # real result, not None.
+    assert executor.result_of(("cq", 10)) == "OK"
+    assert executor.executed_count == 10
+    assert executor.has_executed(("cq", 8))
+    assert not executor.has_executed(("cq", 9))
+    assert executor.has_executed(("cq", 10))
+    assert executor.is_executed_instance(InstanceID("r0", 2))
+    assert executor.is_executed_instance(InstanceID("r0", 5))
+    assert not executor.is_executed_instance(InstanceID("r0", 6))
+    # The floor advances contiguously as the gap fills.
+    e = committed("r1", 0, 1, client="cq", ts=9)
+    executor.try_execute(index_of(e))
+    assert executor.has_executed(("cq", 9))
+    assert executor._client_floor["cq"] == 10
+    assert not executor._client_sparse.get("cq")

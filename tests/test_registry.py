@@ -86,6 +86,12 @@ def test_capability_flags():
     assert get_protocol("pbft").supports_batching
     assert get_protocol("zyzzyva").speculative
     assert not get_protocol("fab").supports_batching
+    # Checkpoint-driven log compaction: ezBFT and PBFT garbage-collect
+    # at stable checkpoints; the other baselines do not (yet).
+    assert get_protocol("ezbft").supports_checkpointing
+    assert get_protocol("pbft").supports_checkpointing
+    assert not get_protocol("zyzzyva").supports_checkpointing
+    assert not get_protocol("fab").supports_checkpointing
 
 
 def test_wiring_kwargs_follow_capabilities():

@@ -247,3 +247,64 @@ def test_checkpoint_gc_drops_older_state():
     store.record_local(Checkpoint.capture(20, {"a": 2}))
     assert store.stable.watermark == 20
     assert 10 not in store._local
+
+
+def test_checkpoint_due_measured_from_last_capture_not_stability():
+    """Regression: ``due`` used to key off ``stable``, so until the
+    first quorum formed every executed command past the first interval
+    re-captured a full O(state) snapshot (the re-capture storm)."""
+    store = CheckpointStore(quorum=3, interval=10)
+    assert store.due(10)
+    store.record_local(Checkpoint.capture(10, {"a": 1}))
+    assert store.stable is None  # quorum has not formed yet
+    # Not due again until a whole further interval has executed, even
+    # though nothing is stable.
+    for executed in range(10, 20):
+        assert not store.due(executed)
+    assert store.due(20)
+    store.record_local(Checkpoint.capture(20, {"a": 2}))
+    assert not store.due(29)
+
+
+def test_checkpoint_attest_one_live_vote_per_replica_watermark():
+    """A byzantine replica attesting many digests at one watermark gets
+    exactly one live vote: the first digest it backed."""
+    store = CheckpointStore(quorum=3, interval=10)
+    cp = Checkpoint.capture(10, {"k": "v"})
+    store.record_local(cp)
+    store.attest(10, cp.state_digest, "r1")
+    for i in range(50):
+        store.attest(10, f"bogus-{i}", "byz")
+    # The flood created no extra live votes and cannot stack toward a
+    # quorum on any digest.
+    assert store.vote_of("byz", 10) == "bogus-0"
+    assert store.attestation_count(10, "bogus-0") == 1
+    assert all(store.attestation_count(10, f"bogus-{i}") == 0
+               for i in range(1, 50))
+    # The honest digest still stabilizes with honest votes.
+    assert store.attest(10, cp.state_digest, "r2")
+    assert store.stable is cp
+
+
+def test_checkpoint_attest_flip_flop_cannot_stabilize_two_digests():
+    store = CheckpointStore(quorum=2, interval=10)
+    cp = Checkpoint.capture(10, {"k": "v"})
+    store.record_local(cp)
+    # byz first votes for a bogus digest, then tries the real one: the
+    # re-vote is ignored, so byz contributes nothing to the quorum.
+    store.attest(10, "bogus", "byz")
+    assert not store.attest(10, cp.state_digest, "byz")
+    assert store.stable is None
+    assert store.attest(10, cp.state_digest, "r1")
+
+
+def test_checkpoint_install_stable_adopts_newer_only():
+    store = CheckpointStore(quorum=1, interval=10)
+    store.record_local(Checkpoint.capture(20, {"a": 2}))
+    assert store.stable.watermark == 20
+    store.install_stable(Checkpoint.capture(10, {"a": 1}))
+    assert store.stable.watermark == 20  # older ignored
+    store.install_stable(Checkpoint.capture(30, {"a": 3}))
+    assert store.stable.watermark == 30
+    assert not store.due(35)
+    assert store.due(40)

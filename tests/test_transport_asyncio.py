@@ -133,3 +133,85 @@ def test_tcp_reads_after_writes():
         return result
 
     assert run(scenario()) == 5
+
+
+@pytest.mark.parametrize("offset,protocol", [
+    (60, "ezbft"), (70, "pbft"), (80, "zyzzyva"), (90, "fab"),
+])
+def test_every_registered_protocol_runs_over_tcp(offset, protocol):
+    """The cluster wrapper is registry-driven: every builtin protocol
+    deploys on real sockets with no transport-side branching."""
+    async def scenario():
+        cluster = AsyncioCluster(protocol=protocol, num_replicas=4,
+                                 base_port=BASE_PORT + offset)
+        await cluster.start()
+        client = await cluster.add_client("c0")
+        put_result, _, _ = await cluster.request(client, "put", "k", "v")
+        get_result, _, _ = await cluster.request(client, "get", "k")
+        await cluster.stop()
+        return put_result, get_result
+
+    assert run(scenario()) == ("OK", "v")
+
+
+def test_concurrent_sends_share_one_connection():
+    """Regression: two concurrent sends to an uncached destination used
+    to dial duplicate connections and leak one writer."""
+    async def scenario():
+        from repro.statemachine.base import Command
+        from repro.messages.ezbft import Request
+
+        addresses = {"a": ("127.0.0.1", BASE_PORT + 100),
+                     "b": ("127.0.0.1", BASE_PORT + 101)}
+        received = []
+        node_a = AsyncioNode("a", addresses["a"], addresses)
+        node_b = AsyncioNode("b", addresses["b"], addresses)
+        node_b.handler = lambda sender, msg: received.append(msg)
+        await node_a.start()
+        await node_b.start()
+        connections_before = len(node_b._server.sockets)
+        for i in range(8):
+            request = Request(command=Command(
+                client_id="c", timestamp=i + 1, op="put", key="k",
+                value=i))
+            node_a.send("b", request)  # all queued before any dial wins
+        await asyncio.sleep(0.2)
+        writers = len(node_a._writers)
+        frames = node_a.frames_sent
+        await node_a.stop()
+        await node_b.stop()
+        return writers, frames, len(received)
+
+    writers, frames, delivered = run(scenario())
+    assert writers == 1  # a single cached connection, no leaked dials
+    assert frames == 8
+    assert delivered == 8
+
+
+def test_send_tasks_are_strongly_referenced():
+    """Fire-and-forget sends must survive garbage collection: the node
+    keeps strong references until each task completes."""
+    async def scenario():
+        import gc
+        from repro.statemachine.base import Command
+        from repro.messages.ezbft import Request
+
+        addresses = {"a": ("127.0.0.1", BASE_PORT + 110),
+                     "b": ("127.0.0.1", BASE_PORT + 111)}
+        received = []
+        node_a = AsyncioNode("a", addresses["a"], addresses)
+        node_b = AsyncioNode("b", addresses["b"], addresses)
+        node_b.handler = lambda sender, msg: received.append(msg)
+        await node_a.start()
+        await node_b.start()
+        node_a.send("b", Request(command=Command(
+            client_id="c", timestamp=1, op="noop")))
+        assert len(node_a._send_tasks) == 1  # held while in flight
+        gc.collect()  # must not reap the pending task
+        await asyncio.sleep(0.2)
+        assert not node_a._send_tasks  # released on completion
+        await node_a.stop()
+        await node_b.stop()
+        return len(received)
+
+    assert run(scenario()) == 1
