@@ -1,26 +1,28 @@
 """Shared experiment runners and table printing for the benchmarks.
 
-Every benchmark follows the same pattern: build a simulated deployment
-mirroring the paper's, drive closed- or open-loop clients, and print the
-rows the corresponding paper table/figure reports.  pytest-benchmark
-times the simulation itself (wall-clock of the whole experiment); the
+Every benchmark follows the same pattern: declare a
+:class:`repro.scenario.Scenario` mirroring the paper's deployment, run
+it through :class:`repro.scenario.ScenarioRunner`, and print the rows
+the corresponding paper table/figure reports.  pytest-benchmark times
+the simulation itself (wall-clock of the whole experiment); the
 *scientific* output is the printed simulated-latency/throughput table.
+
+The helpers here keep the historical call signatures (protocol +
+methodology knobs -> live ``Cluster``) but compile onto the scenario
+API, so the benchmarks exercise the same surface users script against.
+The executed :class:`~repro.scenario.ExperimentReport` is attached to
+the returned cluster as ``cluster.report``.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.builder import Cluster
 from repro.cluster.metrics import LatencyRecorder
+from repro.scenario import Scenario, ScenarioRunner, WorkloadSpec
 from repro.sim.latency import EXPERIMENT1, EXPERIMENT2, LatencyMatrix
 from repro.sim.network import CpuModel
-from repro.workload.drivers import (
-    BatchingOpenLoopDriver,
-    ClosedLoopDriver,
-    OpenLoopDriver,
-)
-from repro.workload.generator import KVWorkload
 
 #: Experiment 1 deployment (Table I, Figures 4, 6, 7).
 EXP1_REGIONS = ["virginia", "tokyo", "mumbai", "sydney"]
@@ -31,6 +33,13 @@ EXP2_REGIONS = ["ohio", "ireland", "frankfurt", "mumbai"]
 MAX_EVENTS = 40_000_000
 
 
+def _execute(scenario: Scenario) -> Cluster:
+    report, cluster = ScenarioRunner(
+        max_events=MAX_EVENTS).run_with_cluster(scenario)
+    cluster.report = report
+    return cluster
+
+
 def run_closed_loop(protocol: str,
                     regions: Sequence[str] = tuple(EXP1_REGIONS),
                     latency: LatencyMatrix = EXPERIMENT1,
@@ -39,6 +48,7 @@ def run_closed_loop(protocol: str,
                     contention: float = 0.0,
                     clients_per_region: int = 1,
                     requests_per_client: int = 8,
+                    warmup_requests: int = 0,
                     cpu: Optional[CpuModel] = None,
                     seed: int = 0,
                     slow_path_timeout: float = 400.0,
@@ -46,27 +56,35 @@ def run_closed_loop(protocol: str,
                     ) -> Cluster:
     """The paper's latency methodology: closed-loop clients co-located
     with every replica (or ``client_regions``), measuring per-region
-    client-side latency."""
-    cluster = build_cluster(protocol, list(regions), latency,
-                            primary_region=primary_region,
-                            cpu=cpu, seed=seed,
-                            slow_path_timeout=slow_path_timeout)
-    drivers = []
-    counter = 0
-    where = client_regions if client_regions is not None else regions
-    for region in where:
-        for _ in range(clients_per_region):
-            client_id = f"c{counter}"
-            counter += 1
-            client = cluster.add_client(client_id, region)
-            workload = KVWorkload(client_id, contention=contention,
-                                  seed=seed * 1000 + counter)
-            drivers.append(ClosedLoopDriver(
-                client, workload, num_requests=requests_per_client))
-    for driver in drivers:
-        driver.start()
-    cluster.run_until_idle(max_events=MAX_EVENTS)
-    assert all(d.done for d in drivers), "not all clients finished"
+    client-side latency.  ``warmup_requests`` per client are excluded
+    recorder-side (no hand-filtering)."""
+    where = tuple(client_regions) if client_regions is not None \
+        else tuple(regions)
+    scenario = Scenario(
+        name=f"bench-closed-{protocol}",
+        protocol=protocol,
+        replica_regions=tuple(regions),
+        latency=latency,
+        primary_region=primary_region,
+        cpu=cpu,
+        seed=seed,
+        slow_path_timeout=slow_path_timeout,
+        workload=WorkloadSpec(
+            mode="closed",
+            client_regions=where,
+            clients_per_region=clients_per_region,
+            requests_per_client=requests_per_client,
+            warmup_requests=warmup_requests,
+            contention=contention,
+        ),
+    )
+    cluster = _execute(scenario)
+    expected = (len(where) * clients_per_region *
+                requests_per_client)
+    delivered = (cluster.recorder.total_delivered +
+                 cluster.recorder.warmup_discarded)
+    assert delivered == expected, \
+        f"not all clients finished: {delivered}/{expected}"
     return cluster
 
 
@@ -87,29 +105,27 @@ def run_open_loop(protocol: str,
     # correct) system must not be mistaken for a faulty one, or client
     # retries / view changes avalanche and the measurement becomes a
     # fault experiment.
-    cluster = build_cluster(protocol, list(regions), latency,
-                            primary_region=primary_region,
-                            cpu=cpu, seed=seed,
-                            slow_path_timeout=8_000.0,
-                            retry_timeout=120_000.0,
-                            suspicion_timeout=120_000.0,
-                            view_change_timeout=120_000.0)
-    drivers = []
-    counter = 0
-    for region in client_regions:
-        for _ in range(clients_per_region):
-            client_id = f"c{counter}"
-            counter += 1
-            client = cluster.add_client(client_id, region)
-            workload = KVWorkload(client_id, contention=0.0,
-                                  seed=seed * 1000 + counter)
-            drivers.append(OpenLoopDriver(
-                client, workload, rate_per_sec=rate_per_client,
-                duration_ms=duration_ms))
-    for driver in drivers:
-        driver.start()
-    cluster.run_until_idle(max_events=MAX_EVENTS)
-    return cluster
+    scenario = Scenario(
+        name=f"bench-open-{protocol}",
+        protocol=protocol,
+        replica_regions=tuple(regions),
+        latency=latency,
+        primary_region=primary_region,
+        cpu=cpu,
+        seed=seed,
+        duration_ms=duration_ms,
+        slow_path_timeout=8_000.0,
+        retry_timeout=120_000.0,
+        suspicion_timeout=120_000.0,
+        view_change_timeout=120_000.0,
+        workload=WorkloadSpec(
+            mode="open",
+            client_regions=tuple(client_regions),
+            clients_per_region=clients_per_region,
+            rate_per_client=rate_per_client,
+        ),
+    )
+    return _execute(scenario)
 
 
 def run_open_loop_batched(protocol: str,
@@ -132,32 +148,29 @@ def run_open_loop_batched(protocol: str,
     ``batch_size=1`` reproduces :func:`run_open_loop` exactly (every
     path degrades to the unbatched protocol), so sweeping batch sizes
     isolates the amortization win."""
-    cluster = build_cluster(protocol, list(regions), latency,
-                            primary_region=primary_region,
-                            cpu=cpu, seed=seed,
-                            batch_size=batch_size,
-                            batch_timeout_ms=batch_timeout_ms,
-                            slow_path_timeout=30_000.0,
-                            retry_timeout=300_000.0,
-                            suspicion_timeout=300_000.0,
-                            view_change_timeout=300_000.0)
-    drivers = []
-    counter = 0
-    for region in client_regions:
-        for _ in range(clients_per_region):
-            client_id = f"c{counter}"
-            counter += 1
-            client = cluster.add_client(client_id, region)
-            workload = KVWorkload(client_id, contention=0.0,
-                                  seed=seed * 1000 + counter)
-            drivers.append(BatchingOpenLoopDriver(
-                client, workload, rate_per_sec=rate_per_client,
-                duration_ms=duration_ms, batch_size=batch_size,
-                batch_timeout_ms=batch_timeout_ms))
-    for driver in drivers:
-        driver.start()
-    cluster.run_until_idle(max_events=MAX_EVENTS)
-    return cluster
+    scenario = Scenario(
+        name=f"bench-batched-{protocol}",
+        protocol=protocol,
+        replica_regions=tuple(regions),
+        latency=latency,
+        primary_region=primary_region,
+        cpu=cpu,
+        seed=seed,
+        duration_ms=duration_ms,
+        slow_path_timeout=30_000.0,
+        retry_timeout=300_000.0,
+        suspicion_timeout=300_000.0,
+        view_change_timeout=300_000.0,
+        workload=WorkloadSpec(
+            mode="open",
+            client_regions=tuple(client_regions),
+            clients_per_region=clients_per_region,
+            rate_per_client=rate_per_client,
+            batch_size=batch_size,
+            batch_timeout_ms=batch_timeout_ms,
+        ),
+    )
+    return _execute(scenario)
 
 
 def region_means(recorder: LatencyRecorder) -> Dict[str, float]:

@@ -1,54 +1,47 @@
 #!/usr/bin/env python3
-"""Run ezBFT over real TCP sockets on localhost.
+"""Run a scenario over real TCP sockets on localhost.
 
 Everything else in this repository drives the protocol objects with the
-deterministic simulator; this example wires the *same* replica and
-client classes to the asyncio TCP transport: four replicas listening on
-localhost ports, a client dialing them, real length-prefixed JSON frames
-on real sockets.
+deterministic simulator; the TCP backend wires the *same* replica and
+client classes to the asyncio transport: replicas listening on
+OS-assigned localhost ports, clients dialing them, real length-prefixed
+JSON frames on real sockets.  The Scenario API makes the backend a
+one-word switch -- the spec below is identical to a simulator run.
 
 Run:  python examples/asyncio_cluster.py
 """
 
-import asyncio
-
-from repro.transport.asyncio_tcp import AsyncioCluster
+from repro import ScenarioRunner, preset
 
 
-async def main() -> None:
-    cluster = AsyncioCluster(num_replicas=4)
-    await cluster.start()
-    print(f"started {len(cluster.replicas)} ezBFT replicas on "
-          f"localhost ports "
-          f"{[addr[1] for addr in list(cluster.addresses.values())[:4]]}")
+def main() -> None:
+    scenario = preset("smoke")
+    print(f"running preset {scenario.name!r} "
+          f"({scenario.workload.clients_per_region * 4} clients x "
+          f"{scenario.workload.requests_per_client} requests) over "
+          f"real TCP sockets...\n")
 
-    client = await cluster.add_client("c0")
-    print(f"client c0 targets {client.target_replica}\n")
+    report = ScenarioRunner(backend="tcp").run(scenario)
+    print(report.format_text())
 
-    operations = [
-        ("put", "greeting", "hello over TCP"),
-        ("get", "greeting", None),
-        ("incr", "counter", 7),
-        ("incr", "counter", 35),
-        ("get", "counter", None),
-    ]
-    for op, key, value in operations:
-        result, latency, path = await cluster.request(
-            client, op, key, value)
-        print(f"{op:5s} {key:10s} -> {str(result):18s} "
-              f"{latency:7.2f}ms  [{path}]")
+    expected = (scenario.workload.clients_per_region *
+                len(scenario.client_regions()) *
+                scenario.workload.requests_per_client)
+    assert report.delivered == expected, (report.delivered, expected)
+    assert report.fast_path_ratio == 1.0  # healthy LAN: all fast path
+    print(f"\n{report.network['frames_received']} TCP frames received "
+          f"across the cluster; every request committed on the fast "
+          f"path in {report.duration_ms:.0f}ms wall time.")
 
-    # All four replicas converged on the same state.
-    states = [replica.statemachine.final_items()
-              for replica in cluster.replicas.values()]
-    assert all(s == states[0] for s in states), states
-    print(f"\nreplicated state on all 4 replicas: {states[0]}")
-
-    totals = {rid: node.frames_received
-              for rid, node in cluster.nodes.items()}
-    print(f"frames received per node: {totals}")
-    await cluster.stop()
+    # The same spec runs on all four protocols -- over sockets -- by
+    # swapping one field (the registry supplies the wiring):
+    for protocol in ("pbft", "zyzzyva", "fab"):
+        variant = scenario.with_overrides(
+            protocol=protocol, name=f"smoke-{protocol}")
+        result = ScenarioRunner(backend="tcp").run(variant)
+        print(f"{protocol:10s} delivered {result.delivered} requests, "
+              f"mean {result.latency.mean:.1f}ms over TCP")
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    main()

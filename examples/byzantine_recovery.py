@@ -1,29 +1,28 @@
 #!/usr/bin/env python3
-"""Byzantine-failure walkthrough: equivocation, proof of misbehavior,
-and the owner-change protocol (paper Sections IV-D / IV-E).
+"""Byzantine-failure walkthrough as declarative fault schedules
+(paper Sections IV-D / IV-E).
 
 Scenario 1 -- an equivocating command-leader: the Tokyo replica sends
-conflicting SPECORDERs for the same request.  The client catches it red-
-handed (the signed SPECORDERs it equivocated with become the proof of
-misbehavior), the correct replicas freeze its instance space and hand it
-to the next replica, and the client's command still commits through a
-correct leader.
+conflicting SPECORDERs for the same request.  The client catches it
+red-handed (the signed SPECORDERs become the proof of misbehavior), the
+correct replicas freeze its instance space and hand it to the next
+owner, and the client's commands still commit.
 
-Scenario 2 -- a crashed replica: the client's retry triggers the
-RESENDREQ / suspicion-timeout path, the space is frozen, and the client
-permanently fails over to a live replica.
+Scenario 2 -- a crash and recovery: the Tokyo replica fail-stops under
+its own client's load, the retry -> RESENDREQ -> suspicion-timeout path
+triggers an owner change, and the replica later rejoins.
+
+Both are presets: the fault schedule is data (`SwapByzantine`,
+`CrashReplica`, `RecoverReplica` events on a timeline), not bespoke
+wiring, so the same specs run from the CLI:
+
+    python -m repro run --preset equivocation
+    python -m repro run --preset crash-recovery
 
 Run:  python examples/byzantine_recovery.py
 """
 
-from repro import EXPERIMENT1, build_cluster
-from repro.byzantine import (
-    EquivocatingLeaderReplica,
-    SilentReplica,
-    install_byzantine,
-)
-
-REGIONS = ["virginia", "tokyo", "mumbai", "sydney"]
+from repro import ScenarioRunner, preset
 
 
 def banner(text: str) -> None:
@@ -32,74 +31,31 @@ def banner(text: str) -> None:
     print("=" * 64)
 
 
-def scenario_equivocation() -> None:
-    banner("Scenario 1: equivocating command-leader (r1, Tokyo)")
-    cluster = build_cluster("ezbft", REGIONS, EXPERIMENT1,
-                            slow_path_timeout=300.0,
-                            retry_timeout=900.0,
-                            suspicion_timeout=400.0)
-    install_byzantine(cluster, "r1", EquivocatingLeaderReplica)
-
-    client = cluster.add_client("c0", region="tokyo")  # nearest = r1!
-    outcome = []
-    client.on_delivery = (lambda cmd, res, lat, path:
-                          outcome.append((res, lat, path)))
-    client.submit(client.next_command("put", "k", "v"))
-    cluster.run_until_idle()
-
-    result, latency, path = outcome[0]
-    print(f"command delivered anyway: result={result!r} "
-          f"after {latency:.0f}ms via the {path} path")
-    print(f"proofs of misbehavior sent by the client: "
-          f"{client.stats['poms_sent']}")
-    print(f"client failed over from r1 to {client.target_replica}")
-    for rid in ("r0", "r2", "r3"):
-        space = cluster.replicas[rid].spaces["r1"]
-        print(f"  at {rid}: r1's instance space frozen={space.frozen}, "
-              f"owner number now {space.owner_number} "
-              f"(owner: {cluster.config.owner_for_number(space.owner_number)})")
-    states = [cluster.kvstores()[r].final_items()
-              for r in ("r0", "r2", "r3")]
-    assert all(s == {"k": "v"} for s in states)
-    print("correct replicas consistent:", states[0])
-
-
-def scenario_crash() -> None:
-    banner("Scenario 2: crashed replica (r1, Tokyo) -- client failover")
-    cluster = build_cluster("ezbft", REGIONS, EXPERIMENT1,
-                            slow_path_timeout=300.0,
-                            retry_timeout=900.0,
-                            suspicion_timeout=400.0)
-    install_byzantine(cluster, "r1", SilentReplica)
-
-    client = cluster.add_client("c0", region="tokyo")
-    outcome = []
-    client.on_delivery = (lambda cmd, res, lat, path:
-                          outcome.append((res, lat, path)))
-
-    client.submit(client.next_command("put", "account", "funded"))
-    cluster.run_until_idle()
-    result, latency, path = outcome[0]
-    print(f"first request: {latency:.0f}ms ({path} path, "
-          f"{client.stats['retries']} retries) -- slow, the target was "
-          "dead and the client had to time out and re-broadcast")
-
-    client.submit(client.next_command("get", "account"))
-    cluster.run_until_idle()
-    result, latency, path = outcome[1]
-    print(f"second request: {latency:.0f}ms ({path} path) -- the client "
-          f"now talks to {client.target_replica} directly")
-    print(f"read returned {result!r}")
-    # With one replica dead, the 3f+1 fast quorum is unreachable: ezBFT
-    # degrades gracefully to the 2f+1 slow path, like Zyzzyva.
-    assert path == "slow"
-
-
 def main() -> None:
-    scenario_equivocation()
-    scenario_crash()
-    print("\nboth scenarios recovered with f=1 byzantine replica, as "
-          "the protocol guarantees for N=4.")
+    runner = ScenarioRunner()
+
+    banner("Scenario 1: equivocating command-leader (r1, Tokyo)")
+    report = runner.run(preset("equivocation"))
+    print(report.format_text())
+    print(f"\nproofs of misbehavior sent: "
+          f"{report.client_stats['poms_sent']}")
+    print(f"owner changes: {report.owner_changes}")
+    assert report.delivered == 4          # every command still commits
+    assert report.client_stats["poms_sent"] >= 1
+    assert report.owner_changes >= 1      # r1's space changed hands
+
+    banner("Scenario 2: crash (r1) -> owner change -> recover")
+    report = runner.run(preset("crash-recovery"))
+    print(report.format_text())
+    assert report.delivered == 6
+    assert report.owner_changes >= 1
+    assert report.client_stats["retries"] >= 1
+    # With one replica dead the 3f+1 fast quorum is unreachable: ezBFT
+    # degrades gracefully to the 2f+1 slow path, like Zyzzyva.
+    assert report.fast_path_ratio < 1.0
+
+    print("\nboth fault schedules recovered with f=1 faulty replica, "
+          "as the protocol guarantees for N=4.")
 
 
 if __name__ == "__main__":

@@ -1,65 +1,52 @@
 #!/usr/bin/env python3
-"""Quickstart: a 4-replica ezBFT deployment across four AWS regions.
+"""Quickstart: declare a scenario, run it, read the report.
 
-Builds the paper's Experiment-1 topology on the deterministic WAN
-simulator, runs a handful of reads and writes from a Tokyo client, and
-prints the client-side latency and consensus path of each request.
+The Scenario API is the one entrypoint for experiments: pick a protocol
+and topology, describe the workload, and the runner wires the cluster,
+drives the clients, and hands back a structured report.  This is the
+paper's Experiment-1 deployment (four AWS regions, latencies calibrated
+against Table I) under a small closed-loop load.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import EXPERIMENT1, build_cluster
+from repro import Scenario, ScenarioRunner, WorkloadSpec
 
 
 def main() -> None:
-    # One replica per region; latencies calibrated against the paper's
-    # own Table I measurement.
-    cluster = build_cluster(
-        "ezbft",
-        replica_regions=["virginia", "tokyo", "mumbai", "sydney"],
-        latency=EXPERIMENT1,
+    scenario = Scenario(
+        name="quickstart",
+        protocol="ezbft",
+        replica_regions=("virginia", "tokyo", "mumbai", "sydney"),
+        latency="experiment1",
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=8,
+                              warmup_requests=1),
+        seed=42,
     )
 
-    # ezBFT is leaderless: the client just talks to its nearest replica
-    # (Tokyo), which becomes the command-leader for its requests.
-    client = cluster.add_client("alice", region="tokyo")
-    print(f"client 'alice' (tokyo) targets replica "
-          f"{client.target_replica} "
-          f"({cluster.replica_regions[client.target_replica]})\n")
+    # The same scenario compiles onto the deterministic WAN simulator
+    # (here) or real TCP sockets (ScenarioRunner(backend="tcp")).
+    report, cluster = ScenarioRunner().run_with_cluster(scenario)
+    print(report.format_text())
 
-    deliveries = []
-    client.on_delivery = (
-        lambda cmd, result, latency, path:
-        deliveries.append((cmd, result, latency, path)))
+    print("\nper-region mean latency (ms):")
+    for phase in report.phases:
+        for region, summary in sorted(phase.per_region.items()):
+            print(f"  {region:10s} {summary.mean:7.1f}  "
+                  f"(p99 {summary.p99:.1f})")
 
-    operations = [
-        ("put", "language", "python"),
-        ("put", "paper", "ezBFT @ ICDCS 2019"),
-        ("get", "language", None),
-        ("incr", "visits", 1),
-        ("incr", "visits", 41),
-        ("get", "visits", None),
-    ]
-    for op, key, value in operations:
-        client.submit(client.next_command(op, key, value))
-        cluster.run_until_idle()  # deterministic: drains the WAN
-
-    print(f"{'op':18s} {'result':22s} {'latency':>9s}  path")
-    print("-" * 60)
-    for command, result, latency, path in deliveries:
-        op = f"{command.op} {command.key}"
-        print(f"{op:18s} {str(result):22s} {latency:8.1f}ms  {path}")
-
-    # Every replica holds the same final state.
-    print("\nreplicated state (identical at all 4 replicas):")
-    state = cluster.replicas["r0"].statemachine.final_items()
-    for key, value in sorted(state.items()):
-        print(f"  {key} = {value!r}")
-    for rid, kv in cluster.kvstores().items():
-        assert kv.final_items() == state, f"{rid} diverged!"
-    print("\nall replicas consistent; "
+    # The run_with_cluster variant also exposes the live cluster for
+    # inspection: every replica converged on the same state.
+    states = [sm.final_items() for sm in cluster.statemachines().values()]
+    assert all(state == states[0] for state in states), "diverged!"
+    print(f"\nall {len(states)} replicas consistent; "
           f"{cluster.network.messages_delivered} messages simulated in "
           f"{cluster.sim.now:.0f}ms of virtual time")
+
+    # ezBFT is leaderless: everything committed on the 3-step fast path.
+    assert report.fast_path_ratio == 1.0
+    print(f"fast-path ratio: {report.fast_path_ratio:.0%}")
 
 
 if __name__ == "__main__":

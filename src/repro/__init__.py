@@ -2,21 +2,27 @@
 2019), the leaderless byzantine fault-tolerant consensus protocol, plus
 the substrates and baselines its evaluation depends on.
 
-Quickstart::
+Quickstart -- the Scenario API is the canonical experiment surface::
 
-    from repro import build_cluster, EXPERIMENT1
+    from repro import preset, run_scenario
 
-    cluster = build_cluster(
-        "ezbft",
-        replica_regions=["virginia", "tokyo", "mumbai", "sydney"],
-        latency=EXPERIMENT1)
-    client = cluster.add_client("c0", region="tokyo")
-    results = []
-    client.on_delivery = lambda cmd, res, lat, path: results.append(
-        (res, lat, path))
-    client.submit(client.next_command("put", "greeting", "hello"))
-    cluster.run_until_idle()
-    print(results)  # [('OK', ~105ms, 'fast')]
+    report = run_scenario(preset("smoke"))        # or backend="tcp"
+    print(report.format_text())                   # per-phase table
+    report.save("out.json")
+
+    # Custom experiments are ~10-line declarative specs:
+    from repro import Scenario, WorkloadSpec, CrashReplica, \
+        RecoverReplica
+    report = run_scenario(Scenario(
+        name="my-experiment", protocol="ezbft", latency="experiment1",
+        workload=WorkloadSpec(mode="closed", requests_per_client=10),
+        faults=(CrashReplica(at_ms=300.0, replica="r1"),
+                RecoverReplica(at_ms=2500.0, replica="r1")),
+        seed=7))
+
+``python -m repro run --preset figure6-smoke --json out.json`` is the
+same thing from the shell; ``build_cluster`` remains the low-level
+building block underneath.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.
@@ -59,6 +65,24 @@ from repro.workload.drivers import (
     OpenLoopDriver,
 )
 from repro.workload.generator import KVWorkload
+from repro.scenario import (
+    ClientChurn,
+    CrashReplica,
+    ExperimentReport,
+    Heal,
+    LatencyShift,
+    Partition,
+    Phase,
+    RecoverReplica,
+    Scenario,
+    ScenarioRunner,
+    SwapByzantine,
+    WorkloadSpec,
+    available_presets,
+    preset,
+    register_preset,
+    run_scenario,
+)
 
 __version__ = "1.0.0"
 
@@ -97,4 +121,21 @@ __all__ = [
     "BatchingOpenLoopDriver",
     "LatencyRecorder",
     "summarize",
+    # Scenario API (the canonical experiment surface)
+    "Scenario",
+    "WorkloadSpec",
+    "Phase",
+    "CrashReplica",
+    "RecoverReplica",
+    "Partition",
+    "Heal",
+    "SwapByzantine",
+    "LatencyShift",
+    "ClientChurn",
+    "ScenarioRunner",
+    "run_scenario",
+    "ExperimentReport",
+    "preset",
+    "register_preset",
+    "available_presets",
 ]

@@ -1,0 +1,207 @@
+"""``python -m repro``: run declarative scenarios from the shell.
+
+Subcommands:
+
+- ``run``: execute a scenario preset on one or both backends, print the
+  per-phase report, optionally export JSON.
+- ``compare``: run one preset across several protocols and print a
+  comparison table.
+- ``list-protocols``: the protocol registry with capability flags.
+- ``list-presets``: the scenario preset registry.
+
+Examples::
+
+    python -m repro run --preset figure6-smoke --json out.json
+    python -m repro run --preset crash-recovery --seed 3
+    python -m repro compare --preset figure4
+    python -m repro list-protocols
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.protocols.registry import available_protocols, get_protocol
+from repro.scenario import (
+    ExperimentReport,
+    ScenarioRunner,
+    available_presets,
+    preset,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative BFT consensus experiments "
+                    "(scenario presets) on the WAN simulator or real "
+                    "TCP sockets.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="execute one scenario preset")
+    run.add_argument("--preset", required=True,
+                     help="scenario preset name (see list-presets)")
+    run.add_argument("--backend",
+                     choices=("sim", "tcp", "both"), default=None,
+                     help="override the preset's default backend(s)")
+    run.add_argument("--protocol", default=None,
+                     help="override the preset's protocol")
+    run.add_argument("--seed", type=int, default=None,
+                     help="override the preset's seed")
+    run.add_argument("--json", dest="json_path", default=None,
+                     help="write the report(s) to this JSON file")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress the human-readable report")
+
+    compare = sub.add_parser(
+        "compare",
+        help="run one preset across protocols, print a table")
+    compare.add_argument("--preset", required=True)
+    compare.add_argument("--protocols", default=None,
+                         help="comma-separated list "
+                              "(default: every registered protocol)")
+    compare.add_argument("--seed", type=int, default=None)
+    compare.add_argument("--json", dest="json_path", default=None)
+
+    sub.add_parser("list-protocols",
+                   help="registered protocols and capabilities")
+    sub.add_parser("list-presets", help="registered scenario presets")
+    return parser
+
+
+def _resolve_scenario(args: argparse.Namespace):
+    scenario = preset(args.preset)
+    overrides = {}
+    if getattr(args, "protocol", None):
+        overrides["protocol"] = args.protocol
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    return scenario
+
+
+def _write_json(path: str, reports: List[ExperimentReport]) -> None:
+    if len(reports) == 1:
+        payload = reports[0].to_dict()
+    else:
+        payload = {report.backend: report.to_dict()
+                   for report in reports}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, allow_nan=False)
+        fh.write("\n")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _resolve_scenario(args)
+    if args.backend is None:
+        backends = scenario.backends
+    elif args.backend == "both":
+        backends = ("sim", "tcp")
+    else:
+        backends = (args.backend,)
+    reports = []
+    for backend in backends:
+        report = ScenarioRunner(backend=backend).run(scenario)
+        reports.append(report)
+        if not args.quiet:
+            print(report.format_text())
+            print()
+    if args.json_path:
+        _write_json(args.json_path, reports)
+        if not args.quiet:
+            print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = preset(args.preset)
+    if args.seed is not None:
+        scenario = scenario.with_overrides(seed=args.seed)
+    if args.protocols:
+        protocols = tuple(p.strip()
+                          for p in args.protocols.split(",") if p.strip())
+    else:
+        protocols = available_protocols()
+    reports = []
+    for protocol in protocols:
+        get_protocol(protocol)  # fail fast with the available choices
+        variant = scenario.with_overrides(
+            protocol=protocol, name=f"{scenario.name}-{protocol}")
+        reports.append(ScenarioRunner(backend="sim").run(variant))
+
+    header = (f"{'protocol':10s} {'n':>6s} {'thr/s':>8s} "
+              f"{'mean':>8s} {'p50':>8s} {'p99':>8s} {'fast':>6s} "
+              f"{'oc':>4s} {'vc':>4s}")
+    print(f"preset {scenario.name!r} across protocols "
+          f"(seed={scenario.seed}):")
+    print(header)
+    print("-" * len(header))
+    for protocol, report in zip(protocols, reports):
+        latency = report.latency
+        fast = report.fast_path_ratio
+        fast_s = f"{fast:.0%}" if not math.isnan(fast) else "-"
+        print(f"{protocol:10s} {report.delivered:6d} "
+              f"{report.throughput_per_sec:8.1f} "
+              f"{latency.mean:8.1f} {latency.p50:8.1f} "
+              f"{latency.p99:8.1f} {fast_s:>6s} "
+              f"{report.owner_changes:4d} {report.view_changes:4d}")
+    if args.json_path:
+        payload = {report.protocol: report.to_dict()
+                   for report in reports}
+        with open(args.json_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, allow_nan=False)
+            fh.write("\n")
+        print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_list_protocols() -> int:
+    print(f"{'name':10s} {'capabilities'}")
+    print("-" * 48)
+    for name in available_protocols():
+        spec = get_protocol(name)
+        flags = [flag for flag, on in (
+            ("leaderless", spec.leaderless),
+            ("speculative", spec.speculative),
+            ("batching", spec.supports_batching),
+            ("checkpointing", spec.supports_checkpointing),
+        ) if on]
+        print(f"{name:10s} {', '.join(flags) or '-'}")
+    return 0
+
+
+def _cmd_list_presets() -> int:
+    for name in available_presets():
+        scenario = preset(name)
+        backends = "+".join(scenario.backends)
+        print(f"{name:20s} [{scenario.protocol}, {backends}] "
+              f"{scenario.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+        if args.command == "list-protocols":
+            return _cmd_list_protocols()
+        if args.command == "list-presets":
+            return _cmd_list_presets()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,19 @@ cluster before the run starts.
 """
 
 from repro.byzantine.behaviors import (
+    BEHAVIORS,
     CorruptResultReplica,
     DepSuppressingReplica,
     EquivocatingLeaderReplica,
     SilentReplica,
+    behavior_by_name,
     install_byzantine,
     silence_node,
 )
 
 __all__ = [
+    "BEHAVIORS",
+    "behavior_by_name",
     "SilentReplica",
     "EquivocatingLeaderReplica",
     "DepSuppressingReplica",

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Optional, Type
 
 from repro.core.instance import InstanceSpace, LogEntry
+from repro.errors import ConfigurationError
 from repro.core.replica import EzBFTReplica
 from repro.crypto.digest import digest
 from repro.messages.base import SignedPayload
@@ -116,17 +117,43 @@ class CorruptResultReplica(EzBFTReplica):
                                  request_digest=request_digest)
 
 
+#: Declarative behaviour names, the vocabulary scenario fault schedules
+#: (``SwapByzantine(behavior="equivocate")``) and the CLI use.
+BEHAVIORS = {
+    "silent": SilentReplica,
+    "equivocate": EquivocatingLeaderReplica,
+    "dep_suppress": DepSuppressingReplica,
+    "corrupt_result": CorruptResultReplica,
+}
+
+
+def behavior_by_name(name: str) -> Type[EzBFTReplica]:
+    """Resolve a behaviour name from :data:`BEHAVIORS`."""
+    try:
+        return BEHAVIORS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown byzantine behavior {name!r}; choose from "
+            f"{tuple(BEHAVIORS)}") from None
+
+
 def install_byzantine(cluster, replica_id: str,
                       behavior: Type[EzBFTReplica],
-                      interference=None) -> EzBFTReplica:
-    """Replace ``replica_id`` in a freshly built (not yet run) cluster
-    with an instance of ``behavior``.  Returns the new replica object."""
+                      interference=None,
+                      statemachine=None) -> EzBFTReplica:
+    """Replace ``replica_id`` in a cluster with an instance of
+    ``behavior`` (typically before the run starts; swapping mid-run
+    discards the replica's application state, which a byzantine node is
+    allowed to do anyway).  Returns the new replica object."""
     old = cluster.replicas[replica_id]
     relation = interference if interference is not None \
         else old.interference
     replica = behavior(replica_id, cluster.config,
                        cluster.context_for(replica_id), old.keypair,
-                       cluster.registry, KVStore(), relation)
+                       cluster.registry,
+                       statemachine if statemachine is not None
+                       else KVStore(),
+                       relation)
     cluster.replicas[replica_id] = replica
     cluster.network.set_handler(replica_id, replica.on_message)
     return replica

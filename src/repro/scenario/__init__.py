@@ -1,0 +1,63 @@
+"""Unified scenario/experiment API: one declarative entrypoint for
+protocols x workloads x fault schedules, over both backends.
+
+- :class:`Scenario` / :class:`WorkloadSpec` / :class:`Phase` describe an
+  experiment (:mod:`repro.scenario.spec`).
+- Fault events (:class:`CrashReplica`, :class:`Partition`,
+  :class:`SwapByzantine`, ...) schedule disruptions on the scenario
+  clock (:mod:`repro.scenario.faults`).
+- :class:`ScenarioRunner` compiles a scenario onto the deterministic
+  simulator or the asyncio TCP transport and returns an
+  :class:`ExperimentReport` (:mod:`repro.scenario.runner` /
+  :mod:`repro.scenario.report`).
+- :func:`preset` serves the ready-made paper scenarios
+  (:mod:`repro.scenario.presets`); ``python -m repro`` is the CLI.
+"""
+
+from repro.scenario.faults import (
+    ClientChurn,
+    CrashReplica,
+    FaultEvent,
+    Heal,
+    LatencyShift,
+    Partition,
+    RecoverReplica,
+    SwapByzantine,
+)
+from repro.scenario.presets import (
+    available_presets,
+    preset,
+    register_preset,
+)
+from repro.scenario.report import ExperimentReport, PhaseReport
+from repro.scenario.runner import ScenarioRunner, run_scenario
+from repro.scenario.spec import (
+    BACKENDS,
+    NAMED_MATRICES,
+    Phase,
+    Scenario,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "Scenario",
+    "WorkloadSpec",
+    "Phase",
+    "BACKENDS",
+    "NAMED_MATRICES",
+    "FaultEvent",
+    "CrashReplica",
+    "RecoverReplica",
+    "Partition",
+    "Heal",
+    "SwapByzantine",
+    "LatencyShift",
+    "ClientChurn",
+    "ScenarioRunner",
+    "run_scenario",
+    "ExperimentReport",
+    "PhaseReport",
+    "preset",
+    "register_preset",
+    "available_presets",
+]

@@ -1,0 +1,384 @@
+"""Typed fault-schedule events and their per-backend injectors.
+
+A scenario's fault schedule is a timeline of frozen dataclass events;
+each names a point on the scenario clock (``at_ms``) and a disruption:
+
+- :class:`CrashReplica` / :class:`RecoverReplica` -- fail-stop a replica
+  (drop everything it receives and, on the simulator, everything it
+  sends) and bring it back.
+- :class:`Partition` / :class:`Heal` -- cut the network between two node
+  sets; heal restores full connectivity (crashed replicas stay crashed).
+- :class:`SwapByzantine` -- replace a replica with a named byzantine
+  behaviour from :data:`repro.byzantine.BEHAVIORS` (ezBFT-shaped
+  protocols only).
+- :class:`LatencyShift` -- scale the WAN latency matrix by a factor
+  (relative to the scenario's base matrix, so shifts do not compound);
+  simulator backend only.
+- :class:`ClientChurn` -- add load mid-run (new clients with the
+  scenario's workload) and/or stop the most recently added clients.
+
+The injectors apply events to a live deployment and keep a structured
+``log`` of what fired when, which the final
+:class:`~repro.scenario.report.ExperimentReport` carries so tests can
+assert the schedule executed at the right times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultEvent",
+    "CrashReplica",
+    "RecoverReplica",
+    "Partition",
+    "Heal",
+    "SwapByzantine",
+    "LatencyShift",
+    "ClientChurn",
+    "SimFaultInjector",
+    "TcpFaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: one disruption at ``at_ms`` on the scenario clock."""
+
+    at_ms: float
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        if self.at_ms < 0:
+            raise ConfigurationError(
+                f"{type(self).__name__}.at_ms must be >= 0, "
+                f"got {self.at_ms}")
+
+    def _check_replica(self, replica: str,
+                       replica_ids: Tuple[str, ...]) -> None:
+        if replica not in replica_ids:
+            raise ConfigurationError(
+                f"{type(self).__name__} names unknown replica "
+                f"{replica!r} (have {replica_ids})")
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class CrashReplica(FaultEvent):
+    """Fail-stop ``replica``: it processes and emits nothing."""
+
+    replica: str = ""
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._check_replica(self.replica, replica_ids)
+
+    def describe(self) -> str:
+        return f"crash {self.replica}"
+
+
+@dataclass(frozen=True)
+class RecoverReplica(FaultEvent):
+    """Undo a :class:`CrashReplica` for ``replica``."""
+
+    replica: str = ""
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._check_replica(self.replica, replica_ids)
+
+    def describe(self) -> str:
+        return f"recover {self.replica}"
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """Cut every link between ``sides[0]`` and ``sides[1]`` (node ids;
+    clients may be named too).  Links within a side stay up."""
+
+    sides: Tuple[Tuple[str, ...], Tuple[str, ...]] = ((), ())
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        left, right = self.sides
+        if not left or not right:
+            raise ConfigurationError(
+                "Partition sides must both be non-empty")
+        if set(left) & set(right):
+            raise ConfigurationError(
+                f"Partition sides overlap: {set(left) & set(right)}")
+
+    def describe(self) -> str:
+        return f"partition {self.sides[0]} | {self.sides[1]}"
+
+
+@dataclass(frozen=True)
+class Heal(FaultEvent):
+    """Remove every partition (crashed replicas remain crashed)."""
+
+    def describe(self) -> str:
+        return "heal"
+
+
+@dataclass(frozen=True)
+class SwapByzantine(FaultEvent):
+    """Replace ``replica`` with the named byzantine ``behavior``."""
+
+    replica: str = ""
+    behavior: str = "silent"
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._check_replica(self.replica, replica_ids)
+        from repro.byzantine import behavior_by_name
+        behavior_by_name(self.behavior)  # raises on unknown names
+
+    def describe(self) -> str:
+        return f"swap {self.replica} -> {self.behavior}"
+
+
+@dataclass(frozen=True)
+class LatencyShift(FaultEvent):
+    """Scale the WAN matrix by ``factor`` (1.0 restores the base)."""
+
+    factor: float = 1.0
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        if self.factor <= 0:
+            raise ConfigurationError(
+                f"LatencyShift.factor must be positive, "
+                f"got {self.factor}")
+
+    def describe(self) -> str:
+        return f"latency x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class ClientChurn(FaultEvent):
+    """Add ``add`` fresh clients in ``region`` and/or stop the ``stop``
+    most recently started clients."""
+
+    add: int = 0
+    stop: int = 0
+    region: Optional[str] = None
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        if self.add < 0 or self.stop < 0:
+            raise ConfigurationError(
+                "ClientChurn.add/stop must be >= 0")
+        if self.add == 0 and self.stop == 0:
+            raise ConfigurationError(
+                "ClientChurn must add or stop at least one client")
+
+    def describe(self) -> str:
+        parts = []
+        if self.add:
+            where = f" in {self.region}" if self.region else ""
+            parts.append(f"+{self.add} clients{where}")
+        if self.stop:
+            parts.append(f"-{self.stop} clients")
+        return ", ".join(parts)
+
+
+class _InjectorBase:
+    """Shared bookkeeping: structured log + crash/partition state."""
+
+    def __init__(self) -> None:
+        self.log: List[Dict[str, Any]] = []
+        self._crashed: Dict[str, Callable[[str, Any], None]] = {}
+        #: Partition pairs added *by crash isolation* per replica, so
+        #: recovery removes exactly these and never heals an explicit
+        #: Partition event that happens to involve the same replica.
+        self._crash_cuts: Dict[str, set] = {}
+
+    def _record(self, event: FaultEvent, now_ms: float) -> None:
+        self.log.append({
+            "at_ms": event.at_ms,
+            "applied_ms": now_ms,
+            "event": type(event).__name__,
+            "detail": event.describe(),
+        })
+
+
+class SimFaultInjector(_InjectorBase):
+    """Applies fault events to a simulated :class:`Cluster`.
+
+    ``spawn_clients(count, region)`` / ``stop_clients(count)`` are
+    supplied by the runner so :class:`ClientChurn` can attach drivers
+    with the scenario's workload.
+    """
+
+    def __init__(self, cluster: Any,
+                 spawn_clients: Optional[Callable[[int, Optional[str]],
+                                                  None]] = None,
+                 stop_clients: Optional[Callable[[int], None]] = None,
+                 statemachine_factory: Optional[Callable[[], Any]] = None
+                 ) -> None:
+        super().__init__()
+        self.cluster = cluster
+        self._spawn_clients = spawn_clients
+        self._stop_clients = stop_clients
+        self._statemachine_factory = statemachine_factory
+        self._base_matrix = cluster.latency
+
+    def _isolate(self, rid: str) -> None:
+        """Cut ``rid`` off, remembering which pairs *this* cut added so
+        recovery removes only those."""
+        network = self.cluster.network
+        cuts = self._crash_cuts.setdefault(rid, set())
+        for other in network.node_ids():
+            if other == rid:
+                continue
+            for pair in ((rid, other), (other, rid)):
+                if pair not in network.conditions.partitions:
+                    network.conditions.partitions.add(pair)
+                    cuts.add(pair)
+
+    def apply(self, event: FaultEvent) -> None:
+        now = self.cluster.sim.now
+        network = self.cluster.network
+        if isinstance(event, CrashReplica):
+            rid = event.replica
+            if rid not in self._crashed:
+                self._crashed[rid] = network.handler_of(rid)
+                network.set_handler(rid, lambda sender, message: None)
+                self._isolate(rid)
+        elif isinstance(event, RecoverReplica):
+            rid = event.replica
+            handler = self._crashed.pop(rid, None)
+            if handler is not None:
+                network.set_handler(rid, handler)
+                for pair in self._crash_cuts.pop(rid, set()):
+                    network.conditions.partitions.discard(pair)
+        elif isinstance(event, Partition):
+            left, right = event.sides
+            for a in left:
+                for b in right:
+                    network.conditions.partitions.add((a, b))
+                    network.conditions.partitions.add((b, a))
+        elif isinstance(event, Heal):
+            network.conditions.partitions.clear()
+            self._crash_cuts.clear()
+            for rid in self._crashed:  # crashed stay cut off
+                self._isolate(rid)
+        elif isinstance(event, SwapByzantine):
+            from repro.byzantine import behavior_by_name, \
+                install_byzantine
+            factory = self._statemachine_factory
+            install_byzantine(
+                self.cluster, event.replica,
+                behavior_by_name(event.behavior),
+                statemachine=factory() if factory is not None else None)
+        elif isinstance(event, LatencyShift):
+            from repro.sim.latency import scaled_matrix
+            matrix = self._base_matrix if event.factor == 1.0 \
+                else scaled_matrix(self._base_matrix, event.factor)
+            network.latency = matrix
+            self.cluster.latency = matrix
+        elif isinstance(event, ClientChurn):
+            if event.add and self._spawn_clients is not None:
+                self._spawn_clients(event.add, event.region)
+            if event.stop and self._stop_clients is not None:
+                self._stop_clients(event.stop)
+        else:
+            raise ConfigurationError(
+                f"unsupported fault event {type(event).__name__}")
+        self._record(event, now)
+
+
+#: Events the TCP backend can apply (no latency model to shift and no
+#: driver re-wiring mid-run yet).
+TCP_SUPPORTED = (CrashReplica, RecoverReplica, Partition, Heal,
+                 SwapByzantine)
+
+
+class TcpFaultInjector(_InjectorBase):
+    """Applies fault events to a live :class:`AsyncioCluster`.
+
+    Partitions are enforced receiver-side: every node's handler is
+    wrapped once with a filter that drops frames whose (sender,
+    receiver) pair is currently cut.
+    """
+
+    def __init__(self, cluster: Any) -> None:
+        super().__init__()
+        self.cluster = cluster
+        self._partitions: set = set()
+        self._wrapped = False
+
+    @staticmethod
+    def check_supported(events: Tuple[FaultEvent, ...]) -> None:
+        for event in events:
+            if not isinstance(event, TCP_SUPPORTED):
+                raise ConfigurationError(
+                    f"fault event {type(event).__name__} is not "
+                    f"supported on the tcp backend (supported: "
+                    f"{tuple(t.__name__ for t in TCP_SUPPORTED)})")
+
+    def install_filters(self) -> None:
+        """Wrap every node handler with the partition filter.  Called by
+        the runner after all nodes exist, before load starts."""
+        if self._wrapped:
+            return
+        for node_id, node in self.cluster.nodes.items():
+            node.handler = self._filtering(node_id, node.handler)
+        self._wrapped = True
+
+    def _filtering(self, node_id: str, handler):
+        def filtered(sender: str, message: Any) -> None:
+            if (sender, node_id) in self._partitions:
+                return
+            if handler is not None:
+                handler(sender, message)
+        return filtered
+
+    def _now_ms(self) -> float:
+        import asyncio
+        return asyncio.get_running_loop().time() * 1000.0
+
+    def apply(self, event: FaultEvent) -> None:
+        cluster = self.cluster
+        if isinstance(event, CrashReplica):
+            rid = event.replica
+            node = cluster.nodes[rid]
+            if rid not in self._crashed:
+                self._crashed[rid] = node.handler
+                node.handler = lambda sender, message: None
+        elif isinstance(event, RecoverReplica):
+            rid = event.replica
+            handler = self._crashed.pop(rid, None)
+            if handler is not None:
+                cluster.nodes[rid].handler = handler
+        elif isinstance(event, Partition):
+            left, right = event.sides
+            for a in left:
+                for b in right:
+                    self._partitions.add((a, b))
+                    self._partitions.add((b, a))
+        elif isinstance(event, Heal):
+            self._partitions.clear()
+        elif isinstance(event, SwapByzantine):
+            from repro.byzantine import behavior_by_name
+            behavior = behavior_by_name(event.behavior)
+            rid = event.replica
+            node = cluster.nodes[rid]
+            old = cluster.replicas[rid]
+            replica = behavior(
+                rid, cluster.config, node.context(), old.keypair,
+                cluster.registry, cluster.statemachine_factory(),
+                old.interference)
+            cluster.replicas[rid] = replica
+            # Re-wrap so partitions keep applying to the new replica.
+            node.handler = self._filtering(rid, replica.on_message) \
+                if self._wrapped else replica.on_message
+        else:
+            raise ConfigurationError(
+                f"unsupported fault event on tcp backend: "
+                f"{type(event).__name__}")
+        self._record(event, self._now_ms())

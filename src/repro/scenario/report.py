@@ -1,0 +1,177 @@
+"""Structured experiment results with JSON export.
+
+A :class:`ScenarioRunner` run produces one :class:`ExperimentReport`:
+per-phase throughput and latency percentiles, fast-path ratio, protocol
+health counters (owner/view changes, stable checkpoints, resident log
+footprint), aggregate client counters, and the executed fault log.
+
+Everything in :meth:`ExperimentReport.to_dict` is derived from the
+scenario clock, so on the deterministic simulator two runs of the same
+seeded scenario serialize identically (wall-clock time is reported
+separately in :attr:`ExperimentReport.wall_seconds`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.metrics import LatencySummary
+
+
+def _clean(value: float) -> Optional[float]:
+    """NaN/inf are not valid strict JSON; map them to null."""
+    if value is None or math.isnan(value) or math.isinf(value):
+        return None
+    return value
+
+
+def _summary_dict(summary: LatencySummary) -> Dict[str, Any]:
+    return {
+        "count": summary.count,
+        "mean_ms": _clean(summary.mean),
+        "p50_ms": _clean(summary.p50),
+        "p90_ms": _clean(summary.p90),
+        "p99_ms": _clean(summary.p99),
+        "min_ms": _clean(summary.minimum),
+        "max_ms": _clean(summary.maximum),
+    }
+
+
+@dataclass
+class PhaseReport:
+    """Metrics for one named slice of the run timeline."""
+
+    name: str
+    start_ms: float
+    end_ms: float
+    delivered: int
+    throughput_per_sec: float
+    latency: LatencySummary
+    fast_path_ratio: float
+    per_region: Dict[str, LatencySummary] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_ms": self.start_ms,
+            "end_ms": _clean(self.end_ms),
+            "delivered": self.delivered,
+            "throughput_per_sec": round(self.throughput_per_sec, 3),
+            "latency": _summary_dict(self.latency),
+            "fast_path_ratio": _clean(self.fast_path_ratio),
+            "per_region": {region: _summary_dict(summary)
+                           for region, summary
+                           in sorted(self.per_region.items())},
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """Everything one scenario run measured."""
+
+    scenario: str
+    protocol: str
+    backend: str
+    seed: int
+    replica_regions: List[str]
+    duration_ms: float
+    phases: List[PhaseReport]
+    delivered: int
+    throughput_per_sec: float
+    latency: LatencySummary
+    fast_path_ratio: float
+    warmup_discarded: int
+    owner_changes: int
+    view_changes: int
+    checkpoints_stable: int
+    log_footprint_total: int
+    client_stats: Dict[str, int]
+    network: Dict[str, int]
+    fault_log: List[Dict[str, Any]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "backend": self.backend,
+            "seed": self.seed,
+            "replica_regions": list(self.replica_regions),
+            "duration_ms": _clean(self.duration_ms),
+            "phases": [phase.to_dict() for phase in self.phases],
+            "totals": {
+                "delivered": self.delivered,
+                "throughput_per_sec": round(self.throughput_per_sec, 3),
+                "latency": _summary_dict(self.latency),
+                "fast_path_ratio": _clean(self.fast_path_ratio),
+                "warmup_discarded": self.warmup_discarded,
+            },
+            "protocol_health": {
+                "owner_changes": self.owner_changes,
+                "view_changes": self.view_changes,
+                "checkpoints_stable": self.checkpoints_stable,
+                "log_footprint_total": self.log_footprint_total,
+            },
+            "client_stats": dict(sorted(self.client_stats.items())),
+            "network": dict(sorted(self.network.items())),
+            "fault_log": list(self.fault_log),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          allow_nan=False)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    def format_text(self) -> str:
+        """Human-readable summary for the CLI."""
+        lines = [
+            f"scenario   {self.scenario}  "
+            f"[{self.protocol} / {self.backend} / seed={self.seed}]",
+            f"regions    {', '.join(self.replica_regions)}",
+            f"duration   {self.duration_ms:.0f} ms scenario time, "
+            f"{self.wall_seconds:.2f} s wall",
+            f"delivered  {self.delivered} requests "
+            f"({self.throughput_per_sec:.1f}/s, "
+            f"{self.warmup_discarded} warmup samples discarded)",
+        ]
+        fast = self.fast_path_ratio
+        if not math.isnan(fast):
+            lines.append(f"fast path  {fast:.1%}")
+        lines.append(
+            f"health     owner_changes={self.owner_changes} "
+            f"view_changes={self.view_changes} "
+            f"checkpoints_stable={self.checkpoints_stable} "
+            f"log_footprint={self.log_footprint_total}")
+        header = (f"{'phase':12s} {'window (ms)':>17s} {'n':>6s} "
+                  f"{'thr/s':>8s} {'p50':>7s} {'p90':>7s} {'p99':>7s} "
+                  f"{'fast':>6s}")
+        lines.append("")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for phase in self.phases:
+            summary = phase.latency
+            fast = phase.fast_path_ratio
+            fast_s = f"{fast:.0%}" if not math.isnan(fast) else "-"
+            window = f"{phase.start_ms:.0f}-{phase.end_ms:.0f}"
+            lines.append(
+                f"{phase.name:12s} {window:>17s} "
+                f"{phase.delivered:6d} "
+                f"{phase.throughput_per_sec:8.1f} "
+                f"{summary.p50:7.1f} {summary.p90:7.1f} "
+                f"{summary.p99:7.1f} {fast_s:>6s}")
+        if self.fault_log:
+            lines.append("")
+            lines.append("fault schedule:")
+            for entry in self.fault_log:
+                lines.append(
+                    f"  t={entry['applied_ms']:8.1f}ms  "
+                    f"{entry['detail']}")
+        return "\n".join(lines)

@@ -1,0 +1,438 @@
+"""ScenarioRunner: compile a declarative :class:`Scenario` onto a
+backend and execute it.
+
+Both backends go through the protocol registry, so every registered
+protocol -- builtin or plugin -- runs under every scenario:
+
+- ``"sim"`` builds a :func:`repro.cluster.build_cluster` deployment on
+  the deterministic WAN simulator.  Fault events and phase boundaries
+  are simulator events, so the whole run (including the fault schedule)
+  is reproducible from ``scenario.seed``.
+- ``"tcp"`` builds an :class:`repro.transport.AsyncioCluster` on real
+  localhost sockets (OS-assigned ports).  The scenario clock is
+  wall-clock milliseconds; latency matrices and CPU models do not apply,
+  but workloads, phases, and the (TCP-supported) fault schedule do.
+
+The runner returns an :class:`~repro.scenario.report.ExperimentReport`;
+:meth:`ScenarioRunner.run_with_cluster` additionally exposes the live
+simulated cluster for benchmarks that introspect replica internals.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.builder import Cluster, build_cluster
+from repro.cluster.metrics import LatencyRecorder
+from repro.errors import ConfigurationError
+from repro.scenario.faults import SimFaultInjector, TcpFaultInjector
+from repro.scenario.report import ExperimentReport, PhaseReport
+from repro.scenario.spec import Scenario, WorkloadSpec
+from repro.workload.drivers import (
+    BatchingOpenLoopDriver,
+    ClosedLoopDriver,
+    OpenLoopDriver,
+)
+from repro.workload.generator import KVWorkload
+
+#: Safety cap on simulated events per run.
+MAX_EVENTS = 40_000_000
+
+
+def _workload_seed(scenario_seed: int, client_index: int) -> int:
+    """Per-client workload seed derived from the scenario seed."""
+    return scenario_seed * 1000 + client_index + 1
+
+
+class _ClientPool:
+    """Creates clients + drivers for a workload spec; shared by the
+    initial placement and mid-run :class:`ClientChurn` events."""
+
+    def __init__(self, scenario: Scenario, add_client, recorder=None,
+                 elapsed_ms=None):
+        self.scenario = scenario
+        self.workload = scenario.workload
+        self._add_client = add_client
+        self.recorder = recorder
+        #: Scenario-clock reader; open-loop drivers spawned mid-run by
+        #: ClientChurn only get the *remaining* horizon, so churned
+        #: load never overruns the declared phases.
+        self._elapsed_ms = elapsed_ms or (lambda: 0.0)
+        self.drivers: List[Any] = []
+        self._stopped: set = set()
+        self._counter = 0
+
+    def spawn(self, count: int, region: Optional[str] = None) -> None:
+        regions = [region] if region is not None \
+            else list(self.scenario.client_regions())
+        for i in range(count):
+            self._spawn_one(regions[i % len(regions)])
+
+    def spawn_initial(self) -> None:
+        for region in self.scenario.client_regions():
+            for _ in range(self.workload.clients_per_region):
+                self._spawn_one(region)
+
+    def stop(self, count: int) -> None:
+        """Stop the ``count`` most recently started still-active
+        drivers (repeated churn events wind down successive clients)."""
+        for driver in reversed(self.drivers):
+            if count <= 0:
+                break
+            if id(driver) in self._stopped:
+                continue
+            self._stopped.add(id(driver))
+            driver.stop()
+            count -= 1
+
+    def _spawn_one(self, region: str) -> None:
+        index = self._counter
+        self._counter += 1
+        client_id = f"c{index}"
+        client = self._add_client(client_id, region)
+        workload = KVWorkload(
+            client_id,
+            contention=self.workload.contention,
+            value_size=self.workload.value_size,
+            seed=_workload_seed(self.scenario.seed, index))
+        driver = self._make_driver(client, workload)
+        self.drivers.append(driver)
+        driver.start()
+
+    def _make_driver(self, client, workload: KVWorkload):
+        spec = self.workload
+        if spec.mode == "closed":
+            return ClosedLoopDriver(
+                client, workload,
+                num_requests=spec.requests_per_client,
+                think_time_ms=spec.think_time_ms)
+        duration = max(0.0, self.scenario.nominal_duration_ms() -
+                       self._elapsed_ms())
+        if spec.batch_size > 1:
+            return BatchingOpenLoopDriver(
+                client, workload,
+                rate_per_sec=spec.rate_per_client,
+                duration_ms=duration,
+                batch_size=spec.batch_size,
+                batch_timeout_ms=spec.batch_timeout_ms,
+                max_outstanding=spec.max_outstanding)
+        return OpenLoopDriver(
+            client, workload,
+            rate_per_sec=spec.rate_per_client,
+            duration_ms=duration,
+            max_outstanding=spec.max_outstanding)
+
+    @property
+    def all_done(self) -> bool:
+        return all(getattr(d, "done", True) for d in self.drivers)
+
+
+class ScenarioRunner:
+    """Executes scenarios; one runner can execute many.
+
+    ``tcp_timeout_s`` bounds a TCP closed-loop run (sockets are not a
+    deterministic simulator; a wedged run must not hang the CLI).
+    """
+
+    def __init__(self, backend: str = "sim",
+                 max_events: int = MAX_EVENTS,
+                 tcp_timeout_s: float = 60.0) -> None:
+        if backend not in ("sim", "tcp"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
+        self.backend = backend
+        self.max_events = max_events
+        self.tcp_timeout_s = tcp_timeout_s
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: Scenario) -> ExperimentReport:
+        """Execute ``scenario`` and return its report."""
+        if self.backend == "tcp":
+            return asyncio.run(self._run_tcp(scenario))
+        report, _ = self._run_sim(scenario)
+        return report
+
+    def run_with_cluster(self, scenario: Scenario
+                         ) -> Tuple[ExperimentReport, Cluster]:
+        """Sim-backend run that also returns the live cluster, for
+        callers (benchmarks, tests) that inspect replica internals."""
+        if self.backend != "sim":
+            raise ConfigurationError(
+                "run_with_cluster is only meaningful on the sim "
+                "backend")
+        return self._run_sim(scenario)
+
+    # ------------------------------------------------------------------
+    # Simulator backend
+    # ------------------------------------------------------------------
+    def _run_sim(self, scenario: Scenario
+                 ) -> Tuple[ExperimentReport, Cluster]:
+        scenario.validate()
+        wall_start = time.perf_counter()
+        workload = scenario.workload
+        cluster = build_cluster(
+            scenario.protocol,
+            list(scenario.replica_regions),
+            scenario.latency_matrix(),
+            cpu=scenario.cpu,
+            conditions=scenario.conditions,
+            seed=scenario.seed,
+            primary_region=scenario.primary_region,
+            primary_index=scenario.primary_index,
+            interference=scenario.interference,
+            statemachine_factory=scenario.statemachine,
+            slow_path_timeout=scenario.slow_path_timeout,
+            retry_timeout=scenario.retry_timeout,
+            suspicion_timeout=scenario.suspicion_timeout,
+            view_change_timeout=scenario.view_change_timeout,
+            checkpoint_interval=scenario.checkpoint_interval,
+            batch_size=workload.batch_size,
+            batch_timeout_ms=workload.batch_timeout_ms,
+        )
+        recorder = cluster.recorder
+        recorder.discard_first = \
+            workload.warmup_requests * workload.clients_per_region
+
+        pool = _ClientPool(scenario, cluster.add_client, recorder,
+                           elapsed_ms=lambda: cluster.sim.now)
+        injector = SimFaultInjector(
+            cluster,
+            spawn_clients=pool.spawn,
+            stop_clients=pool.stop,
+            statemachine_factory=scenario.statemachine)
+
+        # Phase boundaries and fault events are simulator events: they
+        # fire at exact virtual times, deterministically ordered.
+        start = 0.0
+        for i, phase in enumerate(scenario.phase_plan()):
+            if i == 0:
+                recorder.begin_phase(phase.name, 0.0)
+            else:
+                cluster.sim.schedule_at(start, recorder.begin_phase,
+                                        phase.name, start)
+            start += phase.duration_ms
+        for event in scenario.faults:
+            cluster.sim.schedule_at(event.at_ms, injector.apply, event)
+
+        pool.spawn_initial()
+        cluster.run_until_idle(max_events=self.max_events)
+
+        report = self._build_report(
+            scenario, backend="sim", recorder=recorder,
+            duration_ms=cluster.sim.now,
+            replica_stats=cluster.replica_stats(),
+            footprint=cluster.log_footprint(),
+            client_stats=[c.stats for c in cluster.clients.values()],
+            network={
+                "messages_sent": cluster.network.messages_sent,
+                "messages_delivered": cluster.network.messages_delivered,
+                "bytes_sent": cluster.network.bytes_sent,
+            },
+            fault_log=injector.log,
+            wall_seconds=time.perf_counter() - wall_start)
+        return report, cluster
+
+    # ------------------------------------------------------------------
+    # Asyncio TCP backend
+    # ------------------------------------------------------------------
+    async def _run_tcp(self, scenario: Scenario) -> ExperimentReport:
+        from repro.transport.asyncio_tcp import AsyncioCluster
+
+        scenario.validate()
+        TcpFaultInjector.check_supported(scenario.faults)
+        wall_start = time.perf_counter()
+        workload = scenario.workload
+        cluster = AsyncioCluster(
+            protocol=scenario.protocol,
+            num_replicas=len(scenario.replica_regions),
+            statemachine_factory=scenario.statemachine,
+            slow_path_timeout=scenario.slow_path_timeout,
+            retry_timeout=scenario.retry_timeout,
+            suspicion_timeout=scenario.suspicion_timeout,
+            view_change_timeout=scenario.view_change_timeout,
+            checkpoint_interval=scenario.checkpoint_interval,
+            batch_size=workload.batch_size,
+            batch_timeout_ms=workload.batch_timeout_ms,
+        )
+        await cluster.start()
+        loop = asyncio.get_running_loop()
+        origin_ms = loop.time() * 1000.0
+        recorder = LatencyRecorder(
+            discard_first=(workload.warmup_requests *
+                           workload.clients_per_region))
+        injector = TcpFaultInjector(cluster)
+
+        clients: List[Any] = []
+
+        def add_client_sync(client_id: str, region: str):
+            # _ClientPool is synchronous; clients were pre-created in
+            # placement order below, so hand them out in order.
+            client = clients.pop(0)
+
+            def record(command, result, latency, path,
+                       _region=region):
+                recorder.record(_region, latency, path,
+                                loop.time() * 1000.0 - origin_ms)
+
+            client.on_delivery = record
+            return client
+
+        # Pre-create protocol clients (socket setup is async).  Nearest
+        # replica has no meaning on localhost; clients round-robin their
+        # target replica across the membership so leaderless protocols
+        # spread command-leadership like the geo deployment does.
+        placements = [region
+                      for region in scenario.client_regions()
+                      for _ in range(workload.clients_per_region)]
+        for index, region in enumerate(placements):
+            target = cluster.replica_ids[index % len(cluster.replica_ids)]
+            if not cluster.spec.leaderless:
+                target = None
+            clients.append(
+                await cluster.add_client(f"c{index}",
+                                         target_replica=target))
+
+        injector.install_filters()
+
+        for event in scenario.faults:
+            loop.call_later(event.at_ms / 1000.0, injector.apply, event)
+
+        start = 0.0
+        for i, phase in enumerate(scenario.phase_plan()):
+            if i == 0:
+                recorder.begin_phase(phase.name, 0.0)
+            else:
+                loop.call_later(start / 1000.0, recorder.begin_phase,
+                                phase.name, start)
+            start += phase.duration_ms
+
+        pool = _ClientPool(scenario, add_client_sync, recorder)
+        pool.spawn_initial()
+
+        horizon = scenario.nominal_duration_ms()
+        last_fault = max((e.at_ms for e in scenario.faults),
+                         default=0.0)
+        if workload.mode == "open":
+            drain_s = max(horizon, last_fault) / 1000.0 + 0.3
+            await asyncio.sleep(drain_s)
+        else:
+            deadline = loop.time() + self.tcp_timeout_s
+            while not pool.all_done and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+            if not pool.all_done:
+                raise TimeoutError(
+                    f"tcp scenario {scenario.name!r} did not finish "
+                    f"within {self.tcp_timeout_s}s")
+            remaining = (last_fault / 1000.0 + 0.05) - \
+                (loop.time() - origin_ms / 1000.0)
+            # Let any still-scheduled fault events and in-flight
+            # post-commit traffic land before tearing down.
+            await asyncio.sleep(max(0.1, remaining))
+
+        duration_ms = loop.time() * 1000.0 - origin_ms
+        replica_stats = {rid: dict(r.stats)
+                         for rid, r in cluster.replicas.items()}
+        from repro.cluster.metrics import replica_footprint
+        footprint = {rid: replica_footprint(r)
+                     for rid, r in cluster.replicas.items()}
+        client_stats = [c.stats for c in cluster.clients.values()]
+        network = {
+            "frames_sent": sum(n.frames_sent
+                               for n in cluster.nodes.values()),
+            "frames_received": sum(n.frames_received
+                                   for n in cluster.nodes.values()),
+        }
+        await cluster.stop()
+
+        return self._build_report(
+            scenario, backend="tcp", recorder=recorder,
+            duration_ms=duration_ms,
+            replica_stats=replica_stats, footprint=footprint,
+            client_stats=client_stats, network=network,
+            fault_log=[{**entry,
+                        "applied_ms": entry["applied_ms"] - origin_ms}
+                       for entry in injector.log],
+            wall_seconds=time.perf_counter() - wall_start)
+
+    # ------------------------------------------------------------------
+    # Report assembly (backend-agnostic)
+    # ------------------------------------------------------------------
+    def _build_report(self, scenario: Scenario, *, backend: str,
+                      recorder: LatencyRecorder, duration_ms: float,
+                      replica_stats: Dict[str, Dict[str, int]],
+                      footprint: Dict[str, Dict[str, int]],
+                      client_stats: List[Dict[str, int]],
+                      network: Dict[str, int],
+                      fault_log: List[Dict[str, Any]],
+                      wall_seconds: float) -> ExperimentReport:
+        phases: List[PhaseReport] = []
+        start = 0.0
+        for phase in scenario.phase_plan():
+            nominal_end = start + phase.duration_ms
+            bounded = nominal_end != float("inf")
+            end = nominal_end if bounded else duration_ms
+            delivered = recorder.delivered(phase=phase.name)
+            window = end - start
+            if bounded and window > 0:
+                throughput = delivered * 1000.0 / window
+            else:
+                # Implicit request-bounded phase: rate over the
+                # observed delivery window, not the (longer) time the
+                # simulator took to drain trailing timers.
+                throughput = recorder.throughput_per_sec(
+                    phase=phase.name)
+            phases.append(PhaseReport(
+                name=phase.name,
+                start_ms=start,
+                end_ms=end,
+                delivered=delivered,
+                throughput_per_sec=throughput,
+                latency=recorder.overall(phase=phase.name),
+                fast_path_ratio=recorder.fast_path_fraction(
+                    phase=phase.name),
+                per_region={group: recorder.summary(group,
+                                                    phase=phase.name)
+                            for group in recorder.groups()},
+            ))
+            start = end
+
+        def stat_sum(key: str) -> int:
+            return sum(stats.get(key, 0)
+                       for stats in replica_stats.values())
+
+        aggregate: Dict[str, int] = {}
+        for stats in client_stats:
+            for key, value in stats.items():
+                aggregate[key] = aggregate.get(key, 0) + value
+
+        return ExperimentReport(
+            scenario=scenario.name,
+            protocol=scenario.protocol,
+            backend=backend,
+            seed=scenario.seed,
+            replica_regions=list(scenario.replica_regions),
+            duration_ms=duration_ms,
+            phases=phases,
+            delivered=recorder.total_delivered,
+            throughput_per_sec=recorder.throughput_per_sec(),
+            latency=recorder.overall(),
+            fast_path_ratio=recorder.fast_path_fraction(),
+            warmup_discarded=recorder.warmup_discarded,
+            owner_changes=stat_sum("owner_changes_started"),
+            view_changes=stat_sum("view_changes"),
+            checkpoints_stable=stat_sum("checkpoints_stable"),
+            log_footprint_total=sum(sizes.get("total", 0)
+                                    for sizes in footprint.values()),
+            client_stats=aggregate,
+            network=network,
+            fault_log=fault_log,
+            wall_seconds=wall_seconds,
+        )
+
+
+def run_scenario(scenario: Scenario,
+                 backend: str = "sim") -> ExperimentReport:
+    """One-call convenience: ``run_scenario(preset("smoke"))``."""
+    return ScenarioRunner(backend=backend).run(scenario)

@@ -151,6 +151,24 @@ LOCAL = LatencyMatrix(
 )
 
 
+def scaled_matrix(matrix: LatencyMatrix, factor: float,
+                  name: str = "") -> LatencyMatrix:
+    """A copy of ``matrix`` with every latency multiplied by ``factor``.
+
+    Used by scenario ``LatencyShift`` fault events to model a WAN-wide
+    slowdown (congestion) or speedup mid-run.
+    """
+    if factor <= 0:
+        raise ConfigurationError(
+            f"latency scale factor must be positive, got {factor}")
+    return LatencyMatrix(
+        name=name or f"{matrix.name}*{factor:g}",
+        regions=matrix.regions,
+        pairs={pair: ms * factor for pair, ms in matrix.pairs.items()},
+        intra_region_ms=matrix.intra_region_ms * factor,
+    )
+
+
 def uniform_matrix(regions: Iterable[str], one_way_ms: float,
                    name: str = "uniform",
                    intra_region_ms: float = INTRA_REGION_MS) -> LatencyMatrix:

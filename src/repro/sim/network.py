@@ -119,6 +119,11 @@ class SimNetwork:
     def region_of(self, node_id: str) -> str:
         return self._record(node_id).region
 
+    def handler_of(self, node_id: str) -> Callable[[str, Any], None]:
+        """A node's current message handler (so fault injectors can save
+        it before :meth:`set_handler` and restore it on recovery)."""
+        return self._record(node_id).handler
+
     def set_handler(self, node_id: str,
                     handler: Callable[[str, Any], None]) -> None:
         """Replace a node's message handler.

@@ -111,9 +111,19 @@ class AsyncioNode:
     # Server side
     # ------------------------------------------------------------------
     async def start(self) -> None:
+        """Bind and listen.  Port 0 requests an OS-assigned (ephemeral)
+        port; the node's entry in the shared address map is updated with
+        the real port so peers that dial later reach it.  Fixed ports in
+        the ephemeral range (32768+ on Linux) collide with the kernel's
+        own outgoing-port allocation under load, so port 0 is the
+        reliable choice for tests and local scenario runs."""
         host, port = self.address
         self._server = await asyncio.start_server(
             self._on_connection, host, port)
+        if port == 0:
+            port = self._server.sockets[0].getsockname()[1]
+            self.address = (host, port)
+            self.addresses[self.node_id] = self.address
 
     async def stop(self) -> None:
         for task in list(self._send_tasks):
@@ -204,6 +214,12 @@ class AsyncioCluster:
     >>> await cluster.start()
     >>> client = await cluster.add_client("c0")
     >>> result = await cluster.request(client, "put", "k", "v")
+
+    ``base_port=0`` (the default) binds every node to an OS-assigned
+    port, so concurrent clusters never collide; pass a fixed base port
+    only when peers outside this process need predictable addresses.
+    ``config_overrides`` are forwarded to :class:`ProtocolConfig`
+    (timeouts, ``checkpoint_interval``, ``batch_size``, ...).
     """
 
     BASE_PORT = 41200
@@ -211,9 +227,9 @@ class AsyncioCluster:
     def __init__(self, protocol: str = "ezbft",
                  num_replicas: int = 4,
                  host: str = "127.0.0.1",
-                 base_port: int = BASE_PORT,
-                 statemachine_factory: Optional[Callable[[], Any]] = None
-                 ) -> None:
+                 base_port: int = 0,
+                 statemachine_factory: Optional[Callable[[], Any]] = None,
+                 **config_overrides: Any) -> None:
         from repro.config import ProtocolConfig
         from repro.crypto.keys import KeyRegistry
         from repro.protocols.registry import get_protocol
@@ -224,16 +240,18 @@ class AsyncioCluster:
         self.host = host
         self.statemachine_factory = statemachine_factory or KVStore
         self.replica_ids = tuple(f"r{i}" for i in range(num_replicas))
-        self.config = ProtocolConfig(
-            replica_ids=self.replica_ids,
+        defaults: Dict[str, Any] = dict(
             slow_path_timeout=300.0, retry_timeout=2000.0,
             suspicion_timeout=1000.0, view_change_timeout=2000.0)
+        defaults.update(config_overrides)
+        self.config = ProtocolConfig(
+            replica_ids=self.replica_ids, **defaults)
         self.registry = KeyRegistry()
         self.addresses: Dict[str, Address] = {
-            rid: (host, base_port + i)
+            rid: (host, base_port + i if base_port else 0)
             for i, rid in enumerate(self.replica_ids)
         }
-        self._next_port = base_port + num_replicas
+        self._next_port = base_port + num_replicas if base_port else 0
         self.nodes: Dict[str, AsyncioNode] = {}
         self.replicas: Dict[str, Any] = {}
         self.clients: Dict[str, Any] = {}
@@ -267,7 +285,8 @@ class AsyncioCluster:
     async def add_client(self, client_id: str,
                          target_replica: Optional[str] = None):
         address = (self.host, self._next_port)
-        self._next_port += 1
+        if self._next_port:
+            self._next_port += 1
         self.addresses[client_id] = address
         node = AsyncioNode(client_id, address, self.addresses)
         keypair = self.registry.create(client_id, seed=b"tcp-demo")

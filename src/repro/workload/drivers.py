@@ -15,11 +15,14 @@ class ClosedLoopDriver:
     """Closed loop: "a client will wait for a reply to its previous
     request before sending another one" (Section V).
 
-    ``num_requests`` bounds the run; ``warmup`` initial requests are
-    issued but their latencies are excluded by the recorder only if the
-    caller filters -- the driver exposes ``completed`` so benchmarks can
-    skip warmup samples themselves (we keep it simple: the recorder sees
-    everything; benchmarks typically discard the first sample).
+    ``num_requests`` bounds the run.  Warmup exclusion is first-class
+    and recorder-side: construct the cluster's
+    :class:`~repro.cluster.metrics.LatencyRecorder` with
+    ``discard_first=N`` (or set the attribute before the run) and the
+    first N samples of every group are dropped from all statistics --
+    no hand-filtering in benchmarks.  Phase tagging
+    (:meth:`~repro.cluster.metrics.LatencyRecorder.begin_phase`) slices
+    the remaining samples along the scenario timeline.
     """
 
     def __init__(self, client: Any, workload: KVWorkload,
@@ -58,6 +61,10 @@ class ClosedLoopDriver:
     @property
     def done(self) -> bool:
         return self.completed >= self.num_requests
+
+    def stop(self) -> None:
+        """Stop issuing new requests (in-flight ones still complete)."""
+        self.num_requests = min(self.num_requests, self._issued)
 
 
 class OpenLoopDriver:
@@ -99,6 +106,11 @@ class OpenLoopDriver:
         else:
             self.skipped += 1
         self.client.ctx.set_timer(self.interval_ms, self._tick)
+
+    def stop(self) -> None:
+        """Stop issuing new requests (the next tick sees the deadline
+        in the past and returns)."""
+        self._deadline = self.client.ctx.now
 
 
 class BatchingOpenLoopDriver:
@@ -150,6 +162,11 @@ class BatchingOpenLoopDriver:
         else:
             self.skipped += 1
         self.client.ctx.set_timer(self.interval_ms, self._tick)
+
+    def stop(self) -> None:
+        """Stop issuing and flush any partial batch."""
+        self._deadline = self.client.ctx.now
+        self._batcher.flush()
 
     def _submit_commands(self, commands: List[Command]) -> None:
         self.batches_sent += 1

@@ -9,6 +9,7 @@ clients' own (non-overlapping) set of keys."  Requests are small writes
 from __future__ import annotations
 
 import random
+import zlib
 from typing import Optional
 
 from repro.statemachine.base import Command
@@ -32,8 +33,12 @@ class KVWorkload:
         self.contention = contention
         self.hot_key = hot_key
         self.value_size = value_size
+        # The unseeded default must still be deterministic across
+        # *processes* (str hash is salted per interpreter), or two runs
+        # of the same scenario would draw different key streams.
         self._rng = random.Random(
-            seed if seed is not None else hash(client_id) & 0xFFFF)
+            seed if seed is not None
+            else zlib.crc32(client_id.encode("utf-8")) & 0xFFFF)
         self._counter = 0
         self.hot_requests = 0
         self.total_requests = 0

@@ -80,3 +80,63 @@ def test_throughput_explicit_window():
 def test_throughput_zero_without_deliveries():
     recorder = LatencyRecorder()
     assert recorder.throughput_per_sec() == 0.0
+
+
+# ----------------------------------------------------------------------
+# Warmup exclusion and phase tagging
+# ----------------------------------------------------------------------
+def test_discard_first_excludes_warmup_per_group():
+    recorder = LatencyRecorder(discard_first=2)
+    for t in range(5):
+        recorder.record("a", 10.0 + t, "fast", now_ms=float(t))
+    recorder.record("b", 99.0, "slow", now_ms=10.0)
+    # Group a: first 2 of 5 dropped; group b: its only sample dropped.
+    assert recorder.warmup_discarded == 3
+    assert len(recorder.samples("a")) == 3
+    assert recorder.samples("b") == []
+    assert recorder.total_delivered == 3
+    # Discarded samples never reach path stats either.
+    assert recorder.fast_path_fraction() == 1.0
+
+
+def test_phase_tagging_slices_samples_and_paths():
+    recorder = LatencyRecorder()
+    recorder.begin_phase("ramp", 0.0)
+    recorder.record("g", 10.0, "fast", now_ms=5.0)
+    recorder.record("g", 20.0, "fast", now_ms=8.0)
+    recorder.begin_phase("steady", 100.0)
+    recorder.record("g", 30.0, "slow", now_ms=105.0)
+    assert recorder.phases() == ("ramp", "steady")
+    assert recorder.samples("g", phase="ramp") == [10.0, 20.0]
+    assert recorder.samples("g", phase="steady") == [30.0]
+    assert recorder.samples("g") == [10.0, 20.0, 30.0]  # aggregate
+    assert recorder.delivered(phase="ramp") == 2
+    assert recorder.fast_path_fraction(phase="ramp") == 1.0
+    assert recorder.fast_path_fraction(phase="steady") == 0.0
+    assert recorder.summary("g", phase="steady").mean == 30.0
+    assert recorder.phase_window("ramp") == (0.0, 100.0)
+    assert recorder.phase_window("steady") == (100.0, 105.0)
+
+
+def test_implicit_main_phase_and_duplicate_phase_rejected():
+    recorder = LatencyRecorder()
+    recorder.record("g", 1.0, "fast", now_ms=0.0)
+    assert recorder.phases() == ("main",)
+    assert recorder.delivered(phase="main") == 1
+    with pytest.raises(ValueError):
+        recorder.begin_phase("main", 1.0)
+
+
+def test_phase_throughput_uses_phase_window():
+    recorder = LatencyRecorder()
+    recorder.begin_phase("a", 0.0)
+    for t in range(5):
+        recorder.record("g", 1.0, "fast", now_ms=t * 100.0)
+    recorder.begin_phase("b", 1000.0)
+    recorder.record("g", 1.0, "fast", now_ms=1000.0)
+    recorder.record("g", 1.0, "fast", now_ms=1500.0)
+    # Phase a: 5 deliveries over its observed 400ms window.
+    assert recorder.throughput_per_sec(phase="a") == \
+        pytest.approx(12.5)
+    assert recorder.throughput_per_sec(phase="b") == \
+        pytest.approx(4.0)

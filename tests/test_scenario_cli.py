@@ -1,0 +1,82 @@
+"""The ``python -m repro`` CLI, driven in-process through main()."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_list_protocols(capsys):
+    assert main(["list-protocols"]) == 0
+    out = capsys.readouterr().out
+    for protocol in ("ezbft", "pbft", "zyzzyva", "fab"):
+        assert protocol in out
+    assert "leaderless" in out
+
+
+def test_list_presets(capsys):
+    assert main(["list-presets"]) == 0
+    out = capsys.readouterr().out
+    assert "smoke" in out
+    assert "figure6-smoke" in out
+    assert "crash-recovery" in out
+
+
+def test_run_smoke_sim_with_json(tmp_path, capsys):
+    out_path = tmp_path / "report.json"
+    assert main(["run", "--preset", "smoke", "--backend", "sim",
+                 "--json", str(out_path)]) == 0
+    stdout = capsys.readouterr().out
+    assert "fast path" in stdout
+    data = json.loads(out_path.read_text())
+    assert data["backend"] == "sim"
+    assert data["totals"]["delivered"] == 12
+    phase = data["phases"][0]
+    assert phase["throughput_per_sec"] > 0
+    assert phase["latency"]["p50_ms"] is not None
+
+
+def test_run_both_backends_json_keyed_by_backend(tmp_path):
+    out_path = tmp_path / "both.json"
+    assert main(["run", "--preset", "smoke", "--backend", "both",
+                 "--quiet", "--json", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert set(data) == {"sim", "tcp"}
+    for backend, report in data.items():
+        assert report["backend"] == backend
+        assert report["totals"]["delivered"] == 12
+        assert report["phases"][0]["fast_path_ratio"] == 1.0
+
+
+def test_run_protocol_and_seed_overrides(tmp_path):
+    out_path = tmp_path / "pbft.json"
+    assert main(["run", "--preset", "smoke", "--backend", "sim",
+                 "--protocol", "pbft", "--seed", "77", "--quiet",
+                 "--json", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert data["protocol"] == "pbft"
+    assert data["seed"] == 77
+
+
+def test_run_unknown_preset_fails_cleanly(capsys):
+    assert main(["run", "--preset", "nope"]) == 2
+    assert "unknown preset" in capsys.readouterr().err
+
+
+def test_compare_across_protocols(tmp_path, capsys):
+    out_path = tmp_path / "compare.json"
+    assert main(["compare", "--preset", "smoke",
+                 "--protocols", "ezbft,pbft",
+                 "--json", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "ezbft" in out and "pbft" in out
+    data = json.loads(out_path.read_text())
+    assert set(data) == {"ezbft", "pbft"}
+    assert all(r["totals"]["delivered"] == 12 for r in data.values())
+
+
+def test_compare_unknown_protocol_fails_cleanly(capsys):
+    assert main(["compare", "--preset", "smoke",
+                 "--protocols", "raft"]) == 2
+    assert "unknown protocol" in capsys.readouterr().err

@@ -1,0 +1,102 @@
+"""Scenario execution on the asyncio TCP backend (real localhost
+sockets, OS-assigned ports)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenario import (
+    CrashReplica,
+    LatencyShift,
+    RecoverReplica,
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+    preset,
+)
+
+
+def test_smoke_scenario_runs_over_tcp():
+    scenario = preset("smoke")
+    assert "tcp" in scenario.backends
+    report = ScenarioRunner(backend="tcp").run(scenario)
+    assert report.backend == "tcp"
+    # 1 distinct region x 2 clients x 6 requests, all delivered.
+    assert report.delivered == 12
+    assert report.fast_path_ratio == 1.0
+    assert report.network["frames_received"] > 0
+    data = report.to_dict()
+    phase = data["phases"][0]
+    assert phase["latency"]["p99_ms"] is not None
+    assert phase["throughput_per_sec"] > 0
+
+
+def test_tcp_run_with_warmup_and_report_json(tmp_path):
+    scenario = Scenario(
+        name="tcp-warmup",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=5,
+                              warmup_requests=2),
+        seed=8,
+        backends=("tcp",),
+    )
+    report = ScenarioRunner(backend="tcp").run(scenario)
+    assert report.warmup_discarded == 2
+    assert report.latency.count == 3
+    out = tmp_path / "report.json"
+    report.save(str(out))
+    assert out.read_text().startswith("{")
+
+
+def test_tcp_crash_and_recover_fault_schedule():
+    # Crash a non-target replica mid-run: the fast path needs all
+    # 3f+1 replicas, so post-crash commits fall to the slow path while
+    # requests keep completing.
+    scenario = Scenario(
+        name="tcp-crash",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        # Think time paces the closed loop (~60ms/request) so the run
+        # is guaranteed to span the crash window on real sockets.
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=8,
+                              think_time_ms=60.0),
+        faults=(CrashReplica(at_ms=100.0, replica="r3"),
+                RecoverReplica(at_ms=700.0, replica="r3")),
+        seed=9,
+        slow_path_timeout=150.0,
+        retry_timeout=5_000.0,
+        suspicion_timeout=3_000.0,
+        backends=("tcp",),
+    )
+    report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
+        .run(scenario)
+    assert report.delivered == 8
+    assert report.fast_path_ratio < 1.0
+    assert [e["event"] for e in report.fault_log] == \
+        ["CrashReplica", "RecoverReplica"]
+
+
+def test_unsupported_fault_event_rejected_on_tcp():
+    scenario = Scenario(
+        name="tcp-bad",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        workload=WorkloadSpec(mode="open", rate_per_client=10.0),
+        duration_ms=200.0,
+        faults=(LatencyShift(at_ms=10.0, factor=2.0),),
+    )
+    with pytest.raises(ConfigurationError, match="not.*supported"):
+        ScenarioRunner(backend="tcp").run(scenario)
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "zyzzyva", "fab"])
+def test_baseline_protocols_run_scenarios_over_tcp(protocol):
+    report = ScenarioRunner(backend="tcp").run(
+        preset(f"smoke-{protocol}"))
+    assert report.protocol == protocol
+    assert report.delivered == 12

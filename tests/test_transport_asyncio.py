@@ -12,16 +12,13 @@ def run(coro):
     return asyncio.run(coro)
 
 
-BASE_PORT = 43900  # distinct from the example's port range
-
-
 def test_frame_roundtrip_between_two_nodes():
     async def scenario():
         from repro.statemachine.base import Command
         from repro.messages.ezbft import Request
 
-        addresses = {"a": ("127.0.0.1", BASE_PORT),
-                     "b": ("127.0.0.1", BASE_PORT + 1)}
+        addresses = {"a": ("127.0.0.1", 0),
+                     "b": ("127.0.0.1", 0)}
         received = []
         node_a = AsyncioNode("a", addresses["a"], addresses)
         node_b = AsyncioNode("b", addresses["b"], addresses)
@@ -46,7 +43,7 @@ def test_frame_roundtrip_between_two_nodes():
 
 def test_send_to_unknown_destination_raises():
     async def scenario():
-        addresses = {"a": ("127.0.0.1", BASE_PORT + 10)}
+        addresses = {"a": ("127.0.0.1", 0)}
         node = AsyncioNode("a", addresses["a"], addresses)
         await node.start()
         try:
@@ -63,8 +60,8 @@ def test_send_to_dead_peer_is_lossy_not_fatal():
         from repro.statemachine.base import Command
         from repro.messages.ezbft import Request
 
-        addresses = {"a": ("127.0.0.1", BASE_PORT + 20),
-                     "dead": ("127.0.0.1", BASE_PORT + 21)}
+        addresses = {"a": ("127.0.0.1", 0),
+                     "dead": ("127.0.0.1", 0)}
         node = AsyncioNode("a", addresses["a"], addresses)
         await node.start()
         request = Request(command=Command(
@@ -79,7 +76,7 @@ def test_send_to_dead_peer_is_lossy_not_fatal():
 
 def test_timer_fires_and_cancels():
     async def scenario():
-        addresses = {"a": ("127.0.0.1", BASE_PORT + 30)}
+        addresses = {"a": ("127.0.0.1", 0)}
         node = AsyncioNode("a", addresses["a"], addresses)
         ctx = node.context()
         fired = []
@@ -97,8 +94,7 @@ def test_timer_fires_and_cancels():
 
 def test_full_ezbft_consensus_over_tcp():
     async def scenario():
-        cluster = AsyncioCluster(num_replicas=4,
-                                 base_port=BASE_PORT + 40)
+        cluster = AsyncioCluster(num_replicas=4)
         await cluster.start()
         client = await cluster.add_client("c0")
         results = []
@@ -123,8 +119,7 @@ def test_full_ezbft_consensus_over_tcp():
 
 def test_tcp_reads_after_writes():
     async def scenario():
-        cluster = AsyncioCluster(num_replicas=4,
-                                 base_port=BASE_PORT + 50)
+        cluster = AsyncioCluster(num_replicas=4)
         await cluster.start()
         client = await cluster.add_client("c0")
         await cluster.request(client, "incr", "n", 5)
@@ -135,15 +130,12 @@ def test_tcp_reads_after_writes():
     assert run(scenario()) == 5
 
 
-@pytest.mark.parametrize("offset,protocol", [
-    (60, "ezbft"), (70, "pbft"), (80, "zyzzyva"), (90, "fab"),
-])
-def test_every_registered_protocol_runs_over_tcp(offset, protocol):
+@pytest.mark.parametrize("protocol", ["ezbft", "pbft", "zyzzyva", "fab"])
+def test_every_registered_protocol_runs_over_tcp(protocol):
     """The cluster wrapper is registry-driven: every builtin protocol
     deploys on real sockets with no transport-side branching."""
     async def scenario():
-        cluster = AsyncioCluster(protocol=protocol, num_replicas=4,
-                                 base_port=BASE_PORT + offset)
+        cluster = AsyncioCluster(protocol=protocol, num_replicas=4)
         await cluster.start()
         client = await cluster.add_client("c0")
         put_result, _, _ = await cluster.request(client, "put", "k", "v")
@@ -161,8 +153,8 @@ def test_concurrent_sends_share_one_connection():
         from repro.statemachine.base import Command
         from repro.messages.ezbft import Request
 
-        addresses = {"a": ("127.0.0.1", BASE_PORT + 100),
-                     "b": ("127.0.0.1", BASE_PORT + 101)}
+        addresses = {"a": ("127.0.0.1", 0),
+                     "b": ("127.0.0.1", 0)}
         received = []
         node_a = AsyncioNode("a", addresses["a"], addresses)
         node_b = AsyncioNode("b", addresses["b"], addresses)
@@ -196,8 +188,8 @@ def test_send_tasks_are_strongly_referenced():
         from repro.statemachine.base import Command
         from repro.messages.ezbft import Request
 
-        addresses = {"a": ("127.0.0.1", BASE_PORT + 110),
-                     "b": ("127.0.0.1", BASE_PORT + 111)}
+        addresses = {"a": ("127.0.0.1", 0),
+                     "b": ("127.0.0.1", 0)}
         received = []
         node_a = AsyncioNode("a", addresses["a"], addresses)
         node_b = AsyncioNode("b", addresses["b"], addresses)
