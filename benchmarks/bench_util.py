@@ -178,6 +178,22 @@ def region_means(recorder: LatencyRecorder) -> Dict[str, float]:
             for group in recorder.groups()}
 
 
+def report_region_means(report) -> Dict[str, float]:
+    """Per-region mean latency from an :class:`ExperimentReport` (the
+    sweep-cell counterpart of :func:`region_means`); single-phase runs
+    read their only phase."""
+    phase = report.phases[0]
+    return {region: summary.mean
+            for region, summary in phase.per_region.items()}
+
+
+def assert_all_delivered(report, expected: int) -> None:
+    """Every closed-loop client finished (warmup samples count)."""
+    delivered = report.delivered + report.warmup_discarded
+    assert delivered == expected, \
+        f"not all clients finished: {delivered}/{expected}"
+
+
 def print_table(title: str, columns: List[str],
                 rows: List[List[str]]) -> None:
     """Fixed-width table matching the paper's row/column layout."""

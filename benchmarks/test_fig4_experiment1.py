@@ -6,6 +6,10 @@ Deployment: replicas in Virginia, Tokyo (Japan), Mumbai (India), Sydney
 their local replica.  ezBFT is measured at 0%, 2%, 50% and 100%
 contention.
 
+The figure's seven bars are one zipped :class:`~repro.sweep.SweepSpec`
+axis block: protocol, contention, and primary placement travel in
+lockstep, one cell per bar.
+
 Paper's qualitative claims re-checked here:
   1. PBFT > FaB > Zyzzyva in every region (5 vs 4 vs 3 steps);
   2. ezBFT@0% ~= Zyzzyva in Virginia (both local to the primary);
@@ -18,11 +22,13 @@ import pytest
 
 from bench_util import (
     EXP1_REGIONS,
+    assert_all_delivered,
     fmt_ms,
     print_table,
-    region_means,
-    run_closed_loop,
+    report_region_means,
 )
+from repro.scenario import Scenario, WorkloadSpec
+from repro.sweep import SweepRunner, SweepSpec
 
 #: Approximate values read off the paper's Figure 4 bars (ms).
 PAPER_FIG4 = {
@@ -35,20 +41,44 @@ PAPER_FIG4 = {
                 "sydney": 225},
 }
 
+REQUESTS_PER_CLIENT = 6
+
+FIG4_SWEEP = SweepSpec(
+    base=Scenario(
+        name="fig4",
+        replica_regions=tuple(EXP1_REGIONS),
+        latency="experiment1",
+        workload=WorkloadSpec(mode="closed",
+                              requests_per_client=REQUESTS_PER_CLIENT),
+    ),
+    zipped={
+        "protocol": ("pbft", "fab", "zyzzyva",
+                     "ezbft", "ezbft", "ezbft", "ezbft"),
+        "contention": (0.0, 0.0, 0.0, 0.0, 0.02, 0.5, 1.0),
+        "primary_region": ("virginia", "virginia", "virginia",
+                           None, None, None, None),
+    },
+)
+
+
+def _label(params):
+    if params["protocol"] != "ezbft":
+        return params["protocol"]
+    return f"ezbft-{int(params['contention'] * 100)}"
+
 
 def run_fig4():
+    sweep_report = SweepRunner().run(FIG4_SWEEP)
     results = {}
-    for protocol in ("pbft", "fab", "zyzzyva"):
-        cluster = run_closed_loop(protocol, primary_region="virginia",
-                                  requests_per_client=6)
-        results[protocol] = region_means(cluster.recorder)
-    for contention in (0.0, 0.02, 0.5, 1.0):
-        cluster = run_closed_loop("ezbft", contention=contention,
-                                  requests_per_client=6)
-        label = f"ezbft-{int(contention * 100)}"
-        results[label] = region_means(cluster.recorder)
-        results[label + "/fast-fraction"] = {
-            "all": cluster.recorder.fast_path_fraction()}
+    for cell in sweep_report.cells:
+        params = cell.param_dict
+        assert_all_delivered(
+            cell.report, len(EXP1_REGIONS) * REQUESTS_PER_CLIENT)
+        label = _label(params)
+        results[label] = report_region_means(cell.report)
+        if params["protocol"] == "ezbft":
+            results[label + "/fast-fraction"] = {
+                "all": cell.report.fast_path_ratio}
     return results
 
 

@@ -10,33 +10,56 @@ per region (every request funnels through one primary, whose CPU
 saturates on client-facing work), while ezBFT -- even at 50% contention
 -- stays fairly flat because each region's replica absorbs its own
 clients (the paper highlights Mumbai staying stable).
+
+The grid is one :class:`~repro.sweep.SweepSpec`: a cartesian ``clients``
+axis times a zipped protocol block (each protocol travels with its own
+primary placement, contention, and slow-path timeout), exactly the
+methodology knobs the figure varies.
 """
 
 import pytest
 
 from bench_util import (
     EXP1_REGIONS,
+    assert_all_delivered,
     fmt_ms,
     print_table,
-    region_means,
-    run_closed_loop,
+    report_region_means,
 )
+from repro.scenario import Scenario, WorkloadSpec
+from repro.sweep import SweepRunner, SweepSpec
 
 CLIENT_COUNTS = (1, 10, 25, 100)
+REQUESTS_PER_CLIENT = 3
+
+FIG6_SWEEP = SweepSpec(
+    base=Scenario(
+        name="fig6",
+        replica_regions=tuple(EXP1_REGIONS),
+        latency="experiment1",
+        workload=WorkloadSpec(mode="closed",
+                              requests_per_client=REQUESTS_PER_CLIENT),
+    ),
+    grid={"clients": CLIENT_COUNTS},
+    zipped={
+        "protocol": ("zyzzyva", "ezbft"),
+        "primary_region": ("virginia", None),
+        "contention": (0.0, 0.5),
+        "slow_path_timeout": (400.0, 600.0),
+    },
+)
 
 
 def run_fig6():
+    sweep_report = SweepRunner().run(FIG6_SWEEP)
     results = {}
-    for count in CLIENT_COUNTS:
-        zyz = run_closed_loop("zyzzyva", primary_region="virginia",
-                              clients_per_region=count,
-                              requests_per_client=3)
-        results[("zyzzyva", count)] = region_means(zyz.recorder)
-        ez = run_closed_loop("ezbft", contention=0.5,
-                             clients_per_region=count,
-                             requests_per_client=3,
-                             slow_path_timeout=600.0)
-        results[("ezbft", count)] = region_means(ez.recorder)
+    for cell in sweep_report.cells:
+        params = cell.param_dict
+        assert_all_delivered(
+            cell.report,
+            len(EXP1_REGIONS) * params["clients"] * REQUESTS_PER_CLIENT)
+        results[(params["protocol"], params["clients"])] = \
+            report_region_means(cell.report)
     return results
 
 

@@ -79,9 +79,21 @@ from repro.scenario import (
     SwapByzantine,
     WorkloadSpec,
     available_presets,
+    dumps_spec,
+    load_spec,
     preset,
     register_preset,
     run_scenario,
+    save_spec,
+)
+# NB: the `sweep` keyword-constructor stays in repro.sweep only --
+# re-exporting it here would shadow the `repro.sweep` submodule
+# attribute on `import repro`.
+from repro.sweep import (
+    SweepReport,
+    SweepRunner,
+    SweepSpec,
+    run_sweep,
 )
 
 __version__ = "1.0.0"
@@ -138,4 +150,12 @@ __all__ = [
     "preset",
     "register_preset",
     "available_presets",
+    "load_spec",
+    "save_spec",
+    "dumps_spec",
+    # Sweep engine (parameter grids over the scenario API)
+    "SweepSpec",
+    "SweepRunner",
+    "SweepReport",
+    "run_sweep",
 ]

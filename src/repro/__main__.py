@@ -2,18 +2,24 @@
 
 Subcommands:
 
-- ``run``: execute a scenario preset on one or both backends, print the
-  per-phase report, optionally export JSON.
+- ``run``: execute a scenario (preset or ``--spec`` file) on one or
+  both backends, print the per-phase report, optionally export JSON.
+- ``sweep``: expand a parameter grid over a base scenario, run every
+  cell, and export CSV/JSON/plots (``--grid clients=5,10,20``,
+  ``--grid seed=1..5``, ``--zip`` for lockstep axes).
 - ``compare``: run one preset across several protocols and print a
-  comparison table.
+  comparison table (``--csv`` for the tabular form).
 - ``list-protocols``: the protocol registry with capability flags.
 - ``list-presets``: the scenario preset registry.
 
 Examples::
 
     python -m repro run --preset figure6-smoke --json out.json
-    python -m repro run --preset crash-recovery --seed 3
-    python -m repro compare --preset figure4
+    python -m repro run --spec my_experiment.toml
+    python -m repro sweep --preset smoke --grid clients=2,4 \
+        --grid seed=1,2 --csv out.csv
+    python -m repro sweep --spec fig6_sweep.json --plot fig6.png
+    python -m repro compare --preset figure4 --csv fig4.csv
     python -m repro list-protocols
 """
 
@@ -23,16 +29,21 @@ import argparse
 import json
 import math
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.protocols.registry import available_protocols, get_protocol
 from repro.scenario import (
+    REPORT_CSV_COLUMNS,
     ExperimentReport,
+    Scenario,
     ScenarioRunner,
     available_presets,
+    load_spec,
     preset,
+    rows_to_csv,
 )
+from repro.sweep import SweepRunner, SweepSpec
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -44,9 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser(
-        "run", help="execute one scenario preset")
-    run.add_argument("--preset", required=True,
-                     help="scenario preset name (see list-presets)")
+        "run", help="execute one scenario (preset or spec file)")
+    source = run.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset",
+                        help="scenario preset name (see list-presets)")
+    source.add_argument("--spec",
+                        help="JSON/TOML scenario spec file")
     run.add_argument("--backend",
                      choices=("sim", "tcp", "both"), default=None,
                      help="override the preset's default backend(s)")
@@ -59,6 +73,49 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--quiet", action="store_true",
                      help="suppress the human-readable report")
 
+    swp = sub.add_parser(
+        "sweep",
+        help="run a parameter grid over a base scenario, "
+             "aggregate and export")
+    source = swp.add_mutually_exclusive_group(required=True)
+    source.add_argument("--preset",
+                        help="base scenario preset name")
+    source.add_argument("--spec",
+                        help="JSON/TOML scenario or sweep spec file")
+    swp.add_argument("--grid", action="append", default=[],
+                     metavar="AXIS=V1,V2",
+                     help="cartesian axis, e.g. clients=5,10,20 or "
+                          "seed=1..5 (repeatable)")
+    swp.add_argument("--zip", action="append", default=[],
+                     dest="zip_axes", metavar="AXIS=V1,V2",
+                     help="lockstep axis: all --zip axes advance "
+                          "together (repeatable)")
+    swp.add_argument("--backend", choices=("sim", "tcp"),
+                     default=None,
+                     help="override the base scenario's first "
+                          "declared backend")
+    swp.add_argument("--workers", type=int, default=1,
+                     help="worker processes (default 1: serial)")
+    swp.add_argument("--csv", dest="csv_path", default=None,
+                     help="write one CSV row per (cell, phase)")
+    swp.add_argument("--json", dest="json_path", default=None,
+                     help="write the full sweep report as JSON")
+    swp.add_argument("--plot", dest="plot_path", default=None,
+                     help="render curves to this image file "
+                          "(needs matplotlib)")
+    swp.add_argument("--plot-x", default=None,
+                     help="axis for the plot's x (default: first "
+                          "grid axis)")
+    swp.add_argument("--plot-y", default=None,
+                     help="metric for the plot's y (default: p50 "
+                          "latency for closed loops, throughput for "
+                          "open)")
+    swp.add_argument("--group-by", default=None,
+                     help="axis drawn as one line per value "
+                          "(default: protocol when swept)")
+    swp.add_argument("--quiet", action="store_true",
+                     help="suppress the per-cell summary table")
+
     compare = sub.add_parser(
         "compare",
         help="run one preset across protocols, print a table")
@@ -68,6 +125,9 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: every registered protocol)")
     compare.add_argument("--seed", type=int, default=None)
     compare.add_argument("--json", dest="json_path", default=None)
+    compare.add_argument("--csv", dest="csv_path", default=None,
+                         help="write one CSV row per "
+                              "(protocol, phase)")
 
     sub.add_parser("list-protocols",
                    help="registered protocols and capabilities")
@@ -76,7 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _resolve_scenario(args: argparse.Namespace):
-    scenario = preset(args.preset)
+    if getattr(args, "spec", None):
+        scenario = load_spec(args.spec)
+        if isinstance(scenario, SweepSpec):
+            raise ConfigurationError(
+                f"{args.spec} holds a sweep spec; run it with "
+                f"`python -m repro sweep --spec {args.spec}`")
+    else:
+        scenario = preset(args.preset)
     overrides = {}
     if getattr(args, "protocol", None):
         overrides["protocol"] = args.protocol
@@ -85,6 +152,94 @@ def _resolve_scenario(args: argparse.Namespace):
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     return scenario
+
+
+def _coerce_token(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        value = float(token)
+    except ValueError:
+        pass
+    else:
+        if not math.isfinite(value):
+            # Mirror the spec loader: a NaN/inf timeout defeats every
+            # validate() comparison and runs silently wrong.
+            raise ConfigurationError(
+                f"non-finite value {token!r} is not allowed in sweep "
+                f"axes")
+        return value
+    if token.lower() in ("true", "false"):
+        return token.lower() == "true"
+    if token.lower() in ("none", "null"):
+        # e.g. --zip primary_region=virginia,none (leaderless arm)
+        return None
+    return token
+
+
+def _parse_axis(expr: str) -> Tuple[str, Tuple[Any, ...]]:
+    """``clients=5,10,20`` / ``seed=1..5`` -> (axis, values)."""
+    axis, sep, value_expr = expr.partition("=")
+    if not sep or not axis or not value_expr:
+        raise ConfigurationError(
+            f"bad --grid/--zip value {expr!r}: expected AXIS=V1,V2,... "
+            f"or AXIS=LO..HI")
+    values: List[Any] = []
+    for token in value_expr.split(","):
+        token = token.strip()
+        if not token:
+            raise ConfigurationError(
+                f"bad --grid/--zip value {expr!r}: empty value "
+                f"(trailing or doubled comma?)")
+        lo, sep, hi = token.partition("..")
+        if sep:
+            # '..' always means an integer range; a malformed one is a
+            # typo to surface, not a string value to run with.
+            if not (_is_int(lo) and _is_int(hi)):
+                raise ConfigurationError(
+                    f"bad range {token!r} for sweep axis {axis!r}: "
+                    f"expected LO..HI with integer bounds")
+            if int(hi) < int(lo):
+                raise ConfigurationError(
+                    f"bad range {token!r} for sweep axis {axis!r}: "
+                    f"end before start")
+            values.extend(range(int(lo), int(hi) + 1))
+        else:
+            values.append(_coerce_token(token))
+    return axis, tuple(values)
+
+
+def _is_int(token: str) -> bool:
+    try:
+        int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def _resolve_sweep(args: argparse.Namespace) -> SweepSpec:
+    """Build the SweepSpec: spec file or preset base + CLI axes (CLI
+    axes override same-named file axes)."""
+    if args.spec:
+        loaded = load_spec(args.spec)
+        if isinstance(loaded, Scenario):
+            loaded = SweepSpec(base=loaded)
+    else:
+        loaded = SweepSpec(base=args.preset)
+    grid = dict(loaded.grid)
+    zipped = dict(loaded.zipped)
+    for expr in args.grid:
+        axis, values = _parse_axis(expr)
+        zipped.pop(axis, None)
+        grid[axis] = values
+    for expr in args.zip_axes:
+        axis, values = _parse_axis(expr)
+        grid.pop(axis, None)
+        zipped[axis] = values
+    return SweepSpec(base=loaded.base, grid=grid, zipped=zipped,
+                     name=loaded.name)
 
 
 def _write_json(path: str, reports: List[ExperimentReport]) -> None:
@@ -117,6 +272,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
         _write_json(args.json_path, reports)
         if not args.quiet:
             print(f"wrote {args.json_path}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _resolve_sweep(args)
+    total = spec.size()
+    # Like `run`: an explicit --backend wins, else honor what the base
+    # scenario declares (its first backend; a sweep runs on one).
+    backend = args.backend or spec.base_scenario().backends[0]
+    runner = SweepRunner(backend=backend, workers=args.workers)
+
+    done = {"n": 0}
+
+    def progress(cell, report):
+        done["n"] += 1
+        if not args.quiet:
+            label = cell.label() or cell.scenario.name
+            print(f"[{done['n']}/{total}] {label}: "
+                  f"{report.delivered} delivered, "
+                  f"{report.throughput_per_sec:.1f}/s")
+
+    report = runner.run(spec, progress=progress)
+    if not args.quiet:
+        print()
+        print(report.format_text())
+    if args.csv_path:
+        report.to_csv(args.csv_path)
+        if not args.quiet:
+            print(f"wrote {args.csv_path}")
+    if args.json_path:
+        report.save(args.json_path)
+        if not args.quiet:
+            print(f"wrote {args.json_path}")
+    if args.plot_path:
+        from repro.sweep import plot_series
+        axes = list(report.axes)
+        if not axes:
+            raise ConfigurationError(
+                "nothing to plot: the sweep has no axes")
+        x = args.plot_x or axes[0]
+        if args.plot_y:
+            y = args.plot_y
+        elif spec.base_scenario().workload.mode == "open":
+            y = "throughput_per_sec"
+        else:
+            y = "latency_p50_ms"
+        group_by = args.group_by
+        if group_by is None and "protocol" in report.axes and \
+                x != "protocol":
+            group_by = "protocol"
+        plot_series(report, x, y=y, group_by=group_by,
+                    path=args.plot_path)
+        if not args.quiet:
+            print(f"wrote {args.plot_path}")
     return 0
 
 
@@ -159,6 +368,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             json.dump(payload, fh, indent=2, allow_nan=False)
             fh.write("\n")
         print(f"wrote {args.json_path}")
+    if args.csv_path:
+        rows = [row for report in reports for row in report.to_rows()]
+        rows_to_csv(rows, list(REPORT_CSV_COLUMNS), args.csv_path)
+        print(f"wrote {args.csv_path}")
     return 0
 
 
@@ -191,6 +404,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
         if args.command == "compare":
             return _cmd_compare(args)
         if args.command == "list-protocols":

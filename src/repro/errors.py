@@ -53,6 +53,15 @@ class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class ScenarioTimeoutError(ReproError):
+    """A scenario run on a wall-clock backend exceeded its time budget.
+
+    Raised by :class:`~repro.scenario.runner.ScenarioRunner` after the
+    deployment has been torn down (drivers stopped, sockets closed), so
+    a timed-out run never leaks live tasks into the caller's loop.
+    """
+
+
 class TransportError(ReproError):
     """A message could not be delivered by the active transport."""
 

@@ -12,6 +12,9 @@ protocols x workloads x fault schedules, over both backends.
   :mod:`repro.scenario.report`).
 - :func:`preset` serves the ready-made paper scenarios
   (:mod:`repro.scenario.presets`); ``python -m repro`` is the CLI.
+- :func:`load_spec` / :func:`dumps_spec` read and write JSON/TOML
+  scenario+sweep documents (:mod:`repro.scenario.loader`), so
+  experiments run from files without writing Python.
 """
 
 from repro.scenario.faults import (
@@ -24,12 +27,26 @@ from repro.scenario.faults import (
     RecoverReplica,
     SwapByzantine,
 )
+from repro.scenario.loader import (
+    FAULT_TYPES,
+    dumps_spec,
+    load_spec,
+    loads_spec,
+    save_spec,
+    scenario_from_dict,
+    scenario_to_dict,
+)
 from repro.scenario.presets import (
     available_presets,
     preset,
     register_preset,
 )
-from repro.scenario.report import ExperimentReport, PhaseReport
+from repro.scenario.report import (
+    REPORT_CSV_COLUMNS,
+    ExperimentReport,
+    PhaseReport,
+    rows_to_csv,
+)
 from repro.scenario.runner import ScenarioRunner, run_scenario
 from repro.scenario.spec import (
     BACKENDS,
@@ -57,7 +74,16 @@ __all__ = [
     "run_scenario",
     "ExperimentReport",
     "PhaseReport",
+    "REPORT_CSV_COLUMNS",
+    "rows_to_csv",
     "preset",
     "register_preset",
     "available_presets",
+    "FAULT_TYPES",
+    "load_spec",
+    "loads_spec",
+    "dumps_spec",
+    "save_spec",
+    "scenario_to_dict",
+    "scenario_from_dict",
 ]

@@ -1,0 +1,593 @@
+"""JSON/TOML (de)serialization for scenarios and sweeps.
+
+A spec document is a mapping with exactly one top-level table:
+``{"scenario": {...}}`` or ``{"sweep": {...}}``.  The scenario table
+mirrors :class:`~repro.scenario.spec.Scenario` field-for-field (nested
+``workload`` table, ``phases``/``faults`` arrays of tables, fault
+``type`` naming the event class); the sweep table is
+``{"base": "preset-name" | {scenario table}, "grid": {...},
+"zip": {...}}`` mirroring :class:`~repro.sweep.spec.SweepSpec`.
+
+Design constraints:
+
+- **Round-trippable**: ``loads_spec(dumps_spec(x, fmt), fmt)`` equals
+  ``x`` by dataclass equality for every serializable scenario -- in
+  particular every registered preset -- in both formats.
+- **Errors name the offending key**: an unknown or mistyped key raises
+  :class:`~repro.errors.ConfigurationError` mentioning it, so a typo'd
+  hand-written spec fails with a usable message, not a stack trace.
+- **No third-party dependencies**: TOML is parsed with the stdlib
+  ``tomllib`` (Python 3.11+; older interpreters get a clear error for
+  TOML input, JSON always works) and emitted by the minimal writer
+  below, which covers exactly the shapes these documents use.
+
+Example (``python -m repro run --spec exp.toml``)::
+
+    [scenario]
+    name = "my-crash-run"
+    protocol = "ezbft"
+    seed = 7
+
+    [scenario.workload]
+    mode = "closed"
+    requests_per_client = 12
+
+    [[scenario.faults]]
+    type = "CrashReplica"
+    at_ms = 300.0
+    replica = "r1"
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.scenario import faults as fault_mod
+from repro.scenario.faults import FaultEvent
+from repro.scenario.spec import Phase, Scenario, WorkloadSpec
+from repro.statemachine.kvstore import KVStore
+
+__all__ = [
+    "FAULT_TYPES",
+    "SPEC_FORMATS",
+    "scenario_to_dict",
+    "scenario_from_dict",
+    "sweep_to_dict",
+    "sweep_from_dict",
+    "spec_to_dict",
+    "dumps_spec",
+    "loads_spec",
+    "load_spec",
+    "save_spec",
+]
+
+#: Fault event classes addressable by ``type`` in spec documents.
+FAULT_TYPES: Dict[str, type] = {
+    cls.__name__: cls
+    for cls in (fault_mod.CrashReplica, fault_mod.RecoverReplica,
+                fault_mod.Partition, fault_mod.Heal,
+                fault_mod.SwapByzantine, fault_mod.LatencyShift,
+                fault_mod.ClientChurn)
+}
+
+SPEC_FORMATS = ("json", "toml")
+
+#: Scenario fields that cannot be expressed in a spec document (live
+#: Python objects).  Serialization requires them at their defaults;
+#: deserialized scenarios always get the defaults.
+_UNSERIALIZABLE = ("statemachine", "interference", "cpu", "conditions")
+
+
+def _type_name(value: Any) -> str:
+    return type(value).__name__
+
+
+def _expect(value: Any, types: Tuple[type, ...], key: str) -> Any:
+    # bool is an int subclass; a bare isinstance check would quietly
+    # accept `seed = true`.
+    if isinstance(value, bool) and bool not in types:
+        raise ConfigurationError(
+            f"spec key {key!r} must be {'/'.join(t.__name__ for t in types)}, "
+            f"got bool")
+    if not isinstance(value, types):
+        raise ConfigurationError(
+            f"spec key {key!r} must be "
+            f"{'/'.join(t.__name__ for t in types)}, "
+            f"got {_type_name(value)}")
+    return value
+
+
+def _str_tuple(value: Any, key: str) -> Tuple[str, ...]:
+    _expect(value, (list, tuple), key)
+    return tuple(_expect(item, (str,), f"{key}[{i}]")
+                 for i, item in enumerate(value))
+
+
+# ----------------------------------------------------------------------
+# Scenario <-> dict
+# ----------------------------------------------------------------------
+def _fault_to_dict(event: FaultEvent) -> Dict[str, Any]:
+    name = type(event).__name__
+    if name not in FAULT_TYPES:
+        raise ConfigurationError(
+            f"cannot serialize custom fault event type {name!r}")
+    data: Dict[str, Any] = {"type": name}
+    for f in dataclasses.fields(event):
+        value = getattr(event, f.name)
+        if f.name == "sides":
+            value = [list(side) for side in value]
+        if value is None:
+            continue
+        data[f.name] = value
+    return data
+
+
+def _fault_from_dict(data: Any, key: str) -> FaultEvent:
+    _expect(data, (dict,), key)
+    data = dict(data)
+    type_name = data.pop("type", None)
+    if type_name is None:
+        raise ConfigurationError(
+            f"spec key {key!r} is missing the fault 'type' key")
+    cls = FAULT_TYPES.get(type_name)
+    if cls is None:
+        raise ConfigurationError(
+            f"spec key {key!r} names unknown fault type {type_name!r}; "
+            f"choose from {tuple(FAULT_TYPES)}")
+    known = {f.name for f in dataclasses.fields(cls)}
+    for field_name in data:
+        if field_name not in known:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"({type_name} accepts {tuple(sorted(known))})")
+    if "sides" in data:
+        sides = _expect(data["sides"], (list, tuple), f"{key}.sides")
+        if len(sides) != 2:
+            raise ConfigurationError(
+                f"spec key {key}.sides must have exactly 2 entries, "
+                f"got {len(sides)}")
+        data["sides"] = tuple(
+            _str_tuple(side, f"{key}.sides[{i}]")
+            for i, side in enumerate(sides))
+    try:
+        return cls(**data)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"invalid fault event at {key}: {exc}") from None
+
+
+def _workload_to_dict(workload: WorkloadSpec) -> Dict[str, Any]:
+    data: Dict[str, Any] = {}
+    for f in dataclasses.fields(workload):
+        value = getattr(workload, f.name)
+        if value is None:
+            continue  # TOML has no null; absent means default None
+        if f.name == "client_regions":
+            value = list(value)
+        data[f.name] = value
+    return data
+
+
+_WORKLOAD_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "mode": (str,),
+    "client_regions": (list, tuple),
+    "clients_per_region": (int,),
+    "requests_per_client": (int,),
+    "think_time_ms": (int, float),
+    "rate_per_client": (int, float),
+    "max_outstanding": (int,),
+    "contention": (int, float),
+    "value_size": (int,),
+    "warmup_requests": (int,),
+    "batch_size": (int,),
+    "batch_timeout_ms": (int, float),
+}
+
+
+def _workload_from_dict(data: Any, key: str = "scenario.workload"
+                        ) -> WorkloadSpec:
+    _expect(data, (dict,), key)
+    kwargs: Dict[str, Any] = {}
+    for field_name, value in data.items():
+        if field_name not in _WORKLOAD_SCHEMA:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(accepts {tuple(sorted(_WORKLOAD_SCHEMA))})")
+        qualified = f"{key}.{field_name}"
+        _expect(value, _WORKLOAD_SCHEMA[field_name], qualified)
+        if field_name == "client_regions":
+            value = _str_tuple(value, qualified)
+        kwargs[field_name] = value
+    return WorkloadSpec(**kwargs)
+
+
+def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
+    """The serializable dict form of ``scenario``.
+
+    Raises :class:`ConfigurationError` if the scenario holds live
+    Python objects a document cannot carry: a non-default state
+    machine, interference, CPU model, network conditions, or an
+    anonymous (unnamed) latency matrix.
+    """
+    if scenario.statemachine is not KVStore:
+        raise ConfigurationError(
+            "cannot serialize scenario key 'statemachine': only the "
+            "default KVStore is expressible in a spec document")
+    for field_name in ("interference", "cpu", "conditions"):
+        if getattr(scenario, field_name) is not None:
+            raise ConfigurationError(
+                f"cannot serialize scenario key {field_name!r}: live "
+                f"Python objects are not expressible in a spec "
+                f"document")
+    latency = scenario.latency
+    if not isinstance(latency, str):
+        from repro.scenario.spec import NAMED_MATRICES
+        named = {id(matrix): name
+                 for name, matrix in NAMED_MATRICES.items()}
+        latency = named.get(id(latency))
+        if latency is None:
+            raise ConfigurationError(
+                "cannot serialize scenario key 'latency': pass a named "
+                "matrix (e.g. 'experiment1'), not a LatencyMatrix "
+                "object")
+
+    data: Dict[str, Any] = {
+        "name": scenario.name,
+        "protocol": scenario.protocol,
+        "replica_regions": list(scenario.replica_regions),
+        "latency": latency,
+        "workload": _workload_to_dict(scenario.workload),
+        "seed": scenario.seed,
+        "primary_index": scenario.primary_index,
+        "slow_path_timeout": scenario.slow_path_timeout,
+        "retry_timeout": scenario.retry_timeout,
+        "suspicion_timeout": scenario.suspicion_timeout,
+        "view_change_timeout": scenario.view_change_timeout,
+        "checkpoint_interval": scenario.checkpoint_interval,
+        "backends": list(scenario.backends),
+        "description": scenario.description,
+    }
+    if scenario.phases:
+        data["phases"] = [{"name": p.name, "duration_ms": p.duration_ms}
+                          for p in scenario.phases]
+    if scenario.faults:
+        data["faults"] = [_fault_to_dict(e) for e in scenario.faults]
+    if scenario.duration_ms is not None:
+        data["duration_ms"] = scenario.duration_ms
+    if scenario.primary_region is not None:
+        data["primary_region"] = scenario.primary_region
+    return data
+
+
+_SCENARIO_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "name": (str,),
+    "protocol": (str,),
+    "replica_regions": (list, tuple),
+    "latency": (str,),
+    "workload": (dict,),
+    "phases": (list, tuple),
+    "duration_ms": (int, float),
+    "faults": (list, tuple),
+    "seed": (int,),
+    "primary_region": (str,),
+    "primary_index": (int,),
+    "slow_path_timeout": (int, float),
+    "retry_timeout": (int, float),
+    "suspicion_timeout": (int, float),
+    "view_change_timeout": (int, float),
+    "checkpoint_interval": (int,),
+    "backends": (list, tuple),
+    "description": (str,),
+}
+
+
+def scenario_from_dict(data: Any, key: str = "scenario") -> Scenario:
+    """Build (and validate) a :class:`Scenario` from its dict form."""
+    _expect(data, (dict,), key)
+    kwargs: Dict[str, Any] = {}
+    for field_name, value in data.items():
+        if field_name not in _SCENARIO_SCHEMA:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(accepts {tuple(sorted(_SCENARIO_SCHEMA))})")
+        qualified = f"{key}.{field_name}"
+        _expect(value, _SCENARIO_SCHEMA[field_name], qualified)
+        if field_name in ("replica_regions", "backends"):
+            value = _str_tuple(value, qualified)
+        elif field_name == "workload":
+            value = _workload_from_dict(value, qualified)
+        elif field_name == "phases":
+            value = tuple(
+                _phase_from_dict(p, f"{qualified}[{i}]")
+                for i, p in enumerate(value))
+        elif field_name == "faults":
+            value = tuple(
+                _fault_from_dict(e, f"{qualified}[{i}]")
+                for i, e in enumerate(value))
+        kwargs[field_name] = value
+    if "name" not in kwargs:
+        raise ConfigurationError(
+            f"spec table {key!r} is missing the required 'name' key")
+    scenario = Scenario(**kwargs)
+    scenario.validate()
+    return scenario
+
+
+def _phase_from_dict(data: Any, key: str) -> Phase:
+    _expect(data, (dict,), key)
+    known = ("name", "duration_ms")
+    for field_name in data:
+        if field_name not in known:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(a phase accepts {known})")
+    if "name" not in data or "duration_ms" not in data:
+        raise ConfigurationError(
+            f"spec key {key!r} needs both 'name' and 'duration_ms'")
+    return Phase(name=_expect(data["name"], (str,), f"{key}.name"),
+                 duration_ms=_expect(data["duration_ms"], (int, float),
+                                     f"{key}.duration_ms"))
+
+
+# ----------------------------------------------------------------------
+# Sweep <-> dict
+# ----------------------------------------------------------------------
+def sweep_to_dict(spec: Any) -> Dict[str, Any]:
+    """The serializable dict form of a
+    :class:`~repro.sweep.spec.SweepSpec` (string preset bases stay
+    strings)."""
+    base = spec.base
+    data: Dict[str, Any] = {}
+    if spec.name:
+        data["name"] = spec.name
+    data["base"] = base if isinstance(base, str) \
+        else scenario_to_dict(base)
+    if spec.grid:
+        data["grid"] = {key: list(values)
+                        for key, values in spec.grid.items()}
+    if spec.zipped:
+        data["zip"] = {key: list(values)
+                       for key, values in spec.zipped.items()}
+    return data
+
+
+def _axis_values(value: Any, key: str) -> Tuple[Any, ...]:
+    _expect(value, (list, tuple), key)
+    if not value:
+        raise ConfigurationError(f"spec key {key!r} must be non-empty")
+    out = []
+    for i, item in enumerate(value):
+        # None is a legal axis value (e.g. primary_region=None for the
+        # leaderless arm of a zipped protocol block); JSON carries it
+        # as null.  TOML cannot -- sweep_to_dict rejects it at dump
+        # time with the axis named.
+        if item is not None:
+            _expect(item, (str, int, float, bool), f"{key}[{i}]")
+        out.append(item)
+    return tuple(out)
+
+
+def sweep_from_dict(data: Any, key: str = "sweep"):
+    """Build a :class:`~repro.sweep.spec.SweepSpec` from its dict form
+    (validated structurally here, semantically at expansion)."""
+    from repro.sweep.spec import SweepSpec
+
+    _expect(data, (dict,), key)
+    known = ("name", "base", "grid", "zip")
+    for field_name in data:
+        if field_name not in known:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(accepts {known})")
+    if "base" not in data:
+        raise ConfigurationError(
+            f"spec table {key!r} is missing the required 'base' key "
+            f"(a preset name or a scenario table)")
+    base = data["base"]
+    if isinstance(base, dict):
+        base = scenario_from_dict(base, f"{key}.base")
+    else:
+        _expect(base, (str,), f"{key}.base")
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    if "grid" in data:
+        table = _expect(data["grid"], (dict,), f"{key}.grid")
+        for axis, values in table.items():
+            grid[axis] = _axis_values(values, f"{key}.grid.{axis}")
+    zipped: Dict[str, Tuple[Any, ...]] = {}
+    if "zip" in data:
+        table = _expect(data["zip"], (dict,), f"{key}.zip")
+        for axis, values in table.items():
+            zipped[axis] = _axis_values(values, f"{key}.zip.{axis}")
+    name = ""
+    if "name" in data:
+        name = _expect(data["name"], (str,), f"{key}.name")
+    return SweepSpec(base=base, grid=grid, zipped=zipped, name=name)
+
+
+# ----------------------------------------------------------------------
+# Documents: dumps / loads / files
+# ----------------------------------------------------------------------
+def spec_to_dict(spec: Union[Scenario, Any]) -> Dict[str, Any]:
+    """Wrap a Scenario or SweepSpec in its one-key document form."""
+    from repro.sweep.spec import SweepSpec
+
+    if isinstance(spec, Scenario):
+        return {"scenario": scenario_to_dict(spec)}
+    if isinstance(spec, SweepSpec):
+        return {"sweep": sweep_to_dict(spec)}
+    raise ConfigurationError(
+        f"cannot serialize {_type_name(spec)}: expected Scenario or "
+        f"SweepSpec")
+
+
+def dumps_spec(spec: Union[Scenario, Any], fmt: str = "json") -> str:
+    """Serialize a Scenario or SweepSpec document to ``fmt``."""
+    document = spec_to_dict(spec)
+    _reject_non_finite(document, "<document root>")
+    if fmt == "json":
+        return json.dumps(document, indent=2, allow_nan=False) + "\n"
+    if fmt == "toml":
+        _reject_none_axes(document)
+        return _toml_dumps(document)
+    raise ConfigurationError(
+        f"unknown spec format {fmt!r}; choose from {SPEC_FORMATS}")
+
+
+def _reject_non_finite(value: Any, key: str) -> None:
+    """Strict discipline for spec documents, both directions: no
+    NaN/inf anywhere (lenient parsers accept them, strict JSON cannot
+    express them, and a NaN timeout defeats every validate()
+    comparison), failing with the offending key named."""
+    if isinstance(value, float) and not math.isfinite(value):
+        raise ConfigurationError(
+            f"spec key {key!r} is non-finite ({value!r}); scenario "
+            f"specs must use finite numbers")
+    if isinstance(value, dict):
+        for sub_key, sub_value in value.items():
+            _reject_non_finite(sub_value, f"{key}.{sub_key}"
+                               if key != "<document root>"
+                               else str(sub_key))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            _reject_non_finite(item, f"{key}[{i}]")
+
+
+def _reject_none_axes(document: Dict[str, Any]) -> None:
+    """TOML has no null: fail at dump time naming the axis, not deep
+    inside the writer."""
+    sweep_table = document.get("sweep", {})
+    for section in ("grid", "zip"):
+        for axis, values in sweep_table.get(section, {}).items():
+            if any(v is None for v in values):
+                raise ConfigurationError(
+                    f"sweep axis {axis!r} contains null, which TOML "
+                    f"cannot express; write this sweep as JSON")
+
+
+def _parse_document(data: Any) -> Union[Scenario, Any]:
+    _expect(data, (dict,), "<document root>")
+    keys = set(data)
+    if keys == {"scenario"}:
+        return scenario_from_dict(data["scenario"])
+    if keys == {"sweep"}:
+        return sweep_from_dict(data["sweep"])
+    raise ConfigurationError(
+        f"a spec document needs exactly one top-level table, "
+        f"'scenario' or 'sweep'; got {tuple(sorted(keys)) or '()'}")
+
+
+def loads_spec(text: str, fmt: str = "json") -> Union[Scenario, Any]:
+    """Parse a spec document from ``text`` (``fmt``: json or toml)."""
+    if fmt == "json":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigurationError(f"invalid JSON spec: {exc}") \
+                from None
+    elif fmt == "toml":
+        try:
+            import tomllib
+        except ImportError:
+            raise ConfigurationError(
+                "TOML specs need Python 3.11+ (stdlib tomllib); "
+                "use JSON on this interpreter") from None
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid TOML spec: {exc}") \
+                from None
+    else:
+        raise ConfigurationError(
+            f"unknown spec format {fmt!r}; choose from {SPEC_FORMATS}")
+    # json.loads accepts NaN/Infinity and tomllib accepts 'nan'/'inf';
+    # a NaN timeout would load silently and defeat every comparison in
+    # Scenario.validate, so reject here with the key named (mirroring
+    # dumps_spec).
+    _reject_non_finite(data, "<document root>")
+    return _parse_document(data)
+
+
+def _format_of(path: str) -> str:
+    lowered = path.lower()
+    if lowered.endswith(".json"):
+        return "json"
+    if lowered.endswith(".toml"):
+        return "toml"
+    raise ConfigurationError(
+        f"cannot infer spec format of {path!r}: expected a .json or "
+        f".toml extension")
+
+
+def load_spec(path: str) -> Union[Scenario, Any]:
+    """Load a Scenario or SweepSpec from a ``.json``/``.toml`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    return loads_spec(text, _format_of(path))
+
+
+def save_spec(spec: Union[Scenario, Any], path: str) -> None:
+    """Write a Scenario or SweepSpec to a ``.json``/``.toml`` file."""
+    # Serialize before opening: a failed dump must not truncate an
+    # existing spec file.
+    text = dumps_spec(spec, _format_of(path))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+
+
+# ----------------------------------------------------------------------
+# Minimal TOML writer
+# ----------------------------------------------------------------------
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        # Keep floats floats across the round trip ("10" would load as
+        # int; equality still holds but the document would shift type).
+        return repr(value)
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # TOML basic strings == JSON strings
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    raise ConfigurationError(
+        f"cannot express {_type_name(value)} in TOML")
+
+
+def _toml_table(name: str, table: Dict[str, Any],
+                lines: List[str]) -> None:
+    scalars = {k: v for k, v in table.items()
+               if not isinstance(v, dict) and not
+               (isinstance(v, (list, tuple)) and v and
+                isinstance(v[0], dict))}
+    subtables = {k: v for k, v in table.items() if isinstance(v, dict)}
+    table_arrays = {k: v for k, v in table.items()
+                    if isinstance(v, (list, tuple)) and v and
+                    isinstance(v[0], dict)}
+    if name:
+        lines.append(f"[{name}]")
+    for key, value in scalars.items():
+        lines.append(f"{key} = {_toml_scalar(value)}")
+    for key, value in subtables.items():
+        lines.append("")
+        _toml_table(f"{name}.{key}" if name else key, value, lines)
+    for key, value in table_arrays.items():
+        for item in value:
+            lines.append("")
+            lines.append(f"[[{name}.{key}]]" if name else f"[[{key}]]")
+            for sub_key, sub_value in item.items():
+                lines.append(f"{sub_key} = {_toml_scalar(sub_value)}")
+
+
+def _toml_dumps(document: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    for key, value in document.items():
+        if not isinstance(value, dict):
+            raise ConfigurationError(
+                f"top-level spec key {key!r} must be a table")
+        _toml_table(key, value, lines)
+    return "\n".join(lines) + "\n"

@@ -1,4 +1,4 @@
-"""Structured experiment results with JSON export.
+"""Structured experiment results with JSON and CSV export.
 
 A :class:`ScenarioRunner` run produces one :class:`ExperimentReport`:
 per-phase throughput and latency percentiles, fast-path ratio, protocol
@@ -9,16 +9,73 @@ Everything in :meth:`ExperimentReport.to_dict` is derived from the
 scenario clock, so on the deterministic simulator two runs of the same
 seeded scenario serialize identically (wall-clock time is reported
 separately in :attr:`ExperimentReport.wall_seconds`).
+
+:meth:`ExperimentReport.to_rows` flattens a report into one dict per
+phase under the fixed :data:`REPORT_CSV_COLUMNS` column set -- the
+tabular form shared by ``compare --csv`` and
+:meth:`repro.sweep.SweepReport.to_csv`.  Wall-clock fields are
+deliberately excluded so exported CSV is byte-stable across runs of a
+seeded sim scenario.
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.cluster.metrics import LatencySummary
+
+#: Fixed column order for the tabular (CSV) form of a report: one row
+#: per phase, run-level counters repeated on every row.  Pinned by the
+#: report-schema regression test -- extend deliberately, never reorder.
+REPORT_CSV_COLUMNS = (
+    "scenario",
+    "protocol",
+    "backend",
+    "seed",
+    "phase",
+    "start_ms",
+    "end_ms",
+    "delivered",
+    "throughput_per_sec",
+    "latency_count",
+    "latency_mean_ms",
+    "latency_p50_ms",
+    "latency_p90_ms",
+    "latency_p99_ms",
+    "latency_min_ms",
+    "latency_max_ms",
+    "fast_path_ratio",
+    "warmup_discarded",
+    "owner_changes",
+    "view_changes",
+    "checkpoints_stable",
+    "log_footprint_total",
+)
+
+
+def rows_to_csv(rows: List[Dict[str, Any]], columns: List[str],
+                path: Optional[str] = None) -> str:
+    """Serialize ``rows`` (dicts) under a fixed ``columns`` order; None
+    (the JSON form of NaN/inf) becomes an empty CSV field.  Returns the
+    CSV text; also writes it to ``path`` when given."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns),
+                            restval="", extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: ("" if value is None else value)
+                         for key, value in row.items()})
+    text = buffer.getvalue()
+    if path is not None:
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            fh.write(text)
+    return text
 
 
 def _clean(value: float) -> Optional[float]:
@@ -124,6 +181,53 @@ class ExperimentReport:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent,
                           allow_nan=False)
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per phase under :data:`REPORT_CSV_COLUMNS`.
+
+        Latency values are rounded to 3 decimals (microsecond precision
+        on a millisecond clock) and NaN/inf map to None, mirroring
+        :meth:`to_dict`.  Wall-clock time is excluded on purpose: the
+        tabular form must be stable across runs of a seeded scenario.
+        """
+        def r3(value: Optional[float]) -> Optional[float]:
+            value = _clean(value)
+            return None if value is None else round(value, 3)
+
+        rows = []
+        for phase in self.phases:
+            summary = phase.latency
+            rows.append({
+                "scenario": self.scenario,
+                "protocol": self.protocol,
+                "backend": self.backend,
+                "seed": self.seed,
+                "phase": phase.name,
+                "start_ms": r3(phase.start_ms),
+                "end_ms": r3(phase.end_ms),
+                "delivered": phase.delivered,
+                "throughput_per_sec": r3(phase.throughput_per_sec),
+                "latency_count": summary.count,
+                "latency_mean_ms": r3(summary.mean),
+                "latency_p50_ms": r3(summary.p50),
+                "latency_p90_ms": r3(summary.p90),
+                "latency_p99_ms": r3(summary.p99),
+                "latency_min_ms": r3(summary.minimum),
+                "latency_max_ms": r3(summary.maximum),
+                "fast_path_ratio": r3(phase.fast_path_ratio),
+                "warmup_discarded": self.warmup_discarded,
+                "owner_changes": self.owner_changes,
+                "view_changes": self.view_changes,
+                "checkpoints_stable": self.checkpoints_stable,
+                "log_footprint_total": self.log_footprint_total,
+            })
+        return rows
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The report as CSV text (one row per phase); optionally
+        written to ``path``."""
+        return rows_to_csv(self.to_rows(), list(REPORT_CSV_COLUMNS),
+                           path)
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:

@@ -26,7 +26,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cluster.builder import Cluster, build_cluster
 from repro.cluster.metrics import LatencyRecorder
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ScenarioTimeoutError
 from repro.scenario.faults import SimFaultInjector, TcpFaultInjector
 from repro.scenario.report import ExperimentReport, PhaseReport
 from repro.scenario.spec import Scenario, WorkloadSpec
@@ -133,7 +133,11 @@ class ScenarioRunner:
     """Executes scenarios; one runner can execute many.
 
     ``tcp_timeout_s`` bounds a TCP closed-loop run (sockets are not a
-    deterministic simulator; a wedged run must not hang the CLI).
+    deterministic simulator; a wedged run must not hang the CLI).  A
+    run that exceeds it raises
+    :class:`~repro.errors.ScenarioTimeoutError` *after* tearing the
+    deployment down -- drivers stopped, scheduled events cancelled,
+    sockets closed -- so no loop tasks outlive the failure.
     """
 
     def __init__(self, backend: str = "sim",
@@ -256,13 +260,16 @@ class ScenarioRunner:
             batch_size=workload.batch_size,
             batch_timeout_ms=workload.batch_timeout_ms,
         )
-        await cluster.start()
         loop = asyncio.get_running_loop()
         origin_ms = loop.time() * 1000.0
         recorder = LatencyRecorder(
             discard_first=(workload.warmup_requests *
                            workload.clients_per_region))
         injector = TcpFaultInjector(cluster)
+        pool: Optional[_ClientPool] = None
+        #: call_later handles for scheduled faults/phase boundaries, so
+        #: a timed-out run cancels what has not fired yet.
+        handles: List[Any] = []
 
         clients: List[Any] = []
 
@@ -283,68 +290,88 @@ class ScenarioRunner:
         # replica has no meaning on localhost; clients round-robin their
         # target replica across the membership so leaderless protocols
         # spread command-leadership like the geo deployment does.
-        placements = [region
-                      for region in scenario.client_regions()
-                      for _ in range(workload.clients_per_region)]
-        for index, region in enumerate(placements):
-            target = cluster.replica_ids[index % len(cluster.replica_ids)]
-            if not cluster.spec.leaderless:
-                target = None
-            clients.append(
-                await cluster.add_client(f"c{index}",
-                                         target_replica=target))
+        try:
+            # Inside the try: a bind failure partway through startup
+            # must still stop the nodes that did come up.
+            await cluster.start()
+            placements = [region
+                          for region in scenario.client_regions()
+                          for _ in range(workload.clients_per_region)]
+            for index, region in enumerate(placements):
+                target = cluster.replica_ids[
+                    index % len(cluster.replica_ids)]
+                if not cluster.spec.leaderless:
+                    target = None
+                clients.append(
+                    await cluster.add_client(f"c{index}",
+                                             target_replica=target))
 
-        injector.install_filters()
+            injector.install_filters()
 
-        for event in scenario.faults:
-            loop.call_later(event.at_ms / 1000.0, injector.apply, event)
+            for event in scenario.faults:
+                handles.append(
+                    loop.call_later(event.at_ms / 1000.0,
+                                    injector.apply, event))
 
-        start = 0.0
-        for i, phase in enumerate(scenario.phase_plan()):
-            if i == 0:
-                recorder.begin_phase(phase.name, 0.0)
+            start = 0.0
+            for i, phase in enumerate(scenario.phase_plan()):
+                if i == 0:
+                    recorder.begin_phase(phase.name, 0.0)
+                else:
+                    handles.append(
+                        loop.call_later(start / 1000.0,
+                                        recorder.begin_phase,
+                                        phase.name, start))
+                start += phase.duration_ms
+
+            pool = _ClientPool(scenario, add_client_sync, recorder)
+            pool.spawn_initial()
+
+            horizon = scenario.nominal_duration_ms()
+            last_fault = max((e.at_ms for e in scenario.faults),
+                             default=0.0)
+            if workload.mode == "open":
+                drain_s = max(horizon, last_fault) / 1000.0 + 0.3
+                await asyncio.sleep(drain_s)
             else:
-                loop.call_later(start / 1000.0, recorder.begin_phase,
-                                phase.name, start)
-            start += phase.duration_ms
+                deadline = loop.time() + self.tcp_timeout_s
+                while not pool.all_done and loop.time() < deadline:
+                    await asyncio.sleep(0.01)
+                if not pool.all_done:
+                    raise ScenarioTimeoutError(
+                        f"tcp scenario {scenario.name!r} did not finish "
+                        f"within {self.tcp_timeout_s}s")
+                remaining = (last_fault / 1000.0 + 0.05) - \
+                    (loop.time() - origin_ms / 1000.0)
+                # Let any still-scheduled fault events and in-flight
+                # post-commit traffic land before tearing down.
+                await asyncio.sleep(max(0.1, remaining))
 
-        pool = _ClientPool(scenario, add_client_sync, recorder)
-        pool.spawn_initial()
-
-        horizon = scenario.nominal_duration_ms()
-        last_fault = max((e.at_ms for e in scenario.faults),
-                         default=0.0)
-        if workload.mode == "open":
-            drain_s = max(horizon, last_fault) / 1000.0 + 0.3
-            await asyncio.sleep(drain_s)
-        else:
-            deadline = loop.time() + self.tcp_timeout_s
-            while not pool.all_done and loop.time() < deadline:
-                await asyncio.sleep(0.01)
-            if not pool.all_done:
-                raise TimeoutError(
-                    f"tcp scenario {scenario.name!r} did not finish "
-                    f"within {self.tcp_timeout_s}s")
-            remaining = (last_fault / 1000.0 + 0.05) - \
-                (loop.time() - origin_ms / 1000.0)
-            # Let any still-scheduled fault events and in-flight
-            # post-commit traffic land before tearing down.
-            await asyncio.sleep(max(0.1, remaining))
-
-        duration_ms = loop.time() * 1000.0 - origin_ms
-        replica_stats = {rid: dict(r.stats)
+            duration_ms = loop.time() * 1000.0 - origin_ms
+            replica_stats = {rid: dict(r.stats)
+                             for rid, r in cluster.replicas.items()}
+            from repro.cluster.metrics import replica_footprint
+            footprint = {rid: replica_footprint(r)
                          for rid, r in cluster.replicas.items()}
-        from repro.cluster.metrics import replica_footprint
-        footprint = {rid: replica_footprint(r)
-                     for rid, r in cluster.replicas.items()}
-        client_stats = [c.stats for c in cluster.clients.values()]
-        network = {
-            "frames_sent": sum(n.frames_sent
-                               for n in cluster.nodes.values()),
-            "frames_received": sum(n.frames_received
+            client_stats = [c.stats for c in cluster.clients.values()]
+            network = {
+                "frames_sent": sum(n.frames_sent
                                    for n in cluster.nodes.values()),
-        }
-        await cluster.stop()
+                "frames_received": sum(n.frames_received
+                                       for n in cluster.nodes.values()),
+            }
+        finally:
+            # Timeout (or any failure) must not strand a half-run
+            # deployment: stop issuing load, cancel what has not fired,
+            # close every socket, and let cancelled send tasks and
+            # EOF'd connection readers unwind inside this loop.
+            for handle in handles:
+                handle.cancel()
+            if pool is not None:
+                for driver in pool.drivers:
+                    driver.stop()
+            await cluster.stop()
+            await asyncio.sleep(0)
 
         return self._build_report(
             scenario, backend="tcp", recorder=recorder,

@@ -1,0 +1,115 @@
+"""Matplotlib-optional plotting for sweep results.
+
+``repro.sweep`` must work on machines without matplotlib (CI, minimal
+containers): nothing in this module imports it at module load.  Calling
+:func:`plot_series` without matplotlib installed raises
+:class:`~repro.errors.ConfigurationError` with the install hint; CSV
+export is the dependency-free alternative.
+
+The rendered figure is a paper-style curve chart: one line per group
+(protocol, usually) with mean markers and a min/max band across the
+collapsed axes (seeds, usually), a single y axis, recessive grid, and
+a colorblind-safe fixed-order palette.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.sweep.report import SweepReport
+
+#: Fixed-order categorical palette (colorblind-validated: worst
+#: adjacent-pair CVD deltaE 9.1, normal-vision 19.6).  Hues are
+#: assigned to groups in declaration order, never cycled per-chart.
+PALETTE = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+
+#: Axis labels for the metric names (fallback: the raw name).
+_METRIC_LABELS = {
+    "throughput_per_sec": "throughput (req/s)",
+    "latency_mean_ms": "mean latency (ms)",
+    "latency_p50_ms": "median latency (ms)",
+    "latency_p90_ms": "p90 latency (ms)",
+    "latency_p99_ms": "p99 latency (ms)",
+    "fast_path_ratio": "fast-path ratio",
+    "delivered": "requests delivered",
+}
+
+
+def _import_pyplot():
+    try:
+        import matplotlib
+    except ImportError:
+        raise ConfigurationError(
+            "plotting needs the optional matplotlib dependency "
+            "(pip install matplotlib); use to_csv() for "
+            "dependency-free export") from None
+    matplotlib.use("Agg")  # headless: never require a display
+    import matplotlib.pyplot as plt
+    return plt
+
+
+def plot_series(report: SweepReport, x: str,
+                y: str = "throughput_per_sec",
+                group_by: Optional[str] = None,
+                path: Optional[str] = None,
+                title: Optional[str] = None,
+                logx: bool = False) -> Any:
+    """Render grouped mean curves (min/max band) for one sweep metric.
+
+    ``x``/``group_by`` are sweep axes, ``y`` a metric name from
+    :data:`repro.sweep.report.METRICS`.  Writes a PNG/SVG/PDF to
+    ``path`` (by extension) when given; always returns the matplotlib
+    figure for further styling.
+    """
+    plt = _import_pyplot()
+    series = report.series(x, y=y, group_by=group_by)
+    if not series:
+        raise ConfigurationError(
+            f"sweep {report.name!r} has no data to plot for "
+            f"x={x!r}, y={y!r}")
+
+    fig, ax = plt.subplots(figsize=(6.0, 3.8))
+    for slot, (group, points) in enumerate(series.items()):
+        color = PALETTE[slot % len(PALETTE)]
+        xs = [p.x for p in points]
+        means = [p.mean for p in points]
+        # Only the ungrouped single curve wears the sweep name; a
+        # legitimate None *value* on a grouping axis keeps its own
+        # label (e.g. primary_region=None is the leaderless arm).
+        label = str(group) if group_by is not None else report.name
+        ax.plot(xs, means, color=color, linewidth=2, marker="o",
+                markersize=6, label=label)
+        if any(p.count > 1 for p in points):
+            ax.fill_between(xs, [p.minimum for p in points],
+                            [p.maximum for p in points],
+                            color=color, alpha=0.15, linewidth=0)
+
+    if logx:
+        from matplotlib import ticker
+        ax.set_xscale("log")
+        ax.set_xticks([p.x for p in next(iter(series.values()))])
+        ax.get_xaxis().set_major_formatter(ticker.ScalarFormatter())
+    ax.set_xlabel(x)
+    ax.set_ylabel(_METRIC_LABELS.get(y, y))
+    ax.set_title(title or report.name)
+    ax.grid(True, linewidth=0.5, alpha=0.3)
+    ax.spines["top"].set_visible(False)
+    ax.spines["right"].set_visible(False)
+    ax.set_ylim(bottom=0)
+    if len(series) > 1:
+        ax.legend(frameon=False)
+    fig.tight_layout()
+    if path is not None:
+        fig.savefig(path, dpi=150)
+        plt.close(fig)
+    return fig

@@ -1,0 +1,241 @@
+"""SweepReport: per-cell experiment reports plus grouped series.
+
+The aggregate view (:meth:`SweepReport.series`) is what the paper's
+figures plot: pick an x axis (a sweep axis), a metric, and optionally a
+grouping axis (one line per value, typically ``protocol``); cells that
+differ only in the remaining axes (typically ``seed``) collapse into
+mean/min/max per point.
+
+The tabular view (:meth:`SweepReport.to_rows` / ``to_csv``) emits one
+row per (cell, phase): the cell's axis values prepended to the fixed
+:data:`~repro.scenario.report.REPORT_CSV_COLUMNS` set.  Wall-clock
+fields are excluded, so sweep CSV is byte-stable across runs of a
+seeded sim sweep.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenario.report import (
+    REPORT_CSV_COLUMNS,
+    ExperimentReport,
+    rows_to_csv,
+)
+
+#: Metrics addressable by name in series()/plots, resolved against an
+#: :class:`ExperimentReport`.
+METRICS = {
+    "delivered": lambda r: r.delivered,
+    "throughput_per_sec": lambda r: r.throughput_per_sec,
+    "latency_mean_ms": lambda r: r.latency.mean,
+    "latency_p50_ms": lambda r: r.latency.p50,
+    "latency_p90_ms": lambda r: r.latency.p90,
+    "latency_p99_ms": lambda r: r.latency.p99,
+    "latency_min_ms": lambda r: r.latency.minimum,
+    "latency_max_ms": lambda r: r.latency.maximum,
+    "fast_path_ratio": lambda r: r.fast_path_ratio,
+    "owner_changes": lambda r: r.owner_changes,
+    "view_changes": lambda r: r.view_changes,
+    "checkpoints_stable": lambda r: r.checkpoints_stable,
+    "log_footprint_total": lambda r: r.log_footprint_total,
+}
+
+
+def metric_value(report: ExperimentReport, name: str) -> float:
+    """Resolve a named metric; raises naming the metric."""
+    try:
+        accessor = METRICS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown metric {name!r}; choose from "
+            f"{tuple(METRICS)}") from None
+    return accessor(report)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """Aggregate of one (group, x) bucket across the remaining axes."""
+
+    x: Any
+    mean: float
+    minimum: float
+    maximum: float
+    count: int
+
+
+@dataclass
+class SweepCellResult:
+    """One executed grid cell: its axis values and full report."""
+
+    params: Tuple[Tuple[str, Any], ...]
+    report: ExperimentReport
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+
+@dataclass
+class SweepReport:
+    """Everything a sweep measured, cell by cell."""
+
+    name: str
+    backend: str
+    axes: Dict[str, Tuple[Any, ...]]
+    cells: List[SweepCellResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def series(self, x: str, y: str = "throughput_per_sec",
+               group_by: Optional[str] = None
+               ) -> Dict[Any, List[SeriesPoint]]:
+        """Grouped mean/min/max curves: ``{group_value: [SeriesPoint
+        per x value]}`` (a single ``None`` group without ``group_by``).
+
+        ``x`` and ``group_by`` are sweep axes; ``y`` is a
+        :data:`METRICS` name.  Cells sharing (group, x) -- differing
+        only in the remaining axes, e.g. seeds -- aggregate into one
+        point.  NaN samples (e.g. fast-path ratio of a protocol
+        without a fast path) are dropped per-bucket.
+        """
+        for axis in (x,) if group_by is None else (x, group_by):
+            if axis not in self.axes:
+                raise ConfigurationError(
+                    f"unknown sweep axis {axis!r}; this sweep has "
+                    f"{tuple(self.axes)}")
+        buckets: Dict[Any, Dict[Any, List[float]]] = {}
+        for cell in self.cells:
+            params = cell.param_dict
+            group = params.get(group_by) if group_by else None
+            value = metric_value(cell.report, y)
+            if value is None or (isinstance(value, float) and
+                                 math.isnan(value)):
+                continue
+            buckets.setdefault(group, {}) \
+                .setdefault(params[x], []).append(float(value))
+
+        # Zipped axes repeat values (e.g. protocol zipped over several
+        # contention levels): collapse to first-occurrence order so a
+        # curve visits each x (and each group appears) exactly once.
+        ordered_groups = list(dict.fromkeys(self.axes[group_by])) \
+            if group_by else [None]
+        x_values = list(dict.fromkeys(self.axes[x]))
+        out: Dict[Any, List[SeriesPoint]] = {}
+        for group in ordered_groups:
+            if group not in buckets:
+                continue
+            points = []
+            for x_value in x_values:
+                samples = buckets[group].get(x_value)
+                if not samples:
+                    continue
+                points.append(SeriesPoint(
+                    x=x_value,
+                    mean=sum(samples) / len(samples),
+                    minimum=min(samples),
+                    maximum=max(samples),
+                    count=len(samples)))
+            out[group] = points
+        return out
+
+    def cell(self, **params: Any) -> ExperimentReport:
+        """The report of the unique cell matching ``params`` exactly
+        on those axes; raises if none or several match."""
+        for axis in params:
+            if axis not in self.axes:
+                raise ConfigurationError(
+                    f"unknown sweep axis {axis!r}; this sweep has "
+                    f"{tuple(self.axes)}")
+        matches = [c for c in self.cells
+                   if all(c.param_dict.get(k) == v
+                          for k, v in params.items())]
+        if len(matches) != 1:
+            raise ConfigurationError(
+                f"{len(matches)} sweep cells match {params!r} "
+                f"(need exactly 1)")
+        return matches[0].report
+
+    # ------------------------------------------------------------------
+    # Tabular / JSON export
+    # ------------------------------------------------------------------
+    def csv_columns(self) -> List[str]:
+        """Axis columns (declaration order, minus any that shadow a
+        report column) + the fixed report column set."""
+        return [axis for axis in self.axes
+                if axis not in REPORT_CSV_COLUMNS] + \
+            list(REPORT_CSV_COLUMNS)
+
+    def to_rows(self) -> List[Dict[str, Any]]:
+        """One flat dict per (cell, phase)."""
+        rows = []
+        for cell in self.cells:
+            axis_cells = {axis: value
+                          for axis, value in cell.params
+                          if axis not in REPORT_CSV_COLUMNS}
+            for row in cell.report.to_rows():
+                rows.append({**axis_cells, **row})
+        return rows
+
+    def to_csv(self, path: Optional[str] = None) -> str:
+        """The sweep as CSV text (one row per cell x phase);
+        optionally written to ``path``."""
+        return rows_to_csv(self.to_rows(), self.csv_columns(), path)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "sweep": self.name,
+            "backend": self.backend,
+            "axes": {axis: list(values)
+                     for axis, values in self.axes.items()},
+            "cells": [{"params": cell.param_dict,
+                       "report": cell.report.to_dict()}
+                      for cell in self.cells],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent,
+                          allow_nan=False)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    # ------------------------------------------------------------------
+    def format_text(self) -> str:
+        """Human-readable per-cell summary table for the CLI."""
+        axis_names = list(self.axes)
+        header_cells = axis_names + ["n", "thr/s", "p50", "p99",
+                                     "fast"]
+        rows: List[List[str]] = []
+        for cell in self.cells:
+            params = cell.param_dict
+            report = cell.report
+            fast = report.fast_path_ratio
+            fast_s = f"{fast:.0%}" if not math.isnan(fast) else "-"
+            rows.append(
+                [str(params.get(axis, "")) for axis in axis_names] +
+                [str(report.delivered),
+                 f"{report.throughput_per_sec:.1f}",
+                 f"{report.latency.p50:.1f}",
+                 f"{report.latency.p99:.1f}",
+                 fast_s])
+        widths = [max(len(header_cells[i]),
+                      *(len(row[i]) for row in rows)) if rows
+                  else len(header_cells[i])
+                  for i in range(len(header_cells))]
+        lines = [f"sweep      {self.name}  [{self.backend}, "
+                 f"{len(self.cells)} cells]"]
+        header = "  ".join(cell.rjust(widths[i])
+                           for i, cell in enumerate(header_cells))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in rows:
+            lines.append("  ".join(cell.rjust(widths[i])
+                                   for i, cell in enumerate(row)))
+        return "\n".join(lines)

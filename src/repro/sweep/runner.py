@@ -1,0 +1,108 @@
+"""SweepRunner: execute every cell of a SweepSpec and aggregate.
+
+Serial by default (and always deterministic in cell order); pass
+``workers=N`` to fan cells out over N worker *processes* -- each cell
+is an independent single-process simulation, so process pools scale a
+big grid across cores with zero shared state.  Results are re-ordered
+by cell index, so serial and parallel runs of the same sweep produce
+identical reports (the sim backend is deterministic per cell either
+way).
+
+Scenarios shipped to workers must be picklable: the presets and
+anything built from plain dataclass fields are; a scenario closing
+over a lambda ``statemachine`` is not (run those with ``workers=1``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.scenario.report import ExperimentReport
+from repro.scenario.runner import MAX_EVENTS, ScenarioRunner
+from repro.scenario.spec import Scenario
+from repro.sweep.report import SweepCellResult, SweepReport
+from repro.sweep.spec import SweepSpec
+
+
+def _run_cell(backend: str, scenario: Scenario, max_events: int,
+              tcp_timeout_s: float) -> ExperimentReport:
+    """Top-level (picklable) worker: one cell, one report."""
+    runner = ScenarioRunner(backend=backend, max_events=max_events,
+                            tcp_timeout_s=tcp_timeout_s)
+    return runner.run(scenario)
+
+
+class SweepRunner:
+    """Executes sweeps; one runner can execute many."""
+
+    def __init__(self, backend: str = "sim", workers: int = 1,
+                 max_events: int = MAX_EVENTS,
+                 tcp_timeout_s: float = 60.0) -> None:
+        if backend not in ("sim", "tcp"):
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
+        self.backend = backend
+        self.workers = workers
+        self.max_events = max_events
+        self.tcp_timeout_s = tcp_timeout_s
+
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec,
+            progress: Optional[object] = None) -> SweepReport:
+        """Expand ``spec``, run every cell, and aggregate.
+
+        ``progress`` is an optional callable invoked as
+        ``progress(cell, report)`` after each cell completes (CLI
+        progress lines); on parallel runs it fires in completion
+        order.
+        """
+        cells = list(spec.cells())  # eager: a bad grid fails up front
+        if self.workers > 1 and len(cells) > 1:
+            reports = self._run_parallel(cells, progress)
+        else:
+            reports = []
+            for cell in cells:
+                report = _run_cell(self.backend, cell.scenario,
+                                   self.max_events, self.tcp_timeout_s)
+                if progress is not None:
+                    progress(cell, report)
+                reports.append(report)
+        return SweepReport(
+            name=spec.sweep_name,
+            backend=self.backend,
+            axes=spec.axes(),
+            cells=[SweepCellResult(params=cell.params, report=report)
+                   for cell, report in zip(cells, reports)])
+
+    # ------------------------------------------------------------------
+    def _run_parallel(self, cells, progress):
+        from concurrent.futures import (
+            ProcessPoolExecutor,
+            as_completed,
+        )
+
+        reports: dict = {}
+        max_workers = min(self.workers, len(cells))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(_run_cell, self.backend, cell.scenario,
+                            self.max_events, self.tcp_timeout_s): cell
+                for cell in cells
+            }
+            for future in as_completed(futures):
+                cell = futures[future]
+                report = future.result()  # propagate worker failures
+                if progress is not None:
+                    progress(cell, report)
+                reports[cell.index] = report
+        return [reports[cell.index] for cell in cells]
+
+
+def run_sweep(spec: SweepSpec, backend: str = "sim",
+              workers: int = 1) -> SweepReport:
+    """One-call convenience:
+    ``run_sweep(sweep("smoke", clients=(2, 4)))``."""
+    return SweepRunner(backend=backend, workers=workers).run(spec)

@@ -71,6 +71,7 @@ class AsyncioNode:
         #: only keeps weak references to tasks, so a fire-and-forget
         #: ``create_task`` can be garbage-collected mid-send.
         self._send_tasks: Set[asyncio.Task] = set()
+        self._closed = False
         self.frames_received = 0
         self.frames_sent = 0
 
@@ -126,6 +127,7 @@ class AsyncioNode:
             self.addresses[self.node_id] = self.address
 
     async def stop(self) -> None:
+        self._closed = True
         for task in list(self._send_tasks):
             task.cancel()
         self._send_tasks.clear()
@@ -169,6 +171,10 @@ class AsyncioNode:
     # ------------------------------------------------------------------
     def send(self, dst: str, message: Any) -> None:
         """Fire-and-forget send (queued on the event loop)."""
+        if self._closed:
+            # A late protocol timer firing after teardown must not
+            # spawn fresh send tasks into a stopped deployment.
+            return
         if dst not in self.addresses:
             raise TransportError(f"unknown destination {dst!r}")
         task = self.loop.create_task(self._send(dst, message))

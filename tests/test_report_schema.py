@@ -1,0 +1,95 @@
+"""Report-schema regression: golden-file pin of the JSON key sets and
+CSV column sets the exporters emit.
+
+Benchmarks, the CLI, and downstream CSV consumers key into these
+structures by name; an exporter that silently drops (or renames) a
+field would only fail far away.  The golden file
+``tests/data/report_schema.json`` is the contract: any schema change
+must update it *deliberately* (and the entries are sorted, so the diff
+shows exactly what changed).
+
+Regenerate after an intentional change with::
+
+    python tests/test_report_schema.py --regen
+"""
+
+import json
+import os
+
+from repro.scenario import ScenarioRunner, preset
+from repro.scenario.report import REPORT_CSV_COLUMNS
+from repro.sweep import SweepRunner, SweepSpec
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                           "report_schema.json")
+
+
+def _experiment_report():
+    return ScenarioRunner().run(preset("smoke"))
+
+
+def _sweep_report():
+    return SweepRunner().run(
+        SweepSpec(base="smoke", grid={"clients": (1,), "seed": (1,)}))
+
+
+def current_schema():
+    report = _experiment_report()
+    data = report.to_dict()
+    sweep_report = _sweep_report()
+    sweep_data = sweep_report.to_dict()
+    return {
+        "experiment_report_keys": sorted(data),
+        "experiment_totals_keys": sorted(data["totals"]),
+        "experiment_latency_keys": sorted(data["totals"]["latency"]),
+        "experiment_phase_keys": sorted(data["phases"][0]),
+        "experiment_protocol_health_keys":
+            sorted(data["protocol_health"]),
+        "experiment_csv_columns": list(REPORT_CSV_COLUMNS),
+        "experiment_row_keys": sorted(report.to_rows()[0]),
+        "sweep_report_keys": sorted(sweep_data),
+        "sweep_cell_keys": sorted(sweep_data["cells"][0]),
+        "sweep_csv_columns_clients_seed":
+            sweep_report.csv_columns(),
+    }
+
+
+def golden_schema():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def test_report_schema_matches_golden_file():
+    current = current_schema()
+    golden = golden_schema()
+    assert set(current) == set(golden), \
+        "schema sections changed; regenerate the golden file " \
+        "deliberately (see module docstring)"
+    for section in golden:
+        assert current[section] == golden[section], (
+            f"report schema drifted in {section!r}: exporters must "
+            f"not silently drop or rename fields consumed by "
+            f"benchmarks.  If this change is intentional, regenerate "
+            f"tests/data/report_schema.json (module docstring).")
+
+
+def test_csv_header_line_matches_columns(tmp_path):
+    # The written artifact itself (not just the constant) carries the
+    # pinned columns.
+    report = _experiment_report()
+    path = tmp_path / "report.csv"
+    report.to_csv(str(path))
+    header = path.read_text().splitlines()[0]
+    assert header == ",".join(REPORT_CSV_COLUMNS)
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+        with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+            json.dump(current_schema(), fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print("pass --regen to rewrite the golden schema file")

@@ -80,3 +80,153 @@ def test_compare_unknown_protocol_fails_cleanly(capsys):
     assert main(["compare", "--preset", "smoke",
                  "--protocols", "raft"]) == 2
     assert "unknown protocol" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# run --spec / sweep / compare --csv
+# ----------------------------------------------------------------------
+def test_run_spec_file(tmp_path, capsys):
+    from repro.scenario import preset, save_spec
+    spec_path = tmp_path / "exp.json"
+    save_spec(preset("smoke"), str(spec_path))
+    out_path = tmp_path / "report.json"
+    assert main(["run", "--spec", str(spec_path), "--backend", "sim",
+                 "--quiet", "--json", str(out_path)]) == 0
+    data = json.loads(out_path.read_text())
+    assert data["totals"]["delivered"] == 12
+
+
+def test_run_spec_with_sweep_document_redirects(tmp_path, capsys):
+    spec_path = tmp_path / "grid.json"
+    spec_path.write_text(json.dumps(
+        {"sweep": {"base": "smoke", "grid": {"clients": [1, 2]}}}))
+    assert main(["run", "--spec", str(spec_path)]) == 2
+    assert "repro sweep" in capsys.readouterr().err
+
+
+def test_run_requires_preset_or_spec(capsys):
+    with pytest.raises(SystemExit):
+        main(["run"])
+
+
+def test_sweep_grid_csv_and_json(tmp_path, capsys):
+    import csv
+    csv_path = tmp_path / "out.csv"
+    json_path = tmp_path / "out.json"
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "clients=1,2", "--grid", "seed=1..3",
+                 "--csv", str(csv_path),
+                 "--json", str(json_path)]) == 0
+    out = capsys.readouterr().out
+    assert "[6/6]" in out  # progress: 2 clients x 3 seeds
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert len(rows) == 6  # one phase per cell
+    assert {row["clients"] for row in rows} == {"1", "2"}
+    assert {row["seed"] for row in rows} == {"1", "2", "3"}
+    assert all(float(row["throughput_per_sec"]) > 0 for row in rows)
+    data = json.loads(json_path.read_text())
+    assert data["axes"] == {"clients": [1, 2], "seed": [1, 2, 3]}
+
+
+def test_sweep_honors_base_scenario_backend(tmp_path, capsys):
+    import csv
+    from repro.scenario import preset, save_spec
+    # A tcp-only base must sweep on tcp, like `run` honors backends.
+    spec_path = tmp_path / "tcponly.json"
+    save_spec(preset("smoke").with_overrides(backends=("tcp",)),
+              str(spec_path))
+    csv_path = tmp_path / "out.csv"
+    assert main(["sweep", "--spec", str(spec_path),
+                 "--grid", "seed=1", "--quiet",
+                 "--csv", str(csv_path)]) == 0
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert {row["backend"] for row in rows} == {"tcp"}
+    # ...and an explicit --backend still wins
+    assert main(["sweep", "--spec", str(spec_path),
+                 "--grid", "seed=1", "--backend", "sim", "--quiet",
+                 "--csv", str(csv_path)]) == 0
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert {row["backend"] for row in rows} == {"sim"}
+
+
+def test_sweep_spec_file_with_cli_axis_override(tmp_path, capsys):
+    pytest.importorskip("tomllib")
+    spec_path = tmp_path / "grid.toml"
+    spec_path.write_text(
+        '[sweep]\nbase = "smoke"\n\n'
+        '[sweep.grid]\nclients = [1, 2, 3]\n')
+    assert main(["sweep", "--spec", str(spec_path),
+                 "--grid", "clients=2", "--quiet"]) == 0
+
+
+def test_sweep_zip_axes(tmp_path, capsys):
+    assert main(["sweep", "--preset", "smoke",
+                 "--zip", "protocol=ezbft,pbft",
+                 "--zip", "slow_path_timeout=200,300",
+                 "--quiet"]) == 0
+
+
+def test_sweep_bad_grid_axis_fails_cleanly(capsys):
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "knobs=1,2"]) == 2
+    assert "knobs" in capsys.readouterr().err
+
+
+def test_sweep_bad_grid_syntax_fails_cleanly(capsys):
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "clients"]) == 2
+    assert "AXIS=V1,V2" in capsys.readouterr().err
+
+
+def test_sweep_malformed_range_token_fails_cleanly(capsys):
+    # '--3..5' must not slip past the int check into a traceback
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "seed=--3..5"]) == 2
+    assert "bad range" in capsys.readouterr().err
+
+
+def test_sweep_trailing_comma_fails_cleanly(capsys):
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "clients=2,"]) == 2
+    assert "empty value" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("token", ["inf", "nan", "-Infinity"])
+def test_sweep_non_finite_axis_value_fails_cleanly(token, capsys):
+    # mirrors the spec loader's non-finite rejection
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", f"slow_path_timeout={token}"]) == 2
+    assert "non-finite" in capsys.readouterr().err
+
+
+def test_sweep_none_token_pins_axis_to_none(capsys):
+    assert main(["sweep", "--preset", "smoke",
+                 "--zip", "protocol=zyzzyva,ezbft",
+                 "--zip", "primary_region=local,none",
+                 "--quiet"]) == 0
+
+
+def test_sweep_plot_without_matplotlib_fails_cleanly(tmp_path, capsys):
+    try:
+        import matplotlib  # noqa: F401
+        pytest.skip("matplotlib installed; error path not reachable")
+    except ImportError:
+        pass
+    assert main(["sweep", "--preset", "smoke",
+                 "--grid", "clients=1",
+                 "--quiet", "--plot", str(tmp_path / "x.png")]) == 2
+    assert "matplotlib" in capsys.readouterr().err
+
+
+def test_compare_csv_export(tmp_path, capsys):
+    import csv
+    csv_path = tmp_path / "cmp.csv"
+    assert main(["compare", "--preset", "smoke",
+                 "--protocols", "ezbft,pbft",
+                 "--csv", str(csv_path)]) == 0
+    with open(csv_path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert {row["protocol"] for row in rows} == {"ezbft", "pbft"}

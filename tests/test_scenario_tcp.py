@@ -1,9 +1,11 @@
 """Scenario execution on the asyncio TCP backend (real localhost
 sockets, OS-assigned ports)."""
 
+import asyncio
+
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ScenarioTimeoutError
 from repro.scenario import (
     CrashReplica,
     LatencyShift,
@@ -100,3 +102,98 @@ def test_baseline_protocols_run_scenarios_over_tcp(protocol):
         preset(f"smoke-{protocol}"))
     assert report.protocol == protocol
     assert report.delivered == 12
+
+
+def _wedged_scenario() -> Scenario:
+    """A closed-loop run that cannot finish: 3 of 4 replicas crash at
+    t=0, so no quorum ever forms.  Recovery timers are pushed far out
+    so the wedge is quiet (no retry/suspicion churn) while the runner
+    waits."""
+    return Scenario(
+        name="tcp-wedged",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=2),
+        faults=(CrashReplica(at_ms=0.0, replica="r1"),
+                CrashReplica(at_ms=0.0, replica="r2"),
+                CrashReplica(at_ms=0.0, replica="r3")),
+        slow_path_timeout=400.0,
+        retry_timeout=60_000.0,
+        suspicion_timeout=60_000.0,
+        view_change_timeout=60_000.0,
+        backends=("tcp",),
+    )
+
+
+def test_tcp_timeout_raises_scenario_timeout_error():
+    with pytest.raises(ScenarioTimeoutError, match="did not finish"):
+        ScenarioRunner(backend="tcp",
+                       tcp_timeout_s=1.0).run(_wedged_scenario())
+
+
+def test_tcp_partial_startup_failure_stops_started_nodes():
+    """A bind failure partway through cluster startup must still stop
+    the nodes that did come up (teardown runs on *any* failure, not
+    just timeouts)."""
+    from repro.transport import asyncio_tcp
+
+    started = []
+    original_start = asyncio_tcp.AsyncioNode.start
+
+    async def failing_start(self):
+        if len(started) == 2:
+            raise OSError("synthetic bind failure")
+        await original_start(self)
+        started.append(self)
+
+    asyncio_tcp.AsyncioNode.start = failing_start
+    try:
+        async def scenario_run():
+            runner = ScenarioRunner(backend="tcp")
+            with pytest.raises(OSError, match="synthetic"):
+                await runner._run_tcp(preset("smoke"))
+            assert len(started) == 2
+            assert all(node._closed for node in started)
+
+        asyncio.run(scenario_run())
+    finally:
+        asyncio_tcp.AsyncioNode.start = original_start
+
+
+def test_tcp_timeout_tears_down_cluster_and_leaves_no_tasks():
+    """A timed-out run must not strand the deployment: every node is
+    stopped (sockets closed, send tasks cancelled) and no loop task
+    survives the failure."""
+    from repro.transport.asyncio_tcp import AsyncioCluster
+
+    stopped = []
+    original_stop = AsyncioCluster.stop
+
+    async def spying_stop(self):
+        stopped.append(self)
+        await original_stop(self)
+
+    AsyncioCluster.stop = spying_stop
+    try:
+        async def scenario_run():
+            runner = ScenarioRunner(backend="tcp", tcp_timeout_s=1.0)
+            with pytest.raises(ScenarioTimeoutError):
+                await runner._run_tcp(_wedged_scenario())
+            # cleanup ran inside the failing coroutine itself
+            assert len(stopped) == 1
+            cluster = stopped[0]
+            assert all(node._closed
+                       for node in cluster.nodes.values())
+            # let cancelled send tasks and EOF'd connection readers
+            # unwind, then require a quiet loop
+            await asyncio.sleep(0.2)
+            leftovers = [t for t in asyncio.all_tasks()
+                         if t is not asyncio.current_task()
+                         and not t.done()]
+            assert leftovers == []
+
+        asyncio.run(scenario_run())
+    finally:
+        AsyncioCluster.stop = original_stop
