@@ -65,15 +65,20 @@ from repro.workload.drivers import (
     OpenLoopDriver,
 )
 from repro.workload.generator import KVWorkload
+from repro.netem import LinkModel, LinkRule, NetemProfile
 from repro.scenario import (
+    BandwidthCap,
     ClientChurn,
     CrashReplica,
     ExperimentReport,
     Heal,
+    Jitter,
     LatencyShift,
+    PacketLoss,
     Partition,
     Phase,
     RecoverReplica,
+    Reorder,
     Scenario,
     ScenarioRunner,
     SwapByzantine,
@@ -144,6 +149,14 @@ __all__ = [
     "SwapByzantine",
     "LatencyShift",
     "ClientChurn",
+    "PacketLoss",
+    "Jitter",
+    "BandwidthCap",
+    "Reorder",
+    # Link-level network emulation (repro.netem)
+    "LinkModel",
+    "LinkRule",
+    "NetemProfile",
     "ScenarioRunner",
     "run_scenario",
     "ExperimentReport",

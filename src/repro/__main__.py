@@ -9,6 +9,9 @@ Subcommands:
   ``--grid seed=1..5``, ``--zip`` for lockstep axes).
 - ``compare``: run one preset across several protocols and print a
   comparison table (``--csv`` for the tabular form).
+- ``serve``: host a subset of a TCP scenario's replicas in *this*
+  process at their ``hosts``-pinned addresses, for multi-machine
+  deployments (the scenario process runs the rest and dials these).
 - ``list-protocols``: the protocol registry with capability flags.
 - ``list-presets``: the scenario preset registry.
 
@@ -98,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default 1: serial)")
     swp.add_argument("--csv", dest="csv_path", default=None,
                      help="write one CSV row per (cell, phase)")
+    swp.add_argument("--series-csv", dest="series_csv_path",
+                     default=None,
+                     help="write the aggregated series (mean/stddev/"
+                          "95%% CI across collapsed axes) as CSV; "
+                          "axes follow --plot-x/--plot-y/--group-by")
     swp.add_argument("--json", dest="json_path", default=None,
                      help="write the full sweep report as JSON")
     swp.add_argument("--plot", dest="plot_path", default=None,
@@ -128,6 +136,17 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--csv", dest="csv_path", default=None,
                          help="write one CSV row per "
                               "(protocol, phase)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="host a subset of a tcp scenario's replicas in this "
+             "process (multi-machine host-map deployments)")
+    serve.add_argument("--spec", required=True,
+                       help="JSON/TOML scenario spec with a [hosts] "
+                            "table pinning the served replicas")
+    serve.add_argument("--replicas", required=True,
+                       help="comma-separated replica ids to host "
+                            "here, e.g. r2,r3")
 
     sub.add_parser("list-protocols",
                    help="registered protocols and capabilities")
@@ -305,28 +324,46 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         report.save(args.json_path)
         if not args.quiet:
             print(f"wrote {args.json_path}")
+    if args.series_csv_path:
+        x, y, group_by = _series_axes(args, spec, report,
+                                      purpose="--series-csv")
+        report.series_to_csv(x, y=y, group_by=group_by,
+                             path=args.series_csv_path)
+        if not args.quiet:
+            print(f"wrote {args.series_csv_path}")
     if args.plot_path:
         from repro.sweep import plot_series
-        axes = list(report.axes)
-        if not axes:
-            raise ConfigurationError(
-                "nothing to plot: the sweep has no axes")
-        x = args.plot_x or axes[0]
-        if args.plot_y:
-            y = args.plot_y
-        elif spec.base_scenario().workload.mode == "open":
-            y = "throughput_per_sec"
-        else:
-            y = "latency_p50_ms"
-        group_by = args.group_by
-        if group_by is None and "protocol" in report.axes and \
-                x != "protocol":
-            group_by = "protocol"
+        x, y, group_by = _series_axes(args, spec, report,
+                                      purpose="--plot")
         plot_series(report, x, y=y, group_by=group_by,
                     path=args.plot_path)
         if not args.quiet:
             print(f"wrote {args.plot_path}")
     return 0
+
+
+def _series_axes(args: argparse.Namespace, spec: SweepSpec,
+                 report, purpose: str) -> Tuple[str, str, Optional[str]]:
+    """Resolve the (x, y, group_by) axes shared by ``--plot`` and
+    ``--series-csv``: explicit flags win, else first axis / a mode-
+    appropriate latency-or-throughput metric / protocol grouping."""
+    axes = list(report.axes)
+    if not axes:
+        raise ConfigurationError(
+            f"nothing to aggregate for {purpose}: the sweep has no "
+            f"axes")
+    x = args.plot_x or axes[0]
+    if args.plot_y:
+        y = args.plot_y
+    elif spec.base_scenario().workload.mode == "open":
+        y = "throughput_per_sec"
+    else:
+        y = "latency_p50_ms"
+    group_by = args.group_by
+    if group_by is None and "protocol" in report.axes and \
+            x != "protocol":
+        group_by = "protocol"
+    return x, y, group_by
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -375,6 +412,49 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.scenario import build_tcp_cluster
+
+    scenario = load_spec(args.spec)
+    if isinstance(scenario, SweepSpec):
+        raise ConfigurationError(
+            f"{args.spec} holds a sweep spec; serve needs a scenario "
+            f"with a 'hosts' table")
+    replicas = tuple(r.strip() for r in args.replicas.split(",")
+                     if r.strip())
+    if not replicas:
+        raise ConfigurationError(
+            "--replicas needs at least one replica id")
+    hosts = dict(scenario.hosts or {})
+    for rid in replicas:
+        if rid not in hosts:
+            raise ConfigurationError(
+                f"replica {rid!r} has no hosts entry in {args.spec}; "
+                f"serve only hosts replicas the spec pins to an "
+                f"address (have {tuple(sorted(hosts))})")
+
+    async def _serve() -> None:
+        cluster = build_tcp_cluster(scenario, start_replicas=replicas)
+        await cluster.start()
+        served = ", ".join(
+            f"{rid}@{cluster.addresses[rid][0]}:"
+            f"{cluster.addresses[rid][1]}" for rid in replicas)
+        print(f"serving {served} [scenario {scenario.name!r}, "
+              f"{scenario.protocol}]", flush=True)
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_list_protocols() -> int:
     print(f"{'name':10s} {'capabilities'}")
     print("-" * 48)
@@ -408,6 +488,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "list-protocols":
             return _cmd_list_protocols()
         if args.command == "list-presets":

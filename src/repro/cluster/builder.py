@@ -168,6 +168,7 @@ def build_cluster(protocol: str,
                   primary_region: Optional[str] = None,
                   primary_index: int = 0,
                   interference: Optional[InterferenceRelation] = None,
+                  netem: Optional[Any] = None,
                   statemachine_factory: Callable[[], StateMachine]
                   = KVStore,
                   slow_path_timeout: float = 400.0,
@@ -186,6 +187,9 @@ def build_cluster(protocol: str,
     replicated application (default: a fresh
     :class:`~repro.statemachine.KVStore`); any
     :class:`~repro.statemachine.StateMachine` plugs in here.
+    ``netem`` (a :class:`repro.netem.NetemProfile`) attaches link-level
+    emulation -- loss, jitter, reordering, duplication, bandwidth caps
+    -- on top of the latency matrix, deterministic under ``seed``.
     ``batch_size``/``batch_timeout_ms`` configure the amortizing
     batcher at the protocol's ordering point (see
     :mod:`repro.core.batching`); ``batch_size=1`` disables batching.
@@ -217,6 +221,12 @@ def build_cluster(protocol: str,
     sim = Simulator()
     network = SimNetwork(sim, latency, cpu=cpu, conditions=conditions,
                          seed=seed)
+    if netem is not None:
+        # The link-level emulation seam (see repro.netem): seeded from
+        # the same scenario seed, with its own decorrelated stream.
+        from repro.netem import LinkShaper
+        network.shaper = LinkShaper(netem, seed=seed,
+                                    region_of=network.region_of)
     registry = KeyRegistry()
     relation = interference if interference is not None \
         else KVInterference()

@@ -335,14 +335,24 @@ class EzBFTClient:
         pending.retries += 1
         self.stats["retries"] += 1
         original = pending.target
-        # Rotate to the next replica (skipping the excluded one).
-        idx = self.config.index_of(original)
-        for step in range(1, self.config.n + 1):
-            candidate = self.config.replica_ids[
-                (idx + step) % self.config.n]
-            if candidate != exclude:
-                pending.target = candidate
-                break
+        # Relay-first: the first retries re-target the *same* replica
+        # (the broadcast below makes every correct replica relay a
+        # RESENDREQ to it, and the direct re-send covers a lost
+        # REQUEST), because rotating to a fresh command-leader while
+        # the original is merely lossy proposes the same command in a
+        # *second* competing instance -- replies then split across
+        # instances and execution can block on the orphaned one.
+        # Rotate only once the original looks genuinely dead (several
+        # silent rounds) or is positively excluded (POM).
+        if pending.retries > 2 or exclude is not None:
+            # Rotate to the next replica (skipping the excluded one).
+            idx = self.config.index_of(original)
+            for step in range(1, self.config.n + 1):
+                candidate = self.config.replica_ids[
+                    (idx + step) % self.config.n]
+                if candidate != exclude:
+                    pending.target = candidate
+                    break
         suspicion = Request(command=pending.command,
                             original_replica=original)
         pending.spec_replies.clear()

@@ -45,6 +45,16 @@ class DependencyExecutor:
         #: checking only between calls would capture at stray watermarks
         #: that never match other replicas' attestations.
         self.on_execute = None
+        #: Optional escape hatch for dependencies on *duplicate*
+        #: instances: ``dep_waiver(iid) -> bool`` may declare a dep
+        #: satisfied even though the instance never committed.  The
+        #: replica wires this to "the instance's command already
+        #: executed via another instance" -- safe because execution is
+        #: exactly-once by command identity, so any later commit of
+        #: the duplicate applies as a cache hit, and every replica
+        #: still applies the command before anything that depended on
+        #: it.
+        self.dep_waiver = None
         self.executed: Set[InstanceID] = set()
         self._results: Dict[CommandIdent, Any] = {}
         #: Committed entries from earlier calls still blocked on
@@ -85,24 +95,30 @@ class DependencyExecutor:
                 if entry.status == EntryStatus.COMMITTED and \
                         entry.instance not in self.executed:
                     pool[entry.instance] = entry
-        ready = self._ready_set(pool)
-        self._deferred = {
-            iid: entry for iid, entry in pool.items()
-            if iid not in ready
-        }
-        if not ready:
-            return []
-        graph = {
-            iid: [d for d in entry.deps if d in ready]
-            for iid, entry in ready.items()
-        }
         executed_now: List[LogEntry] = []
-        for batch in execution_batches(
-                graph, sort_key=lambda iid: ready[iid].sort_key):
-            for iid in batch:
-                entry = ready[iid]
-                self._execute_entry(entry)
-                executed_now.append(entry)
+        # Executing a wave can newly satisfy a dep_waiver for entries
+        # deferred in the same call (the duplicate's command just
+        # executed), so iterate to the fixpoint instead of waiting for
+        # the next commit to re-trigger us.
+        while pool:
+            ready = self._ready_set(pool)
+            self._deferred = {
+                iid: entry for iid, entry in pool.items()
+                if iid not in ready
+            }
+            if not ready:
+                break
+            graph = {
+                iid: [d for d in entry.deps if d in ready]
+                for iid, entry in ready.items()
+            }
+            for batch in execution_batches(
+                    graph, sort_key=lambda iid: ready[iid].sort_key):
+                for iid in batch:
+                    entry = ready[iid]
+                    self._execute_entry(entry)
+                    executed_now.append(entry)
+            pool = dict(self._deferred)
         return executed_now
 
     def result_of(self, ident: CommandIdent) -> Any:
@@ -228,7 +244,9 @@ class DependencyExecutor:
                 entry = candidates[iid]
                 for dep in entry.deps:
                     if dep in candidates or \
-                            self.is_executed_instance(dep):
+                            self.is_executed_instance(dep) or \
+                            (self.dep_waiver is not None and
+                             self.dep_waiver(dep)):
                         continue
                     del candidates[iid]
                     changed = True

@@ -97,6 +97,13 @@ class EzBFTReplica:
         #: capture at a stray watermark would never match the other
         #: replicas' attestations (permanently disabling GC here).
         self.executor.on_execute = self._on_entry_executed
+        #: A dep on an uncommitted *duplicate* instance -- one holding
+        #: a command that already executed via its chosen instance --
+        #: is satisfied; without this, a client retry that proposed the
+        #: same command through a second leader leaves an orphan dep
+        #: that blocks execution forever (exactly-once applies make
+        #: the waiver safe; see DependencyExecutor.dep_waiver).
+        self.executor.dep_waiver = self._duplicate_dep_waiver
         self.owner_changes = OwnerChangeManager(self)
         #: Owner-path batcher: requests this replica will lead are
         #: accumulated and flushed as one BATCHSPECORDER (pass-through
@@ -204,13 +211,23 @@ class EzBFTReplica:
         client = request.client_id
         t = request.timestamp
         cached_t = self._client_ts.get(client, -1)
-        if t < cached_t:
-            return  # stale duplicate; drop (paper step 2 nitpick)
-        if t == cached_t:
+        if t <= cached_t:
             cached = self._client_reply_cache.get(client)
             if cached is not None and cached[0] == t:
                 self.ctx.send(client, cached[1])
-            return
+                return
+            # An older timestamp is *not* necessarily stale: open-loop
+            # clients pipeline many outstanding timestamps, so under
+            # message loss a retry of t=5 can arrive after we led
+            # t=25.  Only drop if we already ordered this command
+            # (re-replying where we can); a genuinely unseen command
+            # proceeds to the normal lead/relay path.  Execution stays
+            # exactly-once regardless -- the executor dedups applies
+            # by (client, timestamp).
+            entry = self._find_entry_for_command(request.command)
+            if entry is not None:
+                self._reaffirm_entry(entry)
+                return
 
         if request.original_replica not in (None, self.node_id):
             # Client retry broadcast (step 4.3): relay to the original
@@ -279,7 +296,11 @@ class EzBFTReplica:
         entries: List[LogEntry] = []
         for request in requests:
             command = request.command
-            self._client_ts[command.client_id] = command.timestamp
+            # max(): leading a late retry of an older timestamp must
+            # not lower the dedup watermark below newer commands.
+            self._client_ts[command.client_id] = max(
+                self._client_ts.get(command.client_id, -1),
+                command.timestamp)
             slot = space.allocate_slot()
             instance = InstanceID(self.node_id, slot)
             deps = self._collect_deps(command, exclude=instance)
@@ -326,7 +347,11 @@ class EzBFTReplica:
             # propose.  The client's retry will reach another replica.
             return
         command = request.command
-        self._client_ts[command.client_id] = command.timestamp
+        # max(): leading a late retry of an older timestamp must not
+        # lower the dedup watermark below newer commands.
+        self._client_ts[command.client_id] = max(
+            self._client_ts.get(command.client_id, -1),
+            command.timestamp)
         slot = space.allocate_slot()
         instance = InstanceID(self.node_id, slot)
         deps = self._collect_deps(command, exclude=instance)
@@ -362,9 +387,10 @@ class EzBFTReplica:
         ident_key = digest(request.command.to_wire())
         already = self._find_entry_for_command(request.command)
         if already is not None:
-            # We have already spec-ordered this command; re-reply.
-            if already.spec_order is not None:
-                self._send_spec_reply(already, already.spec_order)
+            # We have already spec-ordered this command; re-reply (and
+            # re-broadcast the order if we led it) so retries converge
+            # on one instance.
+            self._reaffirm_entry(already)
             return
         resend = ResendRequest(request=request, forwarder=self.node_id)
         self.ctx.send(request.original_replica, resend)
@@ -1209,11 +1235,41 @@ class EzBFTReplica:
         # The candidate set is authoritative: key-based relations keep a
         # complete per-key index, and every other case already scans the
         # full log -- so no O(|log|) fallback is needed on the hot path.
+        #
+        # Retried commands can end up proposed in *several* competing
+        # instances (each retry rotates the command-leader); picking the
+        # smallest (owner, slot) -- not iteration order, which differs
+        # per replica with message loss -- makes every replica's
+        # re-reply converge on the same instance so the client can
+        # assemble a matching quorum.
+        best: Optional[LogEntry] = None
         for iid in self._candidate_instances(command):
             entry = self._log_index[iid]
             if entry.command.ident == command.ident:
-                return entry
-        return None
+                if best is None or (iid.owner, iid.slot) < \
+                        (best.instance.owner, best.instance.slot):
+                    best = entry
+        return best
+
+    def _duplicate_dep_waiver(self, iid: InstanceID) -> bool:
+        """True when the dep instance's command has already executed
+        through another instance (see executor.dep_waiver)."""
+        entry = self._log_index.get(iid)
+        return entry is not None and not entry.command.is_noop and \
+            self.executor.has_executed(entry.command.ident)
+
+    def _reaffirm_entry(self, entry: LogEntry) -> None:
+        """Converge a retried command on one instance: re-send our
+        SPECREPLY for it, and -- if we led it -- re-broadcast the
+        signed SPECORDER so replicas that lost the original install
+        the same instance instead of a fresh competing one."""
+        if entry.spec_order is None:
+            return
+        if entry.instance.owner == self.node_id and \
+                entry.spec_order.signer == self.node_id:
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               entry.spec_order)
+        self._send_spec_reply(entry, entry.spec_order)
 
     def _space_digest(self, space: InstanceSpace) -> str:
         """Rolling digest of a space's proposal history (the paper's

@@ -1,0 +1,39 @@
+"""repro.netem: link-level network emulation + chaos faults.
+
+The paper's headline claims are about WAN behaviour -- geo-distributed
+replicas, heterogeneous round-trip times, fast-path sensitivity to
+network conditions.  This package models the *link* between two nodes
+the way ``tc netem`` does on Linux, with one seam that both backends
+share:
+
+- :class:`LinkModel` -- per-link emulation parameters: extra one-way
+  delay with uniform jitter, loss / duplication / reordering
+  probabilities, and a bandwidth cap enforced by a token bucket.
+- :class:`LinkRule` / :class:`NetemProfile` -- resolve a
+  :class:`LinkModel` per directed ``(src, dst)`` pair; rule tokens
+  match node ids, region names, or ``"*"``.
+- :class:`LinkShaper` -- the injectable seam.  ``plan(src, dst,
+  size_bytes, now_ms)`` turns one send into zero (lost), one, or two
+  (duplicated) deliveries, each with an extra delay.  The simulator
+  applies the plan as scheduled events (deterministic under the
+  scenario seed); the asyncio TCP transport applies it as per-send
+  sleeps on the event loop.
+- :class:`TokenBucket` -- the bandwidth model shared by the shaper and
+  the open-loop workload pacer.
+
+Mid-run chaos (``PacketLoss``, ``Jitter``, ``BandwidthCap``,
+``Reorder`` fault events, plus ``LatencyShift`` on TCP) mutates the
+live shaper through :meth:`LinkShaper.patch` and
+:meth:`LinkShaper.set_delay_scale`.
+"""
+
+from repro.netem.model import LinkModel, LinkRule, NetemProfile
+from repro.netem.shaper import LinkShaper, TokenBucket
+
+__all__ = [
+    "LinkModel",
+    "LinkRule",
+    "NetemProfile",
+    "LinkShaper",
+    "TokenBucket",
+]

@@ -1,0 +1,181 @@
+"""Link emulation models: what one directed network link does to the
+frames crossing it.
+
+A :class:`LinkModel` is the netem parameter block for one link; a
+:class:`NetemProfile` maps directed ``(src, dst)`` pairs to models via
+ordered :class:`LinkRule` entries whose tokens match node ids, region
+names, or ``"*"``.  Everything here is a frozen dataclass so profiles
+round-trip through the JSON/TOML spec loader by equality, exactly like
+fault events do.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Wildcard token: matches every node on that side of the link.
+ANY = "*"
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Emulation parameters for one directed link (netem semantics).
+
+    - ``delay_ms`` -- extra one-way delay added to every frame (on the
+      simulator this is *on top of* the latency-matrix propagation; on
+      TCP it is the only modeled delay).
+    - ``jitter_ms`` -- uniform jitter: the sampled delay is
+      ``delay_ms + U(-jitter_ms, +jitter_ms)``, clamped at 0.
+    - ``loss`` / ``duplicate`` -- independent per-frame probabilities
+      of dropping or double-delivering.
+    - ``reorder`` -- probability a frame is *held back* an extra
+      ``reorder_extra_ms``, letting frames sent after it overtake it
+      (tc netem's reorder gap model, inverted).
+    - ``rate_kbps`` -- bandwidth cap in kilobits/sec enforced by a
+      token bucket with ``burst_bytes`` of burst credit; 0 disables
+      the cap.
+    """
+
+    delay_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_extra_ms: float = 1.0
+    rate_kbps: float = 0.0
+    burst_bytes: int = 16_384
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this model leaves traffic untouched (the hot-path
+        check: a no-op link draws no randomness and adds no delay)."""
+        return (self.delay_ms == 0.0 and self.jitter_ms == 0.0
+                and self.loss == 0.0 and self.duplicate == 0.0
+                and self.reorder == 0.0 and self.rate_kbps == 0.0)
+
+    def validate(self, key: str = "netem") -> None:
+        for name in ("loss", "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{key}.{name} must be in [0, 1], got {value}")
+        for name in ("delay_ms", "jitter_ms", "reorder_extra_ms",
+                     "rate_kbps"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(
+                    f"{key}.{name} must be >= 0, got {value}")
+        if self.burst_bytes <= 0:
+            raise ConfigurationError(
+                f"{key}.burst_bytes must be positive, "
+                f"got {self.burst_bytes}")
+
+    def describe(self) -> str:
+        parts = []
+        if self.delay_ms or self.jitter_ms:
+            parts.append(f"delay {self.delay_ms:g}ms"
+                         + (f"±{self.jitter_ms:g}" if self.jitter_ms
+                            else ""))
+        if self.loss:
+            parts.append(f"loss {self.loss:.1%}")
+        if self.duplicate:
+            parts.append(f"dup {self.duplicate:.1%}")
+        if self.reorder:
+            parts.append(f"reorder {self.reorder:.1%}"
+                         f"+{self.reorder_extra_ms:g}ms")
+        if self.rate_kbps:
+            parts.append(f"rate {self.rate_kbps:g}kbit")
+        return ", ".join(parts) or "no-op"
+
+
+#: Fields a runtime patch (netem fault event) may override.
+LINK_MODEL_FIELDS = tuple(
+    f.name for f in dataclasses.fields(LinkModel))
+
+
+@dataclass(frozen=True)
+class LinkRule:
+    """One profile entry: the full :class:`LinkModel` for every
+    directed pair whose source matches ``src`` and destination matches
+    ``dst``.  Tokens are node ids (``"r1"``, ``"c0"``), region names
+    (``"virginia"``), or ``"*"``.  Rules apply in declaration order
+    and the **last** matching rule wins wholesale."""
+
+    src: str = ANY
+    dst: str = ANY
+    model: LinkModel = LinkModel()
+
+
+def token_matches(token: str, node_id: str,
+                  region: Optional[str]) -> bool:
+    """Does a rule token select this node?"""
+    return token == ANY or token == node_id or \
+        (region is not None and token == region)
+
+
+@dataclass(frozen=True)
+class NetemProfile:
+    """Per-directed-pair link models: a default plus ordered rules.
+
+    >>> profile = NetemProfile(
+    ...     default=LinkModel(delay_ms=5.0),
+    ...     rules=(LinkRule(src="virginia", dst="sydney",
+    ...                     model=LinkModel(delay_ms=40.0, loss=0.02)),))
+
+    Resolution (see :meth:`resolve`) starts from ``default`` and takes
+    the last matching rule, so specific links are listed after broad
+    ones.
+    """
+
+    default: LinkModel = LinkModel()
+    rules: Tuple[LinkRule, ...] = ()
+
+    @property
+    def is_noop(self) -> bool:
+        return self.default.is_noop and \
+            all(rule.model.is_noop for rule in self.rules)
+
+    def resolve(self, src: str, dst: str,
+                region_of: Callable[[str], Optional[str]]
+                ) -> LinkModel:
+        """The :class:`LinkModel` for the directed pair, matching each
+        rule token against the node id or its region."""
+        model = self.default
+        if not self.rules:
+            return model
+        src_region = region_of(src)
+        dst_region = region_of(dst)
+        for rule in self.rules:
+            if token_matches(rule.src, src, src_region) and \
+                    token_matches(rule.dst, dst, dst_region):
+                model = rule.model
+        return model
+
+    def validate(self, known_tokens: Optional[Iterable[str]] = None,
+                 key: str = "netem") -> None:
+        """Check every model's ranges; with ``known_tokens`` also check
+        every rule endpoint resolves to something (the wildcard, a
+        known region/replica id, or a client id ``cN``)."""
+        self.default.validate(f"{key}.default")
+        known = set(known_tokens) if known_tokens is not None else None
+        for i, rule in enumerate(self.rules):
+            rule.model.validate(f"{key}.rules[{i}]")
+            if known is None:
+                continue
+            for side in ("src", "dst"):
+                token = getattr(rule, side)
+                if token == ANY or token in known or _is_client_id(
+                        token):
+                    continue
+                raise ConfigurationError(
+                    f"{key}.rules[{i}].{side} names unknown endpoint "
+                    f"{token!r} (known: {tuple(sorted(known))}, "
+                    f"client ids c0..cN, or '*')")
+
+
+def _is_client_id(token: str) -> bool:
+    return len(token) > 1 and token[0] == "c" and token[1:].isdigit()

@@ -18,13 +18,17 @@ protocols x workloads x fault schedules, over both backends.
 """
 
 from repro.scenario.faults import (
+    BandwidthCap,
     ClientChurn,
     CrashReplica,
     FaultEvent,
     Heal,
+    Jitter,
     LatencyShift,
+    PacketLoss,
     Partition,
     RecoverReplica,
+    Reorder,
     SwapByzantine,
 )
 from repro.scenario.loader import (
@@ -47,7 +51,11 @@ from repro.scenario.report import (
     PhaseReport,
     rows_to_csv,
 )
-from repro.scenario.runner import ScenarioRunner, run_scenario
+from repro.scenario.runner import (
+    ScenarioRunner,
+    build_tcp_cluster,
+    run_scenario,
+)
 from repro.scenario.spec import (
     BACKENDS,
     NAMED_MATRICES,
@@ -70,8 +78,13 @@ __all__ = [
     "SwapByzantine",
     "LatencyShift",
     "ClientChurn",
+    "PacketLoss",
+    "Jitter",
+    "BandwidthCap",
+    "Reorder",
     "ScenarioRunner",
     "run_scenario",
+    "build_tcp_cluster",
     "ExperimentReport",
     "PhaseReport",
     "REPORT_CSV_COLUMNS",

@@ -11,11 +11,18 @@ each names a point on the scenario clock (``at_ms``) and a disruption:
 - :class:`SwapByzantine` -- replace a replica with a named byzantine
   behaviour from :data:`repro.byzantine.BEHAVIORS` (ezBFT-shaped
   protocols only).
-- :class:`LatencyShift` -- scale the WAN latency matrix by a factor
-  (relative to the scenario's base matrix, so shifts do not compound);
-  simulator backend only.
+- :class:`LatencyShift` -- scale the WAN latency by a factor (relative
+  to the scenario's base, so shifts do not compound).  On the
+  simulator it scales the latency matrix; on TCP it scales the live
+  netem profile's link delays through the shaper.
 - :class:`ClientChurn` -- add load mid-run (new clients with the
   scenario's workload) and/or stop the most recently added clients.
+- :class:`PacketLoss` / :class:`Jitter` / :class:`BandwidthCap` /
+  :class:`Reorder` -- chaos events that retarget the live
+  :class:`~repro.netem.LinkShaper` on matching ``(src, dst)`` link
+  tokens (node ids, regions, or ``"*"``), on either backend.  A
+  scenario with no declared netem profile gets a shaper materialized
+  lazily when the first such event fires.
 
 The injectors apply events to a live deployment and keep a structured
 ``log`` of what fired when, which the final
@@ -39,6 +46,10 @@ __all__ = [
     "SwapByzantine",
     "LatencyShift",
     "ClientChurn",
+    "PacketLoss",
+    "Jitter",
+    "BandwidthCap",
+    "Reorder",
     "SimFaultInjector",
     "TcpFaultInjector",
 ]
@@ -186,6 +197,106 @@ class ClientChurn(FaultEvent):
         return ", ".join(parts)
 
 
+@dataclass(frozen=True)
+class _NetemEvent(FaultEvent):
+    """Base for chaos events that patch the live link shaper on every
+    directed pair matching ``(src, dst)`` tokens (node id, region, or
+    ``"*"``)."""
+
+    src: str = "*"
+    dst: str = "*"
+
+    def _probability(self, name: str, value: float) -> None:
+        if not 0.0 <= value <= 1.0:
+            raise ConfigurationError(
+                f"{type(self).__name__}.{name} must be in [0, 1], "
+                f"got {value}")
+
+    def patch_fields(self) -> Dict[str, Any]:
+        """The LinkModel field overrides this event applies."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        link = f"{self.src}->{self.dst}"
+        fields = ", ".join(f"{k}={v:g}"
+                           for k, v in self.patch_fields().items())
+        return f"{type(self).__name__.lower()} [{link}] {fields}"
+
+
+@dataclass(frozen=True)
+class PacketLoss(_NetemEvent):
+    """Set the per-frame drop probability on matching links."""
+
+    probability: float = 0.0
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._probability("probability", self.probability)
+
+    def patch_fields(self) -> Dict[str, Any]:
+        return {"loss": self.probability}
+
+
+@dataclass(frozen=True)
+class Jitter(_NetemEvent):
+    """Set uniform delay jitter (±``jitter_ms``) on matching links."""
+
+    jitter_ms: float = 0.0
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        if self.jitter_ms < 0:
+            raise ConfigurationError(
+                f"Jitter.jitter_ms must be >= 0, got {self.jitter_ms}")
+
+    def patch_fields(self) -> Dict[str, Any]:
+        return {"jitter_ms": self.jitter_ms}
+
+
+@dataclass(frozen=True)
+class BandwidthCap(_NetemEvent):
+    """Cap matching links at ``rate_kbps`` (token bucket with
+    ``burst_bytes`` of credit); 0 removes the cap."""
+
+    rate_kbps: float = 0.0
+    burst_bytes: int = 16_384
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        if self.rate_kbps < 0:
+            raise ConfigurationError(
+                f"BandwidthCap.rate_kbps must be >= 0, "
+                f"got {self.rate_kbps}")
+        if self.burst_bytes <= 0:
+            raise ConfigurationError(
+                f"BandwidthCap.burst_bytes must be positive, "
+                f"got {self.burst_bytes}")
+
+    def patch_fields(self) -> Dict[str, Any]:
+        return {"rate_kbps": self.rate_kbps,
+                "burst_bytes": self.burst_bytes}
+
+
+@dataclass(frozen=True)
+class Reorder(_NetemEvent):
+    """Hold back a fraction of frames by ``extra_ms`` on matching
+    links so later frames overtake them."""
+
+    probability: float = 0.0
+    extra_ms: float = 1.0
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._probability("probability", self.probability)
+        if self.extra_ms < 0:
+            raise ConfigurationError(
+                f"Reorder.extra_ms must be >= 0, got {self.extra_ms}")
+
+    def patch_fields(self) -> Dict[str, Any]:
+        return {"reorder": self.probability,
+                "reorder_extra_ms": self.extra_ms}
+
+
 class _InjectorBase:
     """Shared bookkeeping: structured log + crash/partition state."""
 
@@ -218,7 +329,8 @@ class SimFaultInjector(_InjectorBase):
                  spawn_clients: Optional[Callable[[int, Optional[str]],
                                                   None]] = None,
                  stop_clients: Optional[Callable[[int], None]] = None,
-                 statemachine_factory: Optional[Callable[[], Any]] = None
+                 statemachine_factory: Optional[Callable[[], Any]] = None,
+                 netem_seed: int = 0
                  ) -> None:
         super().__init__()
         self.cluster = cluster
@@ -226,6 +338,17 @@ class SimFaultInjector(_InjectorBase):
         self._stop_clients = stop_clients
         self._statemachine_factory = statemachine_factory
         self._base_matrix = cluster.latency
+        self._netem_seed = netem_seed
+
+    def _ensure_shaper(self) -> Any:
+        """The network's live shaper, materialized on first use for
+        scenarios that declared no netem profile."""
+        network = self.cluster.network
+        if network.shaper is None:
+            from repro.netem import LinkShaper
+            network.shaper = LinkShaper(seed=self._netem_seed,
+                                        region_of=network.region_of)
+        return network.shaper
 
     def _isolate(self, rid: str) -> None:
         """Cut ``rid`` off, remembering which pairs *this* cut added so
@@ -281,6 +404,14 @@ class SimFaultInjector(_InjectorBase):
                 else scaled_matrix(self._base_matrix, event.factor)
             network.latency = matrix
             self.cluster.latency = matrix
+            if network.shaper is not None:
+                # Keep netem link delays in step with the matrix, like
+                # the TCP backend does (a WAN slowdown slows the
+                # emulated links too).
+                network.shaper.set_delay_scale(event.factor)
+        elif isinstance(event, _NetemEvent):
+            self._ensure_shaper().patch(event.src, event.dst,
+                                        **event.patch_fields())
         elif isinstance(event, ClientChurn):
             if event.add and self._spawn_clients is not None:
                 self._spawn_clients(event.add, event.region)
@@ -292,10 +423,11 @@ class SimFaultInjector(_InjectorBase):
         self._record(event, now)
 
 
-#: Events the TCP backend can apply (no latency model to shift and no
-#: driver re-wiring mid-run yet).
+#: Events the TCP backend can apply -- since the netem shaper seam,
+#: every built-in fault type, at parity with the simulator.
 TCP_SUPPORTED = (CrashReplica, RecoverReplica, Partition, Heal,
-                 SwapByzantine)
+                 SwapByzantine, LatencyShift, ClientChurn,
+                 PacketLoss, Jitter, BandwidthCap, Reorder)
 
 
 class TcpFaultInjector(_InjectorBase):
@@ -303,23 +435,60 @@ class TcpFaultInjector(_InjectorBase):
 
     Partitions are enforced receiver-side: every node's handler is
     wrapped once with a filter that drops frames whose (sender,
-    receiver) pair is currently cut.
+    receiver) pair is currently cut.  Netem events and LatencyShift
+    retarget the cluster's live :class:`~repro.netem.LinkShaper`
+    (materialized lazily when the scenario declared no profile);
+    ClientChurn starts/stops workload drivers through the runner's
+    ``spawn_clients`` / ``stop_clients`` callbacks.
     """
 
-    def __init__(self, cluster: Any) -> None:
+    def __init__(self, cluster: Any,
+                 spawn_clients: Optional[Callable[[int, Optional[str]],
+                                                  None]] = None,
+                 stop_clients: Optional[Callable[[int], None]] = None,
+                 netem_seed: int = 0) -> None:
         super().__init__()
         self.cluster = cluster
+        self._spawn_clients = spawn_clients
+        self._stop_clients = stop_clients
+        self._netem_seed = netem_seed
         self._partitions: set = set()
         self._wrapped = False
 
     @staticmethod
-    def check_supported(events: Tuple[FaultEvent, ...]) -> None:
+    def check_supported(events: Tuple[FaultEvent, ...],
+                        remote_replicas: Tuple[str, ...] = ()) -> None:
+        """Reject events the TCP backend cannot apply: unknown event
+        classes, and replica-targeted events naming a replica hosted
+        in another process (its handler lives out of reach)."""
         for event in events:
             if not isinstance(event, TCP_SUPPORTED):
                 raise ConfigurationError(
                     f"fault event {type(event).__name__} is not "
                     f"supported on the tcp backend (supported: "
                     f"{tuple(t.__name__ for t in TCP_SUPPORTED)})")
+            targeted = [getattr(event, "replica", None)]
+            if isinstance(event, Partition):
+                # Partition filters wrap local nodes only; a side
+                # naming a remote replica would cut one direction and
+                # silently leave the other open.
+                targeted = [m for side in event.sides for m in side]
+            for replica in targeted:
+                if replica and replica in remote_replicas:
+                    raise ConfigurationError(
+                        f"fault event {type(event).__name__} targets "
+                        f"replica {replica!r}, which the host map "
+                        f"places in another process; replica-targeted "
+                        f"faults only reach locally hosted replicas")
+
+    def _ensure_shaper(self) -> Any:
+        shaper = self.cluster.shaper
+        if shaper is None:
+            from repro.netem import LinkShaper
+            shaper = LinkShaper(seed=self._netem_seed,
+                                region_of=self.cluster.regions.get)
+            self.cluster.attach_shaper(shaper)
+        return shaper
 
     def install_filters(self) -> None:
         """Wrap every node handler with the partition filter.  Called by
@@ -377,6 +546,19 @@ class TcpFaultInjector(_InjectorBase):
             # Re-wrap so partitions keep applying to the new replica.
             node.handler = self._filtering(rid, replica.on_message) \
                 if self._wrapped else replica.on_message
+        elif isinstance(event, LatencyShift):
+            # No latency matrix on TCP: the shift retargets the live
+            # netem profile's link delays instead (factor 1.0 restores
+            # the base, exactly like the simulator's matrix reset).
+            self._ensure_shaper().set_delay_scale(event.factor)
+        elif isinstance(event, _NetemEvent):
+            self._ensure_shaper().patch(event.src, event.dst,
+                                        **event.patch_fields())
+        elif isinstance(event, ClientChurn):
+            if event.add and self._spawn_clients is not None:
+                self._spawn_clients(event.add, event.region)
+            if event.stop and self._stop_clients is not None:
+                self._stop_clients(event.stop)
         else:
             raise ConfigurationError(
                 f"unsupported fault event on tcp backend: "

@@ -71,7 +71,9 @@ FAULT_TYPES: Dict[str, type] = {
     for cls in (fault_mod.CrashReplica, fault_mod.RecoverReplica,
                 fault_mod.Partition, fault_mod.Heal,
                 fault_mod.SwapByzantine, fault_mod.LatencyShift,
-                fault_mod.ClientChurn)
+                fault_mod.ClientChurn, fault_mod.PacketLoss,
+                fault_mod.Jitter, fault_mod.BandwidthCap,
+                fault_mod.Reorder)
 }
 
 SPEC_FORMATS = ("json", "toml")
@@ -205,6 +207,96 @@ def _workload_from_dict(data: Any, key: str = "scenario.workload"
     return WorkloadSpec(**kwargs)
 
 
+# ----------------------------------------------------------------------
+# Netem profile <-> dict
+# ----------------------------------------------------------------------
+def _link_model_to_dict(model: Any) -> Dict[str, Any]:
+    from repro.netem.model import LinkModel
+    return {f.name: getattr(model, f.name)
+            for f in dataclasses.fields(LinkModel)}
+
+
+_LINK_MODEL_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "delay_ms": (int, float),
+    "jitter_ms": (int, float),
+    "loss": (int, float),
+    "duplicate": (int, float),
+    "reorder": (int, float),
+    "reorder_extra_ms": (int, float),
+    "rate_kbps": (int, float),
+    "burst_bytes": (int,),
+}
+
+
+def _link_model_from_dict(data: Any, key: str) -> Any:
+    from repro.netem import LinkModel
+    _expect(data, (dict,), key)
+    kwargs: Dict[str, Any] = {}
+    for field_name, value in data.items():
+        if field_name not in _LINK_MODEL_SCHEMA:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(a link model accepts "
+                f"{tuple(sorted(_LINK_MODEL_SCHEMA))})")
+        qualified = f"{key}.{field_name}"
+        _expect(value, _LINK_MODEL_SCHEMA[field_name], qualified)
+        # Keep float fields floats across the round trip (TOML/JSON
+        # may carry `12` for `12.0`; dataclass equality is exact on
+        # type-sensitive consumers only, but float(12) == 12 anyway).
+        kwargs[field_name] = value
+    return LinkModel(**kwargs)
+
+
+def _netem_to_dict(profile: Any) -> Dict[str, Any]:
+    data: Dict[str, Any] = {
+        "default": _link_model_to_dict(profile.default)}
+    if profile.rules:
+        data["rules"] = [
+            {"src": rule.src, "dst": rule.dst,
+             **_link_model_to_dict(rule.model)}
+            for rule in profile.rules]
+    return data
+
+
+def _netem_from_dict(data: Any, key: str = "scenario.netem") -> Any:
+    from repro.netem import LinkModel, LinkRule, NetemProfile
+    _expect(data, (dict,), key)
+    known = ("default", "rules")
+    for field_name in data:
+        if field_name not in known:
+            raise ConfigurationError(
+                f"unknown key {field_name!r} in {key} "
+                f"(accepts {known})")
+    default = LinkModel()
+    if "default" in data:
+        default = _link_model_from_dict(data["default"],
+                                        f"{key}.default")
+    rules = []
+    if "rules" in data:
+        _expect(data["rules"], (list, tuple), f"{key}.rules")
+        for i, entry in enumerate(data["rules"]):
+            rule_key = f"{key}.rules[{i}]"
+            _expect(entry, (dict,), rule_key)
+            entry = dict(entry)
+            src = _expect(entry.pop("src", "*"), (str,),
+                          f"{rule_key}.src")
+            dst = _expect(entry.pop("dst", "*"), (str,),
+                          f"{rule_key}.dst")
+            rules.append(LinkRule(
+                src=src, dst=dst,
+                model=_link_model_from_dict(entry, rule_key)))
+    return NetemProfile(default=default, rules=tuple(rules))
+
+
+def _hosts_from_dict(data: Any, key: str) -> Dict[str, str]:
+    _expect(data, (dict,), key)
+    return {
+        _expect(rid, (str,), f"{key} key"):
+            _expect(value, (str,), f"{key}.{rid}")
+        for rid, value in data.items()
+    }
+
+
 def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
     """The serializable dict form of ``scenario``.
 
@@ -260,6 +352,10 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         data["duration_ms"] = scenario.duration_ms
     if scenario.primary_region is not None:
         data["primary_region"] = scenario.primary_region
+    if scenario.netem is not None:
+        data["netem"] = _netem_to_dict(scenario.netem)
+    if scenario.hosts is not None:
+        data["hosts"] = dict(scenario.hosts)
     return data
 
 
@@ -273,6 +369,8 @@ _SCENARIO_SCHEMA: Dict[str, Tuple[type, ...]] = {
     "duration_ms": (int, float),
     "faults": (list, tuple),
     "seed": (int,),
+    "netem": (dict,),
+    "hosts": (dict,),
     "primary_region": (str,),
     "primary_index": (int,),
     "slow_path_timeout": (int, float),
@@ -308,6 +406,10 @@ def scenario_from_dict(data: Any, key: str = "scenario") -> Scenario:
             value = tuple(
                 _fault_from_dict(e, f"{qualified}[{i}]")
                 for i, e in enumerate(value))
+        elif field_name == "netem":
+            value = _netem_from_dict(value, qualified)
+        elif field_name == "hosts":
+            value = _hosts_from_dict(value, qualified)
         kwargs[field_name] = value
     if "name" not in kwargs:
         raise ConfigurationError(
@@ -346,12 +448,19 @@ def sweep_to_dict(spec: Any) -> Dict[str, Any]:
         data["name"] = spec.name
     data["base"] = base if isinstance(base, str) \
         else scenario_to_dict(base)
-    if spec.grid:
-        data["grid"] = {key: list(values)
-                        for key, values in spec.grid.items()}
-    if spec.zipped:
-        data["zip"] = {key: list(values)
-                       for key, values in spec.zipped.items()}
+    for section, axes in (("grid", spec.grid), ("zip", spec.zipped)):
+        if not axes:
+            continue
+        for key, values in axes.items():
+            for value in values:
+                if value is not None and \
+                        not isinstance(value, (str, int, float, bool)):
+                    raise ConfigurationError(
+                        f"sweep axis {key!r} holds live Python "
+                        f"objects ({_type_name(value)}); only scalar "
+                        f"axes are expressible in a spec document")
+        data[section] = {key: list(values)
+                         for key, values in axes.items()}
     return data
 
 

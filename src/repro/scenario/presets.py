@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Tuple
 
 from repro.errors import ConfigurationError
+from repro.netem import LinkModel, NetemProfile
 from repro.scenario.faults import (
     ClientChurn,
     CrashReplica,
@@ -262,7 +263,33 @@ def _churn_latency_shift() -> Scenario:
     )
 
 
+def _lossy_wan() -> Scenario:
+    return Scenario(
+        name="lossy-wan",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        netem=NetemProfile(default=LinkModel(
+            delay_ms=12.0, jitter_ms=4.0, loss=0.01)),
+        workload=WorkloadSpec(mode="closed", clients_per_region=2,
+                              requests_per_client=6,
+                              think_time_ms=40.0),
+        faults=(LatencyShift(at_ms=400.0, factor=2.0),),
+        seed=21,
+        slow_path_timeout=250.0,
+        retry_timeout=1200.0,
+        suspicion_timeout=60_000.0,
+        view_change_timeout=60_000.0,
+        backends=("sim", "tcp"),
+        description="Lossy WAN: every link carries 12±4ms emulated "
+                    "delay and 1% loss, and the WAN slows 2x mid-run "
+                    "(LatencyShift).  Identical spec on both backends; "
+                    "deterministic under the seed on sim.",
+    )
+
+
 register_preset("figure4", _figure4)
+register_preset("lossy-wan", _lossy_wan)
 register_preset("figure5a", _figure5a)
 register_preset("figure6-smoke", _figure6_smoke)
 register_preset("figure7-smoke", _figure7_smoke)

@@ -46,6 +46,69 @@ def _workload_seed(scenario_seed: int, client_index: int) -> int:
     return scenario_seed * 1000 + client_index + 1
 
 
+def build_tcp_cluster(scenario: Scenario,
+                      start_replicas: Optional[Tuple[str, ...]] = None
+                      ) -> "Any":
+    """An :class:`~repro.transport.asyncio_tcp.AsyncioCluster` wired
+    from a scenario: protocol, timeouts, netem profile, host map, and
+    region labels.  Shared by the runner and ``python -m repro serve``
+    so every process of a multi-machine deployment derives the same
+    configuration from the same spec file."""
+    from repro.transport.asyncio_tcp import AsyncioCluster
+
+    workload = scenario.workload
+    regions = {f"r{i}": region
+               for i, region in enumerate(scenario.replica_regions)}
+    cluster = AsyncioCluster(
+        protocol=scenario.protocol,
+        num_replicas=len(scenario.replica_regions),
+        statemachine_factory=scenario.statemachine,
+        host_map=dict(scenario.hosts) if scenario.hosts else None,
+        start_replicas=start_replicas,
+        regions=regions,
+        netem=scenario.netem,
+        netem_seed=scenario.seed,
+        slow_path_timeout=scenario.slow_path_timeout,
+        retry_timeout=scenario.retry_timeout,
+        suspicion_timeout=scenario.suspicion_timeout,
+        view_change_timeout=scenario.view_change_timeout,
+        checkpoint_interval=scenario.checkpoint_interval,
+        batch_size=workload.batch_size,
+        batch_timeout_ms=workload.batch_timeout_ms,
+    )
+    if scenario.hosts:
+        # Multi-process deployment: every process must be able to
+        # verify every client's signatures, including clients created
+        # in *another* process.  The schedule fixes the client count,
+        # and key derivation is deterministic per (id, seed), so
+        # pre-registering here yields the same registry everywhere.
+        n_clients = (len(scenario.client_regions()) *
+                     workload.clients_per_region +
+                     len(_churn_placements(scenario)))
+        for i in range(n_clients):
+            cluster.registry.create(f"c{i}", seed=b"tcp-demo")
+    return cluster
+
+
+def _churn_placements(scenario: Scenario) -> List[str]:
+    """Region placement for every client a ClientChurn event will
+    add, in the order the events fire (at_ms, then declaration order)
+    -- must mirror :meth:`_ClientPool.spawn` exactly, since the TCP
+    backend pre-creates these clients and hands them out in order."""
+    from repro.scenario.faults import ClientChurn
+
+    placements: List[str] = []
+    churn = sorted((e for e in scenario.faults
+                    if isinstance(e, ClientChurn) and e.add),
+                   key=lambda e: e.at_ms)
+    for event in churn:
+        regions = [event.region] if event.region is not None \
+            else list(scenario.client_regions())
+        for i in range(event.add):
+            placements.append(regions[i % len(regions)])
+    return placements
+
+
 class _ClientPool:
     """Creates clients + drivers for a workload spec; shared by the
     initial placement and mid-run :class:`ClientChurn` events."""
@@ -186,6 +249,7 @@ class ScenarioRunner:
             primary_region=scenario.primary_region,
             primary_index=scenario.primary_index,
             interference=scenario.interference,
+            netem=scenario.netem,
             statemachine_factory=scenario.statemachine,
             slow_path_timeout=scenario.slow_path_timeout,
             retry_timeout=scenario.retry_timeout,
@@ -205,7 +269,8 @@ class ScenarioRunner:
             cluster,
             spawn_clients=pool.spawn,
             stop_clients=pool.stop,
-            statemachine_factory=scenario.statemachine)
+            statemachine_factory=scenario.statemachine,
+            netem_seed=scenario.seed)
 
         # Phase boundaries and fault events are simulator events: they
         # fire at exact virtual times, deterministically ordered.
@@ -233,6 +298,8 @@ class ScenarioRunner:
                 "messages_sent": cluster.network.messages_sent,
                 "messages_delivered": cluster.network.messages_delivered,
                 "bytes_sent": cluster.network.bytes_sent,
+                **(cluster.network.shaper.stats
+                   if cluster.network.shaper is not None else {}),
             },
             fault_log=injector.log,
             wall_seconds=time.perf_counter() - wall_start)
@@ -242,31 +309,20 @@ class ScenarioRunner:
     # Asyncio TCP backend
     # ------------------------------------------------------------------
     async def _run_tcp(self, scenario: Scenario) -> ExperimentReport:
-        from repro.transport.asyncio_tcp import AsyncioCluster
-
         scenario.validate()
-        TcpFaultInjector.check_supported(scenario.faults)
+        cluster = build_tcp_cluster(scenario)
+        TcpFaultInjector.check_supported(
+            scenario.faults,
+            remote_replicas=cluster.remote_replica_ids)
         wall_start = time.perf_counter()
         workload = scenario.workload
-        cluster = AsyncioCluster(
-            protocol=scenario.protocol,
-            num_replicas=len(scenario.replica_regions),
-            statemachine_factory=scenario.statemachine,
-            slow_path_timeout=scenario.slow_path_timeout,
-            retry_timeout=scenario.retry_timeout,
-            suspicion_timeout=scenario.suspicion_timeout,
-            view_change_timeout=scenario.view_change_timeout,
-            checkpoint_interval=scenario.checkpoint_interval,
-            batch_size=workload.batch_size,
-            batch_timeout_ms=workload.batch_timeout_ms,
-        )
         loop = asyncio.get_running_loop()
         origin_ms = loop.time() * 1000.0
         recorder = LatencyRecorder(
             discard_first=(workload.warmup_requests *
                            workload.clients_per_region))
-        injector = TcpFaultInjector(cluster)
         pool: Optional[_ClientPool] = None
+        injector: Optional[TcpFaultInjector] = None
         #: call_later handles for scheduled faults/phase boundaries, so
         #: a timed-out run cancels what has not fired yet.
         handles: List[Any] = []
@@ -290,6 +346,9 @@ class ScenarioRunner:
         # replica has no meaning on localhost; clients round-robin their
         # target replica across the membership so leaderless protocols
         # spread command-leadership like the geo deployment does.
+        # ClientChurn clients are pre-created too (idle until their
+        # event fires): the schedule fixes their count up front, and a
+        # synchronous fault callback cannot open sockets.
         try:
             # Inside the try: a bind failure partway through startup
             # must still stop the nodes that did come up.
@@ -297,6 +356,7 @@ class ScenarioRunner:
             placements = [region
                           for region in scenario.client_regions()
                           for _ in range(workload.clients_per_region)]
+            placements += _churn_placements(scenario)
             for index, region in enumerate(placements):
                 target = cluster.replica_ids[
                     index % len(cluster.replica_ids)]
@@ -304,9 +364,25 @@ class ScenarioRunner:
                     target = None
                 clients.append(
                     await cluster.add_client(f"c{index}",
-                                             target_replica=target))
+                                             target_replica=target,
+                                             region=region))
 
+            pool = _ClientPool(
+                scenario, add_client_sync, recorder,
+                elapsed_ms=lambda: loop.time() * 1000.0 - origin_ms)
+            injector = TcpFaultInjector(
+                cluster,
+                spawn_clients=pool.spawn,
+                stop_clients=pool.stop,
+                netem_seed=scenario.seed)
             injector.install_filters()
+
+            if cluster.remote_replica_ids:
+                # Multi-process deployment: teach every remote replica
+                # the local listen addresses before any load, then give
+                # the hellos a moment to land.
+                cluster.announce_remote()
+                await asyncio.sleep(0.2)
 
             for event in scenario.faults:
                 handles.append(
@@ -324,7 +400,6 @@ class ScenarioRunner:
                                         phase.name, start))
                 start += phase.duration_ms
 
-            pool = _ClientPool(scenario, add_client_sync, recorder)
             pool.spawn_initial()
 
             horizon = scenario.nominal_duration_ms()
@@ -334,18 +409,21 @@ class ScenarioRunner:
                 drain_s = max(horizon, last_fault) / 1000.0 + 0.3
                 await asyncio.sleep(drain_s)
             else:
+                # Done means: every scheduled fault fired (churn may
+                # add drivers late) and every driver finished.
                 deadline = loop.time() + self.tcp_timeout_s
-                while not pool.all_done and loop.time() < deadline:
+                while loop.time() < deadline:
+                    if len(injector.log) == len(scenario.faults) and \
+                            pool.all_done:
+                        break
                     await asyncio.sleep(0.01)
-                if not pool.all_done:
+                else:
                     raise ScenarioTimeoutError(
                         f"tcp scenario {scenario.name!r} did not finish "
                         f"within {self.tcp_timeout_s}s")
-                remaining = (last_fault / 1000.0 + 0.05) - \
-                    (loop.time() - origin_ms / 1000.0)
-                # Let any still-scheduled fault events and in-flight
-                # post-commit traffic land before tearing down.
-                await asyncio.sleep(max(0.1, remaining))
+                # Let in-flight post-commit traffic land before
+                # tearing down.
+                await asyncio.sleep(0.1)
 
             duration_ms = loop.time() * 1000.0 - origin_ms
             replica_stats = {rid: dict(r.stats)
@@ -359,6 +437,8 @@ class ScenarioRunner:
                                    for n in cluster.nodes.values()),
                 "frames_received": sum(n.frames_received
                                        for n in cluster.nodes.values()),
+                **(cluster.shaper.stats
+                   if cluster.shaper is not None else {}),
             }
         finally:
             # Timeout (or any failure) must not strand a half-run

@@ -28,10 +28,17 @@ deterministic WAN simulator or the asyncio TCP backend through
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Optional, Tuple, Union
+from typing import Any, Callable, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
-from repro.scenario.faults import FaultEvent
+from repro.netem import NetemProfile
+from repro.netem.model import ANY, _is_client_id
+from repro.scenario.faults import (
+    ClientChurn,
+    FaultEvent,
+    Partition,
+    _NetemEvent,
+)
 from repro.sim.latency import (
     EXPERIMENT1,
     EXPERIMENT2,
@@ -147,6 +154,14 @@ class Scenario:
     duration_ms: Optional[float] = None
     faults: Tuple[FaultEvent, ...] = ()
     seed: int = 0
+    #: Link-level network emulation (loss / jitter / reorder /
+    #: duplication / bandwidth caps) applied identically on both
+    #: backends through the :class:`repro.netem.LinkShaper` seam.
+    netem: Optional[NetemProfile] = None
+    #: TCP backend only: replica id -> ``"host:port"`` for replicas
+    #: hosted in *another* process (``python -m repro serve``); the
+    #: runner starts the rest locally and dials these.
+    hosts: Optional[Mapping[str, str]] = None
     statemachine: Callable[[], StateMachine] = KVStore
     interference: Any = None
     primary_region: Optional[str] = None
@@ -198,17 +213,85 @@ class Scenario:
                 "or declare phases")
         replica_ids = self.replica_ids()
         horizon = self.nominal_duration_ms()
-        for event in self.faults:
+        for i, event in enumerate(self.faults):
             event.validate(replica_ids)
+            self._validate_fault_endpoints(i, event, replica_ids,
+                                           matrix)
             if horizon is not None and event.at_ms > horizon:
                 raise ConfigurationError(
                     f"fault event {event!r} scheduled after the "
                     f"scenario horizon ({horizon}ms)")
+        if self.netem is not None:
+            self.netem.validate(
+                known_tokens=set(matrix.regions) | set(replica_ids),
+                key="netem")
+        self._validate_hosts(replica_ids)
         for backend in self.backends:
             if backend not in BACKENDS:
                 raise ConfigurationError(
                     f"unknown backend {backend!r}; choose from "
                     f"{BACKENDS}")
+
+    def _validate_fault_endpoints(self, index: int, event: FaultEvent,
+                                  replica_ids: Tuple[str, ...],
+                                  matrix: LatencyMatrix) -> None:
+        """Catch schedule typos at validation time with the key named,
+        instead of a mid-run failure: Partition sides must name real
+        replicas (or client ids ``cN``), ClientChurn regions must be
+        in the latency matrix."""
+        if isinstance(event, Partition):
+            for s, side in enumerate(event.sides):
+                for member in side:
+                    if member in replica_ids or _is_client_id(member):
+                        continue
+                    raise ConfigurationError(
+                        f"faults[{index}].sides[{s}] names unknown "
+                        f"node {member!r} (replicas: {replica_ids}, "
+                        f"or client ids c0..cN)")
+        elif isinstance(event, ClientChurn):
+            if event.region is not None and \
+                    event.region not in matrix.regions:
+                raise ConfigurationError(
+                    f"faults[{index}].region {event.region!r} is not "
+                    f"in latency matrix {matrix.name!r} "
+                    f"(regions: {matrix.regions})")
+        elif isinstance(event, _NetemEvent):
+            # A typoed link token would make the chaos event a silent
+            # no-op (the patch matches no pair) while the fault log
+            # still claims it fired.
+            known = set(matrix.regions) | set(replica_ids)
+            for side in ("src", "dst"):
+                token = getattr(event, side)
+                if token == ANY or token in known or \
+                        _is_client_id(token):
+                    continue
+                raise ConfigurationError(
+                    f"faults[{index}].{side} names unknown endpoint "
+                    f"{token!r} (known: {tuple(sorted(known))}, "
+                    f"client ids c0..cN, or '*')")
+
+    def _validate_hosts(self, replica_ids: Tuple[str, ...]) -> None:
+        if self.hosts is None:
+            return
+        if not self.hosts:
+            raise ConfigurationError(
+                "hosts must map at least one replica (or be omitted)")
+        from repro.transport.asyncio_tcp import parse_hostport
+        from repro.errors import TransportError
+        for rid, value in self.hosts.items():
+            if rid not in replica_ids:
+                raise ConfigurationError(
+                    f"hosts names unknown replica {rid!r} "
+                    f"(have {replica_ids})")
+            try:
+                parse_hostport(value)
+            except TransportError as exc:
+                raise ConfigurationError(
+                    f"hosts[{rid!r}]: {exc}") from None
+        if len(self.hosts) >= len(replica_ids):
+            raise ConfigurationError(
+                "hosts cannot place every replica remotely: at least "
+                "one replica must run in the scenario process")
 
     # ------------------------------------------------------------------
     # Derived views

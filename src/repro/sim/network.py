@@ -90,7 +90,8 @@ class SimNetwork:
     def __init__(self, sim: Simulator, latency: LatencyMatrix,
                  cpu: Optional[CpuModel] = None,
                  conditions: Optional[NetworkConditions] = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 shaper: Optional[Any] = None) -> None:
         self.sim = sim
         self.latency = latency
         self.cpu = cpu if cpu is not None else CpuModel()
@@ -98,6 +99,11 @@ class SimNetwork:
             else NetworkConditions()
         self._rng = random.Random(seed)
         self._nodes: Dict[str, _NodeRecord] = {}
+        #: Optional :class:`repro.netem.LinkShaper`: the link-level
+        #: emulation seam (loss / jitter / reorder / duplication /
+        #: bandwidth), applied on top of the latency matrix.  Fault
+        #: injectors may attach one mid-run.
+        self.shaper = shaper
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
@@ -177,6 +183,20 @@ class SimNetwork:
         propagation = self.latency.sample_one_way(
             src_rec.region, dst_rec.region, self._rng,
             self.conditions.jitter_fraction)
+        if self.shaper is not None:
+            # Link-level emulation: the shaper turns one send into
+            # zero (lost), one, or two (duplicated) deliveries, each
+            # with an extra delay on top of propagation.  All its
+            # randomness is a seeded stream, so the run stays
+            # deterministic.
+            plan = self.shaper.plan(src, dst, size_bytes, self.sim.now)
+            if not plan:
+                dst_rec.messages_dropped += 1
+                return
+            for extra in plan:
+                self.sim.schedule(propagation + extra, self._arrive,
+                                  src, dst, message)
+            return
         # CPU queueing is decided when the message *arrives*, not when it
         # is sent -- otherwise a distant message sent earlier would
         # reserve the CPU ahead of a nearby message that physically

@@ -25,6 +25,7 @@ PR 3 scenario API into a figure-reproduction machine:
 from repro.sweep.plot import plot_series
 from repro.sweep.report import (
     METRICS,
+    SERIES_CSV_COLUMNS,
     SeriesPoint,
     SweepCellResult,
     SweepReport,
@@ -48,6 +49,7 @@ __all__ = [
     "SweepCellResult",
     "SeriesPoint",
     "METRICS",
+    "SERIES_CSV_COLUMNS",
     "PARAM_ALIASES",
     "metric_value",
     "resolve_param",

@@ -93,6 +93,19 @@ def plot_series(report: SweepReport, x: str,
             ax.fill_between(xs, [p.minimum for p in points],
                             [p.maximum for p in points],
                             color=color, alpha=0.15, linewidth=0)
+            # Honest error bars: the 95% CI on the mean (Student's t
+            # across the collapsed axes, usually seeds), distinct from
+            # the min/max envelope behind it.  Single-sample points
+            # have no defined spread and get no bar at all -- a
+            # zero-height bar would visually claim "measured spread:
+            # zero".
+            with_ci = [p for p in points if p.ci95 is not None]
+            if with_ci:
+                ax.errorbar([p.x for p in with_ci],
+                            [p.mean for p in with_ci],
+                            yerr=[p.ci95 for p in with_ci],
+                            fmt="none", ecolor=color, elinewidth=1.2,
+                            capsize=3)
 
     if logx:
         from matplotlib import ticker

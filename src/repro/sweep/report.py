@@ -46,6 +46,24 @@ METRICS = {
 }
 
 
+#: Fixed column order for the aggregated series CSV (one row per
+#: (group, x) point).  Pinned by the report-schema regression test --
+#: extend deliberately, never reorder.
+SERIES_CSV_COLUMNS = (
+    "group_axis",
+    "group",
+    "x_axis",
+    "x",
+    "metric",
+    "mean",
+    "stddev",
+    "ci95",
+    "min",
+    "max",
+    "count",
+)
+
+
 def metric_value(report: ExperimentReport, name: str) -> float:
     """Resolve a named metric; raises naming the metric."""
     try:
@@ -57,15 +75,42 @@ def metric_value(report: ExperimentReport, name: str) -> float:
     return accessor(report)
 
 
+#: Two-sided 95% critical values of Student's t by degrees of freedom
+#: (1..30); beyond 30 the normal 1.96 is within ~2%.  Small seed
+#: counts are the norm in sweeps, where the normal approximation would
+#: understate the interval badly (df=2: 4.30 vs 1.96).
+_T95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+
+
+def _t95(df: int) -> float:
+    if df < 1:
+        raise ConfigurationError("t-interval needs df >= 1")
+    return _T95[df - 1] if df <= len(_T95) else 1.96
+
+
 @dataclass(frozen=True)
 class SeriesPoint:
-    """Aggregate of one (group, x) bucket across the remaining axes."""
+    """Aggregate of one (group, x) bucket across the remaining axes.
+
+    ``stddev`` is the sample standard deviation (n-1) and ``ci95`` the
+    half-width of the two-sided 95% confidence interval on the mean
+    (Student's t); both are ``None`` for single-sample buckets, where
+    spread is undefined -- plots should draw no error bar rather than
+    a misleading zero-width one.
+    """
 
     x: Any
     mean: float
     minimum: float
     maximum: float
     count: int
+    stddev: Optional[float] = None
+    ci95: Optional[float] = None
 
 
 @dataclass
@@ -135,12 +180,22 @@ class SweepReport:
                 samples = buckets[group].get(x_value)
                 if not samples:
                     continue
+                n = len(samples)
+                mean = sum(samples) / n
+                stddev = ci95 = None
+                if n > 1:
+                    variance = sum((s - mean) ** 2
+                                   for s in samples) / (n - 1)
+                    stddev = math.sqrt(variance)
+                    ci95 = _t95(n - 1) * stddev / math.sqrt(n)
                 points.append(SeriesPoint(
                     x=x_value,
-                    mean=sum(samples) / len(samples),
+                    mean=mean,
                     minimum=min(samples),
                     maximum=max(samples),
-                    count=len(samples)))
+                    count=n,
+                    stddev=stddev,
+                    ci95=ci95))
             out[group] = points
         return out
 
@@ -186,6 +241,46 @@ class SweepReport:
         """The sweep as CSV text (one row per cell x phase);
         optionally written to ``path``."""
         return rows_to_csv(self.to_rows(), self.csv_columns(), path)
+
+    def series_to_rows(self, x: str, y: str = "throughput_per_sec",
+                       group_by: Optional[str] = None
+                       ) -> List[Dict[str, Any]]:
+        """The aggregated :meth:`series` as flat dicts under
+        :data:`SERIES_CSV_COLUMNS` -- one row per (group, x) point,
+        with the spread statistics plots need for error bars."""
+        def r3(value: Optional[float]) -> Optional[float]:
+            if value is None or (isinstance(value, float) and
+                                 not math.isfinite(value)):
+                return None
+            return round(value, 3)
+
+        rows = []
+        for group, points in self.series(x, y=y,
+                                         group_by=group_by).items():
+            for point in points:
+                rows.append({
+                    "group_axis": group_by or "",
+                    "group": "" if group is None else group,
+                    "x_axis": x,
+                    "x": point.x,
+                    "metric": y,
+                    "mean": r3(point.mean),
+                    "stddev": r3(point.stddev),
+                    "ci95": r3(point.ci95),
+                    "min": r3(point.minimum),
+                    "max": r3(point.maximum),
+                    "count": point.count,
+                })
+        return rows
+
+    def series_to_csv(self, x: str, y: str = "throughput_per_sec",
+                      group_by: Optional[str] = None,
+                      path: Optional[str] = None) -> str:
+        """The aggregated series as CSV text (see
+        :meth:`series_to_rows`); optionally written to ``path``."""
+        return rows_to_csv(self.series_to_rows(x, y=y,
+                                               group_by=group_by),
+                           list(SERIES_CSV_COLUMNS), path)
 
     def to_dict(self) -> Dict[str, Any]:
         return {

@@ -226,6 +226,15 @@ def _check_axis_type(axis: str, target: str, value: Any) -> None:
 
     if value is None:
         return  # pins an optional field (e.g. primary_region=None)
+    if target == "netem":
+        # Python-built sweeps may grid over whole netem profiles (a
+        # spec *file* cannot -- axis values there are scalars).
+        from repro.netem import NetemProfile
+        if isinstance(value, NetemProfile):
+            return
+        raise ConfigurationError(
+            f"sweep axis {axis!r} value {value!r} must be a "
+            f"NetemProfile (or None)")
     if target.startswith("workload."):
         expected = _WORKLOAD_SCHEMA.get(target[len("workload."):])
     else:

@@ -30,6 +30,37 @@ MAX_FRAME_BYTES = 16 * 1024 * 1024
 Address = Tuple[str, int]
 
 
+def parse_hostport(value: Any) -> Address:
+    """Normalize a host-map entry: ``"host:port"`` or ``(host, port)``.
+
+    Host maps come from scenario spec files (strings) and Python
+    callers (tuples); both forms must name an explicit port -- a
+    remote peer cannot be dialed at an OS-assigned one.
+    """
+    if isinstance(value, (tuple, list)) and len(value) == 2:
+        host, port = value
+    elif isinstance(value, str):
+        host, _, port = value.rpartition(":")
+        if not host:
+            raise TransportError(
+                f"host map entry {value!r} must be 'host:port'")
+    else:
+        raise TransportError(
+            f"host map entry {value!r} must be 'host:port' or "
+            f"(host, port)")
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise TransportError(
+            f"host map entry {value!r} has a non-integer port") \
+            from None
+    if not 0 < port < 65536:
+        raise TransportError(
+            f"host map entry {value!r} needs an explicit port in "
+            f"1..65535")
+    return (str(host), port)
+
+
 class _AsyncioTimer:
     """Adapts ``asyncio.TimerHandle`` to the NodeContext Timer protocol."""
 
@@ -54,12 +85,21 @@ class AsyncioNode:
 
     def __init__(self, node_id: str, address: Address,
                  addresses: Dict[str, Address],
-                 loop: Optional[asyncio.AbstractEventLoop] = None
-                 ) -> None:
+                 loop: Optional[asyncio.AbstractEventLoop] = None,
+                 shaper: Optional[Any] = None,
+                 strict_destinations: bool = True) -> None:
         self.node_id = node_id
         self.address = address
         self.addresses = addresses
         self._loop = loop
+        #: Optional :class:`repro.netem.LinkShaper` shared by the whole
+        #: deployment: sends are delayed / dropped / duplicated per the
+        #: live profile before hitting the socket.
+        self.shaper = shaper
+        #: With a host map (multi-process deployments) an unknown
+        #: destination is a peer we have not learned yet, not a bug:
+        #: drop like a quasi-reliable network instead of raising.
+        self.strict_destinations = strict_destinations
         self.handler: Optional[Callable[[str, Any], None]] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: Dict[str, asyncio.StreamWriter] = {}
@@ -74,6 +114,7 @@ class AsyncioNode:
         self._closed = False
         self.frames_received = 0
         self.frames_sent = 0
+        self.frames_dropped = 0
 
     @property
     def loop(self) -> asyncio.AbstractEventLoop:
@@ -161,6 +202,16 @@ class AsyncioNode:
     def _dispatch(self, body: bytes) -> None:
         frame = json.loads(body.decode("utf-8"))
         sender = frame["sender"]
+        # Frames carry the sender's *listen* address so multi-process
+        # deployments (host maps) learn routes from traffic instead of
+        # needing every ephemeral port configured up front.
+        addr = frame.get("addr")
+        if addr is not None:
+            learned = (addr[0], addr[1])
+            if self.addresses.get(sender) != learned:
+                self.addresses[sender] = learned
+        if frame.get("kind") == "hello":
+            return  # address announcement only; no protocol payload
         message = decode(frame["message"])
         self.frames_received += 1
         if self.handler is not None:
@@ -176,16 +227,70 @@ class AsyncioNode:
             # spawn fresh send tasks into a stopped deployment.
             return
         if dst not in self.addresses:
+            if not self.strict_destinations:
+                # Multi-process deployment: the peer's address has not
+                # been learned yet; the network is quasi-reliable, so
+                # drop and let protocol retries recover.
+                self.frames_dropped += 1
+                return
             raise TransportError(f"unknown destination {dst!r}")
         task = self.loop.create_task(self._send(dst, message))
         self._send_tasks.add(task)
         task.add_done_callback(self._send_tasks.discard)
 
-    async def _send(self, dst: str, message: Any) -> None:
-        frame = json.dumps({
+    def announce(self, dst: str) -> None:
+        """Send an address-only hello frame to ``dst`` so it learns
+        this node's listen address before any protocol traffic."""
+        if self._closed or dst not in self.addresses:
+            return
+        task = self.loop.create_task(self._send(dst, None, hello=True))
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _send(self, dst: str, message: Any,
+                    hello: bool = False) -> None:
+        payload: Dict[str, Any] = {
             "sender": self.node_id,
-            "message": message.to_wire(),
-        }).encode("utf-8")
+            "addr": list(self.address),
+        }
+        if hello:
+            payload["kind"] = "hello"
+        else:
+            payload["message"] = message.to_wire()
+        frame = json.dumps(payload).encode("utf-8")
+        if self.shaper is not None and not hello:
+            # The netem seam: one send becomes zero, one, or two
+            # deliveries, each delayed on the event loop.  Per-send
+            # tasks make delayed frames genuinely overtake each other
+            # (reordering) like a real lossy path.
+            plan = self.shaper.plan(self.node_id, dst, len(frame),
+                                    self.loop.time() * 1000.0)
+            if not plan:
+                self.frames_dropped += 1
+                return
+            for extra in plan[1:]:  # duplicated copies ride alone
+                self._spawn_copy(dst, frame, extra)
+            if plan[0] > 0.0:
+                await asyncio.sleep(plan[0] / 1000.0)
+            if self._closed:
+                return
+        await self._write_frame(dst, frame)
+
+    def _spawn_copy(self, dst: str, frame: bytes,
+                    delay_ms: float) -> None:
+        """Schedule a duplicated frame as its own send task."""
+
+        async def copy() -> None:
+            if delay_ms > 0.0:
+                await asyncio.sleep(delay_ms / 1000.0)
+            if not self._closed:
+                await self._write_frame(dst, frame)
+
+        task = self.loop.create_task(copy())
+        self._send_tasks.add(task)
+        task.add_done_callback(self._send_tasks.discard)
+
+    async def _write_frame(self, dst: str, frame: bytes) -> None:
         try:
             writer = await self._writer_for(dst)
             writer.write(_HEADER.pack(len(frame)) + frame)
@@ -226,6 +331,21 @@ class AsyncioCluster:
     only when peers outside this process need predictable addresses.
     ``config_overrides`` are forwarded to :class:`ProtocolConfig`
     (timeouts, ``checkpoint_interval``, ``batch_size``, ...).
+
+    **Host maps** lift the localhost-only restriction: ``host_map``
+    pins named replicas to explicit ``"host:port"`` addresses; those
+    replicas are *not* started in this process by default (another
+    process -- ``python -m repro serve`` -- runs them at that address)
+    but every local node knows how to dial them.  ``start_replicas``
+    overrides which replicas this process instantiates (the serve side
+    passes the hosted subset).  Frames carry the sender's listen
+    address, so ephemeral-port peers (clients) are learned from
+    traffic; :meth:`announce` primes remote replicas before load.
+
+    ``netem`` (a :class:`repro.netem.NetemProfile`) attaches a
+    :class:`repro.netem.LinkShaper` shared by every node, seeded from
+    ``netem_seed``; ``regions`` labels nodes for region-token rule
+    matching.
     """
 
     BASE_PORT = 41200
@@ -235,6 +355,11 @@ class AsyncioCluster:
                  host: str = "127.0.0.1",
                  base_port: int = 0,
                  statemachine_factory: Optional[Callable[[], Any]] = None,
+                 host_map: Optional[Dict[str, Any]] = None,
+                 start_replicas: Optional[Tuple[str, ...]] = None,
+                 regions: Optional[Dict[str, str]] = None,
+                 netem: Optional[Any] = None,
+                 netem_seed: int = 0,
                  **config_overrides: Any) -> None:
         from repro.config import ProtocolConfig
         from repro.crypto.keys import KeyRegistry
@@ -253,10 +378,48 @@ class AsyncioCluster:
         self.config = ProtocolConfig(
             replica_ids=self.replica_ids, **defaults)
         self.registry = KeyRegistry()
-        self.addresses: Dict[str, Address] = {
-            rid: (host, base_port + i if base_port else 0)
-            for i, rid in enumerate(self.replica_ids)
+        self.host_map: Dict[str, Address] = {
+            rid: parse_hostport(value)
+            for rid, value in (host_map or {}).items()
         }
+        for rid in self.host_map:
+            if rid not in self.replica_ids:
+                raise TransportError(
+                    f"host map names unknown replica {rid!r} "
+                    f"(have {self.replica_ids})")
+        self.addresses: Dict[str, Address] = {}
+        for i, rid in enumerate(self.replica_ids):
+            if rid in self.host_map:
+                self.addresses[rid] = self.host_map[rid]
+            else:
+                self.addresses[rid] = (
+                    host, base_port + i if base_port else 0)
+        if start_replicas is None:
+            self.start_replicas = tuple(
+                rid for rid in self.replica_ids
+                if rid not in self.host_map)
+        else:
+            self.start_replicas = tuple(start_replicas)
+            for rid in self.start_replicas:
+                if rid not in self.replica_ids:
+                    raise TransportError(
+                        f"start_replicas names unknown replica "
+                        f"{rid!r} (have {self.replica_ids})")
+        #: Replicas expected to run in another process.
+        self.remote_replica_ids = tuple(
+            rid for rid in self.replica_ids
+            if rid not in self.start_replicas)
+        #: Node id -> region label (netem rule matching only; TCP has
+        #: no latency matrix).
+        self.regions: Dict[str, str] = dict(regions or {})
+        #: With remote peers, unknown/unlearned destinations drop like
+        #: a quasi-reliable network instead of raising.
+        self._strict = not self.host_map
+        self.shaper: Optional[Any] = None
+        if netem is not None:
+            from repro.netem import LinkShaper
+            self.shaper = LinkShaper(netem, seed=netem_seed,
+                                     region_of=self.regions.get)
         self._next_port = base_port + num_replicas if base_port else 0
         self.nodes: Dict[str, AsyncioNode] = {}
         self.replicas: Dict[str, Any] = {}
@@ -275,8 +438,12 @@ class AsyncioCluster:
 
     async def start(self) -> None:
         wiring = self._wiring()
-        for rid in self.replica_ids:
-            node = AsyncioNode(rid, self.addresses[rid], self.addresses)
+        for rid in self.start_replicas:
+            node = AsyncioNode(rid, self.addresses[rid], self.addresses,
+                               shaper=self.shaper,
+                               strict_destinations=self._strict)
+            # Key seeds are deterministic, so every process of a
+            # multi-machine deployment derives the same registry.
             keypair = self.registry.create(rid, seed=b"tcp-demo")
             replica = self.spec.replica_cls(
                 rid, self.config, node.context(), keypair,
@@ -287,14 +454,23 @@ class AsyncioCluster:
             await node.start()
             self.nodes[rid] = node
             self.replicas[rid] = replica
+        for rid in self.remote_replica_ids:
+            # Remote replicas still need registry entries so local
+            # nodes can verify their signatures.
+            self.registry.create(rid, seed=b"tcp-demo")
 
     async def add_client(self, client_id: str,
-                         target_replica: Optional[str] = None):
+                         target_replica: Optional[str] = None,
+                         region: Optional[str] = None):
         address = (self.host, self._next_port)
         if self._next_port:
             self._next_port += 1
         self.addresses[client_id] = address
-        node = AsyncioNode(client_id, address, self.addresses)
+        if region is not None:
+            self.regions[client_id] = region
+        node = AsyncioNode(client_id, address, self.addresses,
+                           shaper=self.shaper,
+                           strict_destinations=self._strict)
         keypair = self.registry.create(client_id, seed=b"tcp-demo")
         wiring = self._wiring(
             target_replica=target_replica or self.replica_ids[0])
@@ -306,6 +482,22 @@ class AsyncioCluster:
         self.nodes[client_id] = node
         self.clients[client_id] = client
         return client
+
+    def attach_shaper(self, shaper: Any) -> None:
+        """Install (or replace) the netem seam on every node, live.
+        Fault injectors use this to materialize a shaper lazily when a
+        chaos event fires on a scenario that declared no profile."""
+        self.shaper = shaper
+        for node in self.nodes.values():
+            node.shaper = shaper
+
+    def announce_remote(self) -> None:
+        """Prime every remote replica with every local node's listen
+        address (hello frames), so the first protocol message a remote
+        replica emits already has somewhere to go."""
+        for node in self.nodes.values():
+            for rid in self.remote_replica_ids:
+                node.announce(rid)
 
     async def request(self, client, op: str, key: str = "",
                       value: Any = None, timeout: float = 10.0):

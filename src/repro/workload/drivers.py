@@ -67,14 +67,58 @@ class ClosedLoopDriver:
         self.num_requests = min(self.num_requests, self._issued)
 
 
+class _IssuePacer:
+    """Token-bucket pacing for open-loop issue loops.
+
+    The naive loop -- issue one request, ``set_timer(interval)``,
+    repeat -- is exact on the discrete-event simulator (timers fire at
+    precisely the scheduled instant) but *drifts* on the TCP backend:
+    every late ``call_later`` under load pushes all subsequent issues
+    back, so the achieved rate sags below the configured one.
+
+    The pacer instead accrues credit on an absolute schedule: each
+    request is due at ``start + k * interval``, and a tick that fires
+    late issues every request whose due-time has passed (a catch-up
+    burst, bounded by the driver's ``max_outstanding`` window) before
+    sleeping until the next due-time.  On the simulator each tick
+    lands exactly on its due-time, so behaviour (and seeded results)
+    are identical to the naive loop; on TCP the long-run arrival rate
+    now matches the simulator's exactly.
+    """
+
+    def __init__(self, interval_ms: float) -> None:
+        self.interval_ms = interval_ms
+        self._next_due_ms: Optional[float] = None
+
+    def start(self, now_ms: float) -> None:
+        self._next_due_ms = now_ms
+
+    def due(self, now_ms: float) -> bool:
+        """One credit available? Consuming advances the schedule."""
+        return self._next_due_ms is not None and \
+            self._next_due_ms <= now_ms
+
+    def consume(self) -> None:
+        assert self._next_due_ms is not None
+        self._next_due_ms += self.interval_ms
+
+    def delay_until_next(self, now_ms: float) -> float:
+        """How long to sleep until the next credit accrues."""
+        if self._next_due_ms is None:
+            return self.interval_ms
+        return max(0.0, self._next_due_ms - now_ms)
+
+
 class OpenLoopDriver:
     """Open loop: "clients continuously and asynchronously send requests
     before receiving replies" (Section V).
 
     Issues requests at a fixed rate for ``duration_ms`` of simulated
-    time.  ``max_outstanding`` caps the in-flight window so a saturated
-    system queues at the replicas (where the CPU model meters it) rather
-    than accumulating unbounded client state.
+    time, paced by a token-bucket schedule (see :class:`_IssuePacer`)
+    so wall-clock timer drift on the TCP backend does not sag the
+    arrival rate.  ``max_outstanding`` caps the in-flight window so a
+    saturated system queues at the replicas (where the CPU model
+    meters it) rather than accumulating unbounded client state.
     """
 
     def __init__(self, client: Any, workload: KVWorkload,
@@ -90,22 +134,28 @@ class OpenLoopDriver:
         self.issued = 0
         self.skipped = 0
         self._deadline: Optional[float] = None
+        self._pacer = _IssuePacer(self.interval_ms)
 
     def start(self) -> None:
-        self._deadline = self.client.ctx.now + self.duration_ms
+        now = self.client.ctx.now
+        self._deadline = now + self.duration_ms
+        self._pacer.start(now)
         self._tick()
 
     def _tick(self) -> None:
         now = self.client.ctx.now
         if self._deadline is None or now >= self._deadline:
             return
-        if self.client.in_flight < self.max_outstanding:
-            self.issued += 1
-            command = self.workload.next_op(self.client)
-            self.client.submit(command)
-        else:
-            self.skipped += 1
-        self.client.ctx.set_timer(self.interval_ms, self._tick)
+        while self._pacer.due(now):
+            self._pacer.consume()
+            if self.client.in_flight < self.max_outstanding:
+                self.issued += 1
+                command = self.workload.next_op(self.client)
+                self.client.submit(command)
+            else:
+                self.skipped += 1
+        self.client.ctx.set_timer(
+            self._pacer.delay_until_next(now), self._tick)
 
     def stop(self) -> None:
         """Stop issuing new requests (the next tick sees the deadline
@@ -140,6 +190,7 @@ class BatchingOpenLoopDriver:
         self.skipped = 0
         self.batches_sent = 0
         self._deadline: Optional[float] = None
+        self._pacer = _IssuePacer(self.interval_ms)
         self._batcher = RequestBatcher(
             batch_size=batch_size,
             batch_timeout_ms=batch_timeout_ms,
@@ -147,7 +198,9 @@ class BatchingOpenLoopDriver:
             set_timer_fn=client.ctx.set_timer)
 
     def start(self) -> None:
-        self._deadline = self.client.ctx.now + self.duration_ms
+        now = self.client.ctx.now
+        self._deadline = now + self.duration_ms
+        self._pacer.start(now)
         self._tick()
 
     def _tick(self) -> None:
@@ -155,13 +208,16 @@ class BatchingOpenLoopDriver:
         if self._deadline is None or now >= self._deadline:
             self._batcher.flush()  # don't strand a partial batch
             return
-        if self.client.in_flight + self._batcher.pending < \
-                self.max_outstanding:
-            self.issued += 1
-            self._batcher.add(self.workload.next_op(self.client))
-        else:
-            self.skipped += 1
-        self.client.ctx.set_timer(self.interval_ms, self._tick)
+        while self._pacer.due(now):
+            self._pacer.consume()
+            if self.client.in_flight + self._batcher.pending < \
+                    self.max_outstanding:
+                self.issued += 1
+                self._batcher.add(self.workload.next_op(self.client))
+            else:
+                self.skipped += 1
+        self.client.ctx.set_timer(
+            self._pacer.delay_until_next(now), self._tick)
 
     def stop(self) -> None:
         """Stop issuing and flush any partial batch."""

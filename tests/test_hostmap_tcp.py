@@ -1,0 +1,133 @@
+"""Multi-machine TCP deployments via host maps: one replica hosted by
+a second ``python -m repro serve`` process, dialed over localhost.
+
+Frames carry the sender's listen address, so the serve process learns
+ephemeral-port peers (the scenario process's replicas and clients)
+from hello announcements and traffic instead of configuration.
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.scenario import (
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+    save_spec,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _hostmap_scenario(port: int) -> Scenario:
+    return Scenario(
+        name="hostmap-smoke",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        hosts={"r3": f"127.0.0.1:{port}"},
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=4,
+                              think_time_ms=20.0),
+        seed=12,
+        slow_path_timeout=300.0,
+        retry_timeout=2000.0,
+        suspicion_timeout=30_000.0,
+        view_change_timeout=30_000.0,
+        backends=("tcp",),
+    )
+
+
+def test_two_process_hostmap_scenario(tmp_path):
+    port = _free_port()
+    scenario = _hostmap_scenario(port)
+    spec_path = tmp_path / "hostmap.json"
+    save_spec(scenario, str(spec_path))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--spec", str(spec_path), "--replicas", "r3"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        line = server.stdout.readline()
+        assert "serving r3@" in line, f"serve did not come up: {line!r}"
+
+        report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
+            .run(scenario)
+        # 1 region x 1 client x 4 requests, across two processes.
+        assert report.delivered == 4
+        assert report.backend == "tcp"
+        # r3 lives in the other process: only the local three report.
+        assert "r3" not in report.to_dict()["client_stats"]
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
+def test_hostmap_cluster_starts_only_local_replicas():
+    import asyncio
+
+    from repro.scenario import build_tcp_cluster
+
+    scenario = _hostmap_scenario(_free_port())
+    cluster = build_tcp_cluster(scenario)
+    assert cluster.remote_replica_ids == ("r3",)
+    assert cluster.start_replicas == ("r0", "r1", "r2")
+
+    async def check():
+        await cluster.start()
+        try:
+            assert set(cluster.nodes) == {"r0", "r1", "r2"}
+            # Remote replica keys exist so signatures verify locally.
+            assert cluster.registry.known("r3")
+        finally:
+            await cluster.stop()
+
+    asyncio.run(check())
+
+
+def test_hostmap_fault_on_remote_replica_rejected():
+    from repro.errors import ConfigurationError
+    from repro.scenario import CrashReplica, Partition
+
+    scenario = _hostmap_scenario(_free_port()).with_overrides(
+        faults=(CrashReplica(at_ms=10.0, replica="r3"),))
+    with pytest.raises(ConfigurationError, match="r3"):
+        ScenarioRunner(backend="tcp").run(scenario)
+    # Partitions name replicas via sides, not .replica: a side touching
+    # a remote replica would only cut one direction (local filters).
+    scenario = _hostmap_scenario(_free_port()).with_overrides(
+        faults=(Partition(at_ms=10.0,
+                          sides=(("r3",), ("r0", "r1", "r2"))),))
+    with pytest.raises(ConfigurationError, match="r3"):
+        ScenarioRunner(backend="tcp").run(scenario)
+
+
+def test_parse_hostport_forms():
+    from repro.errors import TransportError
+    from repro.transport.asyncio_tcp import parse_hostport
+
+    assert parse_hostport("10.0.0.1:4000") == ("10.0.0.1", 4000)
+    assert parse_hostport(("h", 80)) == ("h", 80)
+    for bad in ("nope", "h:0", "h:notaport", 42):
+        with pytest.raises(TransportError):
+            parse_hostport(bad)

@@ -1,0 +1,381 @@
+"""repro.netem: link models, profiles, token bucket, the shaper seam
+on the simulator, chaos fault events, spec round-trips, determinism,
+and the validation satellite (schedule typos caught at validate time).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netem import (
+    LinkModel,
+    LinkRule,
+    NetemProfile,
+    LinkShaper,
+    TokenBucket,
+)
+from repro.scenario import (
+    BandwidthCap,
+    ClientChurn,
+    Jitter,
+    LatencyShift,
+    PacketLoss,
+    Partition,
+    Reorder,
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+    dumps_spec,
+    loads_spec,
+    preset,
+)
+
+
+def _netem_scenario(profile, seed=3, **overrides) -> Scenario:
+    base = dict(
+        name="netem-test",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        netem=profile,
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=5),
+        seed=seed,
+        slow_path_timeout=250.0,
+        retry_timeout=1500.0,
+        suspicion_timeout=60_000.0,
+        view_change_timeout=60_000.0,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+# ----------------------------------------------------------------------
+# LinkModel / NetemProfile
+# ----------------------------------------------------------------------
+def test_link_model_noop_detection():
+    assert LinkModel().is_noop
+    assert not LinkModel(delay_ms=1.0).is_noop
+    assert not LinkModel(loss=0.1).is_noop
+    assert not LinkModel(rate_kbps=100.0).is_noop
+
+
+def test_link_model_validation_names_field():
+    with pytest.raises(ConfigurationError, match="loss"):
+        LinkModel(loss=1.5).validate()
+    with pytest.raises(ConfigurationError, match="delay_ms"):
+        LinkModel(delay_ms=-1.0).validate()
+    with pytest.raises(ConfigurationError, match="burst_bytes"):
+        LinkModel(burst_bytes=0).validate()
+
+
+def test_profile_resolution_last_matching_rule_wins():
+    profile = NetemProfile(
+        default=LinkModel(delay_ms=1.0),
+        rules=(
+            LinkRule(src="*", dst="*", model=LinkModel(delay_ms=2.0)),
+            LinkRule(src="r0", dst="r1",
+                     model=LinkModel(delay_ms=9.0)),
+        ))
+    region_of = {"r0": "virginia", "r1": "tokyo"}.get
+    assert profile.resolve("r0", "r1", region_of).delay_ms == 9.0
+    assert profile.resolve("r1", "r0", region_of).delay_ms == 2.0
+
+
+def test_profile_rules_match_regions():
+    profile = NetemProfile(rules=(
+        LinkRule(src="virginia", dst="*",
+                 model=LinkModel(loss=0.5)),))
+    region_of = {"r0": "virginia", "r1": "tokyo"}.get
+    assert profile.resolve("r0", "r1", region_of).loss == 0.5
+    assert profile.resolve("r1", "r0", region_of).loss == 0.0
+
+
+def test_profile_validate_names_unknown_endpoint():
+    profile = NetemProfile(rules=(
+        LinkRule(src="atlantis", dst="*", model=LinkModel()),))
+    with pytest.raises(ConfigurationError,
+                       match=r"rules\[0\].src.*atlantis"):
+        profile.validate(known_tokens={"virginia", "r0"})
+    # client ids and the wildcard always pass
+    NetemProfile(rules=(
+        LinkRule(src="c3", dst="*", model=LinkModel()),)) \
+        .validate(known_tokens={"virginia"})
+
+
+# ----------------------------------------------------------------------
+# TokenBucket
+# ----------------------------------------------------------------------
+def test_token_bucket_burst_then_serialization():
+    # 8 kbit/s = 1 byte/ms; 10 bytes of burst credit.
+    bucket = TokenBucket(rate_kbps=8.0, burst_bytes=10)
+    assert bucket.consume(10, now_ms=0.0) == 0.0       # burst
+    assert bucket.consume(10, now_ms=0.0) == 10.0      # queue
+    assert bucket.consume(10, now_ms=0.0) == 20.0      # deeper queue
+    # 30ms later the debt is paid and credit is full again
+    assert bucket.consume(10, now_ms=100.0) == 0.0
+
+
+def test_token_bucket_refill_caps_at_burst():
+    bucket = TokenBucket(rate_kbps=8.0, burst_bytes=10)
+    bucket.consume(10, now_ms=0.0)
+    # A long idle period must not accumulate unbounded credit.
+    assert bucket.consume(20, now_ms=10_000.0) == 10.0
+
+
+# ----------------------------------------------------------------------
+# LinkShaper
+# ----------------------------------------------------------------------
+def test_shaper_noop_passthrough():
+    shaper = LinkShaper()
+    assert shaper.plan("a", "b", 100, 0.0) == (0.0,)
+    assert shaper.frames_shaped == 0
+
+
+def test_shaper_loss_drops_and_counts():
+    shaper = LinkShaper(NetemProfile(default=LinkModel(loss=1.0)))
+    assert shaper.plan("a", "b", 100, 0.0) == ()
+    assert shaper.frames_dropped == 1
+
+
+def test_shaper_duplicate_and_reorder():
+    shaper = LinkShaper(NetemProfile(default=LinkModel(
+        delay_ms=5.0, duplicate=1.0)))
+    plan = shaper.plan("a", "b", 100, 0.0)
+    assert len(plan) == 2 and plan[0] == plan[1] == 5.0
+    shaper = LinkShaper(NetemProfile(default=LinkModel(
+        reorder=1.0, reorder_extra_ms=7.0)))
+    assert shaper.plan("a", "b", 100, 0.0) == (7.0,)
+    assert shaper.frames_reordered == 1
+
+
+def test_shaper_patch_overlays_and_delay_scale():
+    shaper = LinkShaper(NetemProfile(default=LinkModel(delay_ms=10.0)))
+    shaper.patch("*", "*", loss=0.25)
+    model = shaper.resolve("a", "b")
+    assert model.loss == 0.25 and model.delay_ms == 10.0  # merged
+    shaper.set_delay_scale(2.0)
+    assert shaper.resolve("a", "b").delay_ms == 20.0
+    shaper.set_delay_scale(1.0)
+    assert shaper.resolve("a", "b").delay_ms == 10.0
+    with pytest.raises(ConfigurationError, match="warp_factor"):
+        shaper.patch("*", "*", warp_factor=9.0)
+    with pytest.raises(ConfigurationError, match="loss"):
+        shaper.patch("*", "*", loss=3.0)
+
+
+def test_shaper_bandwidth_cap_queues():
+    shaper = LinkShaper(NetemProfile(default=LinkModel(
+        rate_kbps=8.0, burst_bytes=100)))
+    assert shaper.plan("a", "b", 100, 0.0) == (0.0,)
+    delay = shaper.plan("a", "b", 100, 0.0)[0]
+    assert delay == pytest.approx(100.0)  # 100 bytes at 1 byte/ms
+
+
+# ----------------------------------------------------------------------
+# Simulator integration
+# ----------------------------------------------------------------------
+def test_sim_netem_delay_raises_latency():
+    plain = ScenarioRunner().run(_netem_scenario(None))
+    shaped = ScenarioRunner().run(_netem_scenario(
+        NetemProfile(default=LinkModel(delay_ms=25.0))))
+    # Every protocol hop gains 25ms each way; client latency must rise
+    # by well over one round trip.
+    assert shaped.latency.p50 > plain.latency.p50 + 50.0
+    assert shaped.network["netem_frames_shaped"] > 0
+
+
+def test_sim_netem_total_loss_on_one_link_still_commits():
+    # r3 hears nothing: the fast path (all 4) collapses but the 2f+1
+    # slow path keeps committing.
+    profile = NetemProfile(rules=(
+        LinkRule(src="*", dst="r3", model=LinkModel(loss=1.0)),))
+    report = ScenarioRunner().run(_netem_scenario(profile))
+    assert report.delivered == 5
+    assert report.fast_path_ratio < 1.0
+    assert report.network["netem_frames_dropped"] > 0
+
+
+def test_sim_netem_chaos_faults_retarget_live_shaper():
+    scenario = _netem_scenario(
+        NetemProfile(default=LinkModel(delay_ms=2.0)),
+        workload=WorkloadSpec(mode="open", rate_per_client=40.0,
+                              client_regions=("local",)),
+        duration_ms=600.0,
+        faults=(PacketLoss(at_ms=100.0, probability=0.2),
+                Jitter(at_ms=150.0, jitter_ms=3.0),
+                BandwidthCap(at_ms=200.0, rate_kbps=512.0,
+                             src="r0", dst="r1"),
+                Reorder(at_ms=250.0, probability=0.3, extra_ms=2.0),
+                LatencyShift(at_ms=300.0, factor=1.5)),
+    )
+    report, cluster = ScenarioRunner().run_with_cluster(scenario)
+    assert [e["event"] for e in report.fault_log] == [
+        "PacketLoss", "Jitter", "BandwidthCap", "Reorder",
+        "LatencyShift"]
+    shaper = cluster.network.shaper
+    model = shaper.resolve("r0", "r1")
+    assert model.loss == 0.2
+    assert model.jitter_ms == 3.0
+    assert model.rate_kbps == 512.0
+    assert model.reorder == 0.3
+    assert model.delay_ms == pytest.approx(2.0 * 1.5)
+    # The cap patch was link-scoped: the reverse direction is uncapped.
+    assert shaper.resolve("r1", "r0").rate_kbps == 0.0
+
+
+def test_sim_chaos_faults_without_profile_materialize_shaper():
+    scenario = _netem_scenario(
+        None, faults=(PacketLoss(at_ms=1.0, probability=0.05),))
+    report, cluster = ScenarioRunner().run_with_cluster(scenario)
+    assert cluster.network.shaper is not None
+    assert cluster.network.shaper.resolve("r0", "r1").loss == 0.05
+    assert report.delivered == 5
+
+
+# ----------------------------------------------------------------------
+# Determinism (satellite): seeded sim netem runs are byte-identical
+# ----------------------------------------------------------------------
+def _canonical(report) -> str:
+    data = report.to_dict()
+    assert data.pop("wall_seconds") >= 0.0
+    return json.dumps(data, sort_keys=False, allow_nan=False)
+
+
+def test_seeded_netem_run_is_byte_identical():
+    profile = NetemProfile(default=LinkModel(
+        delay_ms=5.0, jitter_ms=2.0, loss=0.05, duplicate=0.05,
+        reorder=0.2, reorder_extra_ms=2.0))
+    scenario = _netem_scenario(profile, seed=17)
+    first = ScenarioRunner().run(scenario)
+    second = ScenarioRunner().run(scenario)
+    assert _canonical(first) == _canonical(second)
+    # ...and the stream actually exercised the chaos paths
+    assert first.network["netem_frames_shaped"] > 0
+
+
+def test_lossy_wan_preset_is_byte_identical_and_different_seed_differs():
+    first = ScenarioRunner().run(preset("lossy-wan"))
+    second = ScenarioRunner().run(preset("lossy-wan"))
+    assert _canonical(first) == _canonical(second)
+    other = ScenarioRunner().run(
+        preset("lossy-wan").with_overrides(seed=99))
+    assert other.delivered == first.delivered  # same shape
+    assert _canonical(other) != _canonical(first)  # different stream
+
+
+# ----------------------------------------------------------------------
+# Spec round-trips (netem + hosts)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fmt", ("json", "toml"))
+def test_netem_profile_round_trips(fmt):
+    scenario = _netem_scenario(NetemProfile(
+        default=LinkModel(delay_ms=12.0, jitter_ms=4.0, loss=0.01),
+        rules=(LinkRule(src="local", dst="r2",
+                        model=LinkModel(delay_ms=30.0,
+                                        rate_kbps=256.0)),)))
+    text = dumps_spec(scenario, fmt)
+    assert loads_spec(text, fmt) == scenario
+
+
+def test_hosts_round_trip_and_validation():
+    scenario = _netem_scenario(
+        None, hosts={"r3": "127.0.0.1:45901"}, backends=("tcp",))
+    loaded = loads_spec(dumps_spec(scenario, "json"), "json")
+    assert loaded == scenario
+    with pytest.raises(ConfigurationError, match="r9"):
+        _netem_scenario(None, hosts={"r9": "x:1"}).validate()
+    with pytest.raises(ConfigurationError, match="host:port"):
+        _netem_scenario(None, hosts={"r3": "nope"}).validate()
+    with pytest.raises(ConfigurationError, match="every replica"):
+        _netem_scenario(None, hosts={
+            f"r{i}": f"h:{4000 + i}" for i in range(4)}).validate()
+
+
+def test_netem_loader_errors_name_keys():
+    with pytest.raises(ConfigurationError, match="lossy"):
+        loads_spec(json.dumps({"scenario": {
+            "name": "x", "netem": {"default": {"lossy": 0.5}}}}),
+            "json")
+    with pytest.raises(ConfigurationError, match="rules"):
+        loads_spec(json.dumps({"scenario": {
+            "name": "x", "netem": {"rules": {"src": "a"}}}}), "json")
+
+
+def test_netem_validation_runs_at_load_time():
+    with pytest.raises(ConfigurationError, match="loss"):
+        loads_spec(json.dumps({"scenario": {
+            "name": "x", "netem": {"default": {"loss": 2.0}}}}),
+            "json")
+
+
+def test_example_spec_file_matches_lossy_wan_preset():
+    # The shipped worked example (README + CI) must stay in sync with
+    # the preset it documents.
+    import os
+
+    from repro.scenario import load_spec
+
+    path = os.path.join(os.path.dirname(__file__), os.pardir,
+                        "examples", "specs", "lossy_wan.json")
+    assert load_spec(path) == preset("lossy-wan")
+
+
+# ----------------------------------------------------------------------
+# Validation satellite: schedule typos fail at validate time, named
+# ----------------------------------------------------------------------
+def test_partition_naming_unknown_replica_rejected_at_validate():
+    scenario = _netem_scenario(None, faults=(
+        Partition(at_ms=1.0, sides=(("r9",), ("r0", "r1"))),))
+    with pytest.raises(ConfigurationError,
+                       match=r"faults\[0\].sides\[0\].*r9"):
+        scenario.validate()
+    # client ids are legal partition members
+    _netem_scenario(None, faults=(
+        Partition(at_ms=1.0, sides=(("c0",), ("r0",))),)).validate()
+
+
+def test_client_churn_unknown_region_rejected_at_validate():
+    scenario = _netem_scenario(None, faults=(
+        ClientChurn(at_ms=1.0, add=2, region="atlantis"),))
+    with pytest.raises(ConfigurationError,
+                       match=r"faults\[0\].region.*atlantis"):
+        scenario.validate()
+
+
+def test_netem_rule_unknown_endpoint_rejected_at_validate():
+    scenario = _netem_scenario(NetemProfile(rules=(
+        LinkRule(src="mars", dst="*", model=LinkModel()),)))
+    with pytest.raises(ConfigurationError, match="mars"):
+        scenario.validate()
+
+
+def test_netem_fault_unknown_endpoint_rejected_at_validate():
+    # A typoed chaos-event token would otherwise be a silent no-op
+    # while the fault log claimed the event fired.
+    scenario = _netem_scenario(None, faults=(
+        PacketLoss(at_ms=1.0, probability=0.1, src="virgina"),))
+    with pytest.raises(ConfigurationError,
+                       match=r"faults\[0\].src.*virgina"):
+        scenario.validate()
+    _netem_scenario(None, faults=(
+        PacketLoss(at_ms=1.0, probability=0.1, src="r0",
+                   dst="c1"),)).validate()  # ids + clients are fine
+
+
+# ----------------------------------------------------------------------
+# Sweeping over whole profiles (python-built grids)
+# ----------------------------------------------------------------------
+def test_sweep_over_netem_profiles():
+    from repro.sweep import SweepRunner, SweepSpec
+
+    clean = None
+    lossy = NetemProfile(default=LinkModel(delay_ms=10.0))
+    spec = SweepSpec(base=_netem_scenario(clean),
+                     grid={"netem": (clean, lossy)})
+    report = SweepRunner().run(spec)
+    assert len(report.cells) == 2
+    slow = report.cells[1].report
+    fast = report.cells[0].report
+    assert slow.latency.p50 > fast.latency.p50

@@ -18,7 +18,7 @@ import os
 
 from repro.scenario import ScenarioRunner, preset
 from repro.scenario.report import REPORT_CSV_COLUMNS
-from repro.sweep import SweepRunner, SweepSpec
+from repro.sweep import SERIES_CSV_COLUMNS, SweepRunner, SweepSpec
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
                            "report_schema.json")
@@ -51,6 +51,9 @@ def current_schema():
         "sweep_cell_keys": sorted(sweep_data["cells"][0]),
         "sweep_csv_columns_clients_seed":
             sweep_report.csv_columns(),
+        "sweep_series_csv_columns": list(SERIES_CSV_COLUMNS),
+        "sweep_series_row_keys":
+            sorted(sweep_report.series_to_rows("clients")[0]),
     }
 
 

@@ -83,17 +83,31 @@ def test_tcp_crash_and_recover_fault_schedule():
 
 
 def test_unsupported_fault_event_rejected_on_tcp():
-    scenario = Scenario(
-        name="tcp-bad",
-        protocol="ezbft",
-        replica_regions=("local",) * 4,
-        latency="local",
-        workload=WorkloadSpec(mode="open", rate_per_client=10.0),
-        duration_ms=200.0,
-        faults=(LatencyShift(at_ms=10.0, factor=2.0),),
-    )
+    # Every *built-in* fault type is TCP-supported since the netem
+    # seam; an unregistered custom event class still fails fast.
+    from dataclasses import dataclass
+
+    from repro.scenario import FaultEvent
+    from repro.scenario.faults import TcpFaultInjector
+
+    @dataclass(frozen=True)
+    class MeteorStrike(FaultEvent):
+        pass
+
     with pytest.raises(ConfigurationError, match="not.*supported"):
-        ScenarioRunner(backend="tcp").run(scenario)
+        TcpFaultInjector.check_supported((MeteorStrike(at_ms=1.0),))
+
+
+def test_remote_hosted_replica_fault_rejected_on_tcp():
+    # Replica-targeted faults cannot reach a replica the host map
+    # places in another process; the error names the replica.
+    from repro.scenario import CrashReplica
+    from repro.scenario.faults import TcpFaultInjector
+
+    with pytest.raises(ConfigurationError, match="r3"):
+        TcpFaultInjector.check_supported(
+            (CrashReplica(at_ms=1.0, replica="r3"),),
+            remote_replicas=("r3",))
 
 
 @pytest.mark.parametrize("protocol", ["pbft", "zyzzyva", "fab"])
@@ -102,6 +116,92 @@ def test_baseline_protocols_run_scenarios_over_tcp(protocol):
         preset(f"smoke-{protocol}"))
     assert report.protocol == protocol
     assert report.delivered == 12
+
+
+def test_tcp_latency_shift_and_churn_no_longer_raise():
+    """Fault-schedule parity (ROADMAP): LatencyShift retargets the live
+    netem profile and ClientChurn spawns/stops drivers mid-run on TCP,
+    and the run tears down without leaking loop tasks."""
+    from repro.netem import LinkModel, NetemProfile
+    from repro.scenario import ClientChurn
+
+    scenario = Scenario(
+        name="tcp-shift-churn",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        netem=NetemProfile(default=LinkModel(delay_ms=5.0)),
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=4,
+                              think_time_ms=40.0),
+        faults=(LatencyShift(at_ms=100.0, factor=2.0),
+                ClientChurn(at_ms=150.0, add=2),
+                ClientChurn(at_ms=400.0, stop=2)),
+        seed=10,
+        backends=("tcp",),
+    )
+
+    async def scenario_run():
+        runner = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0)
+        report = await runner._run_tcp(scenario)
+        await asyncio.sleep(0.2)
+        leftovers = [t for t in asyncio.all_tasks()
+                     if t is not asyncio.current_task()
+                     and not t.done()]
+        assert leftovers == []
+        return report
+
+    report = asyncio.run(scenario_run())
+    assert [e["event"] for e in report.fault_log] == \
+        ["LatencyShift", "ClientChurn", "ClientChurn"]
+    # 4 initial requests + whatever the churned clients got through
+    # before being stopped.
+    assert report.delivered >= 4
+    assert report.network["netem_frames_shaped"] > 0
+
+
+def test_tcp_netem_chaos_faults_apply():
+    """The four netem chaos events execute on TCP without raising and
+    retarget the cluster's live shaper."""
+    from repro.scenario import (
+        BandwidthCap,
+        Jitter,
+        PacketLoss,
+        Reorder,
+    )
+
+    scenario = Scenario(
+        name="tcp-chaos",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=4,
+                              think_time_ms=30.0),
+        faults=(PacketLoss(at_ms=10.0, probability=0.05),
+                Jitter(at_ms=20.0, jitter_ms=2.0),
+                BandwidthCap(at_ms=30.0, rate_kbps=10_000.0),
+                Reorder(at_ms=40.0, probability=0.1, extra_ms=1.0)),
+        seed=11,
+        retry_timeout=800.0,
+        backends=("tcp",),
+    )
+    report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
+        .run(scenario)
+    assert report.delivered == 4
+    assert [e["event"] for e in report.fault_log] == \
+        ["PacketLoss", "Jitter", "BandwidthCap", "Reorder"]
+    assert report.network["netem_frames_shaped"] > 0
+
+
+def test_lossy_wan_preset_runs_on_tcp():
+    """Acceptance: the lossy-WAN preset (loss + jitter + mid-run
+    LatencyShift) executes on the TCP backend."""
+    report = ScenarioRunner(backend="tcp", tcp_timeout_s=45.0) \
+        .run(preset("lossy-wan"))
+    assert report.delivered == 12
+    assert [e["event"] for e in report.fault_log] == ["LatencyShift"]
+    assert report.network["netem_frames_shaped"] > 0
 
 
 def _wedged_scenario() -> Scenario:

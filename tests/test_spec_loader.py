@@ -8,12 +8,16 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.scenario import (
+    BandwidthCap,
     ClientChurn,
     CrashReplica,
     Heal,
+    Jitter,
     LatencyShift,
+    PacketLoss,
     Partition,
     RecoverReplica,
+    Reorder,
     Scenario,
     SwapByzantine,
     WorkloadSpec,
@@ -54,6 +58,11 @@ ALL_FAULTS = (
     SwapByzantine(at_ms=50.0, replica="r2", behavior="equivocate"),
     LatencyShift(at_ms=60.0, factor=1.5),
     ClientChurn(at_ms=70.0, add=2, stop=1, region="tokyo"),
+    PacketLoss(at_ms=80.0, probability=0.05, src="r0", dst="*"),
+    Jitter(at_ms=85.0, jitter_ms=3.0),
+    BandwidthCap(at_ms=90.0, rate_kbps=256.0, burst_bytes=8192,
+                 src="*", dst="r1"),
+    Reorder(at_ms=95.0, probability=0.1, extra_ms=2.5),
 )
 
 
@@ -61,7 +70,9 @@ def test_fault_registry_covers_every_fault_type():
     from repro.scenario import faults as fault_mod
     declared = {name for name in fault_mod.__all__
                 if name.endswith(("Replica", "Partition", "Heal",
-                                  "Byzantine", "Shift", "Churn"))}
+                                  "Byzantine", "Shift", "Churn",
+                                  "Loss", "Jitter", "Cap",
+                                  "Reorder"))}
     assert set(FAULT_TYPES) == declared
     assert {type(e).__name__ for e in ALL_FAULTS} == set(FAULT_TYPES)
 

@@ -189,6 +189,68 @@ def test_series_collapses_seeds(smoke_sweep_report):
     assert points[1].mean == 4.0
 
 
+def test_series_stddev_and_ci(smoke_sweep_report):
+    import math
+
+    # delivered is deterministic per clients value: spread must be 0.
+    points = smoke_sweep_report.series("clients", y="delivered")[None]
+    for point in points:
+        assert point.count == 2
+        assert point.stddev == 0.0
+        assert point.ci95 == 0.0
+    # throughput varies across seeds: sample stddev and the t-based
+    # 95% CI half-width must agree with a hand computation.
+    points = smoke_sweep_report.series(
+        "clients", y="throughput_per_sec")[None]
+    for x in (1, 2):
+        samples = [
+            cell.report.throughput_per_sec
+            for cell in smoke_sweep_report.cells
+            if cell.param_dict["clients"] == x]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / (len(samples) - 1)
+        point = next(p for p in points if p.x == x)
+        assert point.stddev == pytest.approx(math.sqrt(var))
+        # df=1 -> t=12.706
+        assert point.ci95 == pytest.approx(
+            12.706 * math.sqrt(var) / math.sqrt(2))
+
+
+def test_series_single_sample_has_no_spread():
+    spec = SweepSpec(base=_tiny_base(), grid={"clients": (1, 2)})
+    points = SweepRunner().run(spec).series("clients",
+                                            y="delivered")[None]
+    for point in points:
+        assert point.count == 1
+        assert point.stddev is None
+        assert point.ci95 is None
+
+
+def test_series_csv_export(smoke_sweep_report, tmp_path):
+    import csv
+
+    from repro.sweep import SERIES_CSV_COLUMNS
+
+    path = tmp_path / "series.csv"
+    text = smoke_sweep_report.series_to_csv(
+        "clients", y="throughput_per_sec", path=str(path))
+    assert path.read_text() == text
+    with open(path, newline="") as fh:
+        rows = list(csv.DictReader(fh))
+    assert list(rows[0]) == list(SERIES_CSV_COLUMNS)
+    assert [row["x"] for row in rows] == ["1", "2"]
+    for row in rows:
+        assert row["metric"] == "throughput_per_sec"
+        assert row["count"] == "2"
+        assert float(row["stddev"]) >= 0.0
+        assert float(row["ci95"]) >= float(row["stddev"])
+    # grouped: one row per (group, x)
+    grouped = smoke_sweep_report.series_to_rows(
+        "seed", y="delivered", group_by="clients")
+    assert {(r["group"], r["x"]) for r in grouped} == \
+        {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+
 def test_series_dedupes_repeated_zipped_axis_values():
     # Fig4 shape: protocol zipped over repeated contention values must
     # yield one point per distinct x, not one per zip row.

@@ -116,6 +116,42 @@ def test_open_loop_invalid_rate():
                        duration_ms=10)
 
 
+def test_issue_pacer_catches_up_after_late_tick():
+    """Token-bucket pacing: a tick that fires late (wall-clock timer
+    drift on the TCP backend) issues every request whose due-time has
+    passed, so the long-run rate matches the configured one instead of
+    sagging."""
+    from repro.workload.drivers import _IssuePacer
+
+    pacer = _IssuePacer(10.0)
+    pacer.start(0.0)
+    # The tick lands 35ms in: credits for t=0, 10, 20, 30 are due.
+    drained = 0
+    while pacer.due(35.0):
+        pacer.consume()
+        drained += 1
+    assert drained == 4
+    # Next credit accrues at t=40 -> sleep 5ms, not a full interval.
+    assert pacer.delay_until_next(35.0) == 5.0
+    # On-time ticks issue exactly one per interval (simulator path).
+    assert pacer.due(40.0)
+    pacer.consume()
+    assert not pacer.due(40.0)
+    assert pacer.delay_until_next(40.0) == 10.0
+
+
+def test_open_loop_rate_exact_on_simulator():
+    """The pacer must not change simulator behaviour: the issue count
+    over a window is exactly rate x duration."""
+    cluster = lan_cluster()
+    client = cluster.add_client("c0", "local")
+    driver = OpenLoopDriver(client, KVWorkload("c0", seed=1),
+                            rate_per_sec=250.0, duration_ms=200.0)
+    driver.start()
+    cluster.run_until_idle()
+    assert driver.issued == 50  # 250/s x 0.2s, first at t=0
+
+
 def test_open_loop_respects_outstanding_cap():
     cluster = lan_cluster()
     client = cluster.add_client("c0", "local")
