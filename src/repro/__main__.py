@@ -9,6 +9,9 @@ Subcommands:
   ``--grid seed=1..5``, ``--zip`` for lockstep axes).
 - ``compare``: run one preset across several protocols and print a
   comparison table (``--csv`` for the tabular form).
+- ``bench``: run the pinned performance grid, write ``BENCH_<rev>.json``
+  and optionally gate against a committed baseline
+  (``--baseline benchmarks/baselines/BENCH_xxxx.json``).
 - ``serve``: host a subset of a TCP scenario's replicas in *this*
   process at their ``hosts``-pinned addresses, for multi-machine
   deployments (the scenario process runs the rest and dials these).
@@ -121,6 +124,12 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--group-by", default=None,
                      help="axis drawn as one line per value "
                           "(default: protocol when swept)")
+    swp.add_argument("--no-cache", action="store_true",
+                     help="always run every cell fresh (skip the "
+                          "on-disk sim cell cache)")
+    swp.add_argument("--cache-dir", default=None,
+                     help="cell cache directory (default "
+                          ".repro-cache/sweep-cells)")
     swp.add_argument("--quiet", action="store_true",
                      help="suppress the per-cell summary table")
 
@@ -136,6 +145,26 @@ def _build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--csv", dest="csv_path", default=None,
                          help="write one CSV row per "
                               "(protocol, phase)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance grid and write "
+             "BENCH_<rev>.json")
+    bench.add_argument("--grid", choices=("full", "smoke"),
+                       default="full",
+                       help="full pinned grid, or the reduced smoke "
+                            "subset CI runs")
+    bench.add_argument("--out", default=None,
+                       help="artifact path (default BENCH_<rev>.json "
+                            "in the working directory)")
+    bench.add_argument("--baseline", default=None,
+                       help="committed BENCH_*.json to gate against; "
+                            "a regression exits 1")
+    bench.add_argument("--tolerance", type=float, default=0.35,
+                       help="allowed wall-clock throughput drop vs. "
+                            "the baseline (default 0.35 = 35%%)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress the per-cell progress lines")
 
     serve = sub.add_parser(
         "serve",
@@ -295,12 +324,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import DEFAULT_CACHE_DIR, SweepCellCache
+
     spec = _resolve_sweep(args)
     total = spec.size()
     # Like `run`: an explicit --backend wins, else honor what the base
     # scenario declares (its first backend; a sweep runs on one).
     backend = args.backend or spec.base_scenario().backends[0]
-    runner = SweepRunner(backend=backend, workers=args.workers)
+    cache = None if args.no_cache else SweepCellCache(
+        args.cache_dir or DEFAULT_CACHE_DIR)
+    runner = SweepRunner(backend=backend, workers=args.workers,
+                         cache=cache)
 
     done = {"n": 0}
 
@@ -314,6 +348,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     report = runner.run(spec, progress=progress)
     if not args.quiet:
+        if cache is not None and (cache.hits or cache.misses):
+            print(f"cell cache: {cache.hits} hit(s), "
+                  f"{cache.misses} miss(es) "
+                  f"[{cache.root}; --no-cache to bypass]")
         print()
         print(report.format_text())
     if args.csv_path:
@@ -412,6 +450,47 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import compare, current_rev, grid_cells, run_bench
+
+    total = len(grid_cells(args.grid))
+    done = {"n": 0}
+
+    def progress(cell, metrics):
+        done["n"] += 1
+        if not args.quiet:
+            events = metrics.get("events_per_second")
+            extra = f", {events:.0f} events/s" if events else ""
+            print(f"[{done['n']}/{total}] {cell.name}: "
+                  f"{metrics['delivered']} delivered in "
+                  f"{metrics['wall_seconds']:.2f}s "
+                  f"({metrics['throughput']:.0f}/s{extra})")
+
+    artifact = run_bench(grid=args.grid, progress=progress)
+    out = args.out or f"BENCH_{artifact['rev']}.json"
+    with open(out, "w", encoding="utf-8") as fh:
+        json.dump(artifact, fh, indent=2, allow_nan=False)
+        fh.write("\n")
+    if not args.quiet:
+        print(f"wrote {out}")
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        problems = compare(artifact, baseline,
+                           tolerance=args.tolerance)
+        if problems:
+            print(f"bench gate FAILED against {args.baseline} "
+                  f"(baseline rev {baseline.get('rev', '?')}, "
+                  f"new rev {current_rev()}):", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        if not args.quiet:
+            print(f"bench gate passed against {args.baseline} "
+                  f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -488,6 +567,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_sweep(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "list-protocols":

@@ -50,7 +50,7 @@ class EquivocatingLeaderReplica(EzBFTReplica):
         command = request.command
         self._client_ts[command.client_id] = command.timestamp
         slot = space.allocate_slot()
-        request_digest = digest(request.to_wire())
+        request_digest = digest(request)
 
         def make_order(seq: int) -> SignedPayload:
             instance = InstanceID(self.node_id, slot)

@@ -135,7 +135,7 @@ class OwnerChangeManager:
             for pb in orders_b:
                 same_slot_diff_payload = (
                     pa.instance == pb.instance
-                    and digest(pa.to_wire()) != digest(pb.to_wire()))
+                    and digest(pa) != digest(pb))
                 same_request_diff_instance = (
                     pa.request_digest == pb.request_digest
                     and pa.instance != pb.instance)

@@ -313,7 +313,7 @@ class EzBFTReplica:
                 deps=deps,
                 seq=seq,
                 log_digest=self._space_digest(space),
-                request_digest=digest(request.to_wire()),
+                request_digest=digest(request),
             )
             entry = LogEntry(instance=instance,
                              owner_number=space.owner_number,
@@ -356,7 +356,7 @@ class EzBFTReplica:
         instance = InstanceID(self.node_id, slot)
         deps = self._collect_deps(command, exclude=instance)
         seq = 1 + self._max_dep_seq(deps)
-        request_digest = digest(request.to_wire())
+        request_digest = digest(request)
         spec_order = SpecOrder(
             leader=self.node_id,
             owner_number=space.owner_number,
@@ -384,7 +384,7 @@ class EzBFTReplica:
     def _relay_resend(self, request: Request) -> None:
         """Relay a retried request to its original recipient and start a
         suspicion timer (paper step 4.3)."""
-        ident_key = digest(request.command.to_wire())
+        ident_key = digest(request.command)
         already = self._find_entry_for_command(request.command)
         if already is not None:
             # We have already spec-ordered this command; re-reply (and
@@ -532,7 +532,7 @@ class EzBFTReplica:
         self._resolve_suspicion(command, order.leader)
 
     def _resolve_suspicion(self, command: Command, leader: str) -> None:
-        key = digest(command.to_wire())
+        key = digest(command)
         entry = self._suspicions.get(key)
         if entry is not None and entry[0] == leader:
             entry[1].cancel()

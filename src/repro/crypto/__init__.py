@@ -17,7 +17,12 @@ The *CPU cost* of real ECDSA is charged separately by the simulator's
 from repro.crypto.digest import canonical_bytes, digest
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.crypto.signatures import Signature, sign, verify
-from repro.crypto.authenticator import Authenticator, make_authenticator
+from repro.crypto.authenticator import (
+    Authenticator,
+    make_authenticator,
+    verify_authenticator,
+    verify_authenticator_batch,
+)
 
 __all__ = [
     "canonical_bytes",
@@ -29,4 +34,6 @@ __all__ = [
     "verify",
     "Authenticator",
     "make_authenticator",
+    "verify_authenticator",
+    "verify_authenticator_batch",
 ]

@@ -54,9 +54,17 @@ class KeyRegistry:
 
     def __init__(self) -> None:
         self._keys: Dict[str, KeyPair] = {}
+        #: Verification epoch: a fresh sentinel per key (re-)registration
+        #: (see ``SignedPayload.verify``).  Cached verdicts are tagged
+        #: with the epoch they were computed under; registering a key
+        #: mints a new sentinel, invalidating every outstanding verdict
+        #: at once -- a verdict is only valid for the key material it
+        #: was computed against.
+        self.verify_epoch: object = object()
 
     def register(self, keypair: KeyPair) -> None:
         self._keys[keypair.node_id] = keypair
+        self.verify_epoch = object()
 
     def create(self, node_id: str, seed: bytes | None = None) -> KeyPair:
         """Generate, register and return a key pair for ``node_id``."""
@@ -66,6 +74,21 @@ class KeyRegistry:
 
     def known(self, node_id: str) -> bool:
         return node_id in self._keys
+
+    def secret_for(self, node_id: str) -> bytes:
+        """The registered secret for ``node_id``.
+
+        With HMAC standing in for ECDSA the registry necessarily holds
+        raw secrets; MAC verification on behalf of a receiver (PBFT
+        authenticator vectors) needs the *sender's* secret to re-derive
+        the pairwise session key.  This accessor is that sanctioned
+        path -- callers must not reach into ``_keys`` directly.
+        """
+        try:
+            return self._keys[node_id].secret
+        except KeyError:
+            raise UnknownSignerError(
+                f"no key registered for node {node_id!r}") from None
 
     def mac_for(self, node_id: str, payload: bytes) -> str:
         """Compute the tag ``node_id`` would produce -- used by ``verify``."""

@@ -13,6 +13,10 @@ from repro.errors import SerializationError
 #: msg_type string -> message class.
 MESSAGE_REGISTRY: Dict[str, Type] = {}
 
+#: Instance attribute holding a ``(registry_epoch, content_hash,
+#: verdict)`` verification memo (see ``SignedPayload.verify``).
+_VERIFY_MEMO = "_repro_verify_memo"
+
 
 def register_message(cls: Type) -> Type:
     """Class decorator: register ``cls`` for :func:`decode`.
@@ -29,8 +33,17 @@ def register_message(cls: Type) -> Type:
     return cls
 
 
-def decode(wire: dict) -> Any:
-    """Reconstruct a message object from its wire dict."""
+def decode(wire: Any) -> Any:
+    """Reconstruct a message object from its wire dict.
+
+    Wire dicts may embed *message objects* in nested positions (see
+    :func:`as_message`), so an already-constructed registered message
+    passes through unchanged.
+    """
+    if not isinstance(wire, dict):
+        cls = MESSAGE_REGISTRY.get(getattr(wire, "MSG_TYPE", None))
+        if cls is not None and isinstance(wire, cls):
+            return wire
     try:
         msg_type = wire["type"]
     except (TypeError, KeyError):
@@ -38,6 +51,23 @@ def decode(wire: dict) -> Any:
     cls = MESSAGE_REGISTRY.get(msg_type)
     if cls is None:
         raise SerializationError(f"unknown message type {msg_type!r}")
+    return cls.from_wire(wire)
+
+
+def as_message(wire: Any, cls: Type) -> Any:
+    """``wire`` itself if already a ``cls`` instance, else
+    ``cls.from_wire(wire)``.
+
+    ``to_wire()`` embeds nested messages (commands, envelopes,
+    certificates) as *objects* rather than eagerly serializing them:
+    the canonical encoder resolves them itself and can splice their
+    cached encodings, so a certificate re-encode costs a concatenation
+    instead of a deep traversal.  Anything that crossed a real wire
+    (``json.loads`` on the TCP path) arrives as plain dicts; nested
+    ``from_wire`` positions funnel through here to accept both forms.
+    """
+    if isinstance(wire, cls):
+        return wire
     return cls.from_wire(wire)
 
 
@@ -58,12 +88,42 @@ class SignedPayload:
 
     @classmethod
     def create(cls, payload: Any, keypair: KeyPair) -> "SignedPayload":
-        return cls(payload=payload, signature=sign(payload.to_wire(),
-                                                   keypair))
+        # Sign the payload *object*: canonicalization resolves to_wire()
+        # itself, producing the same bytes as signing payload.to_wire()
+        # while letting the digest layer memoize on the frozen object.
+        return cls(payload=payload, signature=sign(payload, keypair))
 
     def verify(self, registry: KeyRegistry) -> bool:
-        """True iff the signature matches the payload and signer."""
-        return is_valid(self.payload.to_wire(), self.signature, registry)
+        """True iff the signature matches the payload and signer.
+
+        Verdicts are memoized on the envelope instance: certificates
+        embed the same signed replies at every replica, so each
+        envelope is checked once per process instead of once per
+        validation site.  The memo records the content hash it was
+        computed under, so in-process mutation of a signed payload
+        changes the hash and forces re-verification -- which then
+        fails, exactly as an unmemoized check would.  It also records
+        the registry's ``verify_epoch`` sentinel: registering a key
+        mints a new sentinel, so verdicts never outlive the key
+        material they were computed against.  Envelopes with unhashable
+        payload fields skip the memo.
+        """
+        try:
+            content_hash = hash(self)
+        except TypeError:
+            return is_valid(self.payload, self.signature, registry)
+        epoch = registry.verify_epoch
+        memo = getattr(self, _VERIFY_MEMO, None)
+        if memo is not None and memo[0] is epoch \
+                and memo[1] == content_hash:
+            return memo[2]
+        verdict = is_valid(self.payload, self.signature, registry)
+        try:
+            object.__setattr__(self, _VERIFY_MEMO,
+                               (epoch, content_hash, verdict))
+        except (AttributeError, TypeError):  # pragma: no cover
+            pass
+        return verdict
 
     @property
     def signer(self) -> str:
@@ -76,19 +136,22 @@ class SignedPayload:
         return getattr(self.payload, "cpu_cost_units", 1)
 
     def payload_digest(self) -> str:
-        return digest(self.payload.to_wire())
+        return digest(self.payload)
 
     def to_wire(self) -> dict:
+        # The payload rides as an object: its canonical bytes were
+        # already computed (and memoized) when it was signed, so the
+        # encoder splices them instead of re-serializing.
         return {
             "type": self.MSG_TYPE,
-            "payload": self.payload.to_wire(),
+            "payload": self.payload,
             "signature": self.signature.to_wire(),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "SignedPayload":
         return cls(payload=decode(wire["payload"]),
-                   signature=Signature.from_wire(wire["signature"]))
+                   signature=as_message(wire["signature"], Signature))
 
 
 register_message(SignedPayload)

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import SerializationError
-from repro.messages.base import register_message
+from repro.messages.base import as_message, register_message
 from repro.messages.ezbft import SpecOrder
 from repro.messages.pbft import PrePrepare
 from repro.statemachine.base import Command
@@ -84,12 +84,12 @@ class BatchRequest:
     def to_wire(self) -> dict:
         return {
             "type": self.MSG_TYPE,
-            "commands": [c.to_wire() for c in self.commands],
+            "commands": list(self.commands),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "BatchRequest":
-        return cls(commands=tuple(Command.from_wire(c)
+        return cls(commands=tuple(as_message(c, Command)
                                   for c in wire["commands"]))
 
 
@@ -132,7 +132,7 @@ class BatchSpecOrder:
             "type": self.MSG_TYPE,
             "leader": self.leader,
             "owner_number": self.owner_number,
-            "orders": [o.to_wire() for o in self.orders],
+            "orders": list(self.orders),
         }
 
     @classmethod
@@ -140,7 +140,7 @@ class BatchSpecOrder:
         return cls(
             leader=wire["leader"],
             owner_number=wire["owner_number"],
-            orders=tuple(SpecOrder.from_wire(o) for o in wire["orders"]),
+            orders=tuple(as_message(o, SpecOrder) for o in wire["orders"]),
         )
 
 
@@ -173,13 +173,13 @@ class BatchPrePrepare:
         return {
             "type": self.MSG_TYPE,
             "view": self.view,
-            "pre_prepares": [p.to_wire() for p in self.pre_prepares],
+            "pre_prepares": list(self.pre_prepares),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "BatchPrePrepare":
         return cls(
             view=wire["view"],
-            pre_prepares=tuple(PrePrepare.from_wire(p)
+            pre_prepares=tuple(as_message(p, PrePrepare)
                                for p in wire["pre_prepares"]),
         )

@@ -10,7 +10,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
-from repro.messages.base import SignedPayload, decode, register_message
+from repro.messages.base import (
+    SignedPayload,
+    as_message,
+    decode,
+    register_message,
+)
 from repro.statemachine.base import Command
 from repro.types import InstanceID, deps_from_wire, deps_to_wire
 
@@ -51,13 +56,13 @@ class Request:
     def to_wire(self) -> dict:
         return {
             "type": self.MSG_TYPE,
-            "command": self.command.to_wire(),
+            "command": self.command,
             "original_replica": self.original_replica,
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "Request":
-        return cls(command=Command.from_wire(wire["command"]),
+        return cls(command=as_message(wire["command"], Command),
                    original_replica=wire.get("original_replica"))
 
 
@@ -84,7 +89,7 @@ class SpecOrder:
             "leader": self.leader,
             "owner_number": self.owner_number,
             "instance": self.instance.to_wire(),
-            "command": self.command.to_wire(),
+            "command": self.command,
             "deps": deps_to_wire(self.deps),
             "seq": self.seq,
             "log_digest": self.log_digest,
@@ -97,7 +102,7 @@ class SpecOrder:
             leader=wire["leader"],
             owner_number=wire["owner_number"],
             instance=InstanceID.from_wire(wire["instance"]),
-            command=Command.from_wire(wire["command"]),
+            command=as_message(wire["command"], Command),
             deps=deps_from_wire(wire["deps"]),
             seq=wire["seq"],
             log_digest=wire["log_digest"],
@@ -150,8 +155,7 @@ class SpecReply:
             "client_id": self.client_id,
             "timestamp": self.timestamp,
             "result": self.result,
-            "spec_order": (self.spec_order.to_wire()
-                           if self.spec_order else None),
+            "spec_order": self.spec_order,
         }
 
     @classmethod
@@ -167,7 +171,7 @@ class SpecReply:
             client_id=wire["client_id"],
             timestamp=wire["timestamp"],
             result=wire["result"],
-            spec_order=(SignedPayload.from_wire(spec_order)
+            spec_order=(as_message(spec_order, SignedPayload)
                         if spec_order else None),
         )
 
@@ -193,7 +197,7 @@ class CommitFast:
             "type": self.MSG_TYPE,
             "client_id": self.client_id,
             "instance": self.instance.to_wire(),
-            "certificate": [c.to_wire() for c in self.certificate],
+            "certificate": list(self.certificate),
         }
 
     @classmethod
@@ -201,7 +205,7 @@ class CommitFast:
         return cls(
             client_id=wire["client_id"],
             instance=InstanceID.from_wire(wire["instance"]),
-            certificate=tuple(SignedPayload.from_wire(c)
+            certificate=tuple(as_message(c, SignedPayload)
                               for c in wire["certificate"]),
         )
 
@@ -230,10 +234,10 @@ class Commit:
             "type": self.MSG_TYPE,
             "client_id": self.client_id,
             "instance": self.instance.to_wire(),
-            "command": self.command.to_wire(),
+            "command": self.command,
             "deps": deps_to_wire(self.deps),
             "seq": self.seq,
-            "certificate": [c.to_wire() for c in self.certificate],
+            "certificate": list(self.certificate),
         }
 
     @classmethod
@@ -241,10 +245,10 @@ class Commit:
         return cls(
             client_id=wire["client_id"],
             instance=InstanceID.from_wire(wire["instance"]),
-            command=Command.from_wire(wire["command"]),
+            command=as_message(wire["command"], Command),
             deps=deps_from_wire(wire["deps"]),
             seq=wire["seq"],
-            certificate=tuple(SignedPayload.from_wire(c)
+            certificate=tuple(as_message(c, SignedPayload)
                               for c in wire["certificate"]),
         )
 
@@ -300,13 +304,13 @@ class ResendRequest:
     def to_wire(self) -> dict:
         return {
             "type": self.MSG_TYPE,
-            "request": self.request.to_wire(),
+            "request": self.request,
             "forwarder": self.forwarder,
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ResendRequest":
-        return cls(request=Request.from_wire(wire["request"]),
+        return cls(request=as_message(wire["request"], Request),
                    forwarder=wire["forwarder"])
 
 
@@ -329,12 +333,12 @@ class ProofOfMisbehavior:
             "type": self.MSG_TYPE,
             "suspect": self.suspect,
             "owner_number": self.owner_number,
-            "evidence": [e.to_wire() for e in self.evidence],
+            "evidence": list(self.evidence),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ProofOfMisbehavior":
-        evidence = tuple(SignedPayload.from_wire(e)
+        evidence = tuple(as_message(e, SignedPayload)
                          for e in wire["evidence"])
         return cls(suspect=wire["suspect"],
                    owner_number=wire["owner_number"],
@@ -387,27 +391,27 @@ class LogEntrySummary:
     def to_wire(self) -> dict:
         return {
             "instance": self.instance.to_wire(),
-            "command": self.command.to_wire() if self.command else None,
+            "command": self.command,
             "deps": deps_to_wire(self.deps),
             "seq": self.seq,
             "status": self.status,
             "owner_number": self.owner_number,
             "proof_kind": self.proof_kind,
-            "proof": [p.to_wire() for p in self.proof],
+            "proof": list(self.proof),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "LogEntrySummary":
         return cls(
             instance=InstanceID.from_wire(wire["instance"]),
-            command=(Command.from_wire(wire["command"])
+            command=(as_message(wire["command"], Command)
                      if wire["command"] else None),
             deps=deps_from_wire(wire["deps"]),
             seq=wire["seq"],
             status=wire["status"],
             owner_number=wire["owner_number"],
             proof_kind=wire["proof_kind"],
-            proof=tuple(SignedPayload.from_wire(p)
+            proof=tuple(as_message(p, SignedPayload)
                         for p in wire["proof"]),
         )
 
@@ -442,7 +446,7 @@ class OwnerChange:
             "sender": self.sender,
             "suspect": self.suspect,
             "new_owner_number": self.new_owner_number,
-            "entries": [e.to_wire() for e in self.entries],
+            "entries": list(self.entries),
             "base_slot": self.base_slot,
         }
 
@@ -452,7 +456,7 @@ class OwnerChange:
             sender=wire["sender"],
             suspect=wire["suspect"],
             new_owner_number=wire["new_owner_number"],
-            entries=tuple(LogEntrySummary.from_wire(e)
+            entries=tuple(as_message(e, LogEntrySummary)
                           for e in wire["entries"]),
             base_slot=wire.get("base_slot", 0),
         )
@@ -485,8 +489,8 @@ class NewOwner:
             "new_owner": self.new_owner,
             "suspect": self.suspect,
             "new_owner_number": self.new_owner_number,
-            "safe_entries": [e.to_wire() for e in self.safe_entries],
-            "proof": [p.to_wire() for p in self.proof],
+            "safe_entries": list(self.safe_entries),
+            "proof": list(self.proof),
             "base_slot": self.base_slot,
         }
 
@@ -496,9 +500,9 @@ class NewOwner:
             new_owner=wire["new_owner"],
             suspect=wire["suspect"],
             new_owner_number=wire["new_owner_number"],
-            safe_entries=tuple(LogEntrySummary.from_wire(e)
+            safe_entries=tuple(as_message(e, LogEntrySummary)
                                for e in wire["safe_entries"]),
-            proof=tuple(SignedPayload.from_wire(p)
+            proof=tuple(as_message(p, SignedPayload)
                         for p in wire["proof"]),
             base_slot=wire.get("base_slot", 0),
         )
@@ -593,8 +597,8 @@ class StateTransferReply:
             "replica": self.replica,
             "watermark": self.watermark,
             "snapshot": self.snapshot,
-            "proof": [p.to_wire() for p in self.proof],
-            "entries": [e.to_wire() for e in self.entries],
+            "proof": list(self.proof),
+            "entries": list(self.entries),
         }
 
     @classmethod
@@ -603,8 +607,8 @@ class StateTransferReply:
             replica=wire["replica"],
             watermark=wire["watermark"],
             snapshot=wire["snapshot"],
-            proof=tuple(SignedPayload.from_wire(p)
+            proof=tuple(as_message(p, SignedPayload)
                         for p in wire["proof"]),
-            entries=tuple(LogEntrySummary.from_wire(e)
+            entries=tuple(as_message(e, LogEntrySummary)
                           for e in wire.get("entries", ())),
         )

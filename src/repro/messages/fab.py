@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.messages.base import register_message
+from repro.messages.base import as_message, register_message
 from repro.statemachine.base import Command
 
 
@@ -38,11 +38,11 @@ class FabRequest:
         return self.command.timestamp
 
     def to_wire(self) -> dict:
-        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+        return {"type": self.MSG_TYPE, "command": self.command}
 
     @classmethod
     def from_wire(cls, wire: dict) -> "FabRequest":
-        return cls(command=Command.from_wire(wire["command"]))
+        return cls(command=as_message(wire["command"], Command))
 
 
 @register_message
@@ -64,7 +64,7 @@ class FabPropose:
             "proposal_number": self.proposal_number,
             "seqno": self.seqno,
             "request_digest": self.request_digest,
-            "request": self.request.to_wire(),
+            "request": self.request,
         }
 
     @classmethod
@@ -72,7 +72,7 @@ class FabPropose:
         return cls(proposal_number=wire["proposal_number"],
                    seqno=wire["seqno"],
                    request_digest=wire["request_digest"],
-                   request=FabRequest.from_wire(wire["request"]))
+                   request=as_message(wire["request"], FabRequest))
 
 
 @register_message

@@ -9,7 +9,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.messages.base import SignedPayload, register_message
+from repro.messages.base import (
+    SignedPayload,
+    as_message,
+    register_message,
+)
 from repro.statemachine.base import Command
 
 
@@ -34,11 +38,11 @@ class PBFTRequest:
         return self.command.timestamp
 
     def to_wire(self) -> dict:
-        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+        return {"type": self.MSG_TYPE, "command": self.command}
 
     @classmethod
     def from_wire(cls, wire: dict) -> "PBFTRequest":
-        return cls(command=Command.from_wire(wire["command"]))
+        return cls(command=as_message(wire["command"], Command))
 
 
 @register_message
@@ -60,14 +64,14 @@ class PrePrepare:
             "view": self.view,
             "seqno": self.seqno,
             "request_digest": self.request_digest,
-            "request": self.request.to_wire(),
+            "request": self.request,
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "PrePrepare":
         return cls(view=wire["view"], seqno=wire["seqno"],
                    request_digest=wire["request_digest"],
-                   request=PBFTRequest.from_wire(wire["request"]))
+                   request=as_message(wire["request"], PBFTRequest))
 
 
 @register_message
@@ -213,7 +217,7 @@ class ViewChange:
             "new_view": self.new_view,
             "last_stable_seqno": self.last_stable_seqno,
             "prepared": [list(p) for p in self.prepared],
-            "requests": [r.to_wire() for r in self.requests],
+            "requests": list(self.requests),
             "replica": self.replica,
         }
 
@@ -223,7 +227,7 @@ class ViewChange:
             new_view=wire["new_view"],
             last_stable_seqno=wire["last_stable_seqno"],
             prepared=tuple((p[0], p[1], p[2]) for p in wire["prepared"]),
-            requests=tuple(PBFTRequest.from_wire(r)
+            requests=tuple(as_message(r, PBFTRequest)
                            for r in wire["requests"]),
             replica=wire["replica"],
         )
@@ -250,9 +254,8 @@ class NewView:
         return {
             "type": self.MSG_TYPE,
             "new_view": self.new_view,
-            "view_change_proof": [p.to_wire()
-                                  for p in self.view_change_proof],
-            "pre_prepares": [p.to_wire() for p in self.pre_prepares],
+            "view_change_proof": list(self.view_change_proof),
+            "pre_prepares": list(self.pre_prepares),
             "primary": self.primary,
         }
 
@@ -260,9 +263,9 @@ class NewView:
     def from_wire(cls, wire: dict) -> "NewView":
         return cls(
             new_view=wire["new_view"],
-            view_change_proof=tuple(SignedPayload.from_wire(p)
+            view_change_proof=tuple(as_message(p, SignedPayload)
                                     for p in wire["view_change_proof"]),
-            pre_prepares=tuple(PrePrepare.from_wire(p)
+            pre_prepares=tuple(as_message(p, PrePrepare)
                                for p in wire["pre_prepares"]),
             primary=wire["primary"],
         )

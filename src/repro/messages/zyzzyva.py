@@ -11,7 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.messages.base import SignedPayload, register_message
+from repro.messages.base import (
+    SignedPayload,
+    as_message,
+    register_message,
+)
 from repro.statemachine.base import Command
 
 
@@ -36,11 +40,11 @@ class ZRequest:
         return self.command.timestamp
 
     def to_wire(self) -> dict:
-        return {"type": self.MSG_TYPE, "command": self.command.to_wire()}
+        return {"type": self.MSG_TYPE, "command": self.command}
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ZRequest":
-        return cls(command=Command.from_wire(wire["command"]))
+        return cls(command=as_message(wire["command"], Command))
 
 
 @register_message
@@ -64,7 +68,7 @@ class OrderReq:
             "seqno": self.seqno,
             "history_digest": self.history_digest,
             "request_digest": self.request_digest,
-            "request": self.request.to_wire(),
+            "request": self.request,
         }
 
     @classmethod
@@ -72,7 +76,7 @@ class OrderReq:
         return cls(view=wire["view"], seqno=wire["seqno"],
                    history_digest=wire["history_digest"],
                    request_digest=wire["request_digest"],
-                   request=ZRequest.from_wire(wire["request"]))
+                   request=as_message(wire["request"], ZRequest))
 
 
 @register_message
@@ -117,8 +121,7 @@ class SpecResponse:
             "timestamp": self.timestamp,
             "replica": self.replica,
             "result": self.result,
-            "order_req": (self.order_req.to_wire()
-                          if self.order_req else None),
+            "order_req": self.order_req,
         }
 
     @classmethod
@@ -130,7 +133,7 @@ class SpecResponse:
             request_digest=wire["request_digest"],
             client_id=wire["client_id"], timestamp=wire["timestamp"],
             replica=wire["replica"], result=wire["result"],
-            order_req=(SignedPayload.from_wire(order_req)
+            order_req=(as_message(order_req, SignedPayload)
                        if order_req else None),
         )
 
@@ -155,13 +158,13 @@ class ZCommit:
             "type": self.MSG_TYPE,
             "client_id": self.client_id,
             "seqno": self.seqno,
-            "certificate": [c.to_wire() for c in self.certificate],
+            "certificate": list(self.certificate),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ZCommit":
         return cls(client_id=wire["client_id"], seqno=wire["seqno"],
-                   certificate=tuple(SignedPayload.from_wire(c)
+                   certificate=tuple(as_message(c, SignedPayload)
                                      for c in wire["certificate"]))
 
 
@@ -269,12 +272,12 @@ class ZNewView:
             "new_view": self.new_view,
             "primary": self.primary,
             "max_committed_seqno": self.max_committed_seqno,
-            "proof": [p.to_wire() for p in self.proof],
+            "proof": list(self.proof),
         }
 
     @classmethod
     def from_wire(cls, wire: dict) -> "ZNewView":
         return cls(new_view=wire["new_view"], primary=wire["primary"],
                    max_committed_seqno=wire["max_committed_seqno"],
-                   proof=tuple(SignedPayload.from_wire(p)
+                   proof=tuple(as_message(p, SignedPayload)
                                for p in wire["proof"]))

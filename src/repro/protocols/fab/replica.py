@@ -92,7 +92,7 @@ class FabReplica(BaseReplica):
             return
         seqno = self._next_seqno
         self._next_seqno += 1
-        d = digest(request.to_wire())
+        d = digest(request)
         propose = FabPropose(proposal_number=self.view, seqno=seqno,
                              request_digest=d, request=request)
         self.stats["proposals"] += 1
@@ -107,7 +107,7 @@ class FabReplica(BaseReplica):
                 propose.proposal_number):
             self.stats["invalid_messages"] += 1
             return
-        if digest(propose.request.to_wire()) != propose.request_digest:
+        if digest(propose.request) != propose.request_digest:
             self.stats["invalid_messages"] += 1
             return
         slot = self._slots.setdefault(propose.seqno, _Slot())

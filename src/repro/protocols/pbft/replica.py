@@ -140,7 +140,7 @@ class PBFTReplica(BaseReplica):
         else:
             # Forward to the primary and watch for progress.
             self.ctx.send(self.primary, envelope)
-            key = digest(request.to_wire())
+            key = digest(request)
             if key not in self._request_timers:
                 self._request_timers[key] = self.ctx.set_timer(
                     self.config.view_change_timeout,
@@ -203,7 +203,7 @@ class PBFTReplica(BaseReplica):
         """Assign the next sequence number and record the slot."""
         seqno = self._next_seqno
         self._next_seqno += 1
-        d = digest(request.to_wire())
+        d = digest(request)
         pre_prepare = PrePrepare(view=self.view, seqno=seqno,
                                  request_digest=d, request=request)
         self.stats["pre_prepares"] += 1
@@ -246,7 +246,7 @@ class PBFTReplica(BaseReplica):
         if sender != self.config.primary_for_view(msg.view):
             self.stats["invalid_messages"] += 1
             return
-        if digest(msg.request.to_wire()) != msg.request_digest:
+        if digest(msg.request) != msg.request_digest:
             self.stats["invalid_messages"] += 1
             return
         slot = self._slot(msg.seqno)

@@ -116,7 +116,7 @@ class ZyzzyvaReplica(BaseReplica):
         if not self.is_primary:
             # Forward to the primary; suspect it if no ORDER-REQ follows.
             self.ctx.send(self.primary, envelope)
-            key = digest(request.to_wire())
+            key = digest(request)
             if key not in self._request_timers:
                 self._request_timers[key] = self.ctx.set_timer(
                     self.config.view_change_timeout,
@@ -124,7 +124,7 @@ class ZyzzyvaReplica(BaseReplica):
             return
         seqno = self._next_seqno
         self._next_seqno += 1
-        d = digest(request.to_wire())
+        d = digest(request)
         history = digest([self._history_digest, d])
         order = OrderReq(view=self.view, seqno=seqno,
                          history_digest=history, request_digest=d,
@@ -141,7 +141,7 @@ class ZyzzyvaReplica(BaseReplica):
         if sender != self.config.primary_for_view(order.view):
             self.stats["invalid_messages"] += 1
             return
-        if digest(order.request.to_wire()) != order.request_digest:
+        if digest(order.request) != order.request_digest:
             self.stats["invalid_messages"] += 1
             return
         existing = self._slots.get(order.seqno)

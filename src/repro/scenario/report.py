@@ -85,6 +85,23 @@ def _clean(value: float) -> Optional[float]:
     return value
 
 
+def _unclean(value: Optional[float]) -> float:
+    """Inverse of :func:`_clean` for report reconstruction."""
+    return float("nan") if value is None else value
+
+
+def _summary_from_dict(data: Dict[str, Any]) -> LatencySummary:
+    return LatencySummary(
+        count=data["count"],
+        mean=_unclean(data["mean_ms"]),
+        p50=_unclean(data["p50_ms"]),
+        p90=_unclean(data["p90_ms"]),
+        p99=_unclean(data["p99_ms"]),
+        minimum=_unclean(data["min_ms"]),
+        maximum=_unclean(data["max_ms"]),
+    )
+
+
 def _summary_dict(summary: LatencySummary) -> Dict[str, Any]:
     return {
         "count": summary.count,
@@ -123,6 +140,21 @@ class PhaseReport:
                            for region, summary
                            in sorted(self.per_region.items())},
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "PhaseReport":
+        return cls(
+            name=data["name"],
+            start_ms=data["start_ms"],
+            end_ms=_unclean(data["end_ms"]),
+            delivered=data["delivered"],
+            throughput_per_sec=data["throughput_per_sec"],
+            latency=_summary_from_dict(data["latency"]),
+            fast_path_ratio=_unclean(data["fast_path_ratio"]),
+            per_region={region: _summary_from_dict(summary)
+                        for region, summary
+                        in data.get("per_region", {}).items()},
+        )
 
 
 @dataclass
@@ -177,6 +209,41 @@ class ExperimentReport:
             "fault_log": list(self.fault_log),
             "wall_seconds": round(self.wall_seconds, 3),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ExperimentReport":
+        """Reconstruct a report from its :meth:`to_dict` form.
+
+        The round trip preserves :meth:`to_dict` and :meth:`to_rows`
+        output exactly (rounding in the serialized form is idempotent),
+        which is what lets the sweep cell cache substitute a stored
+        report for a fresh run.
+        """
+        totals = data["totals"]
+        health = data["protocol_health"]
+        return cls(
+            scenario=data["scenario"],
+            protocol=data["protocol"],
+            backend=data["backend"],
+            seed=data["seed"],
+            replica_regions=list(data["replica_regions"]),
+            duration_ms=_unclean(data["duration_ms"]),
+            phases=[PhaseReport.from_dict(phase)
+                    for phase in data["phases"]],
+            delivered=totals["delivered"],
+            throughput_per_sec=totals["throughput_per_sec"],
+            latency=_summary_from_dict(totals["latency"]),
+            fast_path_ratio=_unclean(totals["fast_path_ratio"]),
+            warmup_discarded=totals["warmup_discarded"],
+            owner_changes=health["owner_changes"],
+            view_changes=health["view_changes"],
+            checkpoints_stable=health["checkpoints_stable"],
+            log_footprint_total=health["log_footprint_total"],
+            client_stats=dict(data["client_stats"]),
+            network=dict(data["network"]),
+            fault_log=list(data["fault_log"]),
+            wall_seconds=data["wall_seconds"],
+        )
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent,

@@ -298,6 +298,7 @@ class ScenarioRunner:
                 "messages_sent": cluster.network.messages_sent,
                 "messages_delivered": cluster.network.messages_delivered,
                 "bytes_sent": cluster.network.bytes_sent,
+                "events_processed": cluster.sim.events_processed,
                 **(cluster.network.shaper.stats
                    if cluster.network.shaper is not None else {}),
             },

@@ -5,12 +5,20 @@ virtual times and executed in time order.  Ties are broken by insertion
 order, which keeps runs fully deterministic.  Virtual time is a ``float``
 in **milliseconds** throughout the library, matching the unit the paper
 reports latencies in.
+
+The dispatch loops are the innermost frames of every simulated run, so
+they are written for low constant overhead: one shared push path (no
+args-tuple re-wrapping between :meth:`Simulator.schedule` and
+:meth:`Simulator.schedule_at`), a single "dead entry" predicate
+(``callback is None`` covers both fired and cancelled events, so the
+outer run loop and :meth:`Simulator.step` can never disagree on what
+counts as executed), and local aliasing of the heap primitives.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
+from itertools import count
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
@@ -22,6 +30,10 @@ class EventHandle:
     Cancellation is lazy: the entry stays in the heap but is skipped when it
     reaches the front.  This keeps ``cancel`` O(1), which matters because
     protocol timers are cancelled far more often than they fire.
+
+    ``callback is None`` is the kernel's single liveness predicate: it
+    holds exactly when the event has fired or been cancelled, so every
+    skip path tests one attribute instead of two.
     """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled")
@@ -44,13 +56,18 @@ class EventHandle:
     @property
     def pending(self) -> bool:
         """True until the event has fired or been cancelled."""
-        return not self.cancelled and self.callback is not None
+        return self.callback is not None
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Hand-rolled instead of tuple comparison: this runs O(log n)
+        # times per heap operation and tuple construction dominates it.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = "cancelled" if self.cancelled else \
+            "pending" if self.callback is not None else "fired"
         return f"EventHandle(t={self.time:.3f}, seq={self.seq}, {state})"
 
 
@@ -71,7 +88,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._queue: list[EventHandle] = []
-        self._seq = itertools.count()
+        self._seq = count()
         self._running = False
         self._events_processed = 0
 
@@ -90,6 +107,14 @@ class Simulator:
         """Number of not-yet-fired (possibly cancelled) heap entries."""
         return len(self._queue)
 
+    def _push(self, time: float, callback: Callable[..., None],
+              args: tuple) -> EventHandle:
+        """Shared push path: both schedule flavors land here with the
+        args tuple intact (no *args unpack/repack round trip)."""
+        handle = EventHandle(time, next(self._seq), callback, args)
+        heappush(self._queue, handle)
+        return handle
+
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` to run ``delay`` ms from now.
@@ -98,12 +123,16 @@ class Simulator:
         events already scheduled for the current instant (FIFO within a
         timestamp).
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past: {delay}")
-        handle = EventHandle(self._now + delay, next(self._seq),
-                             callback, args)
-        heapq.heappush(self._queue, handle)
-        return handle
+        if delay:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past: {delay}")
+            time = self._now + delay
+        else:
+            # Zero-delay fast path: same-instant chaining (CPU queues,
+            # immediate sends) is the most common schedule call.
+            time = self._now
+        return self._push(time, callback, args)
 
     def schedule_at(self, time: float, callback: Callable[..., None],
                     *args: Any) -> EventHandle:
@@ -111,22 +140,23 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} < now ({self._now})")
-        return self.schedule(time - self._now, callback, *args)
+        return self._push(time, callback, args)
 
     def step(self) -> bool:
         """Execute the single next pending event.
 
         Returns ``False`` when the queue holds no live events.
         """
-        while self._queue:
-            handle = heapq.heappop(self._queue)
-            if handle.cancelled or handle.callback is None:
+        queue = self._queue
+        while queue:
+            handle = heappop(queue)
+            callback = handle.callback
+            if callback is None:  # fired or cancelled: not an event
                 continue
             self._now = handle.time
-            callback, args = handle.callback, handle.args
             handle.callback = None  # mark as fired
             self._events_processed += 1
-            callback(*args)
+            callback(*handle.args)
             return True
         return False
 
@@ -138,23 +168,34 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the queue drains earlier, so back-to-back ``run`` calls
         observe a consistent timeline.
+
+        Dead heap entries (cancelled timers) are discarded by the same
+        predicate :meth:`step` uses and are never counted, so the
+        per-call ``max_events`` budget and the global
+        :attr:`events_processed` counter move in lockstep.
         """
         if self._running:
             raise SimulationError("Simulator.run is not reentrant")
         self._running = True
+        queue = self._queue
         executed = 0
         try:
-            while self._queue:
-                if max_events is not None and executed >= max_events:
-                    return
-                head = self._queue[0]
-                if head.cancelled or head.callback is None:
-                    heapq.heappop(self._queue)
+            while queue:
+                head = queue[0]
+                callback = head.callback
+                if callback is None:  # fired or cancelled: not an event
+                    heappop(queue)
                     continue
                 if until is not None and head.time > until:
                     break
-                if self.step():
-                    executed += 1
+                if max_events is not None and executed >= max_events:
+                    return
+                heappop(queue)
+                self._now = head.time
+                head.callback = None  # mark as fired
+                self._events_processed += 1
+                executed += 1
+                callback(*head.args)
         finally:
             if until is not None and self._now < until:
                 self._now = until
@@ -167,8 +208,17 @@ class Simulator:
         it raises :class:`SimulationError` instead of spinning forever.
         """
         executed = 0
-        while self.step():
+        queue = self._queue
+        while queue:
+            handle = heappop(queue)
+            callback = handle.callback
+            if callback is None:
+                continue
+            self._now = handle.time
+            handle.callback = None
+            self._events_processed += 1
             executed += 1
+            callback(*handle.args)
             if executed > max_events:
                 raise SimulationError(
                     f"simulation did not converge within {max_events} events")

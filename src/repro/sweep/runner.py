@@ -15,12 +15,13 @@ over a lambda ``statemachine`` is not (run those with ``workers=1``).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.errors import ConfigurationError
 from repro.scenario.report import ExperimentReport
 from repro.scenario.runner import MAX_EVENTS, ScenarioRunner
 from repro.scenario.spec import Scenario
+from repro.sweep.cache import SweepCellCache
 from repro.sweep.report import SweepCellResult, SweepReport
 from repro.sweep.spec import SweepSpec
 
@@ -38,7 +39,9 @@ class SweepRunner:
 
     def __init__(self, backend: str = "sim", workers: int = 1,
                  max_events: int = MAX_EVENTS,
-                 tcp_timeout_s: float = 60.0) -> None:
+                 tcp_timeout_s: float = 60.0,
+                 cache: Optional[Union[str, SweepCellCache]] = None
+                 ) -> None:
         if backend not in ("sim", "tcp"):
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
@@ -48,6 +51,19 @@ class SweepRunner:
         self.workers = workers
         self.max_events = max_events
         self.tcp_timeout_s = tcp_timeout_s
+        #: Optional on-disk cell cache (a directory path or a
+        #: :class:`SweepCellCache`).  Only consulted on the sim backend:
+        #: sim cells are deterministic per spec, TCP cells are live
+        #: wall-clock measurements.
+        if isinstance(cache, str):
+            cache = SweepCellCache(cache)
+        self.cache = cache
+
+    def _cell_key(self, scenario: Scenario) -> Optional[str]:
+        if self.cache is None or self.backend != "sim":
+            return None
+        return self.cache.cell_key(scenario, self.backend,
+                                   self.max_events)
 
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec,
@@ -60,16 +76,36 @@ class SweepRunner:
         order.
         """
         cells = list(spec.cells())  # eager: a bad grid fails up front
-        if self.workers > 1 and len(cells) > 1:
-            reports = self._run_parallel(cells, progress)
-        else:
-            reports = []
+        keys = [self._cell_key(cell.scenario) for cell in cells]
+        cached = {
+            cell.index: report
+            for cell, key in zip(cells, keys)
+            if key is not None
+            and (report := self.cache.get(key)) is not None
+        }
+        pending = [cell for cell in cells if cell.index not in cached]
+        if progress is not None:
             for cell in cells:
+                if cell.index in cached:
+                    progress(cell, cached[cell.index])
+        if self.workers > 1 and len(pending) > 1:
+            fresh = self._run_parallel(pending, progress)
+        else:
+            fresh = []
+            for cell in pending:
                 report = _run_cell(self.backend, cell.scenario,
                                    self.max_events, self.tcp_timeout_s)
                 if progress is not None:
                     progress(cell, report)
-                reports.append(report)
+                fresh.append(report)
+        by_index = dict(cached)
+        for cell, report in zip(pending, fresh):
+            by_index[cell.index] = report
+        if self.cache is not None:
+            for cell, key in zip(cells, keys):
+                if key is not None and cell.index not in cached:
+                    self.cache.put(key, by_index[cell.index])
+        reports = [by_index[cell.index] for cell in cells]
         return SweepReport(
             name=spec.sweep_name,
             backend=self.backend,

@@ -1,10 +1,11 @@
 """Asyncio TCP transport: run the protocol objects over real sockets.
 
-Wire format: 4-byte big-endian length prefix + UTF-8 JSON
-``{"sender": <node-id>, "message": <message wire dict>}``.  Messages are
-reconstructed through the same :func:`repro.messages.decode` registry
-the simulator's round-trip tests exercise, so anything that runs on the
-simulator runs here unchanged.
+Wire format: 4-byte big-endian length prefix + the compact frame body
+of :mod:`repro.transport.codec` (a small binary routing header followed
+by the message's canonical JSON bytes).  Messages are reconstructed
+through the same :func:`repro.messages.decode` registry the simulator's
+round-trip tests exercise, so anything that runs on the simulator runs
+here unchanged.
 
 The protocol classes are synchronous event handlers, so the adapter is
 thin: incoming frames invoke ``handler(sender, message)`` on the event
@@ -15,13 +16,13 @@ is ``loop.time()`` scaled to milliseconds.
 from __future__ import annotations
 
 import asyncio
-import json
 import struct
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.cluster.node import NodeContext
 from repro.errors import TransportError
 from repro.messages.base import decode
+from repro.transport.codec import decode_frame, encode_frame
 
 _HEADER = struct.Struct(">I")
 #: Frames above this size are rejected (corrupt peer / DoS guard).
@@ -200,19 +201,15 @@ class AsyncioNode:
             writer.close()
 
     def _dispatch(self, body: bytes) -> None:
-        frame = json.loads(body.decode("utf-8"))
-        sender = frame["sender"]
+        sender, learned, wire = decode_frame(body)
         # Frames carry the sender's *listen* address so multi-process
         # deployments (host maps) learn routes from traffic instead of
         # needing every ephemeral port configured up front.
-        addr = frame.get("addr")
-        if addr is not None:
-            learned = (addr[0], addr[1])
-            if self.addresses.get(sender) != learned:
-                self.addresses[sender] = learned
-        if frame.get("kind") == "hello":
+        if self.addresses.get(sender) != learned:
+            self.addresses[sender] = learned
+        if wire is None:
             return  # address announcement only; no protocol payload
-        message = decode(frame["message"])
+        message = decode(wire)
         self.frames_received += 1
         if self.handler is not None:
             self.handler(sender, message)
@@ -249,15 +246,8 @@ class AsyncioNode:
 
     async def _send(self, dst: str, message: Any,
                     hello: bool = False) -> None:
-        payload: Dict[str, Any] = {
-            "sender": self.node_id,
-            "addr": list(self.address),
-        }
-        if hello:
-            payload["kind"] = "hello"
-        else:
-            payload["message"] = message.to_wire()
-        frame = json.dumps(payload).encode("utf-8")
+        frame = encode_frame(self.node_id, self.address,
+                             None if hello else message)
         if self.shaper is not None and not hello:
             # The netem seam: one send becomes zero, one, or two
             # deliveries, each delayed on the event loop.  Per-send

@@ -1,0 +1,194 @@
+"""The hot-path caches: digest memoization, envelope verification
+memo, pairwise session-key cache, and their safety properties.
+
+The central property under test: caching must be *behaviorally
+invisible*.  Cached and uncached paths must agree on every value, and
+a byzantine node that mutates a frozen message after signing it
+(``object.__setattr__``) must still fail verification -- the caches
+key on content, never on object identity.
+"""
+
+import pytest
+
+from repro.crypto.authenticator import (
+    make_authenticator,
+    verify_authenticator,
+    verify_authenticator_batch,
+)
+from repro.crypto.digest import (
+    _encode,
+    canonical_bytes,
+    clear_caches,
+    digest,
+)
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.errors import InvalidSignatureError, UnknownSignerError
+from repro.messages.base import SignedPayload
+from repro.messages.ezbft import Request
+from repro.statemachine.base import Command
+
+
+def _request(value: str = "v") -> Request:
+    return Request(command=Command(client_id="c0", timestamp=1,
+                                   op="put", key="k", value=value))
+
+
+def _registry(*node_ids: str):
+    registry = KeyRegistry()
+    pairs = {}
+    for node_id in node_ids:
+        pair = KeyPair.generate(node_id)
+        registry.register(pair)
+        pairs[node_id] = pair
+    return registry, pairs
+
+
+# ----------------------------------------------------------------------
+# canonical_bytes / digest memoization: cached == uncached
+# ----------------------------------------------------------------------
+#: Nested values covering every canonicalized shape: dicts, sets,
+#: tuples, bytes, None, bools, floats.
+_NESTED_VALUES = [
+    {"a": 1, "b": [2, 3]},
+    {"s": {3, 1, 2}, "t": (1, (2, 3))},
+    {"blob": b"\x00\xff", "nested": {"k": [b"x", b"y"]}},
+    {"mixed": [None, True, 1.5, "s", {"deep": {9, 7}}]},
+    {"empty": {}, "list": [], "set": set(), "bytes": b""},
+]
+
+
+@pytest.mark.parametrize("value", _NESTED_VALUES)
+def test_plain_values_match_direct_encoding(value):
+    # Plain containers never hit the cache; still must equal _encode.
+    assert canonical_bytes(value) == _encode(value)
+
+
+@pytest.mark.parametrize("value", _NESTED_VALUES)
+def test_wired_objects_cached_encoding_matches_uncached(value):
+    class Wired:
+        def __init__(self, inner):
+            self.inner = inner
+
+        def __hash__(self):
+            return hash(_encode(self.inner))
+
+        def __eq__(self, other):
+            return isinstance(other, Wired) and \
+                other.inner == self.inner
+
+        def to_wire(self):
+            return {"inner": self.inner}
+
+    obj = Wired(value)
+    clear_caches()
+    first = canonical_bytes(obj)       # cache miss: full encode
+    second = canonical_bytes(obj)      # cache hit
+    clear_caches()
+    uncached = canonical_bytes(obj)    # fresh encode again
+    assert first == second == uncached == _encode(obj)
+    assert digest(obj) == digest(obj.to_wire())
+
+
+def test_message_object_digest_equals_wire_digest():
+    req = _request()
+    clear_caches()
+    assert digest(req) == digest(req.to_wire())
+    assert canonical_bytes(req) == canonical_bytes(req.to_wire())
+
+
+def test_unhashable_wired_object_falls_back_uncached():
+    class Unhashable:
+        __hash__ = None
+
+        def to_wire(self):
+            return {"v": 1}
+
+    assert canonical_bytes(Unhashable()) == _encode({"v": 1})
+
+
+# ----------------------------------------------------------------------
+# Byzantine mutate-after-sign: content keying defeats stale cache hits
+# ----------------------------------------------------------------------
+def test_mutated_request_digest_changes_despite_cache():
+    req = _request("original")
+    clear_caches()
+    before = digest(req)
+    object.__setattr__(req, "command",
+                       Command(client_id="c0", timestamp=1,
+                               op="put", key="k", value="tampered"))
+    assert digest(req) != before
+    assert digest(req) == digest(req.to_wire())
+
+
+def test_mutate_after_sign_fails_envelope_verification():
+    registry, pairs = _registry("n0")
+    req = _request("honest")
+    envelope = SignedPayload.create(req, pairs["n0"])
+    assert envelope.verify(registry)
+    # The byzantine move: flip the payload under the signature after
+    # the verdict was cached.
+    object.__setattr__(
+        envelope.payload, "command",
+        Command(client_id="c0", timestamp=1,
+                op="put", key="k", value="evil"))
+    assert not envelope.verify(registry)
+
+
+def test_envelope_cache_cleared_on_key_rotation():
+    registry, pairs = _registry("n0")
+    envelope = SignedPayload.create(_request(), pairs["n0"])
+    assert envelope.verify(registry)
+    # Rotate n0's key: the old signature must stop verifying even
+    # though a True verdict was cached against the old key.
+    registry.register(KeyPair.generate("n0", seed=b"rotated"))
+    assert not envelope.verify(registry)
+
+
+# ----------------------------------------------------------------------
+# KeyRegistry.secret_for (the sanctioned replacement for ._keys)
+# ----------------------------------------------------------------------
+def test_secret_for_known_node_returns_secret():
+    registry, pairs = _registry("n0")
+    assert registry.secret_for("n0") == pairs["n0"].secret
+
+
+def test_secret_for_unknown_node_raises():
+    registry, _ = _registry("n0")
+    with pytest.raises(UnknownSignerError):
+        registry.secret_for("ghost")
+
+
+# ----------------------------------------------------------------------
+# Authenticators: batch verification == loop verification
+# ----------------------------------------------------------------------
+def test_batch_verify_matches_sequential():
+    registry, pairs = _registry("n0", "n1", "n2")
+    receiver = "n2"
+    items = []
+    for sender in ("n0", "n1"):
+        value = {"from": sender, "seq": 1}
+        auth = make_authenticator(value, pairs[sender], (receiver,))
+        verify_authenticator(value, auth, receiver, registry)  # no raise
+        items.append((value, auth))
+    verify_authenticator_batch(items, receiver, registry)  # no raise
+
+
+def test_batch_verify_raises_on_one_bad_mac():
+    registry, pairs = _registry("n0", "n1", "n2")
+    good = {"ok": True}
+    good_auth = make_authenticator(good, pairs["n0"], ("n2",))
+    bad = {"ok": True}
+    bad_auth = make_authenticator(bad, pairs["n1"], ("n2",))
+    with pytest.raises(InvalidSignatureError):
+        verify_authenticator_batch(
+            [(good, good_auth), ({"ok": False}, bad_auth)],
+            "n2", registry)
+
+
+def test_batch_verify_unknown_sender_raises():
+    registry, pairs = _registry("n0", "n1")
+    value = {"x": 1}
+    auth = make_authenticator(value, pairs["n0"], ("n1",))
+    object.__setattr__(auth, "sender", "ghost")
+    with pytest.raises(UnknownSignerError):
+        verify_authenticator_batch([(value, auth)], "n1", registry)

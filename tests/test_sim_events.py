@@ -187,3 +187,52 @@ def test_determinism_same_schedule_same_order():
         return fired
 
     assert run_once() == run_once()
+
+
+def test_run_max_events_skips_cancelled_entries():
+    # Cancelled entries interleaved with live ones must not count
+    # against the max_events budget (satellite of the perf overhaul:
+    # the outer run() loop and step() share one skip path).
+    sim = Simulator()
+    fired = []
+    handles = []
+    for i in range(6):
+        handles.append(sim.schedule(float(i + 1), fired.append, i))
+    for i in (0, 2, 4):
+        handles[i].cancel()
+    sim.run(max_events=2)
+    assert fired == [1, 3]
+    assert sim.events_processed == 2
+
+
+def test_run_counter_lockstep_with_cancelled_entries():
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(float(i + 1), fired.append, i)
+            for i in range(8)]
+    for i in (1, 2, 5):
+        keep[i].cancel()
+    sim.run()
+    assert fired == [0, 3, 4, 6, 7]
+    assert sim.events_processed == len(fired)
+
+
+def test_run_until_idle_skips_cancelled_entries():
+    sim = Simulator()
+    fired = []
+    dead = sim.schedule(1.0, fired.append, "dead")
+    sim.schedule(2.0, fired.append, "live")
+    dead.cancel()
+    assert sim.run_until_idle() == 1
+    assert fired == ["live"]
+
+
+def test_cancelled_head_does_not_stall_run_until():
+    sim = Simulator()
+    fired = []
+    head = sim.schedule(1.0, fired.append, "head")
+    sim.schedule(5.0, fired.append, "tail")
+    head.cancel()
+    sim.run(until=10.0)
+    assert fired == ["tail"]
+    assert sim.now == pytest.approx(10.0)
