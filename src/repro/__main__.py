@@ -15,6 +15,9 @@ Subcommands:
 - ``serve``: host a subset of a TCP scenario's replicas in *this*
   process at their ``hosts``-pinned addresses, for multi-machine
   deployments (the scenario process runs the rest and dials these).
+- ``lint``: run the repo-invariant static analysis (determinism,
+  asyncio-safety, frozen-mutation, crypto boundaries, quorum
+  arithmetic, wire-schema parity); exits 1 on new findings.
 - ``list-protocols``: the protocol registry with capability flags.
 - ``list-presets``: the scenario preset registry.
 
@@ -176,6 +179,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", required=True,
                        help="comma-separated replica ids to host "
                             "here, e.g. r2,r3")
+
+    from repro.analysis.cli import add_lint_parser
+    add_lint_parser(sub)
 
     sub.add_parser("list-protocols",
                    help="registered protocols and capabilities")
@@ -571,6 +577,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "lint":
+            from repro.analysis.cli import cmd_lint
+            return cmd_lint(args)
         if args.command == "list-protocols":
             return _cmd_list_protocols()
         if args.command == "list-presets":

@@ -1,0 +1,126 @@
+"""The committed lint baseline: grandfathered findings.
+
+A baseline entry acknowledges one existing finding without fixing it,
+so the lint gate can be strict for *new* code from day one.  Entries
+match findings by ``(rule, path, message)`` -- deliberately not by
+line number, so the baseline survives unrelated edits -- and each
+entry absorbs exactly one finding (multiplicity matters: two
+identical findings need two entries).
+
+Workflow:
+
+- ``python -m repro lint --baseline`` exits 0 when every finding is
+  either pragma-suppressed or absorbed by the committed baseline.
+- ``python -m repro lint --write-baseline`` regenerates the file from
+  the current findings (shrinking it as debt is paid down).
+- Entries that no longer match anything are reported as *stale* so
+  the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.analysis.findings import Finding
+
+#: Repo-root-relative location of the committed baseline.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    #: Free-form justification, carried through round-trips.
+    note: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict:
+        data = {"rule": self.rule, "path": self.path,
+                "message": self.message}
+        if self.note:
+            data["note"] = self.note
+        return data
+
+
+@dataclass
+class BaselineMatch:
+    """Result of filtering findings through a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    absorbed: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"baseline file {path!r} not found") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"baseline file {path!r} is not valid JSON: {exc}") from None
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ConfigurationError(
+            f"baseline file {path!r} lacks an 'entries' list")
+    if data.get("version") != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"baseline file {path!r} has version "
+            f"{data.get('version')!r}; this tool reads version "
+            f"{_FORMAT_VERSION}")
+    entries = []
+    for i, raw in enumerate(data["entries"]):
+        try:
+            entries.append(BaselineEntry(
+                rule=raw["rule"], path=raw["path"],
+                message=raw["message"], note=raw.get("note", "")))
+        except (TypeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"baseline entry #{i} in {path!r} is malformed "
+                f"(needs rule/path/message): {exc}") from None
+    return entries
+
+
+def save_baseline(path: str, findings: List[Finding]) -> None:
+    entries = [BaselineEntry(rule=f.rule, path=f.path,
+                             message=f.message)
+               for f in sorted(findings, key=Finding.sort_key)]
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def apply_baseline(findings: List[Finding],
+                   entries: List[BaselineEntry]) -> BaselineMatch:
+    """Split ``findings`` into new vs. absorbed, tracking stale
+    entries.  Each entry absorbs at most one finding."""
+    budget: Dict[Tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.key()] = budget.get(entry.key(), 0) + 1
+    match = BaselineMatch()
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            match.absorbed.append(finding)
+        else:
+            match.new.append(finding)
+    for entry in entries:
+        if budget.get(entry.key(), 0) > 0:
+            budget[entry.key()] -= 1
+            match.stale.append(entry)
+    return match

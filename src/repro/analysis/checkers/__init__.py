@@ -1,0 +1,29 @@
+"""Checker registry: importing this package registers every built-in
+checker.  See :mod:`repro.analysis.checkers.base` for the protocol
+and the README's "Static analysis" section for the rule catalog."""
+
+from repro.analysis.checkers.base import (
+    CHECKER_REGISTRY,
+    Checker,
+    FileContext,
+    RuleSpec,
+    all_rules,
+    register_checker,
+)
+from repro.analysis.checkers import (  # noqa: F401  (registration)
+    asyncio_safety,
+    crypto_boundary,
+    determinism,
+    frozen_mutation,
+    quorum,
+    wire_schema,
+)
+
+__all__ = [
+    "CHECKER_REGISTRY",
+    "Checker",
+    "FileContext",
+    "RuleSpec",
+    "all_rules",
+    "register_checker",
+]

@@ -1,0 +1,109 @@
+"""Asyncio-safety checker: the transport bug classes from PR 2.
+
+- ``dangling-task``: the event loop holds only *weak* references to
+  tasks, so a fire-and-forget ``create_task(...)`` statement can be
+  garbage-collected mid-send -- exactly the PR 2 bug where in-flight
+  TCP sends vanished under load.  The fix pattern (retain the task,
+  discard on done) lives in ``AsyncioNode.send``.
+- ``event-loop``: ``asyncio.get_event_loop()`` outside a running loop
+  is deprecated and binds to the wrong loop under ``asyncio.run``;
+  PR 2 moved the transport to ``get_running_loop()``.
+- ``blocking-async``: a synchronous sleep or subprocess/socket call
+  inside ``async def`` stalls every replica sharing the loop; under
+  the scenario runner that reads as a cluster-wide partition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from repro.analysis.checkers.base import (
+    Checker,
+    FileContext,
+    Finding,
+    RuleSpec,
+    canonical_call_name,
+    dotted_name,
+    import_aliases,
+    register_checker,
+)
+
+_TASK_SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+#: Dotted call targets that block the event loop.
+_BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "subprocess.run", "subprocess.call", "subprocess.check_call",
+    "subprocess.check_output", "subprocess.Popen",
+    "os.system", "os.wait", "os.waitpid",
+    "socket.create_connection", "socket.getaddrinfo",
+    "urllib.request.urlopen",
+})
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@register_checker
+class AsyncioSafetyChecker(Checker):
+    name = "asyncio-safety"
+    RULES = (
+        RuleSpec("dangling-task",
+                 "create_task/ensure_future result dropped; the loop "
+                 "keeps only weak task references",
+                 "PR 2 GC'd mid-flight sends"),
+        RuleSpec("event-loop",
+                 "asyncio.get_event_loop(); use get_running_loop()",
+                 "PR 2 transport lifecycle"),
+        RuleSpec("blocking-async",
+                 "blocking call inside async def stalls the shared "
+                 "event loop",
+                 "PR 2 transport rewrite"),
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Expr) and \
+                    isinstance(node.value, ast.Call):
+                name = dotted_name(node.value.func)
+                tail = name.rpartition(".")[2]
+                if tail in _TASK_SPAWNERS:
+                    yield ctx.finding(
+                        "dangling-task", node,
+                        f"{tail}(...) result is dropped; the event "
+                        f"loop only weak-references tasks, so this "
+                        f"task can be garbage-collected mid-flight "
+                        f"-- retain it and discard on completion")
+            elif isinstance(node, ast.Call):
+                if canonical_call_name(node.func, aliases) == \
+                        "asyncio.get_event_loop":
+                    yield ctx.finding(
+                        "event-loop", node,
+                        "asyncio.get_event_loop() is deprecated and "
+                        "binds the wrong loop under asyncio.run; use "
+                        "asyncio.get_running_loop()")
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._blocking_calls(ctx, node, aliases)
+
+    def _blocking_calls(self, ctx: FileContext,
+                        func: ast.AsyncFunctionDef,
+                        aliases) -> Iterator[Finding]:
+        """Flag blocking calls lexically inside ``func``'s own body,
+        skipping nested function definitions (which may run in a
+        worker thread or another context)."""
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef,
+                                 ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                name = canonical_call_name(node.func, aliases)
+                if name in _BLOCKING_CALLS:
+                    yield ctx.finding(
+                        "blocking-async", node,
+                        f"blocking call {name}() inside async def "
+                        f"{func.name!r}; await the asyncio "
+                        f"equivalent or run it in an executor")
+            stack.extend(ast.iter_child_nodes(node))

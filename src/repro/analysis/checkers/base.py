@@ -1,0 +1,154 @@
+"""Checker protocol, rule catalog, and the checker registry.
+
+A checker bundles related rules and implements one of two shapes:
+
+- ``check_file(ctx)``: called once per parsed source file with a
+  :class:`FileContext`; yields :class:`Finding`.  Most checkers are
+  this shape -- a targeted ``ast`` walk.
+- ``check_project(root)``: called once per lint run with the repo
+  root; used by the wire-schema checker, which needs the *imported*
+  message classes (dataclass fields, the live decode table) rather
+  than per-file syntax.
+
+Registering is a decorator::
+
+    @register_checker
+    class MyChecker(Checker):
+        name = "my-checker"
+        RULES = (RuleSpec("my-rule", "what it forbids", "PR N"),)
+
+        def check_file(self, ctx):
+            ...
+
+New checkers self-describe through ``RULES`` so the CLI's
+``--list-rules`` and the JSON report's rule catalog stay exhaustive
+without a parallel table to update.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Tuple, Type
+
+from repro.analysis.findings import Finding
+
+#: checker name -> checker class.
+CHECKER_REGISTRY: Dict[str, Type["Checker"]] = {}
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """One rule's catalog entry."""
+
+    id: str
+    summary: str
+    #: The history that motivated the rule ("PR 3" etc.); shown in
+    #: ``--list-rules`` so the rationale travels with the tool.
+    motivation: str = ""
+
+
+@dataclass
+class FileContext:
+    """Everything an AST checker may look at for one file."""
+
+    relpath: str          # repo-root-relative, posix separators
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+
+    def finding(self, rule: str, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=rule, path=self.relpath,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+class Checker:
+    """Base class; subclasses set ``name`` and ``RULES`` and override
+    one of the two check hooks."""
+
+    name: str = ""
+    RULES: Tuple[RuleSpec, ...] = ()
+
+    def rule_ids(self) -> Tuple[str, ...]:
+        return tuple(spec.id for spec in self.RULES)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, root: str) -> Iterator[Finding]:
+        return iter(())
+
+
+def register_checker(cls: Type[Checker]) -> Type[Checker]:
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} lacks a name")
+    if cls.name in CHECKER_REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    CHECKER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_rules() -> Iterable[RuleSpec]:
+    """Every registered rule, in checker-then-declaration order."""
+    for checker in CHECKER_REGISTRY.values():
+        for spec in checker.RULES:
+            yield spec
+
+
+def dotted_name(node: ast.AST) -> str:
+    """``a.b.c`` for nested Attribute/Name chains, else ``""``.
+
+    The shared helper every call-pattern checker uses to match
+    ``time.time`` / ``asyncio.get_event_loop`` / ``loop.create_task``
+    without caring how deep the attribute chain goes.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def import_aliases(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical dotted target for the file's imports.
+
+    ``import time as t`` -> ``{"t": "time"}``; ``from datetime import
+    datetime as dt`` -> ``{"dt": "datetime.datetime"}``; ``from time
+    import perf_counter`` -> ``{"perf_counter": "time.perf_counter"}``.
+    Call-pattern checkers canonicalize through this map so aliased
+    imports cannot dodge a rule.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and \
+                not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return aliases
+
+
+def canonical_call_name(node: ast.AST,
+                        aliases: Dict[str, str]) -> str:
+    """:func:`dotted_name` with the leading component resolved
+    through the file's import aliases."""
+    name = dotted_name(node)
+    if not name:
+        return ""
+    head, _, rest = name.partition(".")
+    target = aliases.get(head)
+    if target:
+        return f"{target}.{rest}" if rest else target
+    return name

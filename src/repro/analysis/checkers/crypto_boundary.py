@@ -1,0 +1,76 @@
+"""Crypto-boundary checker: key material and digests stay in
+``repro.crypto``.
+
+The byzantine model depends on a capability argument: honest and
+byzantine node objects alike hold only their own ``KeyPair`` plus a
+``KeyRegistry`` reference, so nobody can sign as anyone else.  That
+argument is only as strong as the boundary -- one ``registry._keys``
+reach (or a ``.secret`` pull) from protocol code hands out everyone's
+signing capability.  PR 6 introduced ``KeyRegistry.secret_for`` as
+the single sanctioned accessor; this checker enumerates stragglers.
+
+Digest computation is fenced for a different reason: protocol digests
+must be *canonical* (byte-identical at every correct node), which
+``repro.crypto.digest`` guarantees and ad-hoc ``hashlib`` calls do
+not.  A raw ``hashlib.sha256(...)`` outside ``repro.crypto`` is
+either a second, subtly different canonical form waiting to fork the
+cluster, or a non-protocol use that should say so with a pragma.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import (
+    Checker,
+    FileContext,
+    Finding,
+    RuleSpec,
+    canonical_call_name,
+    dotted_name,
+    import_aliases,
+    register_checker,
+)
+from repro.analysis.layers import in_crypto
+
+#: Private key-material attribute names.
+_KEY_ATTRS = frozenset({"_keys", "secret"})
+
+
+@register_checker
+class CryptoBoundaryChecker(Checker):
+    name = "crypto-boundary"
+    RULES = (
+        RuleSpec("key-reach",
+                 "direct access to key material (._keys/.secret) "
+                 "outside repro.crypto; use KeyRegistry.secret_for",
+                 "PR 6 secret_for accessor"),
+        RuleSpec("digest-outside-crypto",
+                 "hashlib call outside repro.crypto; protocol "
+                 "digests go through repro.crypto.digest",
+                 "canonical-encoding invariant"),
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if in_crypto(ctx.relpath):
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and \
+                    node.attr in _KEY_ATTRS:
+                owner = dotted_name(node.value) or "<expr>"
+                yield ctx.finding(
+                    "key-reach", node,
+                    f"direct key-material access "
+                    f"{owner}.{node.attr}; go through "
+                    f"KeyRegistry.secret_for / KeyPair.mac")
+            elif isinstance(node, ast.Call):
+                name = canonical_call_name(node.func, aliases)
+                if name.startswith("hashlib."):
+                    yield ctx.finding(
+                        "digest-outside-crypto", node,
+                        f"{name}() outside repro.crypto; protocol "
+                        f"digests must use repro.crypto.digest "
+                        f"(pragma-allow non-protocol uses like "
+                        f"cache keys)")

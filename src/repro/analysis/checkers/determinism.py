@@ -1,0 +1,113 @@
+"""Determinism checker: wall clock, global randomness, salted hash.
+
+Every rule here encodes a bug this repo actually shipped:
+
+- PR 3 replaced a process-salted ``hash()`` seed in the workload
+  generator with crc32 -- until then "seeded" runs differed between
+  interpreter launches (``PYTHONHASHSEED``).
+- The byte-identical-report determinism gate (PR 4) and the bench
+  baseline's exact sim fields (PR 6) both die silently if anything in
+  a sim-reachable layer reads the wall clock or the process-global
+  RNG; the failure shows up as an unreproducible flake a week later.
+
+The layer map (:mod:`repro.analysis.layers`) decides where the rules
+apply: ``transport``/``bench``/``sweep`` measure real time by design,
+and the digest/envelope memos in ``crypto``/``messages`` key on
+``hash()`` legitimately (in-process only, never serialized).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import (
+    Checker,
+    FileContext,
+    Finding,
+    RuleSpec,
+    canonical_call_name,
+    import_aliases,
+    register_checker,
+)
+from repro.analysis.layers import hash_allowed, wall_clock_allowed
+
+#: Wall-clock reads, as dotted call targets.  ``datetime.now`` &c.
+#: are matched on the attribute tail too, so both ``datetime.now()``
+#: and ``datetime.datetime.now()`` import styles are caught.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns", "time.monotonic",
+    "time.monotonic_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+})
+_WALL_CLOCK_TAILS = frozenset({
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "date.today",
+})
+
+#: Functions on the process-global RNG.  Seeded ``random.Random``
+#: *instances* are the sanctioned alternative and never match here.
+_GLOBAL_RANDOM = frozenset({
+    "seed", "random", "uniform", "randint", "randrange", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate",
+    "expovariate", "getrandbits", "betavariate", "triangular",
+})
+
+
+@register_checker
+class DeterminismChecker(Checker):
+    name = "determinism"
+    RULES = (
+        RuleSpec("wall-clock",
+                 "wall-clock read (time.*/datetime.now) in a "
+                 "deterministic layer",
+                 "PR 4/PR 6 determinism gates"),
+        RuleSpec("global-random",
+                 "call on the process-global random module (use a "
+                 "seeded random.Random instance)",
+                 "PR 3 seed threading"),
+        RuleSpec("salted-hash",
+                 "builtin hash() outside the sanctioned memo layers "
+                 "(process-salted per PYTHONHASHSEED)",
+                 "PR 3 process-salted workload seed"),
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        deterministic = not wall_clock_allowed(ctx.relpath)
+        hash_ok = hash_allowed(ctx.relpath)
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node.func, aliases)
+            if deterministic and self._is_wall_clock(name):
+                yield ctx.finding(
+                    "wall-clock", node,
+                    f"wall-clock call {name}() in deterministic "
+                    f"layer; draw time from the simulator clock / "
+                    f"NodeContext, or move the code to a wall-clock "
+                    f"layer (see repro.analysis.layers)")
+            elif self._is_global_random(name):
+                yield ctx.finding(
+                    "global-random", node,
+                    f"{name}() uses the process-global RNG; "
+                    f"construct a seeded random.Random from the "
+                    f"scenario seed instead")
+            elif deterministic and not hash_ok and name == "hash":
+                yield ctx.finding(
+                    "salted-hash", node,
+                    "builtin hash() is process-salted "
+                    "(PYTHONHASHSEED); use repro.crypto.digest or "
+                    "zlib.crc32 for stable values")
+
+    @staticmethod
+    def _is_wall_clock(name: str) -> bool:
+        if name in _WALL_CLOCK_CALLS:
+            return True
+        tail = ".".join(name.split(".")[-2:])
+        return tail in _WALL_CLOCK_TAILS
+
+    @staticmethod
+    def _is_global_random(name: str) -> bool:
+        module, _, func = name.rpartition(".")
+        return module == "random" and func in _GLOBAL_RANDOM

@@ -1,0 +1,78 @@
+"""The repo's layer map: which modules may touch wall-clock state.
+
+The determinism contract (byte-identical seeded reports, the pinned
+``repro bench`` sim cells) holds because everything reachable from a
+simulated run draws time from the simulator clock and randomness from
+seeded ``random.Random`` instances.  Code that *measures* real time --
+the TCP transport, the bench harness, the sweep process pool -- is
+explicitly exempt.  This module is the single authority the checkers
+consult, so moving a module between regimes is a one-line diff here
+instead of a pragma sprinkle.
+
+Layers are the first path component under ``src/repro/`` (the module
+stem for top-level files like ``config.py``).  Anything not listed in
+:data:`WALL_CLOCK_OK_LAYERS` is deterministic by default: a new
+package gets the strict regime until someone argues otherwise.
+"""
+
+from __future__ import annotations
+
+import posixpath
+
+#: Layers where wall-clock reads are part of the job: the TCP
+#: transport schedules on the real event loop, bench/sweep measure
+#: wall time by design, the CLI orchestrates both, and the analysis
+#: package itself never runs inside an experiment.
+WALL_CLOCK_OK_LAYERS = frozenset({
+    "transport", "bench", "sweep", "analysis", "__main__",
+})
+
+#: Layers sanctioned to call the builtin ``hash()``: the digest layer
+#: keys per-instance memos by content hash (in-process only, never
+#: serialized), and the envelope verify memo in ``messages`` does the
+#: same.  Everywhere else a bare ``hash()`` is a process-salted value
+#: waiting to leak into a seed or a wire field (the PR 3 bug).
+HASH_OK_LAYERS = frozenset({"crypto", "messages"})
+
+#: Layers holding the sanctioned ``object.__setattr__`` memo sites
+#: (see the frozen-mutation checker for the attribute allowlist).
+FROZEN_MUTATION_LAYERS = frozenset({"crypto", "messages"})
+
+#: The package prefix the layer map speaks about.
+_SRC_PREFIX = "src/repro/"
+
+
+def layer_of(relpath: str) -> str:
+    """Layer name for a repo-relative posix path.
+
+    ``src/repro/sim/network.py`` -> ``sim``;
+    ``src/repro/config.py`` -> ``config``.  Paths outside
+    ``src/repro/`` (tests, benchmarks, lint fixtures) get the
+    basename-derived layer of their first component, which keeps the
+    deterministic default for unknown trees.
+    """
+    path = relpath.replace("\\", "/")
+    if path.startswith(_SRC_PREFIX):
+        path = path[len(_SRC_PREFIX):]
+    head, _, rest = path.partition("/")
+    if not rest:
+        head = posixpath.splitext(head)[0]
+    return head
+
+
+def wall_clock_allowed(relpath: str) -> bool:
+    return layer_of(relpath) in WALL_CLOCK_OK_LAYERS
+
+
+def hash_allowed(relpath: str) -> bool:
+    return layer_of(relpath) in HASH_OK_LAYERS
+
+
+def frozen_mutation_layer(relpath: str) -> bool:
+    return layer_of(relpath) in FROZEN_MUTATION_LAYERS
+
+
+def in_crypto(relpath: str) -> bool:
+    """True for modules inside ``repro.crypto`` -- the only place key
+    material and digest primitives may be touched directly."""
+    return layer_of(relpath) == "crypto"

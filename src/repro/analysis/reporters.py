@@ -1,0 +1,75 @@
+"""Text and JSON reporters for lint results.
+
+The JSON shape is schema-stable (pinned by
+``tests/test_analysis_cli.py``): CI uploads it as an artifact and
+downstream tooling may diff runs, so keys are never renamed -- only
+added.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+from repro.analysis.baseline import BaselineEntry, BaselineMatch
+from repro.analysis.checkers import all_rules
+from repro.analysis.engine import LintReport
+from repro.analysis.findings import Finding
+
+#: Bumped when the JSON report's meaning changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport, new: List[Finding],
+                match: Optional[BaselineMatch] = None) -> str:
+    lines = []
+    for finding in new:
+        lines.append(finding.format_text())
+    if match is not None and match.stale:
+        for entry in match.stale:
+            lines.append(
+                f"stale baseline entry: [{entry.rule}] {entry.path}: "
+                f"{entry.message} (fixed? prune it with "
+                f"--write-baseline)")
+    summary = (f"{report.files_scanned} file(s) scanned, "
+               f"{len(new)} finding(s)")
+    extras = []
+    if report.pragma_suppressed:
+        extras.append(f"{report.pragma_suppressed} pragma-allowed")
+    if match is not None and match.absorbed:
+        extras.append(f"{len(match.absorbed)} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, new: List[Finding],
+                match: Optional[BaselineMatch] = None) -> str:
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "rules": [
+            {"id": spec.id, "summary": spec.summary,
+             "motivation": spec.motivation}
+            for spec in all_rules() if spec.id in report.rules
+        ],
+        "files_scanned": report.files_scanned,
+        "findings": [f.to_dict() for f in new],
+        "suppressed": {
+            "pragma": report.pragma_suppressed,
+            "baseline": len(match.absorbed) if match else 0,
+        },
+        "stale_baseline": [e.to_dict() for e in match.stale]
+        if match else [],
+        "exit_code": 1 if new else 0,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False) + "\n"
+
+
+def render_rule_list() -> str:
+    lines = [f"{'rule':24s} {'motivation':28s} summary",
+             "-" * 78]
+    for spec in all_rules():
+        lines.append(f"{spec.id:24s} {spec.motivation:28s} "
+                     f"{spec.summary}")
+    return "\n".join(lines)

@@ -281,7 +281,7 @@ class PBFTReplica(BaseReplica):
         slot.prepares.add(msg.replica)
         # prepared == pre-prepare + 2f matching prepares (own included).
         if not slot.prepared and slot.pre_prepare is not None and \
-                len(slot.prepares) >= 2 * self.config.f + 1:
+                len(slot.prepares) >= self.config.slow_quorum_size:
             slot.prepared = True
             commit = PBFTCommit(view=self.view, seqno=msg.seqno,
                                 request_digest=msg.request_digest,

@@ -237,6 +237,8 @@ class ScenarioRunner:
     def _run_sim(self, scenario: Scenario
                  ) -> Tuple[ExperimentReport, Cluster]:
         scenario.validate()
+        # repro: allow[wall-clock] -- wall_seconds is reporting-
+        # only, excluded from the determinism gates by design.
         wall_start = time.perf_counter()
         workload = scenario.workload
         cluster = build_cluster(
@@ -303,6 +305,7 @@ class ScenarioRunner:
                    if cluster.network.shaper is not None else {}),
             },
             fault_log=injector.log,
+            # repro: allow[wall-clock] -- reporting-only stopwatch.
             wall_seconds=time.perf_counter() - wall_start)
         return report, cluster
 
@@ -315,6 +318,8 @@ class ScenarioRunner:
         TcpFaultInjector.check_supported(
             scenario.faults,
             remote_replicas=cluster.remote_replica_ids)
+        # repro: allow[wall-clock] -- wall_seconds is reporting-
+        # only, excluded from the determinism gates by design.
         wall_start = time.perf_counter()
         workload = scenario.workload
         loop = asyncio.get_running_loop()
@@ -462,6 +467,7 @@ class ScenarioRunner:
             fault_log=[{**entry,
                         "applied_ms": entry["applied_ms"] - origin_ms}
                        for entry in injector.log],
+            # repro: allow[wall-clock] -- reporting-only stopwatch.
             wall_seconds=time.perf_counter() - wall_start)
 
     # ------------------------------------------------------------------

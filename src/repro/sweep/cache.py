@@ -70,6 +70,8 @@ class SweepCellCache:
             {"v": CACHE_VERSION, "backend": backend,
              "max_events": max_events, "spec": spec},
             sort_keys=True, separators=(",", ":"))
+        # repro: allow[digest-outside-crypto] -- content-address of a
+        # spec blob for cache keying, not a protocol digest.
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     def _path(self, key: str) -> str:

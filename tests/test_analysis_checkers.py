@@ -1,0 +1,444 @@
+"""Per-checker fixture suites for ``repro.analysis``.
+
+Each test feeds a minimal snippet into the engine at a layer-relevant
+path and asserts the *exact* rule ids and line numbers, so a checker
+that drifts (extra findings, moved anchors) fails loudly.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import Finding, run_lint
+from repro.analysis.checkers.wire_schema import check_class
+from repro.analysis.layers import layer_of, wall_clock_allowed
+
+
+def lint_snippet(tmp_path, relpath, code, rules=None):
+    """Write ``code`` at ``relpath`` under a scratch repo root and
+    lint just that file."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    report = run_lint(paths=[relpath], rules=rules,
+                      root=str(tmp_path))
+    return report.findings
+
+
+def hits(findings, rule):
+    return [(f.rule, f.line) for f in findings if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# Layer map
+# ----------------------------------------------------------------------
+def test_layer_of_paths():
+    assert layer_of("src/repro/sim/network.py") == "sim"
+    assert layer_of("src/repro/config.py") == "config"
+    assert layer_of("src/repro/protocols/pbft/replica.py") == \
+        "protocols"
+    assert layer_of("src/repro/__main__.py") == "__main__"
+
+
+def test_wall_clock_layer_split():
+    assert not wall_clock_allowed("src/repro/sim/network.py")
+    assert not wall_clock_allowed("src/repro/scenario/runner.py")
+    assert wall_clock_allowed("src/repro/transport/asyncio_tcp.py")
+    assert wall_clock_allowed("src/repro/bench/runner.py")
+    assert wall_clock_allowed("src/repro/sweep/runner.py")
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_wall_clock_flagged_in_deterministic_layer(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/sim/bad.py", """\
+        import time
+
+        def now():
+            return time.time()
+
+        def stamp():
+            return time.perf_counter()
+        """)
+    assert hits(findings, "wall-clock") == [("wall-clock", 4),
+                                            ("wall-clock", 7)]
+
+
+def test_wall_clock_allowed_in_transport_layer(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/transport/ok.py", """\
+        import time
+
+        def now():
+            return time.time()
+        """)
+    assert hits(findings, "wall-clock") == []
+
+
+def test_datetime_now_flagged_both_import_styles(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/core/bad.py", """\
+        import datetime
+        from datetime import datetime as dt
+
+        a = datetime.datetime.now()
+        b = dt.now()
+        """)
+    assert hits(findings, "wall-clock") == [("wall-clock", 4),
+                                            ("wall-clock", 5)]
+
+
+def test_global_random_flagged_everywhere(tmp_path):
+    # Even wall-clock layers must not touch the process-global RNG.
+    findings = lint_snippet(tmp_path, "src/repro/sweep/bad.py", """\
+        import random
+
+        def pick(items):
+            random.seed(7)
+            return random.choice(items)
+        """)
+    assert hits(findings, "global-random") == [("global-random", 4),
+                                               ("global-random", 5)]
+
+
+def test_seeded_random_instance_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/sim/ok.py", """\
+        import random
+
+        def pick(items, seed):
+            rng = random.Random(seed)
+            return rng.choice(items)
+        """)
+    assert findings == []
+
+
+def test_builtin_hash_flagged_outside_memo_layers(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/workload/bad.py", """\
+        def seed_for(client_id):
+            return hash(client_id)
+        """)
+    assert hits(findings, "salted-hash") == [("salted-hash", 2)]
+
+
+def test_builtin_hash_allowed_in_crypto_and_messages(tmp_path):
+    for relpath in ("src/repro/crypto/ok.py",
+                    "src/repro/messages/ok.py"):
+        findings = lint_snippet(tmp_path, relpath, """\
+            def memo_key(obj):
+                return hash(obj)
+            """)
+        assert hits(findings, "salted-hash") == []
+
+
+# ----------------------------------------------------------------------
+# asyncio-safety
+# ----------------------------------------------------------------------
+def test_dangling_task_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/transport/bad.py", """\
+        import asyncio
+
+        def fire(loop, coro):
+            loop.create_task(coro)
+
+        def forget(coro):
+            asyncio.ensure_future(coro)
+        """)
+    assert hits(findings, "dangling-task") == [("dangling-task", 4),
+                                               ("dangling-task", 7)]
+
+
+def test_retained_task_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/transport/ok.py", """\
+        def fire(loop, coro, tasks):
+            task = loop.create_task(coro)
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        """)
+    assert findings == []
+
+
+def test_get_event_loop_flagged(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/transport/bad2.py", """\
+        import asyncio
+
+        def loop():
+            return asyncio.get_event_loop()
+
+        def running():
+            return asyncio.get_running_loop()
+        """)
+    assert hits(findings, "event-loop") == [("event-loop", 4)]
+
+
+def test_blocking_call_in_async_def_flagged(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/transport/bad3.py", """\
+        import time
+
+        async def drain():
+            time.sleep(0.1)
+        """)
+    assert hits(findings, "blocking-async") == [("blocking-async", 4)]
+
+
+def test_blocking_call_in_nested_sync_def_not_flagged(tmp_path):
+    # A sync helper defined inside async def may run in an executor;
+    # only direct await-context code is flagged.
+    findings = lint_snippet(tmp_path,
+                            "src/repro/transport/ok3.py", """\
+        import time
+
+        async def drain():
+            def worker():
+                time.sleep(0.1)
+            return worker
+        """)
+    assert hits(findings, "blocking-async") == []
+
+
+# ----------------------------------------------------------------------
+# frozen-mutation
+# ----------------------------------------------------------------------
+def test_frozen_mutation_flagged_outside_memo_layers(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/core/bad2.py", """\
+        def patch(entry):
+            object.__setattr__(entry, "seq", 7)
+        """)
+    assert hits(findings, "frozen-mutation") == \
+        [("frozen-mutation", 2)]
+
+
+def test_frozen_mutation_memo_site_allowed(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/crypto/ok2.py", """\
+        _DIGEST_MEMO = "_repro_digest_memo"
+
+        def memoize(value, hexdigest, content_hash):
+            object.__setattr__(value, _DIGEST_MEMO,
+                               (content_hash, hexdigest))
+        """)
+    assert hits(findings, "frozen-mutation") == []
+
+
+def test_frozen_mutation_wrong_attr_in_memo_layer_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/crypto/bad.py", """\
+        def patch(value):
+            object.__setattr__(value, "signature", None)
+        """)
+    assert hits(findings, "frozen-mutation") == \
+        [("frozen-mutation", 2)]
+
+
+# ----------------------------------------------------------------------
+# crypto-boundary
+# ----------------------------------------------------------------------
+def test_key_reach_flagged_outside_crypto(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/protocols/bad.py", """\
+        def steal(registry, node_id):
+            return registry._keys[node_id].secret
+        """)
+    assert hits(findings, "key-reach") == [("key-reach", 2),
+                                           ("key-reach", 2)]
+
+
+def test_secret_for_accessor_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/protocols/ok.py", """\
+        def derive(registry, node_id):
+            return registry.secret_for(node_id)
+        """)
+    assert findings == []
+
+
+def test_hashlib_flagged_outside_crypto(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/core/bad3.py", """\
+        import hashlib
+
+        def fingerprint(blob):
+            return hashlib.sha256(blob).hexdigest()
+        """)
+    assert hits(findings, "digest-outside-crypto") == \
+        [("digest-outside-crypto", 4)]
+
+
+def test_hashlib_inside_crypto_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/crypto/ok3.py", """\
+        import hashlib
+
+        def fingerprint(blob):
+            return hashlib.sha256(blob).hexdigest()
+        """)
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# quorum-arithmetic
+# ----------------------------------------------------------------------
+def test_quorum_literals_flagged_outside_helpers(tmp_path):
+    findings = lint_snippet(tmp_path,
+                            "src/repro/protocols/bad2.py", """\
+        def prepared(votes, config):
+            return len(votes) >= 2 * config.f + 1
+
+        def weak(votes, f):
+            return len(votes) >= f + 1
+
+        def fast(votes, config):
+            return len(votes) >= 3 * config.f + 1
+        """)
+    assert hits(findings, "quorum-literal") == \
+        [("quorum-literal", 2), ("quorum-literal", 5),
+         ("quorum-literal", 8)]
+
+
+def test_quorum_arithmetic_allowed_in_named_helpers(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/core/ok.py", """\
+        class Config:
+            f = 1
+
+            @property
+            def slow_quorum_size(self):
+                return 2 * self.f + 1
+
+            @property
+            def weak_quorum_size(self):
+                return self.f + 1
+        """)
+    assert hits(findings, "quorum-literal") == []
+
+
+def test_unrelated_plus_one_not_flagged(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/core/ok2.py", """\
+        def advance(index, frontier):
+            return index + 1 + frontier
+        """)
+    assert hits(findings, "quorum-literal") == []
+
+
+# ----------------------------------------------------------------------
+# wire-schema (reflective; synthetic classes via check_class)
+# ----------------------------------------------------------------------
+def test_wire_parity_clean_class():
+    from repro.messages.ezbft import SpecOrder
+
+    assert check_class(SpecOrder) == []
+
+
+def test_wire_parity_missing_field_in_to_wire():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Lopsided:
+        a: int
+        b: int
+
+        def to_wire(self):
+            return {"type": "x-lopsided", "a": self.a}
+
+        @classmethod
+        def from_wire(cls, wire):
+            return cls(a=wire["a"], b=0)
+
+    findings = check_class(Lopsided)
+    assert [f.rule for f in findings] == ["wire-parity"]
+    assert "does not serialize field(s) b" in findings[0].message
+
+
+def test_wire_parity_unregistered_msg_type():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Ghost:
+        MSG_TYPE = "x-ghost-not-registered"
+        a: int
+
+        def to_wire(self):
+            return {"type": self.MSG_TYPE, "a": self.a}
+
+        @classmethod
+        def from_wire(cls, wire):
+            return cls(a=wire["a"])
+
+    findings = check_class(Ghost)
+    assert [f.rule for f in findings] == ["wire-parity"]
+    assert "not in the decode table" in findings[0].message
+
+
+def test_wire_parity_from_wire_drops_key():
+    import dataclasses
+
+    @dataclasses.dataclass(frozen=True)
+    class Leaky:
+        a: int
+        b: int
+
+        def to_wire(self):
+            return {"a": self.a, "b": self.b}
+
+        @classmethod
+        def from_wire(cls, wire):
+            return cls(a=wire["a"], b=0)
+
+    findings = check_class(Leaky)
+    assert [f.rule for f in findings] == ["wire-parity"]
+    assert "never reads wire key(s) b" in findings[0].message
+
+
+def test_wire_parity_nested_struct_without_msg_type_ok():
+    from repro.messages.ezbft import LogEntrySummary
+
+    # Deliberately unregistered (never rides top-level): only the
+    # field-coverage claims apply, and they hold.
+    assert check_class(LogEntrySummary) == []
+
+
+def test_wire_parity_whole_tree_is_clean():
+    report = run_lint(rules=["wire-parity"])
+    assert report.findings == []
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+# ----------------------------------------------------------------------
+def test_rule_filter_limits_findings(tmp_path):
+    code = """\
+        import time, asyncio
+
+        def bad():
+            asyncio.get_event_loop()
+            return time.time()
+        """
+    all_findings = lint_snippet(tmp_path, "src/repro/sim/bad2.py",
+                                code)
+    assert sorted({f.rule for f in all_findings}) == \
+        ["event-loop", "wall-clock"]
+    only = lint_snippet(tmp_path, "src/repro/sim/bad2.py", code,
+                        rules=["wall-clock"])
+    assert {f.rule for f in only} == {"wall-clock"}
+
+
+def test_unknown_rule_id_names_available(tmp_path):
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError) as exc:
+        lint_snippet(tmp_path, "src/repro/sim/x.py", "pass\n",
+                     rules=["no-such-rule"])
+    assert "no-such-rule" in str(exc.value)
+    assert "wall-clock" in str(exc.value)
+
+
+def test_findings_are_sorted_and_have_repo_relative_paths(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/sim/bad3.py", """\
+        import time
+
+        def b():
+            return time.time()
+
+        def a():
+            return time.monotonic()
+        """)
+    assert [f.line for f in findings] == [4, 7]
+    assert all(f.path == "src/repro/sim/bad3.py" for f in findings)
+    assert all(isinstance(f, Finding) for f in findings)

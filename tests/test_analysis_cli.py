@@ -1,0 +1,350 @@
+"""CLI, pragma, baseline, and report-schema tests for repro.analysis.
+
+The checker semantics themselves (which lines each rule flags) live in
+``tests/test_analysis_checkers.py``; this file pins the *surfaces*:
+``python -m repro lint`` exit codes, the pragma and baseline
+suppression machinery, and the JSON report schema that CI uploads as
+an artifact.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.__main__ import main
+from repro.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.analysis.engine import repo_root, run_lint
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import is_allowed, parse_pragmas
+from repro.analysis.reporters import JSON_SCHEMA_VERSION
+from repro.errors import ConfigurationError
+
+ALL_RULE_IDS = {
+    "wall-clock", "global-random", "salted-hash",
+    "dangling-task", "event-loop", "blocking-async",
+    "frozen-mutation",
+    "key-reach", "digest-outside-crypto",
+    "quorum-literal",
+    "wire-parity",
+}
+
+
+def write_snippet(tmp_path, relpath, code):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code), encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+
+
+def test_pragma_same_line():
+    allowed = parse_pragmas([
+        "import time",
+        "t = time.time()  # repro: allow[wall-clock]",
+    ])
+    assert is_allowed(allowed, 2, "wall-clock")
+    assert not is_allowed(allowed, 2, "global-random")
+    assert not is_allowed(allowed, 1, "wall-clock")
+
+
+def test_pragma_comment_line_covers_next_code_line():
+    allowed = parse_pragmas([
+        "# repro: allow[wall-clock] -- reporting-only stopwatch",
+        "t = time.time()",
+        "u = time.time()",
+    ])
+    assert is_allowed(allowed, 2, "wall-clock")
+    assert not is_allowed(allowed, 3, "wall-clock")
+
+
+def test_pragma_carries_through_comment_chains():
+    allowed = parse_pragmas([
+        "# repro: allow[wall-clock]",
+        "# second explanatory comment line",
+        "t = time.time()",
+    ])
+    assert is_allowed(allowed, 3, "wall-clock")
+
+
+def test_pragma_multiple_ids_and_wildcard():
+    allowed = parse_pragmas([
+        "x()  # repro: allow[wall-clock, global-random]",
+        "y()  # repro: allow[*]",
+    ])
+    assert is_allowed(allowed, 1, "wall-clock")
+    assert is_allowed(allowed, 1, "global-random")
+    assert not is_allowed(allowed, 1, "salted-hash")
+    assert is_allowed(allowed, 2, "anything-at-all")
+
+
+def test_pragma_suppresses_finding_and_is_counted(tmp_path):
+    write_snippet(tmp_path, "src/repro/core/clock.py", """\
+        import time
+
+        def now():
+            return time.time()  # repro: allow[wall-clock] -- test
+    """)
+    report = run_lint(paths=["src/repro/core/clock.py"],
+                      root=str(tmp_path))
+    assert report.findings == []
+    assert report.pragma_suppressed == 1
+
+
+def test_pragma_for_wrong_rule_does_not_suppress(tmp_path):
+    write_snippet(tmp_path, "src/repro/core/clock.py", """\
+        import time
+
+        def now():
+            return time.time()  # repro: allow[global-random]
+    """)
+    report = run_lint(paths=["src/repro/core/clock.py"],
+                      root=str(tmp_path))
+    assert [f.rule for f in report.findings] == ["wall-clock"]
+    assert report.pragma_suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# baseline
+
+
+def _finding(rule="wall-clock", path="src/repro/core/x.py", line=3,
+             message="m"):
+    return Finding(rule=rule, path=path, line=line, col=0,
+                   message=message)
+
+
+def test_baseline_absorbs_by_rule_path_message_not_line():
+    entries = [BaselineEntry(rule="wall-clock",
+                             path="src/repro/core/x.py", message="m")]
+    match = apply_baseline([_finding(line=99)], entries)
+    assert match.new == []
+    assert len(match.absorbed) == 1
+    assert match.stale == []
+
+
+def test_baseline_multiplicity_one_entry_absorbs_one_finding():
+    entries = [BaselineEntry(rule="wall-clock",
+                             path="src/repro/core/x.py", message="m")]
+    match = apply_baseline([_finding(line=3), _finding(line=8)],
+                           entries)
+    assert len(match.absorbed) == 1
+    assert len(match.new) == 1
+
+
+def test_baseline_reports_stale_entries():
+    entries = [BaselineEntry(rule="wall-clock",
+                             path="src/repro/core/gone.py",
+                             message="fixed long ago")]
+    match = apply_baseline([], entries)
+    assert match.stale == entries
+
+
+def test_baseline_round_trip(tmp_path):
+    path = str(tmp_path / "bl.json")
+    findings = [_finding(line=3), _finding(rule="key-reach",
+                                           message="other")]
+    save_baseline(path, findings)
+    entries = load_baseline(path)
+    assert {e.key() for e in entries} == \
+        {f.baseline_key() for f in findings}
+
+
+@pytest.mark.parametrize("content,phrase", [
+    ("not json {", "not valid JSON"),
+    ('{"version": 99, "entries": []}', "version"),
+    ('{"version": 1, "entries": [{"rule": "x"}]}', "malformed"),
+    ('{"version": 1}', "entries"),
+])
+def test_baseline_load_rejects_malformed(tmp_path, content, phrase):
+    path = tmp_path / "bl.json"
+    path.write_text(content, encoding="utf-8")
+    with pytest.raises(ConfigurationError, match=phrase):
+        load_baseline(str(path))
+
+
+def test_baseline_missing_file_is_configuration_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="not found"):
+        load_baseline(str(tmp_path / "nope.json"))
+
+
+# ---------------------------------------------------------------------------
+# python -m repro lint: exit codes and wiring
+
+
+def test_lint_self_check_repo_tree_is_clean(capsys):
+    # The acceptance gate: the shipped tree lints clean without any
+    # baseline (sanctioned exceptions carry inline pragmas).
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_lint_with_committed_baseline_is_clean(capsys):
+    assert main(["lint", "--baseline"]) == 0
+
+
+def test_committed_baseline_has_no_stale_entries():
+    entries = load_baseline(str(repo_root() / "lint-baseline.json"))
+    report = run_lint()
+    match = apply_baseline(report.findings, entries)
+    assert match.stale == []
+
+
+BAD_FIXTURES = {
+    "wall-clock": "import time\nt = time.time()\n",
+    "global-random": "import random\nx = random.random()\n",
+    "dangling-task":
+        "import asyncio\n\n\nasync def go(c):\n"
+        "    asyncio.create_task(c())\n",
+    "frozen-mutation":
+        "def poke(msg):\n"
+        "    object.__setattr__(msg, 'sender', 'evil')\n",
+    "key-reach":
+        "def leak(registry, node):\n"
+        "    return registry._keys[node]\n",
+    "quorum-literal":
+        "def ready(votes, f):\n"
+        "    return len(votes) >= 2 * f + 1\n",
+}
+
+
+@pytest.mark.parametrize("rule", sorted(BAD_FIXTURES))
+def test_lint_cli_exits_one_on_bad_fixture(tmp_path, capsys, rule):
+    bad = write_snippet(tmp_path, "src/repro/core/bad.py",
+                        BAD_FIXTURES[rule])
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert f"[{rule}]" in out
+
+
+def test_lint_unknown_rule_exits_two_naming_available(capsys):
+    assert main(["lint", "--rule", "no-such-rule"]) == 2
+    err = capsys.readouterr().err
+    assert "no-such-rule" in err
+    assert "wall-clock" in err
+
+
+def test_lint_missing_path_exits_two(capsys):
+    assert main(["lint", "does/not/exist.py"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_lint_rule_filter_restricts_output(tmp_path, capsys):
+    bad = write_snippet(tmp_path, "src/repro/core/bad.py", """\
+        import time
+        import random
+        t = time.time()
+        r = random.random()
+    """)
+    assert main(["lint", str(bad), "--rule", "global-random"]) == 1
+    out = capsys.readouterr().out
+    assert "[global-random]" in out
+    assert "[wall-clock]" not in out
+
+
+def test_lint_list_rules_covers_every_rule(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULE_IDS:
+        assert rule in out
+
+
+def test_write_baseline_then_baseline_run_is_clean(tmp_path, capsys):
+    bad = write_snippet(tmp_path, "src/repro/core/bad.py",
+                        "import time\nt = time.time()\n")
+    bl = str(tmp_path / "bl.json")
+    assert main(["lint", str(bad), "--write-baseline", bl]) == 0
+    assert "wrote 1 entry" in capsys.readouterr().out
+
+    assert main(["lint", str(bad), "--baseline", bl]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+    # Pay the debt down: the entry goes stale but does not fail the
+    # run; the report says to prune it.
+    bad.write_text("t = 0\n", encoding="utf-8")
+    assert main(["lint", str(bad), "--baseline", bl]) == 0
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# __main__ wiring (the PR's bugfix satellite)
+
+
+def test_help_lists_lint(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    assert "lint" in capsys.readouterr().out
+
+
+def test_unknown_subcommand_exits_two_naming_choices(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["frobnicate"])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "frobnicate" in err
+    assert "lint" in err and "run" in err
+
+
+# ---------------------------------------------------------------------------
+# JSON report schema (CI artifact contract)
+
+
+def run_json(argv, capsys):
+    code = main(argv)
+    return code, json.loads(capsys.readouterr().out)
+
+
+def test_json_schema_top_level_keys(capsys):
+    code, payload = run_json(["lint", "--format", "json"], capsys)
+    assert code == 0
+    assert set(payload) == {
+        "schema_version", "rules", "files_scanned", "findings",
+        "suppressed", "stale_baseline", "exit_code",
+    }
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["exit_code"] == 0
+    assert payload["findings"] == []
+    assert set(payload["suppressed"]) == {"pragma", "baseline"}
+    assert payload["suppressed"]["pragma"] >= 1  # runner stopwatch
+    assert payload["files_scanned"] > 50
+    assert {r["id"] for r in payload["rules"]} == ALL_RULE_IDS
+    for rule in payload["rules"]:
+        assert set(rule) == {"id", "summary", "motivation"}
+
+
+def test_json_finding_entry_shape(tmp_path, capsys):
+    bad = write_snippet(tmp_path, "src/repro/core/bad.py",
+                        "import time\nt = time.time()\n")
+    code, payload = run_json(
+        ["lint", str(bad), "--format", "json"], capsys)
+    assert code == 1
+    assert payload["exit_code"] == 1
+    (finding,) = payload["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["rule"] == "wall-clock"
+    assert finding["line"] == 2
+
+
+def test_json_reports_baseline_suppression(tmp_path, capsys):
+    bad = write_snippet(tmp_path, "src/repro/core/bad.py",
+                        "import time\nt = time.time()\n")
+    bl = str(tmp_path / "bl.json")
+    assert main(["lint", str(bad), "--write-baseline", bl]) == 0
+    capsys.readouterr()
+    code, payload = run_json(
+        ["lint", str(bad), "--baseline", bl, "--format", "json"],
+        capsys)
+    assert code == 0
+    assert payload["findings"] == []
+    assert payload["suppressed"]["baseline"] == 1
+    assert payload["stale_baseline"] == []
