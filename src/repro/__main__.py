@@ -179,6 +179,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--replicas", required=True,
                        help="comma-separated replica ids to host "
                             "here, e.g. r2,r3")
+    serve.add_argument("--snapshot", default=None,
+                       help="write a final metrics+health snapshot "
+                            "(JSON) here on drain")
+    serve.add_argument("--json-logs", action="store_true",
+                       help="emit structured JSON logs (one object "
+                            "per line) with run/replica/seed context")
 
     from repro.analysis.cli import add_lint_parser
     add_lint_parser(sub)
@@ -500,7 +506,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.scenario import build_tcp_cluster
+    from repro.obs import ServeSession, configure_json_logging
 
     scenario = load_spec(args.spec)
     if isinstance(scenario, SweepSpec):
@@ -512,29 +518,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not replicas:
         raise ConfigurationError(
             "--replicas needs at least one replica id")
-    hosts = dict(scenario.hosts or {})
-    for rid in replicas:
-        if rid not in hosts:
-            raise ConfigurationError(
-                f"replica {rid!r} has no hosts entry in {args.spec}; "
-                f"serve only hosts replicas the spec pins to an "
-                f"address (have {tuple(sorted(hosts))})")
+    if args.json_logs:
+        configure_json_logging(run=scenario.name, replicas=replicas,
+                               seed=str(scenario.seed))
+    session = ServeSession(scenario, replicas,
+                           snapshot_path=args.snapshot)
 
-    async def _serve() -> None:
-        cluster = build_tcp_cluster(scenario, start_replicas=replicas)
-        await cluster.start()
+    def announce() -> None:
+        cluster = session.cluster
         served = ", ".join(
             f"{rid}@{cluster.addresses[rid][0]}:"
             f"{cluster.addresses[rid][1]}" for rid in replicas)
         print(f"serving {served} [scenario {scenario.name!r}, "
               f"{scenario.protocol}]", flush=True)
-        try:
-            await asyncio.Event().wait()  # until interrupted
-        finally:
-            await cluster.stop()
+        obs = ", ".join(f"{rid}@{host}:{port}" for rid, (host, port)
+                        in sorted(session.endpoints.items()))
+        if obs:
+            print(f"obs endpoints (metrics/healthz/control): {obs}",
+                  flush=True)
 
     try:
-        asyncio.run(_serve())
+        asyncio.run(session.run(on_started=announce))
     except KeyboardInterrupt:
         pass
     return 0

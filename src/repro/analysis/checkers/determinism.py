@@ -11,7 +11,8 @@ Every rule here encodes a bug this repo actually shipped:
   RNG; the failure shows up as an unreproducible flake a week later.
 
 The layer map (:mod:`repro.analysis.layers`) decides where the rules
-apply: ``transport``/``bench``/``sweep`` measure real time by design,
+apply: ``transport``/``bench``/``sweep``/``obs`` measure real time by
+design (obs timestamps live ``repro serve`` deployments only),
 and the digest/envelope memos in ``crypto``/``messages`` key on
 ``hash()`` legitimately (in-process only, never serialized).
 """

@@ -21,10 +21,12 @@ import posixpath
 
 #: Layers where wall-clock reads are part of the job: the TCP
 #: transport schedules on the real event loop, bench/sweep measure
-#: wall time by design, the CLI orchestrates both, and the analysis
-#: package itself never runs inside an experiment.
+#: wall time by design, obs timestamps live deployments (its metrics
+#: and health endpoints exist only under ``repro serve``), the CLI
+#: orchestrates all of them, and the analysis package itself never
+#: runs inside an experiment.
 WALL_CLOCK_OK_LAYERS = frozenset({
-    "transport", "bench", "sweep", "analysis", "__main__",
+    "transport", "bench", "sweep", "analysis", "obs", "__main__",
 })
 
 #: Layers sanctioned to call the builtin ``hash()``: the digest layer

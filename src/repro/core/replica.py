@@ -26,6 +26,7 @@ from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ProtocolError
 from repro.messages.base import SignedPayload
 from repro.messages.batching import BatchRequest, BatchSpecOrder
+from repro.obs.instruments import NULL
 from repro.messages.ezbft import (
     Commit,
     CommitFast,
@@ -68,6 +69,10 @@ class EzBFTReplica:
     interference:
         The command-interference relation used for dependency collection.
     """
+
+    #: Observability seam: the shared no-op singleton by default;
+    #: ``repro serve`` swaps in a live registry-backed instrument set.
+    instruments = NULL
 
     def __init__(self, node_id: str, config: ProtocolConfig,
                  ctx: NodeContext, keypair: KeyPair,
@@ -597,6 +602,7 @@ class EzBFTReplica:
         entry.commit_proof = commit.certificate
         entry.reply_to = None  # fast path: no COMMITREPLY
         self.stats["committed_fast"] += 1
+        self.instruments.commit("fast")
         self._advance_execution([entry])
 
     def _on_commit(self, sender: str, commit: Commit,
@@ -647,6 +653,7 @@ class EzBFTReplica:
         # state (paper step 5.2).
         self.statemachine.rollback_speculative()
         self.stats["committed_slow"] += 1
+        self.instruments.commit("slow")
         self._advance_execution([entry])
 
     def _advance_execution(self, newly_committed=None) -> None:
@@ -656,6 +663,7 @@ class EzBFTReplica:
                                              candidates=newly_committed)
         for entry in executed:
             self.stats["executed"] += 1
+            self.instruments.execute()
             if entry.reply_to is not None:
                 self._send_commit_reply(entry, entry.reply_to)
 
@@ -768,6 +776,7 @@ class EzBFTReplica:
 
     def _on_checkpoint_stable(self, checkpoint: Checkpoint) -> None:
         self.stats["checkpoints_stable"] += 1
+        self.instruments.checkpoint_stable(checkpoint.watermark)
         self.checkpoint_log.append(
             (checkpoint.watermark, checkpoint.state_digest))
         key = (checkpoint.watermark, checkpoint.state_digest)

@@ -28,12 +28,20 @@ live shaper through :meth:`LinkShaper.patch` and
 """
 
 from repro.netem.model import LinkModel, LinkRule, NetemProfile
+from repro.netem.presets import (
+    NETEM_PRESETS,
+    netem_preset,
+    resolve_netem,
+)
 from repro.netem.shaper import LinkShaper, TokenBucket
 
 __all__ = [
     "LinkModel",
     "LinkRule",
     "NetemProfile",
+    "NETEM_PRESETS",
+    "netem_preset",
+    "resolve_netem",
     "LinkShaper",
     "TokenBucket",
 ]

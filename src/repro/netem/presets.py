@@ -1,0 +1,64 @@
+"""Named netem presets: reusable link-condition profiles.
+
+Sweep axes and spec files can say ``netem = "lossy-wan"`` instead of
+spelling out a profile table -- the carried-over ergonomics gap for
+``--grid netem=lossy-wan,clean`` sweeps.  Preset names resolve through
+:func:`netem_preset`; anything that accepts a profile (scenario specs,
+sweep axes, fault tooling) also accepts a preset name via
+:func:`resolve_netem`.
+
+The presets are deliberately coarse archetypes, not measurements:
+
+- ``clean`` -- no emulation at all (the explicit baseline arm).
+- ``lossy-wan`` -- intercontinental WAN: 40ms +/- 8ms one-way, 2%
+  loss.
+- ``flaky`` -- a misbehaving local network: modest delay, 5% loss,
+  duplication and reordering.
+- ``congested`` -- a saturated uplink: 20ms delay and a 512 kbit/s
+  token-bucket cap with a small burst.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.netem.model import LinkModel, NetemProfile
+
+NETEM_PRESETS: Dict[str, NetemProfile] = {
+    "clean": NetemProfile(),
+    "lossy-wan": NetemProfile(
+        default=LinkModel(delay_ms=40.0, jitter_ms=8.0, loss=0.02)),
+    "flaky": NetemProfile(
+        default=LinkModel(delay_ms=10.0, jitter_ms=5.0, loss=0.05,
+                          duplicate=0.01, reorder=0.05,
+                          reorder_extra_ms=8.0)),
+    "congested": NetemProfile(
+        default=LinkModel(delay_ms=20.0, rate_kbps=512.0,
+                          burst_bytes=8192)),
+}
+
+
+def netem_preset(name: str, key: str = "netem") -> NetemProfile:
+    """The preset profile for ``name``; unknown names raise a
+    key-named error listing the choices (spec-loader discipline)."""
+    try:
+        return NETEM_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"{key} names unknown netem preset {name!r} "
+            f"(have {tuple(sorted(NETEM_PRESETS))})") from None
+
+
+def resolve_netem(value: Union[str, NetemProfile, None],
+                  key: str = "netem") -> Optional[NetemProfile]:
+    """Normalize a netem declaration: ``None`` passes through, a
+    :class:`NetemProfile` is returned as-is, a string resolves as a
+    preset name."""
+    if value is None or isinstance(value, NetemProfile):
+        return value
+    if isinstance(value, str):
+        return netem_preset(value, key)
+    raise ConfigurationError(
+        f"{key} must be a NetemProfile, a preset name, or None; "
+        f"got {type(value).__name__}")

@@ -25,6 +25,7 @@ from dataclasses import replace
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs.instruments import NULL
 from repro.netem.model import (
     LINK_MODEL_FIELDS,
     LinkModel,
@@ -82,6 +83,10 @@ class LinkShaper:
     Jitter / BandwidthCap / Reorder) and :meth:`set_delay_scale`
     (LatencyShift on TCP).
     """
+
+    #: Observability seam: per-link drop/delay series under ``repro
+    #: serve``; guarded on ``enabled`` so disabled runs pay one test.
+    instruments = NULL
 
     def __init__(self, profile: Optional[NetemProfile] = None,
                  seed: int = 0,
@@ -185,6 +190,8 @@ class LinkShaper:
         rng = self._rng
         if model.loss > 0.0 and rng.random() < model.loss:
             self.frames_dropped += 1
+            if self.instruments.enabled:
+                self.instruments.netem_dropped(src, dst)
             return ()
         delay = model.delay_ms
         if model.jitter_ms > 0.0:
@@ -201,7 +208,11 @@ class LinkShaper:
                 now_ms)
         if model.duplicate > 0.0 and rng.random() < model.duplicate:
             self.frames_duplicated += 1
+            if self.instruments.enabled and delay > 0.0:
+                self.instruments.netem_delayed(src, dst, delay)
             return (delay, delay)
+        if self.instruments.enabled and delay > 0.0:
+            self.instruments.netem_delayed(src, dst, delay)
         return (delay,)
 
     def _bucket_for(self, src: str, dst: str,

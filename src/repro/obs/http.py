@@ -1,0 +1,210 @@
+"""A tiny asyncio HTTP/1.0 endpoint for ``/metrics`` + ``/healthz`` +
+``/control``, and the matching raw client.
+
+Deliberately minimal and stdlib-only: ``asyncio.start_server``, one
+request per connection (``Connection: close``), request line + headers
++ ``Content-Length`` body.  That is all a Prometheus scrape, a curl
+health probe, or the scenario process's control client needs, and it
+keeps the endpoint inside the repo's no-dependency constraint.  The
+client side (:func:`http_request`) exists because ``urllib`` would
+block the shared event loop -- the asyncio-safety linter rightly
+rejects it inside ``async def``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.obs.metrics import MetricsRegistry
+
+#: Request/response body size guard (both directions).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 403: "Forbidden",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+def _response(status: int, body: bytes, content_type: str) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.0 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+class ObsServer:
+    """One replica's observability endpoint.
+
+    Routes:
+
+    - ``GET /metrics`` -- Prometheus text exposition (0.0.4).
+    - ``GET /metrics.json`` -- the schema-stable snapshot dict.
+    - ``GET /healthz`` -- liveness JSON (always 200; the status lives
+      in the body so "degraded" is distinguishable from "dead").
+    - ``POST /control`` -- signed fault/netem events; delegated to the
+      ``control`` callable, which returns ``(status, body_dict)``.
+
+    ``healthz`` is a zero-argument callable returning the health dict;
+    ``control`` takes the raw body bytes.  Port 0 binds an OS-assigned
+    port (read it back from :attr:`address`).
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 healthz: Optional[Callable[[], Dict[str, Any]]] = None,
+                 control: Optional[
+                     Callable[[bytes], Tuple[int, Dict[str, Any]]]] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.registry = registry
+        self.healthz = healthz
+        self.control = control
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        if self.port == 0:
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body, ctype = await self._respond(reader)
+            writer.write(_response(status, body, ctype))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, bytes, str]:
+        try:
+            method, path, body = await _read_request(reader)
+        except TransportError as exc:
+            return _json_error(400, str(exc))
+        if path == "/metrics":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            text = self.registry.to_prometheus()
+            return (200, text.encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8")
+        if path == "/metrics.json":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            return _json_body(200, self.registry.snapshot())
+        if path == "/healthz":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            if self.healthz is None:
+                return _json_error(404, "no health monitor attached")
+            return _json_body(200, self.healthz())
+        if path == "/control":
+            if method != "POST":
+                return _json_error(405, "use POST")
+            if self.control is None:
+                return _json_error(404, "no control channel attached")
+            status, payload = self.control(body)
+            return _json_body(status, payload)
+        return _json_error(404, f"unknown path {path!r}")
+
+
+def _json_body(status: int, payload: Dict[str, Any]
+               ) -> Tuple[int, bytes, str]:
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return (status, body, "application/json")
+
+
+def _json_error(status: int, message: str) -> Tuple[int, bytes, str]:
+    return _json_body(status, {"error": message})
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Tuple[str, str, bytes]:
+    """Parse one request: ``(method, path, body)``."""
+    line = await reader.readline()
+    parts = line.decode("latin-1").split()
+    if len(parts) < 3:
+        raise TransportError(f"malformed request line {line!r}")
+    method, path = parts[0].upper(), parts[1]
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                raise TransportError(
+                    f"bad Content-Length {value.strip()!r}") from None
+    if length > MAX_BODY_BYTES:
+        raise TransportError(f"body of {length} bytes exceeds limit")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, body
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+async def http_request(host: str, port: int, path: str,
+                       method: str = "GET",
+                       body: Optional[bytes] = None,
+                       timeout: float = 5.0
+                       ) -> Tuple[int, bytes]:
+    """One raw HTTP/1.0 exchange: ``(status, body)``."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout=timeout)
+    try:
+        payload = body or b""
+        head = (f"{method} {path} HTTP/1.0\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n")
+        writer.write(head.encode("ascii") + payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(MAX_BODY_BYTES + 4096),
+                                     timeout=timeout)
+    finally:
+        writer.close()
+    head_bytes, _, response_body = raw.partition(b"\r\n\r\n")
+    status_line = head_bytes.split(b"\r\n", 1)[0].decode("latin-1")
+    parts = status_line.split()
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise TransportError(
+            f"malformed HTTP status line {status_line!r}")
+    return int(parts[1]), response_body
+
+
+async def fetch_json(host: str, port: int, path: str,
+                     timeout: float = 5.0) -> Any:
+    """GET ``path`` and decode the JSON body (raises on non-200)."""
+    status, body = await http_request(host, port, path,
+                                      timeout=timeout)
+    if status != 200:
+        raise TransportError(
+            f"GET {path} on {host}:{port} returned {status}: "
+            f"{body[:200]!r}")
+    return json.loads(body.decode("utf-8"))

@@ -1,0 +1,378 @@
+"""Metrics primitives: counters, gauges, histograms, one registry.
+
+Golden-signal observability for live deployments needs exactly three
+instrument shapes, and nothing here may pull in a dependency:
+
+- :class:`Counter` -- monotonically increasing event counts
+  (commits, executions, dropped frames).
+- :class:`Gauge` -- point-in-time values (checkpoint lag, uptime),
+  usually refreshed by a registered *collector* right before a scrape.
+- :class:`Histogram` -- value distributions over **pinned** bucket
+  boundaries (request latency).  Buckets are part of the metric's
+  schema: dashboards and the golden exposition tests rely on them
+  never drifting, so the default boundaries live in one tuple here.
+
+Every metric is a *family*: it declares its label names up front and
+hands out children per label-value tuple via :meth:`labels`.  Hot
+paths bind children once at setup (an attribute holding the child)
+so recording is a couple of float ops -- no dict lookup, no string
+formatting.
+
+The registry renders two schema-stable forms:
+
+- :meth:`MetricsRegistry.snapshot` -- a plain dict (sorted families,
+  sorted samples) for ``/metrics.json``, drain-time snapshots and
+  sweep scraping.  ``schema_version`` guards consumers.
+- :meth:`MetricsRegistry.to_prometheus` -- the text exposition format
+  for ``/metrics`` (``# HELP`` / ``# TYPE`` headers, ``_bucket`` /
+  ``_sum`` / ``_count`` histogram series with cumulative ``le``
+  labels).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Version tag carried by every snapshot; bump when the snapshot
+#: *structure* (not the metric set) changes shape.
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Pinned latency bucket boundaries in milliseconds.  These are part
+#: of the exposition schema -- the golden tests pin them -- so widen
+#: them deliberately, never casually.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigurationError(
+            f"invalid metric name {name!r}: must match "
+            f"[a-zA-Z_:][a-zA-Z0-9_:]*")
+    return name
+
+
+def _check_labels(label_names: Sequence[str],
+                  metric: str) -> Tuple[str, ...]:
+    names = tuple(label_names)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise ConfigurationError(
+                f"invalid label name {label!r} on metric {metric!r}")
+    if len(set(names)) != len(names):
+        raise ConfigurationError(
+            f"duplicate label names on metric {metric!r}: {names}")
+    return names
+
+
+def _fmt_value(value: float) -> str:
+    """Exposition value formatting: integers stay integral."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+class _CounterChild:
+    """One (label-values) series of a counter family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counters only go up; inc({amount}) is not allowed")
+        self.value += amount
+
+
+class _GaugeChild:
+    """One (label-values) series of a gauge family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    """One (label-values) series of a histogram family."""
+
+    __slots__ = ("_bounds", "counts", "count", "sum")
+
+    def __init__(self, bounds: Tuple[float, ...]) -> None:
+        self._bounds = bounds
+        #: Per-bucket (non-cumulative) counts; exposition cumulates.
+        self.counts = [0] * (len(bounds) + 1)  # last = +Inf overflow
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self._bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for bound, bucket in zip(self._bounds, self.counts):
+            running += bucket
+            out.append((_fmt_value(bound), running))
+        out.append(("+Inf", self.count))
+        return out
+
+
+class _Family:
+    """Shared family machinery: label-keyed children."""
+
+    kind = ""
+    _child_cls: type = object
+
+    def __init__(self, name: str, help: str = "",
+                 unit: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.unit = unit
+        self.label_names = _check_labels(label_names, name)
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        return self._child_cls()
+
+    def labels(self, *values: str) -> Any:
+        """The child for one label-value tuple, created on first use.
+        Hot paths call this once at setup and keep the child."""
+        if len(values) != len(self.label_names):
+            raise ConfigurationError(
+                f"metric {self.name!r} takes labels "
+                f"{self.label_names}, got {len(values)} value(s)")
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _unlabeled(self) -> Any:
+        if self.label_names:
+            raise ConfigurationError(
+                f"metric {self.name!r} is labeled "
+                f"({self.label_names}); use .labels(...)")
+        return self.labels()
+
+    def _sorted_children(self):
+        return sorted(self._children.items())
+
+    def _label_str(self, values: Tuple[str, ...]) -> str:
+        if not self.label_names:
+            return ""
+        pairs = ",".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, values))
+        return "{" + pairs + "}"
+
+
+class Counter(_Family):
+    kind = "counter"
+    _child_cls = _CounterChild
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabeled().inc(amount)
+
+    def snapshot_samples(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(zip(self.label_names, key)),
+                 "value": child.value}
+                for key, child in self._sorted_children()]
+
+    def expose(self, lines: List[str]) -> None:
+        for key, child in self._sorted_children():
+            lines.append(f"{self.name}{self._label_str(key)} "
+                         f"{_fmt_value(child.value)}")
+
+
+class Gauge(_Family):
+    kind = "gauge"
+    _child_cls = _GaugeChild
+
+    def set(self, value: float) -> None:
+        self._unlabeled().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._unlabeled().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._unlabeled().dec(amount)
+
+    snapshot_samples = Counter.snapshot_samples
+    expose = Counter.expose
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", unit: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+                 ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly "
+                f"increasing, got {bounds}")
+        super().__init__(name, help=help, unit=unit,
+                         label_names=label_names)
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._unlabeled().observe(value)
+
+    def snapshot_samples(self) -> List[Dict[str, Any]]:
+        return [{"labels": dict(zip(self.label_names, key)),
+                 "count": child.count,
+                 "sum": child.sum,
+                 "buckets": dict(child.cumulative())}
+                for key, child in self._sorted_children()]
+
+    def expose(self, lines: List[str]) -> None:
+        for key, child in self._sorted_children():
+            base = self._label_str(key)
+            for le, running in child.cumulative():
+                if base:
+                    labels = base[:-1] + f',le="{le}"}}'
+                else:
+                    labels = f'{{le="{le}"}}'
+                lines.append(f"{self.name}_bucket{labels} {running}")
+            lines.append(f"{self.name}_sum{base} "
+                         f"{_fmt_value(child.sum)}")
+            lines.append(f"{self.name}_count{base} {child.count}")
+
+
+class MetricsRegistry:
+    """All of one process's metric families, plus pull collectors.
+
+    A *collector* is a zero-argument callable invoked right before
+    every snapshot/exposition; it refreshes pull-style gauges (replica
+    stats, checkpoint lag, uptime) so scrape output reflects the
+    moment of the scrape without per-event bookkeeping.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, _Family] = {}
+        self._collectors: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    def _register(self, family: _Family) -> _Family:
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if type(existing) is not type(family) or \
+                    existing.label_names != family.label_names:
+                raise ConfigurationError(
+                    f"metric {family.name!r} already registered with a "
+                    f"different type or label set")
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(self, name: str, help: str = "", unit: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._register(
+            Counter(name, help=help, unit=unit, label_names=labels))
+
+    def gauge(self, name: str, help: str = "", unit: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._register(
+            Gauge(name, help=help, unit=unit, label_names=labels))
+
+    def histogram(self, name: str, help: str = "", unit: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+                  ) -> Histogram:
+        family = self._register(
+            Histogram(name, help=help, unit=unit, label_names=labels,
+                      buckets=buckets))
+        if isinstance(family, Histogram) and \
+                family.buckets != tuple(float(b) for b in buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} already registered with buckets "
+                f"{family.buckets}")
+        return family
+
+    def register_collector(self, fn: Callable[[], None]) -> None:
+        self._collectors.append(fn)
+
+    def collect(self) -> None:
+        for fn in self._collectors:
+            fn()
+
+    def get(self, name: str) -> Optional[_Family]:
+        return self._families.get(name)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Schema-stable dict form (families and samples sorted)."""
+        self.collect()
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "metrics": [
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "unit": family.unit,
+                    "label_names": list(family.label_names),
+                    "samples": family.snapshot_samples(),
+                }
+                for _, family in sorted(self._families.items())
+            ],
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4)."""
+        self.collect()
+        lines: List[str] = []
+        for _, family in sorted(self._families.items()):
+            help_text = family.help
+            if family.unit:
+                help_text = (f"{help_text} [{family.unit}]"
+                             if help_text else f"[{family.unit}]")
+            lines.append(f"# HELP {family.name} "
+                         f"{_escape_help(help_text)}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            family.expose(lines)
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,67 @@
+"""Scraping live obs endpoints into report-shaped stats.
+
+Multi-process runs leave the scenario process blind to remote
+replicas' internals: their ``replica_stats`` used to be reported
+empty.  With each served process exposing ``/metrics.json``, the
+runner (and the sweep runner above it) can pull the same
+``repro_replica_stat`` gauge samples the serve loop refreshes per
+scrape, and fold them into the report exactly where locally-hosted
+replica stats go.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+#: The pull-gauge family the serve loop maintains per hosted replica.
+REPLICA_STAT_FAMILY = "repro_replica_stat"
+
+
+def replica_stats_from_snapshot(snapshot: Mapping[str, Any],
+                                replica_id: str) -> Dict[str, int]:
+    """Extract one replica's stat dict from a metrics snapshot.
+
+    Returns ``{}`` when the snapshot carries no samples for that
+    replica (e.g. the endpoint hosts different replicas).
+    """
+    stats: Dict[str, int] = {}
+    for family in snapshot.get("metrics", ()):
+        if family.get("name") != REPLICA_STAT_FAMILY:
+            continue
+        for sample in family.get("samples", ()):
+            labels = sample.get("labels", {})
+            if labels.get("replica") != replica_id:
+                continue
+            stat = labels.get("stat")
+            if stat:
+                stats[stat] = int(sample.get("value", 0))
+    return stats
+
+
+async def scrape_replica_stats(
+        endpoints: Mapping[str, Tuple[str, int]],
+        timeout: float = 5.0,
+) -> Dict[str, Optional[Dict[str, int]]]:
+    """Fetch ``/metrics.json`` from each replica's obs endpoint.
+
+    ``endpoints`` maps replica id to ``(host, port)``.  Unreachable
+    endpoints yield ``None`` for that replica rather than failing the
+    whole scrape -- a dead node is a finding, not an error.
+    """
+    import asyncio
+
+    from repro.obs.http import fetch_json
+
+    async def _one(rid: str, host: str, port: int
+                   ) -> Tuple[str, Optional[Dict[str, int]]]:
+        try:
+            snapshot = await fetch_json(host, port, "/metrics.json",
+                                        timeout=timeout)
+        except Exception:
+            return rid, None
+        return rid, replica_stats_from_snapshot(snapshot, rid)
+
+    results = await asyncio.gather(
+        *(_one(rid, host, port)
+          for rid, (host, port) in sorted(endpoints.items())))
+    return dict(results)

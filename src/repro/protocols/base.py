@@ -9,6 +9,7 @@ from repro.config import ProtocolConfig
 from repro.crypto.keys import KeyPair, KeyRegistry
 from repro.errors import ProtocolError
 from repro.messages.base import SignedPayload
+from repro.obs.instruments import NULL
 from repro.statemachine.base import Command, StateMachine
 
 #: Delivery callback shared by all protocol clients:
@@ -18,6 +19,10 @@ DeliveryCallback = Callable[[Command, Any, float, str], None]
 
 class BaseReplica:
     """Common replica state: identity, config, transport, crypto, app."""
+
+    #: Observability seam: the shared no-op singleton by default;
+    #: ``repro serve`` swaps in a live registry-backed instrument set.
+    instruments = NULL
 
     def __init__(self, node_id: str, config: ProtocolConfig,
                  ctx: NodeContext, keypair: KeyPair,

@@ -151,6 +151,8 @@ class FabReplica(BaseReplica):
             command = slot.request.command
             result = self.statemachine.apply(command)
             self.stats["executed"] += 1
+            self.instruments.commit("fast")
+            self.instruments.execute()
             self._client_ts[command.client_id] = max(
                 self._client_ts.get(command.client_id, -1),
                 command.timestamp)

@@ -318,6 +318,8 @@ class PBFTReplica(BaseReplica):
             self._last_executed += 1
             result = self.statemachine.apply(nxt.request.command)
             self.stats["executed"] += 1
+            self.instruments.commit("slow")
+            self.instruments.execute()
             client = nxt.request.client_id
             self._client_ts[client] = max(
                 self._client_ts.get(client, -1), nxt.request.timestamp)
@@ -348,6 +350,7 @@ class PBFTReplica(BaseReplica):
         became_stable = self.checkpoints.attest(
             msg.seqno, msg.state_digest, msg.replica)
         if became_stable:
+            self.instruments.checkpoint_stable(msg.seqno)
             self._gc_log(msg.seqno)
 
     def _gc_log(self, stable_seqno: int) -> None:
@@ -367,6 +370,7 @@ class PBFTReplica(BaseReplica):
             return
         self._view_changing = True
         self.stats["view_changes"] += 1
+        self.instruments.view_change()
         new_view = self.view + 1
         stable = self.checkpoints.stable
         stable_seqno = stable.watermark if stable else 0

@@ -186,6 +186,8 @@ class ZyzzyvaReplica(BaseReplica):
             command = order.request.command
             slot.spec_result = self.statemachine.apply_speculative(command)
             self.stats["executed"] += 1
+            self.instruments.commit("fast")
+            self.instruments.execute()
             self._client_ts[command.client_id] = max(
                 self._client_ts.get(command.client_id, -1),
                 command.timestamp)
@@ -312,6 +314,7 @@ class ZyzzyvaReplica(BaseReplica):
 
     def _become_primary(self, new_view: int) -> None:
         self.stats["view_changes"] += 1
+        self.instruments.view_change()
         msg = ZNewView(new_view=new_view, primary=self.node_id,
                        max_committed_seqno=self._max_committed)
         self.broadcast_others(self.sign(msg))

@@ -316,6 +316,11 @@ class _InjectorBase:
             "detail": event.describe(),
         })
 
+    def is_crashed(self, replica_id: str) -> bool:
+        """Whether ``replica_id`` is currently crash-stopped (health
+        endpoints report this without reaching into injector state)."""
+        return replica_id in self._crashed
+
 
 class SimFaultInjector(_InjectorBase):
     """Applies fault events to a simulated :class:`Cluster`.
@@ -446,7 +451,10 @@ class TcpFaultInjector(_InjectorBase):
                  spawn_clients: Optional[Callable[[int, Optional[str]],
                                                   None]] = None,
                  stop_clients: Optional[Callable[[int], None]] = None,
-                 netem_seed: int = 0) -> None:
+                 netem_seed: int = 0,
+                 control_endpoints: Optional[
+                     Dict[str, Tuple[str, int]]] = None,
+                 control_seed: bytes = b"tcp-demo") -> None:
         super().__init__()
         self.cluster = cluster
         self._spawn_clients = spawn_clients
@@ -454,13 +462,28 @@ class TcpFaultInjector(_InjectorBase):
         self._netem_seed = netem_seed
         self._partitions: set = set()
         self._wrapped = False
+        #: replica id -> (host, port) of the serving process's signed
+        #: ``/control`` endpoint; events targeting these replicas are
+        #: forwarded over HTTP instead of applied locally, and
+        #: cluster-wide events are broadcast so every process converges.
+        self.control_endpoints: Dict[str, Tuple[str, int]] = \
+            dict(control_endpoints or {})
+        self._control_seed = control_seed
+        self._control_client: Any = None
+        self._control_tasks: set = set()
+        #: Errors from forwarded control deliveries, surfaced by the
+        #: runner after :meth:`drain_control` instead of being lost in
+        #: a fire-and-forget task.
+        self.control_errors: List[str] = []
 
     @staticmethod
     def check_supported(events: Tuple[FaultEvent, ...],
-                        remote_replicas: Tuple[str, ...] = ()) -> None:
+                        remote_replicas: Tuple[str, ...] = (),
+                        controllable: Tuple[str, ...] = ()) -> None:
         """Reject events the TCP backend cannot apply: unknown event
         classes, and replica-targeted events naming a replica hosted
-        in another process (its handler lives out of reach)."""
+        in another process with no ``obs`` control endpoint declared
+        (no channel can reach its handler)."""
         for event in events:
             if not isinstance(event, TCP_SUPPORTED):
                 raise ConfigurationError(
@@ -469,17 +492,20 @@ class TcpFaultInjector(_InjectorBase):
                     f"{tuple(t.__name__ for t in TCP_SUPPORTED)})")
             targeted = [getattr(event, "replica", None)]
             if isinstance(event, Partition):
-                # Partition filters wrap local nodes only; a side
-                # naming a remote replica would cut one direction and
-                # silently leave the other open.
+                # Partition filters wrap each process's own nodes; the
+                # remote side enforces its half when the event is
+                # broadcast over /control, so every remote replica in
+                # a side needs an endpoint.
                 targeted = [m for side in event.sides for m in side]
             for replica in targeted:
-                if replica and replica in remote_replicas:
+                if replica and replica in remote_replicas and \
+                        replica not in controllable:
                     raise ConfigurationError(
                         f"fault event {type(event).__name__} targets "
                         f"replica {replica!r}, which the host map "
-                        f"places in another process; replica-targeted "
-                        f"faults only reach locally hosted replicas")
+                        f"places in another process; declare an "
+                        f"obs[{replica!r}] control endpoint so the "
+                        f"runner can deliver it over /control")
 
     def _ensure_shaper(self) -> Any:
         shaper = self.cluster.shaper
@@ -512,6 +538,65 @@ class TcpFaultInjector(_InjectorBase):
         return asyncio.get_running_loop().time() * 1000.0
 
     def apply(self, event: FaultEvent) -> None:
+        """Route one event: replica-targeted events whose target lives
+        in another process go out over that process's signed /control
+        endpoint; cluster-wide events (partitions, heal, netem,
+        latency) apply locally *and* broadcast to every control
+        endpoint so all processes converge on the same network state.
+        The event is recorded at dispatch either way -- the runner's
+        closed-loop wait counts log entries, and a forwarded event has
+        left this process the moment its task is scheduled."""
+        target = getattr(event, "replica", None)
+        if target and target in self.control_endpoints:
+            # The target replica is not in cluster.nodes here; the
+            # serving process applies it through its own injector.
+            self._forward(event, (target,))
+        else:
+            self._apply_local(event)
+            if self.control_endpoints and isinstance(
+                    event, (Partition, Heal, LatencyShift, _NetemEvent)):
+                self._forward(event, tuple(self.control_endpoints))
+        self._record(event, self._now_ms())
+
+    def _forward(self, event: FaultEvent,
+                 replicas: Tuple[str, ...]) -> None:
+        import asyncio
+        if self._control_client is None:
+            from repro.obs.control import ControlClient
+            self._control_client = ControlClient(self._control_seed)
+        loop = asyncio.get_running_loop()
+        # One process can serve several replicas behind one endpoint;
+        # send to each distinct address once (the built-in events are
+        # idempotent, but a single delivery keeps logs clean).
+        seen = set()
+        for rid in replicas:
+            host, port = self.control_endpoints[rid]
+            if (host, port) in seen:
+                continue
+            seen.add((host, port))
+            task = loop.create_task(
+                self._control_client.send(host, port, event))
+            self._control_tasks.add(task)
+            task.add_done_callback(self._control_done)
+
+    def _control_done(self, task: Any) -> None:
+        self._control_tasks.discard(task)
+        if task.cancelled():
+            self.control_errors.append("control delivery cancelled")
+            return
+        exc = task.exception()
+        if exc is not None:
+            self.control_errors.append(str(exc))
+
+    async def drain_control(self, timeout: float = 5.0) -> None:
+        """Wait for in-flight /control deliveries (teardown barrier:
+        errors land in :attr:`control_errors`, not in the void)."""
+        import asyncio
+        pending = {t for t in self._control_tasks if not t.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+
+    def _apply_local(self, event: FaultEvent) -> None:
         cluster = self.cluster
         if isinstance(event, CrashReplica):
             rid = event.replica
@@ -563,4 +648,3 @@ class TcpFaultInjector(_InjectorBase):
             raise ConfigurationError(
                 f"unsupported fault event on tcp backend: "
                 f"{type(event).__name__}")
-        self._record(event, self._now_ms())

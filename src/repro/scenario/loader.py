@@ -353,9 +353,13 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
     if scenario.primary_region is not None:
         data["primary_region"] = scenario.primary_region
     if scenario.netem is not None:
-        data["netem"] = _netem_to_dict(scenario.netem)
+        data["netem"] = scenario.netem \
+            if isinstance(scenario.netem, str) \
+            else _netem_to_dict(scenario.netem)
     if scenario.hosts is not None:
         data["hosts"] = dict(scenario.hosts)
+    if scenario.obs is not None:
+        data["obs"] = dict(scenario.obs)
     return data
 
 
@@ -369,8 +373,9 @@ _SCENARIO_SCHEMA: Dict[str, Tuple[type, ...]] = {
     "duration_ms": (int, float),
     "faults": (list, tuple),
     "seed": (int,),
-    "netem": (dict,),
+    "netem": (dict, str),
     "hosts": (dict,),
+    "obs": (dict,),
     "primary_region": (str,),
     "primary_index": (int,),
     "slow_path_timeout": (int, float),
@@ -406,9 +411,9 @@ def scenario_from_dict(data: Any, key: str = "scenario") -> Scenario:
             value = tuple(
                 _fault_from_dict(e, f"{qualified}[{i}]")
                 for i, e in enumerate(value))
-        elif field_name == "netem":
+        elif field_name == "netem" and isinstance(value, dict):
             value = _netem_from_dict(value, qualified)
-        elif field_name == "hosts":
+        elif field_name in ("hosts", "obs"):
             value = _hosts_from_dict(value, qualified)
         kwargs[field_name] = value
     if "name" not in kwargs:

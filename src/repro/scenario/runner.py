@@ -66,7 +66,7 @@ def build_tcp_cluster(scenario: Scenario,
         host_map=dict(scenario.hosts) if scenario.hosts else None,
         start_replicas=start_replicas,
         regions=regions,
-        netem=scenario.netem,
+        netem=scenario.netem_profile(),
         netem_seed=scenario.seed,
         slow_path_timeout=scenario.slow_path_timeout,
         retry_timeout=scenario.retry_timeout,
@@ -205,13 +205,22 @@ class ScenarioRunner:
 
     def __init__(self, backend: str = "sim",
                  max_events: int = MAX_EVENTS,
-                 tcp_timeout_s: float = 60.0) -> None:
+                 tcp_timeout_s: float = 60.0,
+                 instruments: Any = None,
+                 scrape: bool = True) -> None:
         if backend not in ("sim", "tcp"):
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
         self.backend = backend
         self.max_events = max_events
         self.tcp_timeout_s = tcp_timeout_s
+        #: Optional :class:`repro.obs.Instruments` fed request
+        #: latencies on the TCP backend (``repro serve`` deployments).
+        self.instruments = instruments
+        #: Scrape remote replicas' ``/metrics.json`` endpoints (when
+        #: the scenario declares ``obs``) to merge their stats into
+        #: the report.
+        self.scrape = scrape
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> ExperimentReport:
@@ -251,7 +260,7 @@ class ScenarioRunner:
             primary_region=scenario.primary_region,
             primary_index=scenario.primary_index,
             interference=scenario.interference,
-            netem=scenario.netem,
+            netem=scenario.netem_profile(),
             statemachine_factory=scenario.statemachine,
             slow_path_timeout=scenario.slow_path_timeout,
             retry_timeout=scenario.retry_timeout,
@@ -315,9 +324,18 @@ class ScenarioRunner:
     async def _run_tcp(self, scenario: Scenario) -> ExperimentReport:
         scenario.validate()
         cluster = build_tcp_cluster(scenario)
+        # Remote replicas with a declared obs endpoint are reachable
+        # for fault delivery over the serving process's /control.
+        obs_map = scenario.obs or {}
+        from repro.transport.asyncio_tcp import parse_hostport
+        control_endpoints = {
+            rid: parse_hostport(obs_map[rid])
+            for rid in cluster.remote_replica_ids
+            if rid in obs_map}
         TcpFaultInjector.check_supported(
             scenario.faults,
-            remote_replicas=cluster.remote_replica_ids)
+            remote_replicas=cluster.remote_replica_ids,
+            controllable=tuple(control_endpoints))
         # repro: allow[wall-clock] -- wall_seconds is reporting-
         # only, excluded from the determinism gates by design.
         wall_start = time.perf_counter()
@@ -329,6 +347,7 @@ class ScenarioRunner:
                            workload.clients_per_region))
         pool: Optional[_ClientPool] = None
         injector: Optional[TcpFaultInjector] = None
+        instruments = self.instruments
         #: call_later handles for scheduled faults/phase boundaries, so
         #: a timed-out run cancels what has not fired yet.
         handles: List[Any] = []
@@ -344,6 +363,8 @@ class ScenarioRunner:
                        _region=region):
                 recorder.record(_region, latency, path,
                                 loop.time() * 1000.0 - origin_ms)
+                if instruments is not None and instruments.enabled:
+                    instruments.request_latency(latency)
 
             client.on_delivery = record
             return client
@@ -380,7 +401,8 @@ class ScenarioRunner:
                 cluster,
                 spawn_clients=pool.spawn,
                 stop_clients=pool.stop,
-                netem_seed=scenario.seed)
+                netem_seed=scenario.seed,
+                control_endpoints=control_endpoints)
             injector.install_filters()
 
             if cluster.remote_replica_ids:
@@ -431,9 +453,25 @@ class ScenarioRunner:
                 # tearing down.
                 await asyncio.sleep(0.1)
 
+            if control_endpoints:
+                # Forwarded /control deliveries must land before the
+                # report is assembled (their errors surface here, not
+                # in a stranded task).
+                await injector.drain_control()
+
             duration_ms = loop.time() * 1000.0 - origin_ms
             replica_stats = {rid: dict(r.stats)
                              for rid, r in cluster.replicas.items()}
+            if self.scrape and control_endpoints:
+                # Pull remote replicas' stats off their /metrics.json
+                # endpoints so the report covers the whole deployment,
+                # not just the locally hosted slice.
+                from repro.obs.scrape import scrape_replica_stats
+                remote_stats = await scrape_replica_stats(
+                    control_endpoints)
+                for rid, stats in remote_stats.items():
+                    if stats is not None:
+                        replica_stats[rid] = stats
             from repro.cluster.metrics import replica_footprint
             footprint = {rid: replica_footprint(r)
                          for rid, r in cluster.replicas.items()}
@@ -446,6 +484,9 @@ class ScenarioRunner:
                 **(cluster.shaper.stats
                    if cluster.shaper is not None else {}),
             }
+            if control_endpoints:
+                network["control_errors"] = \
+                    len(injector.control_errors)
         finally:
             # Timeout (or any failure) must not strand a half-run
             # deployment: stop issuing load, cancel what has not fired,

@@ -157,11 +157,20 @@ class Scenario:
     #: Link-level network emulation (loss / jitter / reorder /
     #: duplication / bandwidth caps) applied identically on both
     #: backends through the :class:`repro.netem.LinkShaper` seam.
-    netem: Optional[NetemProfile] = None
+    #: Either a full :class:`NetemProfile` or the name of a preset in
+    #: :data:`repro.netem.NETEM_PRESETS` (``"lossy-wan"``, ...), so
+    #: sweep axes can say ``netem=lossy-wan,clean``.
+    netem: Union[str, NetemProfile, None] = None
     #: TCP backend only: replica id -> ``"host:port"`` for replicas
     #: hosted in *another* process (``python -m repro serve``); the
     #: runner starts the rest locally and dials these.
     hosts: Optional[Mapping[str, str]] = None
+    #: TCP backend only: replica id -> ``"host:port"`` observability
+    #: endpoint (``/metrics`` + ``/healthz`` + signed ``/control``) the
+    #: serving process binds for that replica.  The scenario process
+    #: uses these to deliver remote-targeted faults and to scrape
+    #: remote replica stats into the report.
+    obs: Optional[Mapping[str, str]] = None
     statemachine: Callable[[], StateMachine] = KVStore
     interference: Any = None
     primary_region: Optional[str] = None
@@ -221,11 +230,13 @@ class Scenario:
                 raise ConfigurationError(
                     f"fault event {event!r} scheduled after the "
                     f"scenario horizon ({horizon}ms)")
-        if self.netem is not None:
-            self.netem.validate(
+        profile = self.netem_profile()
+        if profile is not None:
+            profile.validate(
                 known_tokens=set(matrix.regions) | set(replica_ids),
                 key="netem")
         self._validate_hosts(replica_ids)
+        self._validate_obs(replica_ids)
         for backend in self.backends:
             if backend not in BACKENDS:
                 raise ConfigurationError(
@@ -293,6 +304,32 @@ class Scenario:
                 "hosts cannot place every replica remotely: at least "
                 "one replica must run in the scenario process")
 
+    def _validate_obs(self, replica_ids: Tuple[str, ...]) -> None:
+        if self.obs is None:
+            return
+        if not self.obs:
+            raise ConfigurationError(
+                "obs must map at least one replica (or be omitted)")
+        from repro.transport.asyncio_tcp import parse_hostport
+        from repro.errors import TransportError
+        hosts = self.hosts or {}
+        for rid, value in self.obs.items():
+            if rid not in replica_ids:
+                raise ConfigurationError(
+                    f"obs names unknown replica {rid!r} "
+                    f"(have {replica_ids})")
+            if rid not in hosts:
+                raise ConfigurationError(
+                    f"obs[{rid!r}] has no matching hosts entry: obs "
+                    f"endpoints belong to replicas another process "
+                    f"serves (have hosts for "
+                    f"{tuple(sorted(hosts))})")
+            try:
+                parse_hostport(value)
+            except TransportError as exc:
+                raise ConfigurationError(
+                    f"obs[{rid!r}]: {exc}") from None
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -306,6 +343,13 @@ class Scenario:
                 f"unknown latency matrix {self.latency!r}; choose from "
                 f"{tuple(NAMED_MATRICES)} or pass a LatencyMatrix"
             ) from None
+
+    def netem_profile(self) -> Optional[NetemProfile]:
+        """The effective netem profile: ``None`` passes through, a
+        preset name resolves through :data:`repro.netem.NETEM_PRESETS`
+        (key-named error on unknown names)."""
+        from repro.netem import resolve_netem
+        return resolve_netem(self.netem, key="netem")
 
     def replica_ids(self) -> Tuple[str, ...]:
         return tuple(f"r{i}" for i in range(len(self.replica_regions)))

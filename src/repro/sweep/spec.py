@@ -227,14 +227,20 @@ def _check_axis_type(axis: str, target: str, value: Any) -> None:
     if value is None:
         return  # pins an optional field (e.g. primary_region=None)
     if target == "netem":
-        # Python-built sweeps may grid over whole netem profiles (a
-        # spec *file* cannot -- axis values there are scalars).
-        from repro.netem import NetemProfile
+        # Python-built sweeps may grid over whole netem profiles;
+        # spec-file sweeps (scalar axes only) use preset names, so
+        # ``netem=lossy-wan,clean`` works from --grid too.  Resolve
+        # names eagerly: a typo fails at expansion with the axis
+        # named, not mid-run in cell 37.
+        from repro.netem import NetemProfile, netem_preset
         if isinstance(value, NetemProfile):
+            return
+        if isinstance(value, str):
+            netem_preset(value, key=f"sweep axis {axis!r}")
             return
         raise ConfigurationError(
             f"sweep axis {axis!r} value {value!r} must be a "
-            f"NetemProfile (or None)")
+            f"NetemProfile, a preset name, or None")
     if target.startswith("workload."):
         expected = _WORKLOAD_SCHEMA.get(target[len("workload."):])
     else:

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from repro.cluster.node import NodeContext
 from repro.errors import TransportError
 from repro.messages.base import decode
+from repro.obs.instruments import NULL
 from repro.transport.codec import decode_frame, encode_frame
 
 _HEADER = struct.Struct(">I")
@@ -84,6 +85,11 @@ class _AsyncioTimer:
 class AsyncioNode:
     """One protocol node bound to a TCP listening socket."""
 
+    #: Observability seam.  Per-frame sites guard on
+    #: ``instruments.enabled`` so a disabled deployment pays a single
+    #: attribute test; ``repro serve`` swaps in a live set.
+    instruments = NULL
+
     def __init__(self, node_id: str, address: Address,
                  addresses: Dict[str, Address],
                  loop: Optional[asyncio.AbstractEventLoop] = None,
@@ -116,6 +122,10 @@ class AsyncioNode:
         self.frames_received = 0
         self.frames_sent = 0
         self.frames_dropped = 0
+        #: When each peer was last heard from (loop-clock ms), kept
+        #: only while instruments are live -- the health monitor's
+        #: quorum-reachability signal.
+        self.last_rx_ms: Dict[str, float] = {}
 
     @property
     def loop(self) -> asyncio.AbstractEventLoop:
@@ -168,6 +178,15 @@ class AsyncioNode:
             self.address = (host, port)
             self.addresses[self.node_id] = self.address
 
+    async def flush_sends(self, timeout: float = 2.0) -> None:
+        """Wait (bounded) for in-flight send tasks to finish -- the
+        graceful-drain half of shutdown, before :meth:`stop` cancels
+        whatever is still pending."""
+        pending = {task for task in self._send_tasks
+                   if not task.done()}
+        if pending:
+            await asyncio.wait(pending, timeout=timeout)
+
     async def stop(self) -> None:
         self._closed = True
         for task in list(self._send_tasks):
@@ -207,10 +226,16 @@ class AsyncioNode:
         # needing every ephemeral port configured up front.
         if self.addresses.get(sender) != learned:
             self.addresses[sender] = learned
+        if self.instruments.enabled:
+            # Hello frames count as "heard from" too: reachability is
+            # about the peer being alive, not about payload traffic.
+            self.last_rx_ms[sender] = self.loop.time() * 1000.0
         if wire is None:
             return  # address announcement only; no protocol payload
         message = decode(wire)
         self.frames_received += 1
+        if self.instruments.enabled:
+            self.instruments.frame_received()
         if self.handler is not None:
             self.handler(sender, message)
 
@@ -229,6 +254,8 @@ class AsyncioNode:
                 # been learned yet; the network is quasi-reliable, so
                 # drop and let protocol retries recover.
                 self.frames_dropped += 1
+                if self.instruments.enabled:
+                    self.instruments.frame_dropped()
                 return
             raise TransportError(f"unknown destination {dst!r}")
         task = self.loop.create_task(self._send(dst, message))
@@ -257,6 +284,8 @@ class AsyncioNode:
                                     self.loop.time() * 1000.0)
             if not plan:
                 self.frames_dropped += 1
+                if self.instruments.enabled:
+                    self.instruments.frame_dropped()
                 return
             for extra in plan[1:]:  # duplicated copies ride alone
                 self._spawn_copy(dst, frame, extra)
@@ -286,6 +315,8 @@ class AsyncioNode:
             writer.write(_HEADER.pack(len(frame)) + frame)
             await writer.drain()
             self.frames_sent += 1
+            if self.instruments.enabled:
+                self.instruments.frame_sent()
         except (ConnectionError, OSError):
             # Quasi-reliable network: a dead peer just loses messages;
             # protocol timeouts recover.  Drop the cached writer so the

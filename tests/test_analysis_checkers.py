@@ -46,6 +46,19 @@ def test_wall_clock_layer_split():
     assert wall_clock_allowed("src/repro/transport/asyncio_tcp.py")
     assert wall_clock_allowed("src/repro/bench/runner.py")
     assert wall_clock_allowed("src/repro/sweep/runner.py")
+    # obs exists only under `repro serve`: live metrics and health
+    # timestamps are its job, never reachable from a simulated run.
+    assert wall_clock_allowed("src/repro/obs/serve.py")
+
+
+def test_wall_clock_allowed_in_obs_layer(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/obs/ok.py", """\
+        import time
+
+        def scrape_stamp():
+            return time.time()
+        """)
+    assert hits(findings, "wall-clock") == []
 
 
 # ----------------------------------------------------------------------

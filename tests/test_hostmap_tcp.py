@@ -105,20 +105,25 @@ def test_hostmap_cluster_starts_only_local_replicas():
     asyncio.run(check())
 
 
-def test_hostmap_fault_on_remote_replica_rejected():
+def test_hostmap_fault_on_remote_replica_needs_obs_endpoint():
+    # Remote-targeted faults are deliverable over the serving
+    # process's signed /control endpoint (test_obs_control_remote.py);
+    # without an obs entry there is no channel, so the runner still
+    # rejects up front -- and the error says what to declare.
     from repro.errors import ConfigurationError
     from repro.scenario import CrashReplica, Partition
 
     scenario = _hostmap_scenario(_free_port()).with_overrides(
         faults=(CrashReplica(at_ms=10.0, replica="r3"),))
-    with pytest.raises(ConfigurationError, match="r3"):
+    with pytest.raises(ConfigurationError, match="obs"):
         ScenarioRunner(backend="tcp").run(scenario)
     # Partitions name replicas via sides, not .replica: a side touching
-    # a remote replica would only cut one direction (local filters).
+    # a remote replica needs the broadcast channel so both directions
+    # get cut.
     scenario = _hostmap_scenario(_free_port()).with_overrides(
         faults=(Partition(at_ms=10.0,
                           sides=(("r3",), ("r0", "r1", "r2"))),))
-    with pytest.raises(ConfigurationError, match="r3"):
+    with pytest.raises(ConfigurationError, match="obs"):
         ScenarioRunner(backend="tcp").run(scenario)
 
 

@@ -1,0 +1,70 @@
+"""Named netem presets: resolution, key-named errors, sweep axes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.netem import (
+    NETEM_PRESETS,
+    NetemProfile,
+    netem_preset,
+    resolve_netem,
+)
+from repro.scenario import Scenario
+from repro.sweep import SweepSpec
+
+REGIONS = ("virginia", "tokyo", "mumbai", "sydney")
+
+
+def test_every_preset_is_a_valid_profile():
+    for name, profile in NETEM_PRESETS.items():
+        assert isinstance(profile, NetemProfile), name
+        profile.validate(key=f"preset {name}")
+
+
+def test_clean_preset_is_noop():
+    assert NETEM_PRESETS["clean"].default.is_noop
+
+
+def test_unknown_preset_names_the_key_and_choices():
+    with pytest.raises(ConfigurationError, match="netem"):
+        netem_preset("dsl-1998")
+    with pytest.raises(ConfigurationError, match="lossy-wan"):
+        netem_preset("dsl-1998")
+
+
+def test_resolve_netem_passthrough_and_type_error():
+    profile = NetemProfile()
+    assert resolve_netem(None) is None
+    assert resolve_netem(profile) is profile
+    assert resolve_netem("flaky") is NETEM_PRESETS["flaky"]
+    with pytest.raises(ConfigurationError, match="netem"):
+        resolve_netem(42)  # type: ignore[arg-type]
+
+
+def test_scenario_accepts_preset_name():
+    scenario = Scenario(name="t", protocol="ezbft",
+                        replica_regions=REGIONS, netem="lossy-wan")
+    scenario.validate()
+    assert scenario.netem_profile() is NETEM_PRESETS["lossy-wan"]
+    # The stored field stays the name (round-trips through specs).
+    assert scenario.netem == "lossy-wan"
+
+
+def test_scenario_rejects_unknown_preset_at_validate():
+    scenario = Scenario(name="t", protocol="ezbft",
+                        replica_regions=REGIONS, netem="nope")
+    with pytest.raises(ConfigurationError, match="netem"):
+        scenario.validate()
+
+
+def test_sweep_axis_accepts_preset_names():
+    spec = SweepSpec(base="smoke",
+                     grid={"netem": ("lossy-wan", "clean")})
+    cells = list(spec.cells())
+    assert {c.scenario.netem for c in cells} == {"lossy-wan", "clean"}
+
+
+def test_sweep_axis_rejects_unknown_preset_eagerly():
+    spec = SweepSpec(base="smoke", grid={"netem": ("dsl-1998",)})
+    with pytest.raises(ConfigurationError, match="netem"):
+        list(spec.cells())

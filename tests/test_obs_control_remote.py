@@ -1,0 +1,149 @@
+"""Two-process control-channel delivery: a scenario process drives a
+fault into a replica hosted by a separate ``repro serve`` process.
+
+This used to be a hard rejection ("replica-targeted faults only reach
+locally hosted replicas"); with an ``obs`` endpoint declared for the
+remote replica, the runner signs the event and POSTs it to the serving
+process's ``/control``, which applies it through its own injector.
+The serve process's ``/healthz`` is the ground truth that the fault
+really landed on the other side of the process boundary.
+"""
+
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+
+from repro.obs import http_request
+from repro.scenario import (
+    CrashReplica,
+    RecoverReplica,
+    Scenario,
+    ScenarioRunner,
+    WorkloadSpec,
+    save_spec,
+)
+
+SRC = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _scenario(replica_port: int, obs_port: int) -> Scenario:
+    return Scenario(
+        name="obs-remote-fault",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        hosts={"r3": f"127.0.0.1:{replica_port}"},
+        obs={"r3": f"127.0.0.1:{obs_port}"},
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=4,
+                              think_time_ms=20.0),
+        # r3 is crashed mid-run and recovered before the end; ezBFT
+        # with n=4 tolerates the one failure throughout.
+        faults=(CrashReplica(at_ms=250.0, replica="r3"),
+                RecoverReplica(at_ms=900.0, replica="r3")),
+        seed=12,
+        slow_path_timeout=300.0,
+        retry_timeout=2000.0,
+        suspicion_timeout=30_000.0,
+        view_change_timeout=30_000.0,
+        backends=("tcp",),
+    )
+
+
+def _healthz(host: str, port: int) -> dict:
+    status, body = asyncio.run(http_request(host, port, "/healthz"))
+    assert status == 200
+    return json.loads(body)
+
+
+def test_remote_fault_delivered_over_control(tmp_path):
+    replica_port, obs_port = _free_port(), _free_port()
+    scenario = _scenario(replica_port, obs_port)
+    spec_path = tmp_path / "remote-fault.json"
+    save_spec(scenario, str(spec_path))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--spec", str(spec_path), "--replicas", "r3"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        line = server.stdout.readline()
+        assert "serving r3@" in line, f"serve did not come up: {line!r}"
+        line = server.stdout.readline()
+        assert f"r3@127.0.0.1:{obs_port}" in line, \
+            f"obs endpoint not announced: {line!r}"
+
+        # The serving side starts healthy and un-crashed.
+        before = _healthz("127.0.0.1", obs_port)
+        assert before["crashed"] is False
+
+        report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
+            .run(scenario)
+
+        # Both remote-targeted faults were dispatched and recorded.
+        assert [e["event"] for e in report.fault_log] == \
+            ["CrashReplica", "RecoverReplica"]
+        assert report.network.get("control_errors") == 0
+        assert report.delivered == 4
+
+        # Ground truth on the serving side: the crash landed (and the
+        # recover un-did it), all driven from the other process.
+        after = _healthz("127.0.0.1", obs_port)
+        assert after["crashed"] is False  # recovered by the schedule
+        assert after["executed"] >= before["executed"]
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+
+
+def test_remote_crash_without_recover_sticks(tmp_path):
+    replica_port, obs_port = _free_port(), _free_port()
+    scenario = _scenario(replica_port, obs_port).with_overrides(
+        faults=(CrashReplica(at_ms=250.0, replica="r3"),))
+    spec_path = tmp_path / "remote-crash.json"
+    save_spec(scenario, str(spec_path))
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--spec", str(spec_path), "--replicas", "r3"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env)
+    try:
+        line = server.stdout.readline()
+        assert "serving r3@" in line, f"serve did not come up: {line!r}"
+        server.stdout.readline()  # obs endpoint banner
+
+        report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
+            .run(scenario)
+        assert report.network.get("control_errors") == 0
+
+        after = _healthz("127.0.0.1", obs_port)
+        assert after["crashed"] is True
+        assert after["status"] == "degraded"
+        assert any("crashed" in reason for reason in after["reasons"])
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()

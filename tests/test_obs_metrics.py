@@ -1,0 +1,120 @@
+"""repro.obs.metrics: registry semantics and histogram bucket math.
+
+The exposition/golden-file pins live in test_obs_http.py; this file
+checks the arithmetic those surfaces rely on -- bucket assignment,
+cumulative counts, sum/count, label-child identity, idempotent
+re-registration -- with hand-computed expectations.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import DEFAULT_LATENCY_BUCKETS_MS
+
+
+def test_counter_inc_and_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits", "Hits", labels=("path",))
+    counter.labels("fast").inc()
+    counter.labels("fast").inc(2)
+    counter.labels("slow").inc()
+    samples = {tuple(s["labels"].values()): s["value"]
+               for s in counter.snapshot_samples()}
+    assert samples == {("fast",): 3, ("slow",): 1}
+    # The same label values resolve to the same child object.
+    assert counter.labels("fast") is counter.labels("fast")
+
+
+def test_counter_rejects_negative_increment():
+    registry = MetricsRegistry()
+    counter = registry.counter("hits", "Hits")
+    with pytest.raises(ConfigurationError):
+        counter.labels().inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("depth", "Queue depth")
+    child = gauge.labels()
+    child.set(10)
+    child.inc(5)
+    child.dec(3)
+    (sample,) = gauge.snapshot_samples()
+    assert sample["value"] == 12
+
+
+def test_histogram_bucket_assignment():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "Latency", unit="ms",
+                              buckets=(1.0, 5.0, 25.0))
+    child = hist.labels()
+    # 0.5 -> le=1; 1.0 -> le=1 (boundaries inclusive); 3 -> le=5;
+    # 25.0 -> le=25; 100 -> +Inf.
+    for value in (0.5, 1.0, 3.0, 25.0, 100.0):
+        child.observe(value)
+    cumulative = dict(child.cumulative())
+    assert cumulative == {"1": 2, "5": 3, "25": 4, "+Inf": 5}
+    assert child.count == 5
+    assert child.sum == pytest.approx(129.5)
+
+
+def test_histogram_cumulative_is_monotone_on_default_buckets():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "Latency", unit="ms")
+    child = hist.labels()
+    for value in (0.1, 2.0, 2.5, 9.9, 10.0, 10.1, 4000.0, 9999.0):
+        child.observe(value)
+    cumulative = child.cumulative()
+    counts = [count for _, count in cumulative]
+    assert counts == sorted(counts)
+    assert cumulative[-1] == ("+Inf", 8)
+    # One boundary entry per default bucket plus +Inf.
+    assert len(cumulative) == len(DEFAULT_LATENCY_BUCKETS_MS) + 1
+
+
+def test_histogram_rejects_unsorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        registry.histogram("lat", "Latency", buckets=(5.0, 1.0))
+
+
+def test_reregistration_is_idempotent_but_typed():
+    registry = MetricsRegistry()
+    first = registry.counter("hits", "Hits", labels=("path",))
+    again = registry.counter("hits", "Hits", labels=("path",))
+    assert first is again
+    with pytest.raises(ConfigurationError):
+        registry.gauge("hits", "Hits")  # same name, different type
+    with pytest.raises(ConfigurationError):
+        registry.counter("hits", "Hits", labels=("other",))
+
+
+def test_collectors_refresh_before_snapshot():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("uptime", "Uptime", unit="ms")
+    ticks = {"n": 0}
+
+    def refresh():
+        ticks["n"] += 1
+        gauge.labels().set(ticks["n"] * 100)
+
+    registry.register_collector(refresh)
+    snap = registry.snapshot()
+    (family,) = [f for f in snap["metrics"] if f["name"] == "uptime"]
+    assert family["samples"][0]["value"] == 100
+    registry.to_prometheus()
+    snap = registry.snapshot()
+    assert ticks["n"] == 3  # one refresh per collect surface
+
+
+def test_snapshot_families_sorted_and_schema_keyed():
+    registry = MetricsRegistry()
+    registry.counter("zzz", "Z")
+    registry.gauge("aaa", "A")
+    snap = registry.snapshot()
+    names = [f["name"] for f in snap["metrics"]]
+    assert names == sorted(names)
+    for family in snap["metrics"]:
+        assert set(family) == {"name", "type", "help", "unit",
+                               "label_names", "samples"}

@@ -1,0 +1,242 @@
+"""ServeSession end to end (single process) and the signed control
+channel's verification ladder.
+
+The two-process deployment test lives in test_obs_control_remote.py;
+here everything runs in one event loop: a served replica subset with
+port-0 obs endpoints, live scrapes, signed fault delivery, and a drain
+that must leave the loop with no pending tasks.
+"""
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import ServeSession, fetch_json, http_request
+from repro.obs.control import (
+    ControlChannel,
+    ControlClient,
+    control_keypair,
+    sign_event,
+)
+from repro.scenario import Scenario, WorkloadSpec
+from repro.scenario.faults import CrashReplica, PacketLoss
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        name="obs-serve-test",
+        protocol="ezbft",
+        replica_regions=("local",) * 4,
+        latency="local",
+        hosts={"r2": f"127.0.0.1:{_free_port()}",
+               "r3": f"127.0.0.1:{_free_port()}"},
+        workload=WorkloadSpec(mode="closed", clients_per_region=1,
+                              requests_per_client=2),
+        seed=5,
+        backends=("tcp",),
+    )
+
+
+def _session(**kwargs) -> ServeSession:
+    return ServeSession(
+        _scenario(), ("r2", "r3"),
+        obs_addresses={"r2": ("127.0.0.1", 0),
+                       "r3": ("127.0.0.1", 0)},
+        **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle
+# ----------------------------------------------------------------------
+def test_serve_session_scrape_control_and_drain(tmp_path):
+    snapshot_path = tmp_path / "snapshot.json"
+
+    async def run():
+        session = _session(snapshot_path=str(snapshot_path))
+        await session.start()
+        host, port = session.endpoints["r2"]
+
+        health = json.loads(
+            (await http_request(host, port, "/healthz"))[1])
+        assert health["status"] == "ok"
+        assert health["replica"] == "r2"
+
+        snap = await fetch_json(host, port, "/metrics.json")
+        stats = {s["labels"]["stat"]: s["value"]
+                 for f in snap["metrics"]
+                 if f["name"] == "repro_replica_stat"
+                 for s in f["samples"]
+                 if s["labels"]["replica"] == "r2"}
+        assert "executed" in stats
+
+        client = ControlClient()
+        result = await client.send(
+            host, port, CrashReplica(at_ms=0.0, replica="r2"))
+        assert result["applied"] is True
+        assert session.injector.is_crashed("r2")
+        health = json.loads(
+            (await http_request(host, port, "/healthz"))[1])
+        assert health["status"] == "degraded"
+        assert health["crashed"] is True
+
+        await session.drain()
+        # The endpoint is down after drain.
+        with pytest.raises(OSError):
+            await http_request(host, port, "/healthz", timeout=1.0)
+        pending = [t for t in asyncio.all_tasks()
+                   if t is not asyncio.current_task()]
+        assert pending == [], f"drain left tasks: {pending}"
+        return session
+
+    session = asyncio.run(run())
+    payload = json.loads(snapshot_path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["replicas"] == ["r2", "r3"]
+    assert payload["health"]["r2"]["crashed"] is True
+    assert any(f["name"] == "repro_control_events_total"
+               for f in payload["metrics"]["metrics"])
+    assert session.endpoints  # still introspectable post-drain
+
+
+def test_serve_session_rejects_unhosted_replica():
+    scenario = _scenario()
+    with pytest.raises(ConfigurationError, match="r1"):
+        ServeSession(scenario, ("r1",))
+
+
+def test_sigterm_drains_and_writes_snapshot(tmp_path):
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    from repro.scenario import save_spec
+
+    scenario = _scenario().with_overrides(
+        obs={"r2": f"127.0.0.1:{_free_port()}"})
+    spec_path = tmp_path / "serve.json"
+    snapshot_path = tmp_path / "final-snapshot.json"
+    save_spec(scenario, str(spec_path))
+
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--spec", str(spec_path), "--replicas", "r2,r3",
+         "--snapshot", str(snapshot_path), "--json-logs"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env)
+    try:
+        line = server.stdout.readline()
+        assert "serving r2@" in line, f"serve did not come up: {line!r}"
+        server.send_signal(signal.SIGTERM)
+        out, err = server.communicate(timeout=15)
+    except BaseException:
+        server.kill()
+        server.wait()
+        raise
+    assert server.returncode == 0, (out, err)
+
+    payload = json.loads(snapshot_path.read_text())
+    assert payload["schema_version"] == 1
+    assert payload["replicas"] == ["r2", "r3"]
+    assert set(payload["health"]) == {"r2", "r3"}
+    # --json-logs: every stderr log line is one JSON object carrying
+    # the run context.
+    log_lines = [ln for ln in err.splitlines() if ln.strip()]
+    assert log_lines, "expected structured log output on stderr"
+    for ln in log_lines:
+        record = json.loads(ln)
+        assert record["run"] == scenario.name
+
+
+# ----------------------------------------------------------------------
+# Control-channel verification ladder (no sockets needed)
+# ----------------------------------------------------------------------
+def _channel(applied):
+    return ControlChannel(applied.append, ("r0", "r1", "r2", "r3"))
+
+
+def test_control_channel_applies_signed_event():
+    applied = []
+    channel = _channel(applied)
+    body = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                      control_keypair())
+    status, payload = channel.handle(body)
+    assert status == 200 and payload["applied"] is True
+    assert len(applied) == 1
+    assert isinstance(applied[0], CrashReplica)
+
+
+def test_control_channel_rejects_garbage_and_missing_keys():
+    channel = _channel([])
+    assert channel.handle(b"not json")[0] == 400
+    assert channel.handle(b'{"v": 1}')[0] == 400
+    assert channel.handle(b'"just a string"')[0] == 400
+
+
+def test_control_channel_rejects_bad_signature():
+    applied = []
+    channel = _channel(applied)
+    wrong_key = control_keypair(seed=b"some-other-deployment")
+    body = sign_event(CrashReplica(at_ms=0.0, replica="r1"), wrong_key)
+    status, payload = channel.handle(body)
+    assert status == 403
+    assert applied == []
+
+
+def test_control_channel_rejects_tampered_event():
+    applied = []
+    channel = _channel(applied)
+    body = sign_event(PacketLoss(at_ms=0.0, probability=0.1),
+                      control_keypair())
+    envelope = json.loads(body)
+    envelope["event"]["probability"] = 1.0  # MAC no longer covers it
+    status, _ = channel.handle(json.dumps(envelope).encode())
+    assert status == 403
+    assert applied == []
+
+
+def test_control_channel_rejects_replay():
+    applied = []
+    channel = _channel(applied)
+    body = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                      control_keypair(), nonce="fixed-nonce")
+    assert channel.handle(body)[0] == 200
+    status, payload = channel.handle(body)
+    assert status == 409
+    assert "replay" in payload["error"]
+    assert len(applied) == 1
+
+
+def test_control_channel_rejects_invalid_event():
+    channel = _channel([])
+    # Unknown replica id fails FaultEvent.validate -> 422.
+    body = sign_event(CrashReplica(at_ms=0.0, replica="r9"),
+                      control_keypair())
+    status, payload = channel.handle(body)
+    assert status == 422
+    assert "r9" in payload["error"]
+
+
+def test_control_channel_apply_failure_is_500():
+    def boom(event):
+        raise RuntimeError("injector exploded")
+
+    channel = ControlChannel(boom, ("r0", "r1", "r2", "r3"))
+    body = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                      control_keypair())
+    status, payload = channel.handle(body)
+    assert status == 500
+    assert "injector exploded" in payload["error"]
