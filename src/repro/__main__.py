@@ -182,6 +182,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--snapshot", default=None,
                        help="write a final metrics+health snapshot "
                             "(JSON) here on drain")
+    serve.add_argument("--data-dir", default=None,
+                       help="back hosted replicas with an on-disk "
+                            "WAL + snapshot store under this "
+                            "directory and recover from it on start "
+                            "(default: .repro-data/<scenario> when "
+                            "the spec sets durable=true)")
     serve.add_argument("--json-logs", action="store_true",
                        help="emit structured JSON logs (one object "
                             "per line) with run/replica/seed context")
@@ -522,7 +528,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         configure_json_logging(run=scenario.name, replicas=replicas,
                                seed=str(scenario.seed))
     session = ServeSession(scenario, replicas,
-                           snapshot_path=args.snapshot)
+                           snapshot_path=args.snapshot,
+                           data_dir=args.data_dir)
 
     def announce() -> None:
         cluster = session.cluster

@@ -14,6 +14,7 @@ from repro.analysis.checkers import (  # noqa: F401  (registration)
     asyncio_safety,
     crypto_boundary,
     determinism,
+    filesystem,
     frozen_mutation,
     quorum,
     wire_schema,

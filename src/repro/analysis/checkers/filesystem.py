@@ -1,0 +1,89 @@
+"""Filesystem-boundary checker: disk I/O stays in the storage seam.
+
+PR 9 made durability a first-class axis by introducing
+``repro.storage`` (WAL + snapshot stores) and threading it through
+``replica.attach_storage``.  The design only stays optional -- and the
+sim backend only stays hermetic -- if protocol code never grows a bare
+``open()``: a replica that writes files directly cannot be run
+diskless, and a state machine that reads them is not a pure function
+of its command stream.  This rule pins the boundary: filesystem calls
+are legal exactly in the layers :data:`repro.analysis.layers`
+sanctions (``storage``, ``sweep``, ``obs``, ``scenario``, ``bench``,
+``analysis``, the CLI) and findings everywhere else.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.checkers.base import (
+    Checker,
+    FileContext,
+    Finding,
+    RuleSpec,
+    canonical_call_name,
+    import_aliases,
+    register_checker,
+)
+from repro.analysis.layers import filesystem_allowed
+
+#: Dotted call targets that read or mutate the filesystem.
+_FS_CALLS = frozenset({
+    "open",
+    "os.fdopen", "os.replace", "os.rename", "os.remove", "os.unlink",
+    "os.makedirs", "os.mkdir", "os.rmdir", "os.removedirs",
+    "os.listdir", "os.scandir", "os.truncate", "os.link",
+    "os.symlink",
+    "tempfile.mkstemp", "tempfile.mkdtemp",
+    "tempfile.NamedTemporaryFile", "tempfile.TemporaryDirectory",
+    "tempfile.TemporaryFile", "tempfile.SpooledTemporaryFile",
+})
+
+#: ``shutil`` is filesystem manipulation wholesale.
+_FS_MODULES = frozenset({"shutil"})
+
+#: Attribute tails covering ``pathlib.Path`` convenience I/O
+#: (``cfg_path.read_text()`` and friends) regardless of the receiver
+#: expression.
+_FS_TAILS = frozenset({
+    "write_text", "read_text", "write_bytes", "read_bytes",
+})
+
+
+@register_checker
+class FilesystemChecker(Checker):
+    name = "filesystem"
+    RULES = (
+        RuleSpec("fs-outside-storage",
+                 "filesystem call outside the sanctioned layers "
+                 "(storage/sweep/obs/scenario/bench/analysis/CLI)",
+                 "PR 9 durability seam"),
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if filesystem_allowed(ctx.relpath):
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = canonical_call_name(node.func, aliases)
+            if self._is_fs_call(name):
+                yield ctx.finding(
+                    "fs-outside-storage", node,
+                    f"filesystem call {name}() in a diskless layer; "
+                    f"persist through the repro.storage seam "
+                    f"(replica.attach_storage) or move the code to "
+                    f"an FS-sanctioned layer (see "
+                    f"repro.analysis.layers.FS_OK_LAYERS)")
+
+    @staticmethod
+    def _is_fs_call(name: str) -> bool:
+        if not name:
+            return False
+        if name in _FS_CALLS:
+            return True
+        if name.partition(".")[0] in _FS_MODULES and "." in name:
+            return True
+        return name.rpartition(".")[2] in _FS_TAILS and "." in name

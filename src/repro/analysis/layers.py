@@ -29,6 +29,20 @@ WALL_CLOCK_OK_LAYERS = frozenset({
     "transport", "bench", "sweep", "analysis", "obs", "__main__",
 })
 
+#: Layers allowed to touch the filesystem: ``storage`` is the
+#: durability layer (WAL + snapshot stores are its whole job), sweep
+#: owns the on-disk cell cache, obs writes drain snapshots, scenario
+#: loads spec files and manages serve-process data dirs, bench pins
+#: baselines, and analysis/CLI read the tree they lint.  ``core``,
+#: ``protocols``, ``statemachine`` and friends stay pure: protocol
+#: code persists *through* the storage seam
+#: (``replica.attach_storage``), never with a bare ``open()`` -- that
+#: keeps the sim backend hermetic and the durability axis optional.
+FS_OK_LAYERS = frozenset({
+    "storage", "sweep", "scenario", "analysis", "obs", "bench",
+    "__main__",
+})
+
 #: Layers sanctioned to call the builtin ``hash()``: the digest layer
 #: keys per-instance memos by content hash (in-process only, never
 #: serialized), and the envelope verify memo in ``messages`` does the
@@ -64,6 +78,10 @@ def layer_of(relpath: str) -> str:
 
 def wall_clock_allowed(relpath: str) -> bool:
     return layer_of(relpath) in WALL_CLOCK_OK_LAYERS
+
+
+def filesystem_allowed(relpath: str) -> bool:
+    return layer_of(relpath) in FS_OK_LAYERS
 
 
 def hash_allowed(relpath: str) -> bool:

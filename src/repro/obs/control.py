@@ -73,16 +73,26 @@ class ControlChannel:
     after a successful apply, e.g. to bump the control-event counter.
     """
 
+    #: Replay-protection window: how many recent nonces are remembered.
+    #: A long-lived serve process must not leak one set entry per signed
+    #: request forever; evicting insertion-order keeps memory constant
+    #: while still 409-ing any replay within the last
+    #: ``MAX_SEEN_NONCES`` requests (a replay older than that also has
+    #: to beat the 16-byte-random-nonce birthday odds to matter).
+    MAX_SEEN_NONCES = 4096
+
     def __init__(self, apply: Callable[[Any], None],
                  replica_ids: Tuple[str, ...],
                  keypair: Optional[KeyPair] = None,
                  on_applied: Optional[Callable[[str], None]] = None
                  ) -> None:
+        from collections import OrderedDict
+
         self._apply = apply
         self._replica_ids = tuple(replica_ids)
         self._keypair = keypair or control_keypair()
         self._on_applied = on_applied
-        self._seen_nonces: set = set()
+        self._seen_nonces: "OrderedDict[str, None]" = OrderedDict()
 
     def handle(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         """Process one POST body; returns ``(http_status, payload)``."""
@@ -111,7 +121,9 @@ class ControlChannel:
         if nonce in self._seen_nonces:
             return 409, {"error": f"control nonce {nonce!r} was "
                                   f"already used (replay?)"}
-        self._seen_nonces.add(nonce)
+        self._seen_nonces[nonce] = None
+        while len(self._seen_nonces) > self.MAX_SEEN_NONCES:
+            self._seen_nonces.popitem(last=False)
 
         from repro.scenario.faults import TCP_SUPPORTED
         from repro.scenario.loader import _fault_from_dict

@@ -24,12 +24,12 @@ in-process (obs ports may be overridden to OS-assigned ones).
 from __future__ import annotations
 
 import asyncio
-import json
 import logging
 import signal
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.storage import atomic_write_json
 from repro.obs.control import (
     DEFAULT_CONTROL_SEED,
     ControlChannel,
@@ -59,7 +59,8 @@ class ServeSession:
                  snapshot_path: Optional[str] = None,
                  obs_addresses: Optional[
                      Dict[str, Tuple[str, int]]] = None,
-                 control_seed: bytes = DEFAULT_CONTROL_SEED) -> None:
+                 control_seed: bytes = DEFAULT_CONTROL_SEED,
+                 data_dir: Optional[str] = None) -> None:
         from repro.transport.asyncio_tcp import parse_hostport
 
         scenario.validate()
@@ -77,6 +78,11 @@ class ServeSession:
                     f"the spec pins to an address "
                     f"(have {tuple(sorted(hosts))})")
         self.snapshot_path = snapshot_path
+        #: Root directory for per-replica WAL + snapshot stores.  When
+        #: set, every hosted replica persists its protocol evidence and
+        #: recovers from disk on start -- the restartable half of the
+        #: kill -9 story.
+        self.data_dir = data_dir
         self._control_seed = control_seed
         if obs_addresses is not None:
             self._obs_addresses = dict(obs_addresses)
@@ -93,6 +99,7 @@ class ServeSession:
         self.monitors: Dict[str, HealthMonitor] = {}
         self.servers: Dict[str, ObsServer] = {}
         self._live: Dict[str, LiveInstruments] = {}
+        self._storages: Dict[str, Any] = {}
         self._start_ms = 0.0
         self._now_ms = lambda: 0.0
 
@@ -115,6 +122,31 @@ class ServeSession:
         self.cluster = build_tcp_cluster(
             self.scenario, start_replicas=self.replicas)
         await self.cluster.start()
+        if self.data_dir or self.scenario.durable:
+            # Attach the on-disk store and recover whatever a prior
+            # incarnation left behind *before* the banner announces
+            # readiness -- peers must never reach a replica that has
+            # not caught up with its own disk yet.  Anything past the
+            # WAL's truncation point arrives later through the normal
+            # state-transfer path.
+            import os
+            from repro.storage import ReplicaStorage
+            root = self.data_dir or os.path.join(
+                ".repro-data", self.scenario.name)
+            for rid in self.replicas:
+                replica = self.cluster.replicas[rid]
+                if not hasattr(replica, "attach_storage"):
+                    continue
+                storage = ReplicaStorage(root, rid)
+                self._storages[rid] = storage
+                replica.attach_storage(storage)
+                summary = replica.recover_from_storage()
+                logger.info(
+                    "recovered %s from %s", rid, storage.root,
+                    extra={"snapshot_watermark":
+                           summary.snapshot_watermark,
+                           "records_replayed":
+                           summary.records_replayed})
         self.injector = TcpFaultInjector(
             self.cluster, netem_seed=self.scenario.seed)
         self.injector.install_filters()
@@ -216,14 +248,17 @@ class ServeSession:
             for node in self.cluster.nodes.values():
                 await node.flush_sends(timeout=DRAIN_FLUSH_TIMEOUT_S)
         if self.snapshot_path:
-            payload = self.snapshot()
-            with open(self.snapshot_path, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            # tmp + os.replace: a crash mid-write must never leave a
+            # truncated snapshot where the previous good one stood.
+            atomic_write_json(self.snapshot_path, self.snapshot(),
+                              indent=2, sort_keys=True)
             logger.info("wrote final snapshot",
                         extra={"path": self.snapshot_path})
         if self.cluster is not None:
             await self.cluster.stop()
+        for storage in self._storages.values():
+            storage.close()
+        self._storages.clear()
         await asyncio.sleep(0)
 
     # ------------------------------------------------------------------

@@ -24,12 +24,18 @@ from repro.scenario.faults import (
     FaultEvent,
     Heal,
     Jitter,
+    KillProcess,
     LatencyShift,
     PacketLoss,
     Partition,
     RecoverReplica,
     Reorder,
+    RestartProcess,
     SwapByzantine,
+)
+from repro.scenario.processes import (
+    ServeProcess,
+    ServeProcessManager,
 )
 from repro.scenario.loader import (
     FAULT_TYPES,
@@ -73,6 +79,10 @@ __all__ = [
     "FaultEvent",
     "CrashReplica",
     "RecoverReplica",
+    "KillProcess",
+    "RestartProcess",
+    "ServeProcess",
+    "ServeProcessManager",
     "Partition",
     "Heal",
     "SwapByzantine",

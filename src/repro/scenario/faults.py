@@ -41,6 +41,8 @@ __all__ = [
     "FaultEvent",
     "CrashReplica",
     "RecoverReplica",
+    "KillProcess",
+    "RestartProcess",
     "Partition",
     "Heal",
     "SwapByzantine",
@@ -104,6 +106,44 @@ class RecoverReplica(FaultEvent):
 
     def describe(self) -> str:
         return f"recover {self.replica}"
+
+
+@dataclass(frozen=True)
+class KillProcess(FaultEvent):
+    """SIGKILL the serve process hosting ``replica`` mid-run.
+
+    Unlike :class:`CrashReplica` (an in-memory fiction: the handler is
+    swapped out but the process lives on), this is the real fail-stop:
+    no drain, no flush -- the replica keeps exactly what its
+    ``--data-dir`` retains.  TCP backend only, and only for replicas
+    hosted by a runner-managed serve process
+    (:class:`~repro.scenario.processes.ServeProcessManager`).
+    """
+
+    replica: str = ""
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._check_replica(self.replica, replica_ids)
+
+    def describe(self) -> str:
+        return f"kill -9 {self.replica}"
+
+
+@dataclass(frozen=True)
+class RestartProcess(FaultEvent):
+    """Respawn the killed serve process for ``replica`` from its data
+    dir (recovery = snapshot + WAL replay + state transfer for the
+    rest) and re-announce this process's dynamic addresses to it."""
+
+    replica: str = ""
+
+    def validate(self, replica_ids: Tuple[str, ...]) -> None:
+        super().validate(replica_ids)
+        self._check_replica(self.replica, replica_ids)
+
+    def describe(self) -> str:
+        return f"restart {self.replica}"
 
 
 @dataclass(frozen=True)
@@ -432,7 +472,8 @@ class SimFaultInjector(_InjectorBase):
 #: every built-in fault type, at parity with the simulator.
 TCP_SUPPORTED = (CrashReplica, RecoverReplica, Partition, Heal,
                  SwapByzantine, LatencyShift, ClientChurn,
-                 PacketLoss, Jitter, BandwidthCap, Reorder)
+                 PacketLoss, Jitter, BandwidthCap, Reorder,
+                 KillProcess, RestartProcess)
 
 
 class TcpFaultInjector(_InjectorBase):
@@ -454,12 +495,16 @@ class TcpFaultInjector(_InjectorBase):
                  netem_seed: int = 0,
                  control_endpoints: Optional[
                      Dict[str, Tuple[str, int]]] = None,
-                 control_seed: bytes = b"tcp-demo") -> None:
+                 control_seed: bytes = b"tcp-demo",
+                 process_manager: Optional[Any] = None) -> None:
         super().__init__()
         self.cluster = cluster
         self._spawn_clients = spawn_clients
         self._stop_clients = stop_clients
         self._netem_seed = netem_seed
+        #: Runner-side serve process manager; KillProcess /
+        #: RestartProcess route here instead of over /control.
+        self._process_manager = process_manager
         self._partitions: set = set()
         self._wrapped = False
         #: replica id -> (host, port) of the serving process's signed
@@ -479,17 +524,28 @@ class TcpFaultInjector(_InjectorBase):
     @staticmethod
     def check_supported(events: Tuple[FaultEvent, ...],
                         remote_replicas: Tuple[str, ...] = (),
-                        controllable: Tuple[str, ...] = ()) -> None:
+                        controllable: Tuple[str, ...] = (),
+                        managed: Tuple[str, ...] = ()) -> None:
         """Reject events the TCP backend cannot apply: unknown event
-        classes, and replica-targeted events naming a replica hosted
-        in another process with no ``obs`` control endpoint declared
-        (no channel can reach its handler)."""
+        classes, replica-targeted events naming a replica hosted in
+        another process with no ``obs`` control endpoint declared (no
+        channel can reach its handler), and process-level kill/restart
+        events for replicas no runner-side process manager owns."""
         for event in events:
             if not isinstance(event, TCP_SUPPORTED):
                 raise ConfigurationError(
                     f"fault event {type(event).__name__} is not "
                     f"supported on the tcp backend (supported: "
                     f"{tuple(t.__name__ for t in TCP_SUPPORTED)})")
+            if isinstance(event, (KillProcess, RestartProcess)):
+                if event.replica not in managed:
+                    raise ConfigurationError(
+                        f"fault event {type(event).__name__} targets "
+                        f"replica {event.replica!r}, which no "
+                        f"runner-managed serve process hosts; spawn it "
+                        f"via ServeProcessManager and pass the manager "
+                        f"to the runner")
+                continue
             targeted = [getattr(event, "replica", None)]
             if isinstance(event, Partition):
                 # Partition filters wrap each process's own nodes; the
@@ -547,7 +603,9 @@ class TcpFaultInjector(_InjectorBase):
         closed-loop wait counts log entries, and a forwarded event has
         left this process the moment its task is scheduled."""
         target = getattr(event, "replica", None)
-        if target and target in self.control_endpoints:
+        if isinstance(event, (KillProcess, RestartProcess)):
+            self._apply_process(event)
+        elif target and target in self.control_endpoints:
             # The target replica is not in cluster.nodes here; the
             # serving process applies it through its own injector.
             self._forward(event, (target,))
@@ -557,6 +615,34 @@ class TcpFaultInjector(_InjectorBase):
                     event, (Partition, Heal, LatencyShift, _NetemEvent)):
                 self._forward(event, tuple(self.control_endpoints))
         self._record(event, self._now_ms())
+
+    def _apply_process(self, event: FaultEvent) -> None:
+        """Kill -9 / restart the serve process hosting the target."""
+        if self._process_manager is None:
+            raise ConfigurationError(
+                f"fault event {type(event).__name__} needs a serve "
+                f"process manager (ScenarioRunner(process_manager=...))")
+        if isinstance(event, KillProcess):
+            self._process_manager.kill(event.replica)
+            return
+        import asyncio
+        # Respawn + readiness + re-announce are async; ride the same
+        # task set as /control forwards so drain_control barriers them
+        # and failures surface in control_errors.
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._restart_process(event.replica))
+        self._control_tasks.add(task)
+        task.add_done_callback(self._control_done)
+
+    async def _restart_process(self, replica: str) -> None:
+        import asyncio
+        await self._process_manager.restart(replica)
+        # The respawned process lost every dynamically-learned address;
+        # re-announce this process's listeners so it can dial back,
+        # and give the hello frames a moment to land (same grace the
+        # runner allows at startup).
+        self.cluster.announce_remote()
+        await asyncio.sleep(0.2)
 
     def _forward(self, event: FaultEvent,
                  replicas: Tuple[str, ...]) -> None:

@@ -69,6 +69,7 @@ __all__ = [
 FAULT_TYPES: Dict[str, type] = {
     cls.__name__: cls
     for cls in (fault_mod.CrashReplica, fault_mod.RecoverReplica,
+                fault_mod.KillProcess, fault_mod.RestartProcess,
                 fault_mod.Partition, fault_mod.Heal,
                 fault_mod.SwapByzantine, fault_mod.LatencyShift,
                 fault_mod.ClientChurn, fault_mod.PacketLoss,
@@ -360,6 +361,8 @@ def scenario_to_dict(scenario: Scenario) -> Dict[str, Any]:
         data["hosts"] = dict(scenario.hosts)
     if scenario.obs is not None:
         data["obs"] = dict(scenario.obs)
+    if scenario.durable:
+        data["durable"] = True
     return data
 
 
@@ -383,6 +386,7 @@ _SCENARIO_SCHEMA: Dict[str, Tuple[type, ...]] = {
     "suspicion_timeout": (int, float),
     "view_change_timeout": (int, float),
     "checkpoint_interval": (int,),
+    "durable": (bool,),
     "backends": (list, tuple),
     "description": (str,),
 }

@@ -207,7 +207,9 @@ class ScenarioRunner:
                  max_events: int = MAX_EVENTS,
                  tcp_timeout_s: float = 60.0,
                  instruments: Any = None,
-                 scrape: bool = True) -> None:
+                 scrape: bool = True,
+                 process_manager: Any = None,
+                 data_dir: Optional[str] = None) -> None:
         if backend not in ("sim", "tcp"):
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
@@ -221,6 +223,15 @@ class ScenarioRunner:
         #: the scenario declares ``obs``) to merge their stats into
         #: the report.
         self.scrape = scrape
+        #: Optional :class:`~repro.scenario.processes.ServeProcessManager`
+        #: hosting remote replicas as child ``repro serve`` processes;
+        #: required to route :class:`KillProcess` / ``RestartProcess``
+        #: faults on the TCP backend.
+        self.process_manager = process_manager
+        #: Root data directory for ``durable=true`` scenarios (per-
+        #: replica stores live under ``<data_dir>/<replica_id>``);
+        #: defaults to ``.repro-data/<scenario.name>``.
+        self.data_dir = data_dir
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> ExperimentReport:
@@ -332,10 +343,14 @@ class ScenarioRunner:
             rid: parse_hostport(obs_map[rid])
             for rid in cluster.remote_replica_ids
             if rid in obs_map}
+        managed: Tuple[str, ...] = ()
+        if self.process_manager is not None:
+            managed = tuple(self.process_manager.replicas)
         TcpFaultInjector.check_supported(
             scenario.faults,
             remote_replicas=cluster.remote_replica_ids,
-            controllable=tuple(control_endpoints))
+            controllable=tuple(control_endpoints),
+            managed=managed)
         # repro: allow[wall-clock] -- wall_seconds is reporting-
         # only, excluded from the determinism gates by design.
         wall_start = time.perf_counter()
@@ -376,10 +391,26 @@ class ScenarioRunner:
         # ClientChurn clients are pre-created too (idle until their
         # event fires): the schedule fixes their count up front, and a
         # synchronous fault callback cannot open sockets.
+        storages: List[Any] = []
         try:
             # Inside the try: a bind failure partway through startup
             # must still stop the nodes that did come up.
             await cluster.start()
+            if scenario.durable:
+                # Back every locally hosted replica with an on-disk
+                # store and recover whatever a previous run left there
+                # before any load arrives.
+                import os
+                from repro.storage import ReplicaStorage
+                root = self.data_dir or os.path.join(
+                    ".repro-data", scenario.name)
+                for rid, replica in cluster.replicas.items():
+                    if not hasattr(replica, "attach_storage"):
+                        continue
+                    storage = ReplicaStorage(root, rid)
+                    storages.append(storage)
+                    replica.attach_storage(storage)
+                    replica.recover_from_storage()
             placements = [region
                           for region in scenario.client_regions()
                           for _ in range(workload.clients_per_region)]
@@ -402,7 +433,8 @@ class ScenarioRunner:
                 spawn_clients=pool.spawn,
                 stop_clients=pool.stop,
                 netem_seed=scenario.seed,
-                control_endpoints=control_endpoints)
+                control_endpoints=control_endpoints,
+                process_manager=self.process_manager)
             injector.install_filters()
 
             if cluster.remote_replica_ids:
@@ -498,6 +530,8 @@ class ScenarioRunner:
                 for driver in pool.drivers:
                     driver.stop()
             await cluster.stop()
+            for storage in storages:
+                storage.close()
             await asyncio.sleep(0)
 
         return self._build_report(

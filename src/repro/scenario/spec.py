@@ -182,6 +182,12 @@ class Scenario:
     suspicion_timeout: float = 600.0
     view_change_timeout: float = 1500.0
     checkpoint_interval: int = 128
+    #: TCP backend only: back every locally hosted replica with an
+    #: on-disk WAL + snapshot store (``repro.storage``) so a process
+    #: killed with SIGKILL can restart from its data directory.  A
+    #: first-class sweep axis (``durable=true``); the sim backend is
+    #: in-memory by construction and rejects it.
+    durable: bool = False
     #: Which backends this scenario is meant to run on by default (the
     #: CLI's ``--backend`` overrides).
     backends: Tuple[str, ...] = ("sim",)
@@ -242,6 +248,10 @@ class Scenario:
                 raise ConfigurationError(
                     f"unknown backend {backend!r}; choose from "
                     f"{BACKENDS}")
+        if self.durable and "tcp" not in self.backends:
+            raise ConfigurationError(
+                "durable=true needs the tcp backend (the simulator "
+                "is in-memory by construction); add 'tcp' to backends")
 
     def _validate_fault_endpoints(self, index: int, event: FaultEvent,
                                   replica_ids: Tuple[str, ...],

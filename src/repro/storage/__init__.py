@@ -1,0 +1,33 @@
+"""On-disk durability: WAL + snapshot store behind the replica seam.
+
+``repro.storage`` is the only layer (besides the operational surfaces:
+sweep cache, scenario reports, obs snapshots, the CLI) allowed to touch
+the filesystem -- ``core``/``protocols`` stay pure and testable.  The
+package provides three building blocks:
+
+- :func:`atomic_write_json` -- the tmp-file + ``os.replace`` idiom
+  (shared with the sweep cell cache and the serve drain snapshot), so a
+  kill at any instant leaves either the old file or the new one, never
+  a torn hybrid;
+- :class:`WriteAheadLog` / :func:`replay_wal` -- an append-only,
+  length-prefixed, CRC-framed record log whose replay stops cleanly at
+  the last whole record (a ``kill -9`` mid-append tears at most the
+  final record);
+- :class:`ReplicaStorage` -- the per-replica facade: one directory per
+  replica holding rotating WAL segments plus one atomic snapshot file
+  per stable checkpoint, with recovery = newest valid snapshot + replay
+  of the retained segments.
+"""
+
+from repro.storage.atomic import atomic_write_json
+from repro.storage.store import ReplicaStorage, RecoverySummary
+from repro.storage.wal import WriteAheadLog, replay_wal, valid_prefix_len
+
+__all__ = [
+    "ReplicaStorage",
+    "RecoverySummary",
+    "WriteAheadLog",
+    "atomic_write_json",
+    "replay_wal",
+    "valid_prefix_len",
+]

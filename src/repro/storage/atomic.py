@@ -1,0 +1,45 @@
+"""Atomic JSON file writes: tmp file in the target directory + rename.
+
+``os.replace`` is atomic on POSIX within one filesystem, so readers
+(and a process killed mid-write) observe either the previous complete
+file or the new complete file -- never a truncated hybrid.  This is the
+same idiom the sweep cell cache has always used; it lives here so the
+serve drain snapshot and the checkpoint snapshot store share one
+implementation instead of three slightly-different copies.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Optional
+
+
+def atomic_write_json(path: str, payload: Any, *,
+                      indent: Optional[int] = None,
+                      sort_keys: bool = False) -> None:
+    """Serialize ``payload`` as JSON and atomically replace ``path``.
+
+    The temp file is created in the destination directory (``rename``
+    across filesystems is not atomic), fsync'd data is not required for
+    the kill -9 model (the OS page cache survives process death), and
+    the temp file is unlinked on any failure so crashes never litter
+    the data dir with ``.tmp`` orphans that a later writer trips over.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=indent, sort_keys=sort_keys,
+                      allow_nan=False)
+            if indent is not None:
+                fh.write("\n")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise

@@ -30,10 +30,10 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
+from repro.storage import atomic_write_json
 from repro.scenario.report import ExperimentReport
 from repro.scenario.spec import Scenario
 
@@ -110,19 +110,7 @@ class SweepCellCache:
             "report": report.to_dict(),
         }
         try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=os.path.dirname(path), suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(entry, fh, allow_nan=False)
-                os.replace(tmp, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            atomic_write_json(path, entry)
         except (OSError, ValueError):
             pass
 

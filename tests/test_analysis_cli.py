@@ -32,6 +32,7 @@ ALL_RULE_IDS = {
     "key-reach", "digest-outside-crypto",
     "quorum-literal",
     "wire-parity",
+    "fs-outside-storage",
 }
 
 

@@ -220,6 +220,29 @@ def test_control_channel_rejects_replay():
     assert len(applied) == 1
 
 
+def test_control_channel_nonce_window_is_bounded():
+    # The replay set must not grow without bound under a long-lived
+    # deployment; it evicts in insertion order past MAX_SEEN_NONCES.
+    applied = []
+    channel = _channel(applied)
+    channel.MAX_SEEN_NONCES = 8  # instance override for test speed
+    for i in range(8 + 3):
+        body = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                          control_keypair(), nonce=f"nonce-{i}")
+        assert channel.handle(body)[0] == 200
+    assert len(channel._seen_nonces) == 8
+
+    # Replay WITHIN the window still 409s...
+    recent = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                        control_keypair(), nonce="nonce-10")
+    assert channel.handle(recent)[0] == 409
+    # ...while a nonce old enough to have been evicted is accepted
+    # again (the documented trade-off of a bounded window).
+    evicted = sign_event(CrashReplica(at_ms=0.0, replica="r1"),
+                         control_keypair(), nonce="nonce-0")
+    assert channel.handle(evicted)[0] == 200
+
+
 def test_control_channel_rejects_invalid_event():
     channel = _channel([])
     # Unknown replica id fails FaultEvent.validate -> 422.

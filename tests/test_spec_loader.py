@@ -13,11 +13,13 @@ from repro.scenario import (
     CrashReplica,
     Heal,
     Jitter,
+    KillProcess,
     LatencyShift,
     PacketLoss,
     Partition,
     RecoverReplica,
     Reorder,
+    RestartProcess,
     Scenario,
     SwapByzantine,
     WorkloadSpec,
@@ -63,6 +65,8 @@ ALL_FAULTS = (
     BandwidthCap(at_ms=90.0, rate_kbps=256.0, burst_bytes=8192,
                  src="*", dst="r1"),
     Reorder(at_ms=95.0, probability=0.1, extra_ms=2.5),
+    KillProcess(at_ms=97.0, replica="r3"),
+    RestartProcess(at_ms=99.0, replica="r3"),
 )
 
 
@@ -72,7 +76,7 @@ def test_fault_registry_covers_every_fault_type():
                 if name.endswith(("Replica", "Partition", "Heal",
                                   "Byzantine", "Shift", "Churn",
                                   "Loss", "Jitter", "Cap",
-                                  "Reorder"))}
+                                  "Reorder", "Process"))}
     assert set(FAULT_TYPES) == declared
     assert {type(e).__name__ for e in ALL_FAULTS} == set(FAULT_TYPES)
 

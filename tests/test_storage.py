@@ -1,0 +1,281 @@
+"""Durability layer units: WAL framing over torn tails, atomic
+snapshots, the segment/snapshot lifecycle, checkpoint-store restore,
+and in-process crash recovery of a replica from its data directory."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
+from repro.storage import (
+    ReplicaStorage,
+    WriteAheadLog,
+    atomic_write_json,
+    replay_wal,
+    valid_prefix_len,
+)
+from repro.storage.wal import encode_record
+
+from helpers import DeliveryLog, lan_cluster
+
+
+# ----------------------------------------------------------------------
+# WAL framing
+# ----------------------------------------------------------------------
+def test_wal_round_trip(tmp_path):
+    path = str(tmp_path / "wal-0.log")
+    wal = WriteAheadLog(path)
+    records = [{"kind": "entry", "sender": f"r{i}", "wire": {"n": i}}
+               for i in range(5)]
+    for record in records:
+        wal.append(record)
+    wal.close()
+    assert list(replay_wal(path)) == records
+
+
+def test_wal_missing_file_replays_empty(tmp_path):
+    assert list(replay_wal(str(tmp_path / "nope.log"))) == []
+    assert valid_prefix_len(str(tmp_path / "nope.log")) == 0
+
+
+def test_wal_replay_stops_at_torn_final_record(tmp_path):
+    path = str(tmp_path / "wal-0.log")
+    wal = WriteAheadLog(path)
+    wal.append({"n": 1})
+    wal.append({"n": 2})
+    wal.close()
+    whole = os.path.getsize(path)
+    # kill -9 mid-append: header + part of the body landed.
+    with open(path, "ab") as fh:
+        fh.write(encode_record({"n": 3, "pad": "x" * 64})[:-10])
+    assert list(replay_wal(path)) == [{"n": 1}, {"n": 2}]
+    assert valid_prefix_len(path) == whole
+
+
+def test_wal_replay_stops_at_crc_mismatch(tmp_path):
+    path = str(tmp_path / "wal-0.log")
+    wal = WriteAheadLog(path)
+    wal.append({"n": 1})
+    wal.append({"n": 2})
+    wal.close()
+    data = bytearray(open(path, "rb").read())
+    data[-3] ^= 0xFF  # flip a byte inside the second record's body
+    with open(path, "wb") as fh:
+        fh.write(bytes(data))
+    assert list(replay_wal(path)) == [{"n": 1}]
+
+
+def test_wal_reopen_truncates_torn_tail_before_append(tmp_path):
+    path = str(tmp_path / "wal-0.log")
+    wal = WriteAheadLog(path)
+    wal.append({"n": 1})
+    wal.close()
+    with open(path, "ab") as fh:
+        fh.write(b"\x99" * 7)  # not even a whole header
+    wal = WriteAheadLog(path)  # non-fresh reopen
+    wal.append({"n": 2})
+    wal.close()
+    # The torn garbage is gone; the post-recovery append is reachable.
+    assert list(replay_wal(path)) == [{"n": 1}, {"n": 2}]
+
+
+def test_wal_rejects_oversized_record(tmp_path):
+    from repro.storage.wal import MAX_RECORD_BYTES
+
+    wal = WriteAheadLog(str(tmp_path / "wal-0.log"))
+    with pytest.raises(ValueError):
+        wal.append({"blob": "x" * (MAX_RECORD_BYTES + 1)})
+    wal.close()
+
+
+# ----------------------------------------------------------------------
+# Atomic JSON writes
+# ----------------------------------------------------------------------
+def test_atomic_write_json_creates_parents_and_round_trips(tmp_path):
+    path = str(tmp_path / "deep" / "nested" / "out.json")
+    atomic_write_json(path, {"a": 1})
+    with open(path, encoding="utf-8") as fh:
+        assert json.load(fh) == {"a": 1}
+
+
+def test_atomic_write_json_failure_keeps_previous_file(tmp_path):
+    path = str(tmp_path / "out.json")
+    atomic_write_json(path, {"good": True})
+    with pytest.raises(TypeError):
+        atomic_write_json(path, {"bad": object()})
+    with open(path, encoding="utf-8") as fh:
+        assert json.load(fh) == {"good": True}
+    # No orphaned tmp files either.
+    assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp")] == []
+
+
+# ----------------------------------------------------------------------
+# ReplicaStorage lifecycle
+# ----------------------------------------------------------------------
+def test_storage_appends_replay_across_reopen(tmp_path):
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    storage.append_entry("r1", {"t": "order", "slot": 1})
+    storage.append_attest("r2", {"t": "attest", "wm": 0})
+    storage.close()
+
+    reopened = ReplicaStorage(str(tmp_path), "r0")
+    records = list(reopened.replay_records())
+    reopened.close()
+    assert [r["kind"] for r in records] == ["entry", "attest"]
+    assert records[0]["sender"] == "r1"
+    assert records[0]["wire"] == {"t": "order", "slot": 1}
+
+
+def test_storage_snapshot_round_trip_and_corruption_fallback(tmp_path):
+    from repro.crypto.digest import digest
+    from repro.storage import RecoverySummary
+
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    for watermark in (10, 20):
+        snap = {"kv": {"k": f"v{watermark}"}}
+        storage.save_snapshot(watermark, digest(snap), snap)
+    assert storage.load_snapshot()["watermark"] == 20
+
+    # Corrupt the newest: recovery must fall back to the older one and
+    # report the invalid file, never delete it.
+    newest = os.path.join(str(tmp_path), "r0", "snapshot-20.json")
+    with open(newest, "w", encoding="utf-8") as fh:
+        fh.write('{"version": 1, "watermark": 20, "truncated')
+    summary = RecoverySummary()
+    payload = storage.load_snapshot(summary)
+    storage.close()
+    assert payload["watermark"] == 10
+    assert summary.snapshot_watermark == 10
+    assert summary.invalid_snapshots == [20]
+    assert os.path.exists(newest)
+
+
+def test_storage_digest_mismatch_is_invalid(tmp_path):
+    from repro.crypto.digest import digest
+
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    snap = {"kv": {"k": "v"}}
+    storage.save_snapshot(5, digest({"kv": {"k": "TAMPERED"}}), snap)
+    assert storage.load_snapshot() is None
+    storage.close()
+
+
+def test_storage_rotate_and_prune_retention(tmp_path):
+    from repro.crypto.digest import digest
+
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    for watermark in (10, 20, 30):
+        snap = {"wm": watermark}
+        storage.append_entry("r1", {"before": watermark})
+        storage.save_snapshot(watermark, digest(snap), snap)
+        storage.rotate(watermark)
+        storage.append_entry("r1", {"after": watermark})
+        storage.prune()
+    names = sorted(os.listdir(os.path.join(str(tmp_path), "r0")))
+    storage.close()
+    # retain=2: snapshots 20 and 30 stay, 10 is gone; segments below
+    # the oldest retained snapshot (wal-0, wal-10) are gone too.
+    assert names == ["snapshot-20.json", "snapshot-30.json",
+                     "wal-20.log", "wal-30.log"]
+
+
+# ----------------------------------------------------------------------
+# CheckpointStore.restore_from (the base_slot-regression bugfix)
+# ----------------------------------------------------------------------
+def test_restore_from_resumes_interval_from_recovered_watermark():
+    snap = {"kv": {}}
+    checkpoint = Checkpoint.capture(256, snap)
+    store = CheckpointStore.restore_from(checkpoint, quorum=3,
+                                         interval=128)
+    assert store.stable is checkpoint
+    assert store.last_captured == 256
+    # The bug: a fresh store (last_captured=0) would fire at 128
+    # executions and re-capture from scratch.
+    fresh = CheckpointStore(quorum=3, interval=128)
+    assert fresh.due(300) is True
+    assert store.due(300) is False
+    assert store.due(384) is True
+
+
+def test_restore_from_keeps_local_copy_for_requorum():
+    checkpoint = Checkpoint.capture(128, {"kv": {"a": "b"}})
+    store = CheckpointStore.restore_from(checkpoint, quorum=3)
+    # A later attestation round over the same watermark must find the
+    # local capture (stability proofs need the snapshot itself).
+    assert store._local[128] is checkpoint
+
+
+# ----------------------------------------------------------------------
+# In-process crash recovery: sim replica -> disk -> fresh replica
+# ----------------------------------------------------------------------
+def test_replica_recovers_state_from_wal_replay(tmp_path):
+    cluster = lan_cluster()
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    cluster.replicas["r0"].attach_storage(storage)
+    log = DeliveryLog()
+    client = cluster.add_client("c0", "local",
+                                on_delivery=log.hook("c0"))
+    for i in range(6):
+        client.submit(client.next_command("put", f"k{i}", f"v{i}"))
+    cluster.run_until_idle()
+    assert log.results == ["OK"] * 6
+    expected_state = cluster.kvstores()["r0"].final_items()
+    expected_executed = cluster.replicas["r0"].stats["executed"]
+    storage.close()
+
+    # A brand-new process: same identity, empty in-memory state.  The
+    # client key must exist in the registry (deterministic derivation,
+    # same as the original process) for replayed commands to verify.
+    fresh = lan_cluster()
+    fresh.add_client("c0", "local")
+    replica = fresh.replicas["r0"]
+    storage2 = ReplicaStorage(str(tmp_path), "r0")
+    replica.attach_storage(storage2)
+    summary = replica.recover_from_storage()
+    storage2.close()
+
+    assert summary.records_replayed > 0
+    assert replica.stats["executed"] == expected_executed
+    assert fresh.kvstores()["r0"].final_items() == expected_state
+
+
+def test_replica_recovers_through_stable_checkpoint(tmp_path):
+    # Small interval so the run crosses checkpoint boundaries and the
+    # store rotates/prunes mid-run; recovery then loads a snapshot AND
+    # replays the post-checkpoint suffix.
+    cluster = lan_cluster(checkpoint_interval=4)
+    storage = ReplicaStorage(str(tmp_path), "r0")
+    cluster.replicas["r0"].attach_storage(storage)
+    client = cluster.add_client("c0", "local")
+    for i in range(11):
+        client.submit(client.next_command("put", f"k{i}", f"v{i}"))
+    cluster.run_until_idle()
+    original = cluster.replicas["r0"]
+    assert original.checkpoints.stable is not None
+    expected_state = cluster.kvstores()["r0"].final_items()
+    expected_watermark = original.checkpoints.stable.watermark
+    storage.close()
+
+    fresh = lan_cluster(checkpoint_interval=4)
+    fresh.add_client("c0", "local")
+    replica = fresh.replicas["r0"]
+    storage2 = ReplicaStorage(str(tmp_path), "r0")
+    replica.attach_storage(storage2)
+    summary = replica.recover_from_storage()
+    storage2.close()
+
+    assert summary.snapshot_watermark is not None
+    assert fresh.kvstores()["r0"].final_items() == expected_state
+    assert replica.checkpoints.stable is not None
+    assert replica.checkpoints.stable.watermark >= expected_watermark
+    # The restored store resumes its interval from the recovered
+    # watermark, not from zero (no immediate re-capture).
+    assert not replica.checkpoints.due(expected_watermark + 1)
+
+
+def test_recover_without_storage_raises():
+    cluster = lan_cluster()
+    with pytest.raises(ProtocolError):
+        cluster.replicas["r0"].recover_from_storage()
