@@ -79,6 +79,22 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="override the preset's seed")
     run.add_argument("--json", dest="json_path", default=None,
                      help="write the report(s) to this JSON file")
+    run.add_argument("--trace", dest="trace_path", default=None,
+                     metavar="PATH",
+                     help="enable causal request tracing and write "
+                          "the schema-stable span export here; on "
+                          "the sim backend seeded runs produce "
+                          "byte-identical files")
+    run.add_argument("--trace-chrome", dest="trace_chrome_path",
+                     default=None, metavar="PATH",
+                     help="also write the trace in Chrome trace-"
+                          "event form (load in Perfetto or "
+                          "chrome://tracing); implies tracing")
+    run.add_argument("--trace-sample", type=float, default=1.0,
+                     metavar="RATE",
+                     help="fraction of requests to trace, decided "
+                          "deterministically per request "
+                          "(default 1.0)")
     run.add_argument("--quiet", action="store_true",
                      help="suppress the human-readable report")
 
@@ -188,6 +204,18 @@ def _build_parser() -> argparse.ArgumentParser:
                             "directory and recover from it on start "
                             "(default: .repro-data/<scenario> when "
                             "the spec sets durable=true)")
+    serve.add_argument("--trace", action="store_true",
+                       help="collect causal spans into a bounded "
+                            "ring and serve them on each obs "
+                            "endpoint's GET /trace")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="fraction of requests to trace "
+                            "(default: 1.0)")
+    serve.add_argument("--trace-ring", type=int, default=None,
+                       metavar="SPANS",
+                       help="ring-buffer capacity in spans "
+                            "(default: 4096)")
     serve.add_argument("--json-logs", action="store_true",
                        help="emit structured JSON logs (one object "
                             "per line) with run/replica/seed context")
@@ -319,6 +347,17 @@ def _write_json(path: str, reports: List[ExperimentReport]) -> None:
         fh.write("\n")
 
 
+def _backend_suffixed(path: str, backend: str, multi: bool) -> str:
+    """``trace.json`` -> ``trace.sim.json`` when several backends run
+    in one invocation, so their exports do not clobber each other."""
+    if not multi:
+        return path
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return f"{path}.{backend}"
+    return f"{stem}.{backend}.{ext}"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _resolve_scenario(args)
     if args.backend is None:
@@ -327,13 +366,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         backends = ("sim", "tcp")
     else:
         backends = (args.backend,)
+    tracing = bool(args.trace_path or args.trace_chrome_path)
     reports = []
     for backend in backends:
-        report = ScenarioRunner(backend=backend).run(scenario)
+        runner = ScenarioRunner(backend=backend, trace=tracing,
+                                trace_sample_rate=args.trace_sample)
+        report = runner.run(scenario)
         reports.append(report)
         if not args.quiet:
             print(report.format_text())
             print()
+        if not tracing:
+            continue
+        multi = len(backends) > 1
+        from repro.trace import chrome_trace_json, export_json
+        if args.trace_path:
+            path = _backend_suffixed(args.trace_path, backend, multi)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(export_json(
+                    runner.last_trace_spans,
+                    dropped=runner.last_trace["dropped_spans"]))
+            if not args.quiet:
+                print(f"wrote {path}")
+        if args.trace_chrome_path:
+            path = _backend_suffixed(args.trace_chrome_path, backend,
+                                     multi)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(chrome_trace_json(runner.last_trace_spans))
+            if not args.quiet:
+                print(f"wrote {path}")
     if args.json_path:
         _write_json(args.json_path, reports)
         if not args.quiet:
@@ -529,7 +590,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                seed=str(scenario.seed))
     session = ServeSession(scenario, replicas,
                            snapshot_path=args.snapshot,
-                           data_dir=args.data_dir)
+                           data_dir=args.data_dir,
+                           trace=args.trace,
+                           trace_sample_rate=args.trace_sample,
+                           trace_ring=args.trace_ring)
 
     def announce() -> None:
         cluster = session.cluster

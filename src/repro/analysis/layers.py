@@ -29,6 +29,16 @@ WALL_CLOCK_OK_LAYERS = frozenset({
     "transport", "bench", "sweep", "analysis", "obs", "__main__",
 })
 
+#: Module-scoped wall-clock grants, for layers that are deterministic
+#: *except* for one explicitly live file.  The ``trace`` layer is the
+#: motivating case: span clocks are injected, and the only module
+#: allowed to read real time is the TCP-path clock source -- granting
+#: the whole layer would let sim-side tracing drift onto the wall
+#: clock silently.
+WALL_CLOCK_OK_MODULES = frozenset({
+    "src/repro/trace/live.py",
+})
+
 #: Layers allowed to touch the filesystem: ``storage`` is the
 #: durability layer (WAL + snapshot stores are its whole job), sweep
 #: owns the on-disk cell cache, obs writes drain snapshots, scenario
@@ -77,6 +87,8 @@ def layer_of(relpath: str) -> str:
 
 
 def wall_clock_allowed(relpath: str) -> bool:
+    if relpath.replace("\\", "/") in WALL_CLOCK_OK_MODULES:
+        return True
     return layer_of(relpath) in WALL_CLOCK_OK_LAYERS
 
 

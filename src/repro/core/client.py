@@ -28,6 +28,9 @@ from repro.messages.ezbft import (
     SpecReply,
 )
 from repro.statemachine.base import Command
+from repro.trace.context import trace_id_for
+from repro.trace.span import SPAN_CLIENT_REQUEST, SPAN_CLIENT_SLOW_PATH
+from repro.trace.tracer import NULL_TRACER
 from repro.types import InstanceID
 
 #: Called on delivery: (command, result, latency_ms, path) where path is
@@ -49,6 +52,10 @@ class _Pending:
     retry_timer: Optional[Timer] = None
     retries: int = 0
     pom_sent: bool = False
+    #: Root ``client.request`` span (None when tracing is off or the
+    #: trace was not sampled); every message this request emits is sent
+    #: with this span's context current so it rides the wire.
+    span: Optional[Any] = None
 
     def cancel_timers(self) -> None:
         for timer in (self.slow_timer, self.retry_timer):
@@ -58,6 +65,11 @@ class _Pending:
 
 class EzBFTClient:
     """One ezBFT client node."""
+
+    #: Tracing seam (see :mod:`repro.trace`): the no-op singleton by
+    #: default; the scenario runner / serve session swap in a live
+    #: tracer.  The client owns each request's root span.
+    tracer = NULL_TRACER
 
     def __init__(self, client_id: str, config: ProtocolConfig,
                  ctx: NodeContext, keypair: KeyPair,
@@ -98,10 +110,19 @@ class EzBFTClient:
 
     def submit(self, command: Command) -> None:
         """Step 1: send the signed request to the target replica."""
-        self._register_pending(command)
+        pending = self._register_pending(command)
         request = Request(command=command)
-        self.ctx.send(self.target_replica,
-                      SignedPayload.create(request, self.keypair))
+        envelope = SignedPayload.create(request, self.keypair)
+        span = pending.span
+        if span is None:
+            self.ctx.send(self.target_replica, envelope)
+            return
+        tracer = self.tracer
+        prev = tracer.set_current(span.context())
+        try:
+            self.ctx.send(self.target_replica, envelope)
+        finally:
+            tracer.set_current(prev)
 
     def _register_pending(self, command: Command) -> _Pending:
         """Record a command as in flight and arm its timers (shared by
@@ -118,6 +139,15 @@ class EzBFTClient:
         pending.retry_timer = self.ctx.set_timer(
             self.config.retry_timeout, self._on_retry_timeout,
             command.ident)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Root of the request's trace; sampling is decided here,
+            # on the deterministic command ident, so every node keeps
+            # or drops the same request.
+            pending.span = tracer.start_span(
+                SPAN_CLIENT_REQUEST, self.client_id,
+                trace_id=trace_id_for(command.client_id,
+                                      command.timestamp))
         return pending
 
     def submit_batch(self, commands) -> None:
@@ -142,12 +172,28 @@ class EzBFTClient:
             if command.client_id != self.client_id:
                 raise ProtocolError(
                     "command does not belong to this client")
+        batch_span = None
         for command in commands:
-            self._register_pending(command)
+            pending = self._register_pending(command)
+            if batch_span is None and pending.span is not None:
+                batch_span = pending.span
         self.stats["batches_submitted"] += 1
         batch = BatchRequest(commands=tuple(commands))
-        self.ctx.send(self.target_replica,
-                      SignedPayload.create(batch, self.keypair))
+        envelope = SignedPayload.create(batch, self.keypair)
+        if batch_span is None:
+            self.ctx.send(self.target_replica, envelope)
+            return
+        # One frame carries the whole batch: it rides the first sampled
+        # request's root context.  The replica only adopts a context
+        # whose trace id matches the command, so the other commands in
+        # the batch keep their root span but grow no server-side spans
+        # (exact tracing needs client batching off).
+        tracer = self.tracer
+        prev = tracer.set_current(batch_span.context())
+        try:
+            self.ctx.send(self.target_replica, envelope)
+        finally:
+            tracer.set_current(prev)
 
     @property
     def in_flight(self) -> int:
@@ -255,7 +301,18 @@ class EzBFTClient:
                                  certificate=certificate)
         # Asynchronous: the reply is returned to the application first;
         # the COMMITFAST is not on the latency-critical path.
-        self.ctx.broadcast(self.config.replica_ids, commit_fast)
+        span = pending.span
+        if span is None:
+            self.ctx.broadcast(self.config.replica_ids, commit_fast)
+        else:
+            # The COMMITFAST carries the root context so each replica's
+            # commit event (and its execution spans) joins the trace.
+            tracer = self.tracer
+            prev = tracer.set_current(span.context())
+            try:
+                self.ctx.broadcast(self.config.replica_ids, commit_fast)
+            finally:
+                tracer.set_current(prev)
         self._deliver(pending, sample.result, "fast")
 
     # ------------------------------------------------------------------
@@ -300,8 +357,21 @@ class EzBFTClient:
                         deps=tuple(sorted(deps)), seq=seq,
                         certificate=certificate)
         pending.phase = "slow"
-        self.ctx.broadcast(self.config.replica_ids,
-                           SignedPayload.create(commit, self.keypair))
+        envelope = SignedPayload.create(commit, self.keypair)
+        span = pending.span
+        if span is None:
+            self.ctx.broadcast(self.config.replica_ids, envelope)
+            return
+        # Mark the fallback and send the combined COMMIT under the root
+        # context so the slow-path commit events join the trace.
+        tracer = self.tracer
+        tracer.event(SPAN_CLIENT_SLOW_PATH, self.client_id,
+                     span.context())
+        prev = tracer.set_current(span.context())
+        try:
+            self.ctx.broadcast(self.config.replica_ids, envelope)
+        finally:
+            tracer.set_current(prev)
 
     def _on_commit_reply(self, reply: CommitReply) -> None:
         pending = self._pending.get((reply.client_id, reply.timestamp))
@@ -358,11 +428,22 @@ class EzBFTClient:
         pending.spec_replies.clear()
         pending.commit_replies.clear()
         pending.phase = "spec"
-        self.ctx.broadcast(self.config.others(original),
-                           SignedPayload.create(suspicion, self.keypair))
-        fresh = Request(command=pending.command)
-        self.ctx.send(pending.target,
-                      SignedPayload.create(fresh, self.keypair))
+        span = pending.span
+        prev = None
+        if span is not None:
+            # Retries continue the same trace: recovery latency is part
+            # of the request's causal story, not a fresh one.
+            prev = self.tracer.set_current(span.context())
+        try:
+            self.ctx.broadcast(
+                self.config.others(original),
+                SignedPayload.create(suspicion, self.keypair))
+            fresh = Request(command=pending.command)
+            self.ctx.send(pending.target,
+                          SignedPayload.create(fresh, self.keypair))
+        finally:
+            if span is not None:
+                self.tracer.set_current(prev)
         pending.retry_timer = self.ctx.set_timer(
             self.config.retry_timeout, self._on_retry_timeout,
             pending.command.ident)
@@ -385,6 +466,11 @@ class EzBFTClient:
         latency = self.ctx.now - pending.start_time
         self.stats["delivered_fast" if path == "fast"
                    else "delivered_slow"] += 1
+        if pending.span is not None:
+            # Close the root span with the commit path that actually
+            # delivered; the critical-path analyzer buckets on it.
+            self.tracer.end_span(pending.span, attrs={"path": path})
+            pending.span = None
         del self._pending[pending.command.ident]
         if self.on_delivery is not None:
             self.on_delivery(pending.command, result, latency, path)

@@ -29,6 +29,8 @@ from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 from repro.core.instance import EntryStatus, LogEntry
 from repro.graph import execution_batches
 from repro.statemachine.base import StateMachine
+from repro.trace.span import SPAN_EXEC_APPLY
+from repro.trace.tracer import NULL_TRACER
 from repro.types import InstanceID
 
 CommandIdent = Tuple[str, int]
@@ -36,6 +38,18 @@ CommandIdent = Tuple[str, int]
 
 class DependencyExecutor:
     """Tracks final-execution progress over a replica's whole log."""
+
+    #: Tracing seam (no-op by default).  When live, the replica also
+    #: sets :attr:`trace_parent` so each final application is recorded
+    #: as an ``exec.apply`` span under the request's dependency-wait
+    #: span; the disabled path is one attribute test per execution.
+    tracer = NULL_TRACER
+    #: ``trace_parent(entry) -> Optional[TraceContext]``, set by the
+    #: replica when tracing is on (it owns the commit-time context
+    #: bookkeeping the executor has no business knowing about).
+    trace_parent = None
+    #: Node id stamped on this executor's spans.
+    trace_node = ""
 
     def __init__(self, statemachine: StateMachine) -> None:
         self.statemachine = statemachine
@@ -255,6 +269,11 @@ class DependencyExecutor:
 
     def _execute_entry(self, entry: LogEntry) -> None:
         ident = entry.command.ident
+        span = None
+        tracer = self.tracer
+        if tracer.enabled and self.trace_parent is not None:
+            span = tracer.start_span(SPAN_EXEC_APPLY, self.trace_node,
+                                     parent=self.trace_parent(entry))
         if entry.command.is_noop:
             entry.final_result = None
         elif self.has_executed(ident):
@@ -262,6 +281,8 @@ class DependencyExecutor:
         else:
             entry.final_result = self.statemachine.apply(entry.command)
             self._results[ident] = entry.final_result
+        if span is not None:
+            tracer.end_span(span)
         if not entry.command.is_noop:
             self._record_ident(ident)
         entry.status = EntryStatus.EXECUTED

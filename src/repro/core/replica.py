@@ -47,6 +47,14 @@ from repro.messages.ezbft import (
 from repro.statemachine.base import Command, StateMachine
 from repro.statemachine.checkpoint import Checkpoint, CheckpointStore
 from repro.statemachine.interference import InterferenceRelation
+from repro.trace.context import trace_id_for
+from repro.trace.span import (
+    SPAN_EXEC_DEPWAIT,
+    SPAN_OWNER_LEAD,
+    SPAN_REPLICA_COMMIT,
+    SPAN_REPLICA_VOTE,
+)
+from repro.trace.tracer import NULL_TRACER
 from repro.types import InstanceID
 
 
@@ -92,6 +100,10 @@ class EzBFTReplica:
     #: Observability seam: the shared no-op singleton by default;
     #: ``repro serve`` swaps in a live registry-backed instrument set.
     instruments = NULL
+    #: Tracing seam, same discipline (see :mod:`repro.trace`): no-op
+    #: singleton by default, swapped via :meth:`attach_tracer`; every
+    #: span site guards on ``tracer.enabled``.
+    tracer = NULL_TRACER
     #: Durability seam: ``None`` keeps every persistence hook one
     #: attribute test on the bench-gated hot path; ``repro serve
     #: --data-dir`` (and ``durable=true`` scenarios) attach a
@@ -150,6 +162,15 @@ class EzBFTReplica:
         #: Exactly-once bookkeeping (paper's "Nitpick" in step 2).
         self._client_ts: Dict[str, int] = {}
         self._client_reply_cache: Dict[str, Tuple[int, SignedPayload]] = {}
+
+        #: Tracing bookkeeping (both stay empty unless a tracer is
+        #: attached): per instance, the commit event's context and the
+        #: commit-time clock, consumed by :meth:`_trace_exec_parent`
+        #: when the entry finally executes; per command ident, the
+        #: client's wire context, stashed at enqueue because the
+        #: batcher may lead well after the delivery that carried it.
+        self._trace_slots: Dict[InstanceID, Tuple[Any, float]] = {}
+        self._trace_requests: Dict[Tuple[str, int], Any] = {}
 
         #: SPECORDERs that arrived before their predecessor slot:
         #: (space owner, slot) -> (inner order, signed envelope).  The
@@ -210,6 +231,18 @@ class EzBFTReplica:
             "state_transfers_served": 0,
             "state_transfers_installed": 0,
         }
+
+    # ------------------------------------------------------------------
+    # Tracing seam
+    # ------------------------------------------------------------------
+    def attach_tracer(self, tracer: Any) -> None:
+        """Attach a live tracer (see :mod:`repro.trace`) to this
+        replica and its executor, with the executor's ``exec.apply``
+        spans parented through our commit-time context bookkeeping."""
+        self.tracer = tracer
+        self.executor.tracer = tracer
+        self.executor.trace_node = self.node_id
+        self.executor.trace_parent = self._trace_exec_parent
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -288,7 +321,32 @@ class EzBFTReplica:
     def _enqueue_lead(self, request: Request) -> None:
         """Hand a request we will lead to the owner-path batcher (which
         passes straight through when batching is disabled)."""
+        tracer = self.tracer
+        if tracer.enabled:
+            # The batcher may flush after this delivery returns, by
+            # which time the client's wire context is gone -- stash it
+            # per ident for :meth:`_trace_lead_span` to pick up.  The
+            # trace-id check matters for client-side BATCHREQUESTs:
+            # one frame carries many commands but only the first
+            # sampled command's context, and adopting it for the rest
+            # would graft their spans onto the wrong trace.
+            ctx = tracer.current()
+            ident = request.command.ident
+            if ctx is not None and ctx.trace_id == trace_id_for(*ident):
+                self._trace_requests[ident] = ctx
         self.batcher.add(request)
+
+    def _trace_lead_span(self, command: Command) -> Optional[Any]:
+        """Open the ``owner.lead`` span for a request we are leading,
+        parented at the client context stashed at enqueue time.  No
+        stash (unsampled trace, or a command that rode another trace's
+        frame) means no span -- never guess a parent."""
+        tracer = self.tracer
+        parent = self._trace_requests.pop(command.ident, None)
+        if parent is None:
+            return None
+        return tracer.start_span(SPAN_OWNER_LEAD, self.node_id,
+                                 parent=parent)
 
     def _flush_lead_batch(self, requests: List[Request]) -> None:
         """Batcher flush: lead the accumulated requests.
@@ -325,10 +383,14 @@ class EzBFTReplica:
         consecutive slots and broadcast one signed BATCHSPECORDER
         covering all of them (paper step 2, amortized)."""
         space = self.spaces[self.node_id]
+        tracer = self.tracer
         orders: List[SpecOrder] = []
         entries: List[LogEntry] = []
+        spans: List[Any] = []
         for request in requests:
             command = request.command
+            if tracer.enabled:
+                spans.append(self._trace_lead_span(command))
             # max(): leading a late retry of an older timestamp must
             # not lower the dedup watermark below newer commands.
             self._client_ts[command.client_id] = max(
@@ -368,10 +430,37 @@ class EzBFTReplica:
             entry.spec_order = signed_batch
         self.stats["batches_led"] += 1
         self._persist_entry(self.node_id, signed_batch)
-        self.ctx.broadcast(self.config.others(self.node_id), signed_batch)
-        for entry, order in zip(entries, orders):
-            self._send_spec_reply(entry, signed_batch,
-                                  request_digest=order.request_digest)
+        if not spans:
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               signed_batch)
+            for entry, order in zip(entries, orders):
+                self._send_spec_reply(entry, signed_batch,
+                                      request_digest=order.request_digest)
+            return
+        # Traced: the single BATCHSPECORDER broadcast is attributed to
+        # the first sampled request's lead context (exact when
+        # batch_size == 1; a documented approximation for larger
+        # batches), while each SPECREPLY rides its own lead context.
+        batch_ctx = next((s.context() for s in spans if s is not None),
+                         None)
+        prev = tracer.set_current(batch_ctx)
+        try:
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               signed_batch)
+        finally:
+            tracer.set_current(prev)
+        for entry, order, span in zip(entries, orders, spans):
+            if span is None:
+                self._send_spec_reply(entry, signed_batch,
+                                      request_digest=order.request_digest)
+                continue
+            prev = tracer.set_current(span.context())
+            try:
+                self._send_spec_reply(entry, signed_batch,
+                                      request_digest=order.request_digest)
+            finally:
+                tracer.set_current(prev)
+                tracer.end_span(span)
 
     def _lead(self, request: Request) -> None:
         """Become the command-leader for ``request`` (paper step 2)."""
@@ -381,6 +470,8 @@ class EzBFTReplica:
             # propose.  The client's retry will reach another replica.
             return
         command = request.command
+        tracer = self.tracer
+        span = self._trace_lead_span(command) if tracer.enabled else None
         # max(): leading a late retry of an older timestamp must not
         # lower the dedup watermark below newer commands.
         self._client_ts[command.client_id] = max(
@@ -413,8 +504,21 @@ class EzBFTReplica:
         self.stats["led"] += 1
 
         self._persist_entry(self.node_id, signed_order)
-        self.ctx.broadcast(self.config.others(self.node_id), signed_order)
-        self._send_spec_reply(entry, signed_order)
+        if span is None:
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               signed_order)
+            self._send_spec_reply(entry, signed_order)
+            return
+        # The SPECORDER broadcast and our own SPECREPLY ride the lead
+        # context, so every peer's vote span parents under it.
+        prev = tracer.set_current(span.context())
+        try:
+            self.ctx.broadcast(self.config.others(self.node_id),
+                               signed_order)
+            self._send_spec_reply(entry, signed_order)
+        finally:
+            tracer.set_current(prev)
+            tracer.end_span(span)
 
     def _relay_resend(self, request: Request) -> None:
         """Relay a retried request to its original recipient and start a
@@ -546,28 +650,43 @@ class EzBFTReplica:
                            envelope: SignedPayload) -> None:
         space = self.spaces[order.instance.owner]
         command = order.command
-        # Merge the leader's dependencies with what we know locally
-        # (paper: "updates the dependencies and sequence number according
-        # to its log").
-        local_deps = self._collect_deps(command, exclude=order.instance)
-        merged = tuple(sorted(set(order.deps) | set(local_deps)))
-        seq = max(order.seq, 1 + self._max_dep_seq(merged))
-        entry = LogEntry(instance=order.instance,
-                         owner_number=order.owner_number,
-                         command=command, deps=merged, seq=seq,
-                         spec_order=envelope)
-        self._install_entry(entry)
-        space.expected_slot = order.instance.slot + 1
-        self._client_ts[command.client_id] = max(
-            self._client_ts.get(command.client_id, -1), command.timestamp)
-        self._speculative_execute(entry)
-        self.stats["spec_ordered"] += 1
-        self._send_spec_reply(entry, envelope,
-                              request_digest=order.request_digest)
-        # A SPECORDER from the suspected replica resolves suspicion for
-        # the command (paper step 4.3: the timer waits for the original
-        # recipient's SPECORDER, not anyone else's).
-        self._resolve_suspicion(command, order.leader)
+        tracer = self.tracer
+        span = prev = None
+        if tracer.enabled:
+            # The vote span covers dep-merge, speculative execution and
+            # our SPECREPLY, parented at the leader's wire context.
+            span = tracer.start_span(SPAN_REPLICA_VOTE, self.node_id,
+                                     parent=tracer.current())
+            if span is not None:
+                prev = tracer.set_current(span.context())
+        try:
+            # Merge the leader's dependencies with what we know locally
+            # (paper: "updates the dependencies and sequence number
+            # according to its log").
+            local_deps = self._collect_deps(command, exclude=order.instance)
+            merged = tuple(sorted(set(order.deps) | set(local_deps)))
+            seq = max(order.seq, 1 + self._max_dep_seq(merged))
+            entry = LogEntry(instance=order.instance,
+                             owner_number=order.owner_number,
+                             command=command, deps=merged, seq=seq,
+                             spec_order=envelope)
+            self._install_entry(entry)
+            space.expected_slot = order.instance.slot + 1
+            self._client_ts[command.client_id] = max(
+                self._client_ts.get(command.client_id, -1),
+                command.timestamp)
+            self._speculative_execute(entry)
+            self.stats["spec_ordered"] += 1
+            self._send_spec_reply(entry, envelope,
+                                  request_digest=order.request_digest)
+            # A SPECORDER from the suspected replica resolves suspicion
+            # for the command (paper step 4.3: the timer waits for the
+            # original recipient's SPECORDER, not anyone else's).
+            self._resolve_suspicion(command, order.leader)
+        finally:
+            if span is not None:
+                tracer.set_current(prev)
+                tracer.end_span(span)
 
     def _resolve_suspicion(self, command: Command, leader: str) -> None:
         key = digest(command)
@@ -637,6 +756,8 @@ class EzBFTReplica:
         entry.reply_to = None  # fast path: no COMMITREPLY
         self.stats["committed_fast"] += 1
         self.instruments.commit("fast")
+        if self.tracer.enabled:
+            self._trace_commit(entry, "fast")
         self._advance_execution([entry])
 
     def _on_commit(self, sender: str, commit: Commit,
@@ -689,7 +810,35 @@ class EzBFTReplica:
         self.statemachine.rollback_speculative()
         self.stats["committed_slow"] += 1
         self.instruments.commit("slow")
+        if self.tracer.enabled:
+            self._trace_commit(entry, "slow")
         self._advance_execution([entry])
+
+    def _trace_commit(self, entry: LogEntry, path: str) -> None:
+        """Record the path-tagged ``replica.commit`` point event and
+        remember its context plus the commit-time clock, so final
+        execution can hang the ``exec.depwait`` / ``exec.apply`` spans
+        under it (see :meth:`_trace_exec_parent`)."""
+        tracer = self.tracer
+        event = tracer.event(SPAN_REPLICA_COMMIT, self.node_id,
+                             tracer.current(), attrs={"path": path})
+        if event is not None:
+            self._trace_slots[entry.instance] = \
+                (event.context(), tracer.now())
+
+    def _trace_exec_parent(self, entry: LogEntry) -> Optional[Any]:
+        """Executor callback (see :attr:`DependencyExecutor.trace_parent`):
+        pop the commit-time context for ``entry``, record the
+        commit-to-execution gap as an ``exec.depwait`` span, and return
+        its context as the parent for the ``exec.apply`` span."""
+        slot = self._trace_slots.pop(entry.instance, None)
+        if slot is None:
+            return None
+        ctx, committed_ms = slot
+        tracer = self.tracer
+        span = tracer.span_at(SPAN_EXEC_DEPWAIT, self.node_id, ctx,
+                              committed_ms, tracer.now())
+        return span.context() if span is not None else ctx
 
     def _advance_execution(self, newly_committed=None) -> None:
         """Run the executor over the newly committed entries (plus its

@@ -1,0 +1,38 @@
+"""Wire form of the optional trace context envelope field.
+
+The trace context is deliberately *not* a field of
+:class:`~repro.messages.base.SignedPayload`: canonical bytes are
+memoized per envelope and spliced verbatim into commit certificates,
+so adding a mutable field there would perturb signatures and every
+cached digest.  Instead the context rides the transport frame beside
+the message (the ``TRACED`` frame kind in
+:mod:`repro.transport.codec`) and, on the simulator, as an extra
+delivery argument -- the message bytes are identical traced or not.
+
+The encoding is one compact JSON object (``{"s": ..., "t": ...}``)
+so a foreign or future context degrades to ``None`` instead of
+killing the frame.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.trace.context import TraceContext
+
+
+def trace_context_to_bytes(ctx: TraceContext) -> bytes:
+    """Serialize one context for the frame's trace section."""
+    return json.dumps(ctx.to_wire(), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def trace_context_from_bytes(raw: bytes) -> Optional[TraceContext]:
+    """Decode a frame's trace section; ``None`` when malformed (a
+    bad context must never make the frame undeliverable)."""
+    try:
+        data = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    return TraceContext.from_wire(data)

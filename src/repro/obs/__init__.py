@@ -33,7 +33,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.scrape import (
+    ScrapeConfig,
     replica_stats_from_snapshot,
+    sample_metrics,
     scrape_replica_stats,
 )
 from repro.obs.serve import ServeSession
@@ -60,7 +62,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ScrapeConfig",
     "replica_stats_from_snapshot",
+    "sample_metrics",
     "scrape_replica_stats",
     "ServeSession",
 ]

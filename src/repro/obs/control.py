@@ -156,13 +156,27 @@ class ControlClient:
 
     async def send(self, host: str, port: int, event: Any,
                    timeout: float = 5.0) -> Dict[str, Any]:
-        """POST one signed event; raises on any non-200 answer."""
+        """POST one signed event; raises on any non-200 answer.
+
+        Every failure mode -- refused connection, timeout, malformed
+        response -- names the target endpoint, so a forwarded fault
+        that never landed is attributable from the error alone.
+        """
+        import asyncio
+
+        from repro.errors import TransportError
         from repro.obs.http import http_request
 
         body = sign_event(event, self._keypair)
-        status, raw = await http_request(host, port, "/control",
-                                         method="POST", body=body,
-                                         timeout=timeout)
+        try:
+            status, raw = await http_request(host, port, "/control",
+                                             method="POST", body=body,
+                                             timeout=timeout)
+        except (OSError, asyncio.TimeoutError, TransportError) as exc:
+            detail = str(exc) or type(exc).__name__
+            raise TransportError(
+                f"POST /control on {host}:{port} "
+                f"({type(event).__name__}) failed: {detail}") from exc
         try:
             payload = json.loads(raw.decode("utf-8"))
         except ValueError:

@@ -49,10 +49,13 @@ class ObsServer:
     - ``GET /metrics.json`` -- the schema-stable snapshot dict.
     - ``GET /healthz`` -- liveness JSON (always 200; the status lives
       in the body so "degraded" is distinguishable from "dead").
+    - ``GET /trace`` -- the replica's ring-buffered span export (see
+      :mod:`repro.trace`); 404 unless serving started with tracing.
     - ``POST /control`` -- signed fault/netem events; delegated to the
       ``control`` callable, which returns ``(status, body_dict)``.
 
     ``healthz`` is a zero-argument callable returning the health dict;
+    ``trace`` a zero-argument callable returning the span-export dict;
     ``control`` takes the raw body bytes.  Port 0 binds an OS-assigned
     port (read it back from :attr:`address`).
     """
@@ -61,10 +64,12 @@ class ObsServer:
                  healthz: Optional[Callable[[], Dict[str, Any]]] = None,
                  control: Optional[
                      Callable[[bytes], Tuple[int, Dict[str, Any]]]] = None,
+                 trace: Optional[Callable[[], Dict[str, Any]]] = None,
                  host: str = "127.0.0.1", port: int = 0) -> None:
         self.registry = registry
         self.healthz = healthz
         self.control = control
+        self.trace = trace
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
@@ -120,6 +125,12 @@ class ObsServer:
             if self.healthz is None:
                 return _json_error(404, "no health monitor attached")
             return _json_body(200, self.healthz())
+        if path == "/trace":
+            if method != "GET":
+                return _json_error(405, "use GET")
+            if self.trace is None:
+                return _json_error(404, "tracing not enabled")
+            return _json_body(200, self.trace())
         if path == "/control":
             if method != "POST":
                 return _json_error(405, "use POST")

@@ -7,14 +7,40 @@ runner (and the sweep runner above it) can pull the same
 ``repro_replica_stat`` gauge samples the serve loop refreshes per
 scrape, and fold them into the report exactly where locally-hosted
 replica stats go.
+
+:class:`ScrapeConfig` + :func:`sample_metrics` are the periodic
+flavour: the sweep runner ships a (picklable) config into each cell's
+worker process, the scenario runner samples every ``interval_s``
+during the run, and the time series folds into the sweep report --
+dashboards over sweep time without in-process recorders.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Tuple
+import logging
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+logger = logging.getLogger("repro.obs.scrape")
 
 #: The pull-gauge family the serve loop maintains per hosted replica.
 REPLICA_STAT_FAMILY = "repro_replica_stat"
+
+
+@dataclass(frozen=True)
+class ScrapeConfig:
+    """Periodic ``/metrics.json`` sampling during a run.
+
+    Plain frozen floats so sweep workers can unpickle it; endpoints
+    are *not* part of the config -- each cell scrapes whatever its
+    scenario's ``obs`` table pins, so one config serves a whole grid.
+    """
+
+    #: Seconds between samples.
+    interval_s: float = 1.0
+    #: Per-endpoint fetch timeout; a slow endpoint must not stall the
+    #: sampler past the next tick.
+    timeout_s: float = 2.0
 
 
 def replica_stats_from_snapshot(snapshot: Mapping[str, Any],
@@ -41,12 +67,16 @@ def replica_stats_from_snapshot(snapshot: Mapping[str, Any],
 async def scrape_replica_stats(
         endpoints: Mapping[str, Tuple[str, int]],
         timeout: float = 5.0,
+        errors: Optional[List[str]] = None,
 ) -> Dict[str, Optional[Dict[str, int]]]:
     """Fetch ``/metrics.json`` from each replica's obs endpoint.
 
     ``endpoints`` maps replica id to ``(host, port)``.  Unreachable
     endpoints yield ``None`` for that replica rather than failing the
-    whole scrape -- a dead node is a finding, not an error.
+    whole scrape -- a dead node is a finding, not an error -- but each
+    failure is logged (and appended to ``errors`` when given) naming
+    the endpoint it came from, so "which node went dark" never has to
+    be reverse-engineered from a bare counter.
     """
     import asyncio
 
@@ -57,7 +87,12 @@ async def scrape_replica_stats(
         try:
             snapshot = await fetch_json(host, port, "/metrics.json",
                                         timeout=timeout)
-        except Exception:
+        except Exception as exc:
+            detail = (f"scraping {rid}: GET /metrics.json on "
+                      f"{host}:{port} failed: {exc}")
+            logger.warning(detail)
+            if errors is not None:
+                errors.append(detail)
             return rid, None
         return rid, replica_stats_from_snapshot(snapshot, rid)
 
@@ -65,3 +100,15 @@ async def scrape_replica_stats(
         *(_one(rid, host, port)
           for rid, (host, port) in sorted(endpoints.items())))
     return dict(results)
+
+
+async def sample_metrics(
+        endpoints: Mapping[str, Tuple[str, int]],
+        timeout: float = 2.0,
+) -> Dict[str, Optional[Dict[str, int]]]:
+    """One periodic sample: per-replica stat dicts (``None`` = the
+    endpoint did not answer).  A thin alias over
+    :func:`scrape_replica_stats` kept separate so periodic samplers
+    and the end-of-run fold can diverge later without call-site
+    churn."""
+    return await scrape_replica_stats(endpoints, timeout=timeout)

@@ -60,7 +60,10 @@ class ServeSession:
                  obs_addresses: Optional[
                      Dict[str, Tuple[str, int]]] = None,
                  control_seed: bytes = DEFAULT_CONTROL_SEED,
-                 data_dir: Optional[str] = None) -> None:
+                 data_dir: Optional[str] = None,
+                 trace: bool = False,
+                 trace_sample_rate: float = 1.0,
+                 trace_ring: Optional[int] = None) -> None:
         from repro.transport.asyncio_tcp import parse_hostport
 
         scenario.validate()
@@ -91,6 +94,17 @@ class ServeSession:
                 rid: parse_hostport(value)
                 for rid, value in (scenario.obs or {}).items()
                 if rid in self.replicas}
+
+        #: Live tracing: spans land in a bounded ring (default
+        #: :data:`repro.trace.tracer.DEFAULT_RING_SPANS`) served on
+        #: each endpoint's ``GET /trace``, so memory stays flat over
+        #: weeks of traffic.  Off by default -- the hot path keeps its
+        #: no-op seams.
+        self.trace = trace
+        self.trace_sample_rate = trace_sample_rate
+        self.trace_ring = trace_ring
+        self.tracer: Optional[Any] = None
+        self._trace_collector: Optional[Any] = None
 
         self.registry = MetricsRegistry()
         self.cluster: Optional[Any] = None
@@ -151,6 +165,25 @@ class ServeSession:
             self.cluster, netem_seed=self.scenario.seed)
         self.injector.install_filters()
 
+        if self.trace:
+            from repro.trace import ActiveTracer, TraceCollector
+            from repro.trace.live import wall_clock_ms
+            from repro.trace.tracer import DEFAULT_RING_SPANS
+            self._trace_collector = TraceCollector(
+                max_spans=self.trace_ring or DEFAULT_RING_SPANS)
+            # Epoch-based clock: a multi-process deployment's spans
+            # land on one comparable timeline, and incoming TRACED
+            # frames from a tracing scenario client slot right in.
+            self.tracer = ActiveTracer(
+                wall_clock_ms, collector=self._trace_collector,
+                sample_rate=self.trace_sample_rate)
+            for rid in self.replicas:
+                self.cluster.nodes[rid].tracer = self.tracer
+                replica = self.cluster.replicas[rid]
+                attach = getattr(replica, "attach_tracer", None)
+                if attach is not None:
+                    attach(self.tracer)
+
         for rid in self.replicas:
             live = LiveInstruments(
                 self.registry, replica=rid,
@@ -190,7 +223,9 @@ class ServeSession:
         for rid, (host, port) in sorted(self._obs_addresses.items()):
             server = ObsServer(
                 self.registry, healthz=self.monitors[rid].healthz,
-                control=self.channel.handle, host=host, port=port)
+                control=self.channel.handle,
+                trace=self.trace_export if self.trace else None,
+                host=host, port=port)
             await server.start()
             self.servers[rid] = server
         logger.info("serving %s", ", ".join(self.replicas),
@@ -225,6 +260,17 @@ class ServeSession:
             watermark = int(log[-1][0]) if log else 0
             self._lag_gauge.labels(rid).set(
                 max(0, executed - watermark))
+
+    # ------------------------------------------------------------------
+    def trace_export(self) -> Dict[str, Any]:
+        """The ring's current span export (``GET /trace`` body)."""
+        from repro.trace import export_spans
+
+        collector = self._trace_collector
+        if collector is None:
+            return export_spans(())
+        return export_spans(collector.spans(),
+                            dropped=collector.dropped)
 
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:

@@ -663,15 +663,24 @@ class TcpFaultInjector(_InjectorBase):
             task = loop.create_task(
                 self._control_client.send(host, port, event))
             self._control_tasks.add(task)
-            task.add_done_callback(self._control_done)
+            task.add_done_callback(
+                lambda t, target=f"{host}:{port}",
+                name=type(event).__name__:
+                self._control_done(t, target=target, what=name))
 
-    def _control_done(self, task: Any) -> None:
+    def _control_done(self, task: Any, target: str = "",
+                      what: str = "control") -> None:
         self._control_tasks.discard(task)
+        suffix = f" to {target}" if target else ""
         if task.cancelled():
-            self.control_errors.append("control delivery cancelled")
+            self.control_errors.append(
+                f"{what} delivery{suffix} cancelled")
             return
         exc = task.exception()
         if exc is not None:
+            # ControlClient.send already names the endpoint in its
+            # errors; str(exc) therefore stays attributable on its own
+            # (restart tasks pass no target and say so in the message).
             self.control_errors.append(str(exc))
 
     async def drain_control(self, timeout: float = 5.0) -> None:

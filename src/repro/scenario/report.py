@@ -181,9 +181,14 @@ class ExperimentReport:
     network: Dict[str, int]
     fault_log: List[Dict[str, Any]] = field(default_factory=list)
     wall_seconds: float = 0.0
+    #: Critical-path summary from :func:`repro.trace.summarize_traces`
+    #: when the run was traced; ``None`` (and absent from the
+    #: serialized form) otherwise, so untraced reports keep their
+    #: pinned schema byte-for-byte.
+    trace: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "scenario": self.scenario,
             "protocol": self.protocol,
             "backend": self.backend,
@@ -209,6 +214,9 @@ class ExperimentReport:
             "fault_log": list(self.fault_log),
             "wall_seconds": round(self.wall_seconds, 3),
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ExperimentReport":
@@ -243,6 +251,7 @@ class ExperimentReport:
             network=dict(data["network"]),
             fault_log=list(data["fault_log"]),
             wall_seconds=data["wall_seconds"],
+            trace=data.get("trace"),
         )
 
     def to_json(self, indent: int = 2) -> str:

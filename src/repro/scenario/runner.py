@@ -30,6 +30,12 @@ from repro.errors import ConfigurationError, ScenarioTimeoutError
 from repro.scenario.faults import SimFaultInjector, TcpFaultInjector
 from repro.scenario.report import ExperimentReport, PhaseReport
 from repro.scenario.spec import Scenario, WorkloadSpec
+from repro.trace import (
+    ActiveTracer,
+    TraceCollector,
+    export_spans,
+    summarize_traces,
+)
 from repro.workload.drivers import (
     BatchingOpenLoopDriver,
     ClosedLoopDriver,
@@ -208,8 +214,11 @@ class ScenarioRunner:
                  tcp_timeout_s: float = 60.0,
                  instruments: Any = None,
                  scrape: bool = True,
+                 scrape_config: Any = None,
                  process_manager: Any = None,
-                 data_dir: Optional[str] = None) -> None:
+                 data_dir: Optional[str] = None,
+                 trace: bool = False,
+                 trace_sample_rate: float = 1.0) -> None:
         if backend not in ("sim", "tcp"):
             raise ConfigurationError(
                 f"unknown backend {backend!r}; choose 'sim' or 'tcp'")
@@ -223,6 +232,12 @@ class ScenarioRunner:
         #: the scenario declares ``obs``) to merge their stats into
         #: the report.
         self.scrape = scrape
+        #: Optional :class:`repro.obs.ScrapeConfig`: sample those same
+        #: endpoints *periodically* during the run (TCP backend only).
+        #: The time series lands in :attr:`last_scrape_samples`; the
+        #: sweep runner folds it into its report per cell.
+        self.scrape_config = scrape_config
+        self.last_scrape_samples: Optional[List[Dict[str, Any]]] = None
         #: Optional :class:`~repro.scenario.processes.ServeProcessManager`
         #: hosting remote replicas as child ``repro serve`` processes;
         #: required to route :class:`KillProcess` / ``RestartProcess``
@@ -232,6 +247,20 @@ class ScenarioRunner:
         #: replica stores live under ``<data_dir>/<replica_id>``);
         #: defaults to ``.repro-data/<scenario.name>``.
         self.data_dir = data_dir
+        #: Causal request tracing (see :mod:`repro.trace`).  When on,
+        #: one :class:`~repro.trace.ActiveTracer` spans the whole
+        #: deployment -- sim runs clock it from the simulator so
+        #: seeded traces are byte-identical; TCP runs clock it from
+        #: :func:`repro.trace.live.wall_clock_ms`.  The report grows a
+        #: ``trace`` critical-path summary and the full export lands
+        #: in :attr:`last_trace`.
+        self.trace = trace
+        self.trace_sample_rate = trace_sample_rate
+        #: Schema-stable span export of the most recent traced run
+        #: (``python -m repro run --trace`` writes it to disk), plus
+        #: the raw spans for the Chrome trace-event form.
+        self.last_trace: Optional[Dict[str, Any]] = None
+        self.last_trace_spans: List[Any] = []
 
     # ------------------------------------------------------------------
     def run(self, scenario: Scenario) -> ExperimentReport:
@@ -250,6 +279,42 @@ class ScenarioRunner:
                 "run_with_cluster is only meaningful on the sim "
                 "backend")
         return self._run_sim(scenario)
+
+    # ------------------------------------------------------------------
+    # Tracing plumbing (backend-agnostic)
+    # ------------------------------------------------------------------
+    def _make_tracer(self, clock):
+        """One deployment-wide tracer + collector, or ``(None, None)``
+        when tracing is off (every attach below is then skipped and
+        the protocol keeps its no-op ``NULL_TRACER`` seams)."""
+        if not self.trace:
+            return None, None
+        collector = TraceCollector()
+        tracer = ActiveTracer(clock, collector=collector,
+                              sample_rate=self.trace_sample_rate)
+        return tracer, collector
+
+    @staticmethod
+    def _attach_replica_tracers(tracer, replicas) -> None:
+        """Protocols without trace instrumentation (no
+        ``attach_tracer``) still run -- they just contribute no
+        server-side spans."""
+        for replica in replicas:
+            attach = getattr(replica, "attach_tracer", None)
+            if attach is not None:
+                attach(tracer)
+
+    def _finish_trace(self, collector) -> Optional[Dict[str, Any]]:
+        """Fold the collected spans into exports: the full span list
+        on :attr:`last_trace` / :attr:`last_trace_spans`, the
+        critical-path summary as the return value (for the report)."""
+        if collector is None:
+            return None
+        spans = collector.spans()
+        self.last_trace_spans = spans
+        self.last_trace = export_spans(spans,
+                                       dropped=collector.dropped)
+        return summarize_traces(spans)
 
     # ------------------------------------------------------------------
     # Simulator backend
@@ -285,7 +350,21 @@ class ScenarioRunner:
         recorder.discard_first = \
             workload.warmup_requests * workload.clients_per_region
 
-        pool = _ClientPool(scenario, cluster.add_client, recorder,
+        tracer, collector = self._make_tracer(lambda: cluster.sim.now)
+        add_client = cluster.add_client
+        if tracer is not None:
+            cluster.network.tracer = tracer
+            self._attach_replica_tracers(tracer,
+                                         cluster.replicas.values())
+
+            def add_client(client_id, region, _add=cluster.add_client):
+                # Covers churn-spawned clients too: every client the
+                # pool ever creates joins the same tracer.
+                client = _add(client_id, region)
+                client.tracer = tracer
+                return client
+
+        pool = _ClientPool(scenario, add_client, recorder,
                            elapsed_ms=lambda: cluster.sim.now)
         injector = SimFaultInjector(
             cluster,
@@ -326,8 +405,31 @@ class ScenarioRunner:
             },
             fault_log=injector.log,
             # repro: allow[wall-clock] -- reporting-only stopwatch.
-            wall_seconds=time.perf_counter() - wall_start)
+            wall_seconds=time.perf_counter() - wall_start,
+            trace=self._finish_trace(collector))
         return report, cluster
+
+    # ------------------------------------------------------------------
+    async def _scrape_loop(self, endpoints, origin_ms: float,
+                           samples: List[Dict[str, Any]]) -> None:
+        """Periodic ``/metrics.json`` sampler (TCP backend): one
+        sample dict per tick until cancelled.  A dead endpoint shows
+        up as ``None`` in that tick's ``replicas`` map -- the time
+        series records the outage instead of papering over it."""
+        import asyncio as _asyncio
+
+        from repro.obs.scrape import sample_metrics
+
+        loop = _asyncio.get_running_loop()
+        config = self.scrape_config
+        while True:
+            await _asyncio.sleep(config.interval_s)
+            stats = await sample_metrics(endpoints,
+                                         timeout=config.timeout_s)
+            samples.append({
+                "t_ms": round(loop.time() * 1000.0 - origin_ms, 3),
+                "replicas": stats,
+            })
 
     # ------------------------------------------------------------------
     # Asyncio TCP backend
@@ -363,9 +465,17 @@ class ScenarioRunner:
         pool: Optional[_ClientPool] = None
         injector: Optional[TcpFaultInjector] = None
         instruments = self.instruments
+        from repro.trace.live import wall_clock_ms
+        tracer, collector = self._make_tracer(wall_clock_ms)
         #: call_later handles for scheduled faults/phase boundaries, so
         #: a timed-out run cancels what has not fired yet.
         handles: List[Any] = []
+        scrape_samples: List[Dict[str, Any]] = []
+        self.last_scrape_samples = None
+        sampler: Optional[Any] = None
+        if self.scrape_config is not None and control_endpoints:
+            sampler = loop.create_task(self._scrape_loop(
+                control_endpoints, origin_ms, scrape_samples))
 
         clients: List[Any] = []
 
@@ -396,6 +506,14 @@ class ScenarioRunner:
             # Inside the try: a bind failure partway through startup
             # must still stop the nodes that did come up.
             await cluster.start()
+            if tracer is not None:
+                # One tracer spans the in-process deployment (both
+                # backends dispatch handlers single-threaded); its
+                # context rides TRACED frames between nodes.
+                for node in cluster.nodes.values():
+                    node.tracer = tracer
+                self._attach_replica_tracers(
+                    tracer, cluster.replicas.values())
             if scenario.durable:
                 # Back every locally hosted replica with an on-disk
                 # store and recover whatever a previous run left there
@@ -420,10 +538,16 @@ class ScenarioRunner:
                     index % len(cluster.replica_ids)]
                 if not cluster.spec.leaderless:
                     target = None
-                clients.append(
-                    await cluster.add_client(f"c{index}",
-                                             target_replica=target,
-                                             region=region))
+                client = await cluster.add_client(f"c{index}",
+                                                  target_replica=target,
+                                                  region=region)
+                if tracer is not None:
+                    # The client's transport node was created after
+                    # the replica attach pass -- without the tracer
+                    # its sends would never carry TRACED frames.
+                    client.tracer = tracer
+                    cluster.nodes[f"c{index}"].tracer = tracer
+                clients.append(client)
 
             pool = _ClientPool(
                 scenario, add_client_sync, recorder,
@@ -494,13 +618,14 @@ class ScenarioRunner:
             duration_ms = loop.time() * 1000.0 - origin_ms
             replica_stats = {rid: dict(r.stats)
                              for rid, r in cluster.replicas.items()}
+            scrape_errors: List[str] = []
             if self.scrape and control_endpoints:
                 # Pull remote replicas' stats off their /metrics.json
                 # endpoints so the report covers the whole deployment,
                 # not just the locally hosted slice.
                 from repro.obs.scrape import scrape_replica_stats
                 remote_stats = await scrape_replica_stats(
-                    control_endpoints)
+                    control_endpoints, errors=scrape_errors)
                 for rid, stats in remote_stats.items():
                     if stats is not None:
                         replica_stats[rid] = stats
@@ -519,11 +644,23 @@ class ScenarioRunner:
             if control_endpoints:
                 network["control_errors"] = \
                     len(injector.control_errors)
+                if scrape_errors:
+                    # Endpoint-named failure strings, not a bare
+                    # counter: "which node went dark" reads straight
+                    # off the report.
+                    network["scrape_errors"] = list(scrape_errors)
         finally:
             # Timeout (or any failure) must not strand a half-run
             # deployment: stop issuing load, cancel what has not fired,
             # close every socket, and let cancelled send tasks and
             # EOF'd connection readers unwind inside this loop.
+            if sampler is not None:
+                sampler.cancel()
+                try:
+                    await sampler
+                except asyncio.CancelledError:
+                    pass
+                self.last_scrape_samples = scrape_samples
             for handle in handles:
                 handle.cancel()
             if pool is not None:
@@ -543,7 +680,8 @@ class ScenarioRunner:
                         "applied_ms": entry["applied_ms"] - origin_ms}
                        for entry in injector.log],
             # repro: allow[wall-clock] -- reporting-only stopwatch.
-            wall_seconds=time.perf_counter() - wall_start)
+            wall_seconds=time.perf_counter() - wall_start,
+            trace=self._finish_trace(collector))
 
     # ------------------------------------------------------------------
     # Report assembly (backend-agnostic)
@@ -555,7 +693,9 @@ class ScenarioRunner:
                       client_stats: List[Dict[str, int]],
                       network: Dict[str, int],
                       fault_log: List[Dict[str, Any]],
-                      wall_seconds: float) -> ExperimentReport:
+                      wall_seconds: float,
+                      trace: Optional[Dict[str, Any]] = None
+                      ) -> ExperimentReport:
         phases: List[PhaseReport] = []
         start = 0.0
         for phase in scenario.phase_plan():
@@ -618,6 +758,7 @@ class ScenarioRunner:
             network=network,
             fault_log=fault_log,
             wall_seconds=wall_seconds,
+            trace=trace,
         )
 
 

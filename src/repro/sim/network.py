@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from repro.errors import ConfigurationError, TransportError
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyMatrix
+from repro.trace.tracer import NULL_TRACER
 
 
 @dataclass
@@ -104,6 +105,11 @@ class SimNetwork:
         #: bandwidth), applied on top of the latency matrix.  Fault
         #: injectors may attach one mid-run.
         self.shaper = shaper
+        #: Tracing seam (no-op by default): when live, each send
+        #: captures the tracer's current causal context and the fabric
+        #: restores it around the destination handler -- the sim
+        #: analogue of the TCP codec's TRACED frames.
+        self.tracer = NULL_TRACER
         self.messages_sent = 0
         self.messages_delivered = 0
         self.bytes_sent = 0
@@ -180,6 +186,8 @@ class SimNetwork:
             dst_rec.messages_dropped += 1
             return
 
+        tracer = self.tracer
+        tctx = tracer.current() if tracer.enabled else None
         propagation = self.latency.sample_one_way(
             src_rec.region, dst_rec.region, self._rng,
             self.conditions.jitter_fraction)
@@ -195,15 +203,17 @@ class SimNetwork:
                 return
             for extra in plan:
                 self.sim.schedule(propagation + extra, self._arrive,
-                                  src, dst, message)
+                                  src, dst, message, tctx)
             return
         # CPU queueing is decided when the message *arrives*, not when it
         # is sent -- otherwise a distant message sent earlier would
         # reserve the CPU ahead of a nearby message that physically
         # arrives first.
-        self.sim.schedule(propagation, self._arrive, src, dst, message)
+        self.sim.schedule(propagation, self._arrive, src, dst, message,
+                          tctx)
 
-    def _arrive(self, src: str, dst: str, message: Any) -> None:
+    def _arrive(self, src: str, dst: str, message: Any,
+                tctx: Any = None) -> None:
         """Message hits the destination NIC: enter the CPU FIFO queue."""
         rec = self._nodes.get(dst)
         if rec is None:  # node deregistered mid-flight; drop silently
@@ -213,7 +223,8 @@ class SimNetwork:
         finish = start + proc
         rec.busy_until = finish
         rec.cpu_busy_ms += proc
-        self.sim.schedule_at(finish, self._deliver, src, dst, message)
+        self.sim.schedule_at(finish, self._deliver, src, dst, message,
+                             tctx)
 
     def broadcast(self, src: str, dsts: Tuple[str, ...], message: Any,
                   size_bytes: int = 0) -> None:
@@ -241,10 +252,21 @@ class SimNetwork:
         except KeyError:
             raise TransportError(f"unknown node {node_id!r}") from None
 
-    def _deliver(self, src: str, dst: str, message: Any) -> None:
+    def _deliver(self, src: str, dst: str, message: Any,
+                 tctx: Any = None) -> None:
         rec = self._nodes.get(dst)
         if rec is None:  # node deregistered mid-flight; drop silently
             return
         rec.messages_received += 1
         self.messages_delivered += 1
-        rec.handler(src, message)
+        tracer = self.tracer
+        if tctx is not None and tracer.enabled:
+            # Restore the sender's causal context around delivery (the
+            # sim fabric's analogue of a TRACED frame).
+            prev = tracer.set_current(tctx)
+            try:
+                rec.handler(src, message)
+            finally:
+                tracer.set_current(prev)
+        else:
+            rec.handler(src, message)

@@ -115,10 +115,18 @@ class SeriesPoint:
 
 @dataclass
 class SweepCellResult:
-    """One executed grid cell: its axis values and full report."""
+    """One executed grid cell: its axis values and full report.
+
+    ``scrape`` is the periodic ``/metrics.json`` time series sampled
+    while the cell ran (``None`` unless the sweep runner was given a
+    :class:`~repro.obs.ScrapeConfig` and the cell's scenario exposed
+    obs endpoints): a list of ``{"t_ms": ..., "replicas": {rid:
+    stats-or-None}}`` samples, dashboards-over-sweep-time material.
+    """
 
     params: Tuple[Tuple[str, Any], ...]
     report: ExperimentReport
+    scrape: Optional[List[Dict[str, Any]]] = None
 
     @property
     def param_dict(self) -> Dict[str, Any]:
@@ -283,14 +291,23 @@ class SweepReport:
                            list(SERIES_CSV_COLUMNS), path)
 
     def to_dict(self) -> Dict[str, Any]:
+        def cell_dict(cell: SweepCellResult) -> Dict[str, Any]:
+            data: Dict[str, Any] = {
+                "params": cell.param_dict,
+                "report": cell.report.to_dict(),
+            }
+            # Only when sampled: unscoped sweeps keep the pinned
+            # two-key cell shape byte-for-byte.
+            if cell.scrape is not None:
+                data["scrape"] = cell.scrape
+            return data
+
         return {
             "sweep": self.name,
             "backend": self.backend,
             "axes": {axis: list(values)
                      for axis, values in self.axes.items()},
-            "cells": [{"params": cell.param_dict,
-                       "report": cell.report.to_dict()}
-                      for cell in self.cells],
+            "cells": [cell_dict(cell) for cell in self.cells],
         }
 
     def to_json(self, indent: int = 2) -> str:

@@ -15,9 +15,10 @@ over a lambda ``statemachine`` is not (run those with ``workers=1``).
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
+from repro.obs.scrape import ScrapeConfig
 from repro.scenario.report import ExperimentReport
 from repro.scenario.runner import MAX_EVENTS, ScenarioRunner
 from repro.scenario.spec import Scenario
@@ -27,11 +28,18 @@ from repro.sweep.spec import SweepSpec
 
 
 def _run_cell(backend: str, scenario: Scenario, max_events: int,
-              tcp_timeout_s: float) -> ExperimentReport:
-    """Top-level (picklable) worker: one cell, one report."""
+              tcp_timeout_s: float,
+              scrape: Optional[ScrapeConfig] = None
+              ) -> Tuple[ExperimentReport,
+                         Optional[List[Dict[str, Any]]]]:
+    """Top-level (picklable) worker: one cell, one report (plus the
+    periodic scrape series when the cell's scenario exposes obs
+    endpoints and a :class:`ScrapeConfig` was shipped along)."""
     runner = ScenarioRunner(backend=backend, max_events=max_events,
-                            tcp_timeout_s=tcp_timeout_s)
-    return runner.run(scenario)
+                            tcp_timeout_s=tcp_timeout_s,
+                            scrape_config=scrape)
+    report = runner.run(scenario)
+    return report, runner.last_scrape_samples
 
 
 class SweepRunner:
@@ -40,7 +48,8 @@ class SweepRunner:
     def __init__(self, backend: str = "sim", workers: int = 1,
                  max_events: int = MAX_EVENTS,
                  tcp_timeout_s: float = 60.0,
-                 cache: Optional[Union[str, SweepCellCache]] = None
+                 cache: Optional[Union[str, SweepCellCache]] = None,
+                 scrape: Optional[ScrapeConfig] = None
                  ) -> None:
         if backend not in ("sim", "tcp"):
             raise ConfigurationError(
@@ -58,6 +67,18 @@ class SweepRunner:
         if isinstance(cache, str):
             cache = SweepCellCache(cache)
         self.cache = cache
+        #: Optional :class:`~repro.obs.ScrapeConfig`: periodically
+        #: sample ``/metrics.json`` from each cell's obs-declared
+        #: replicas while the cell runs (TCP backend; the frozen
+        #: dataclass pickles into worker processes).  Per-cell series
+        #: land on :attr:`SweepCellResult.scrape` -- the first-class
+        #: alternative to in-process recorders for long-lived
+        #: deployments.
+        if scrape is not None and backend != "tcp":
+            raise ConfigurationError(
+                "periodic scraping needs the tcp backend; sim cells "
+                "have no live obs endpoints to sample")
+        self.scrape = scrape
 
     def _cell_key(self, scenario: Scenario) -> Optional[str]:
         if self.cache is None or self.backend != "sim":
@@ -93,25 +114,30 @@ class SweepRunner:
         else:
             fresh = []
             for cell in pending:
-                report = _run_cell(self.backend, cell.scenario,
-                                   self.max_events, self.tcp_timeout_s)
+                report, samples = _run_cell(
+                    self.backend, cell.scenario,
+                    self.max_events, self.tcp_timeout_s, self.scrape)
                 if progress is not None:
                     progress(cell, report)
-                fresh.append(report)
+                fresh.append((report, samples))
         by_index = dict(cached)
-        for cell, report in zip(pending, fresh):
+        scrape_by_index: Dict[int, Optional[List[Dict[str, Any]]]] = {}
+        for cell, (report, samples) in zip(pending, fresh):
             by_index[cell.index] = report
+            scrape_by_index[cell.index] = samples
         if self.cache is not None:
             for cell, key in zip(cells, keys):
                 if key is not None and cell.index not in cached:
                     self.cache.put(key, by_index[cell.index])
-        reports = [by_index[cell.index] for cell in cells]
         return SweepReport(
             name=spec.sweep_name,
             backend=self.backend,
             axes=spec.axes(),
-            cells=[SweepCellResult(params=cell.params, report=report)
-                   for cell, report in zip(cells, reports)])
+            cells=[SweepCellResult(
+                params=cell.params,
+                report=by_index[cell.index],
+                scrape=scrape_by_index.get(cell.index))
+                   for cell in cells])
 
     # ------------------------------------------------------------------
     def _run_parallel(self, cells, progress):
@@ -120,21 +146,23 @@ class SweepRunner:
             as_completed,
         )
 
-        reports: dict = {}
+        results: dict = {}
         max_workers = min(self.workers, len(cells))
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {
                 pool.submit(_run_cell, self.backend, cell.scenario,
-                            self.max_events, self.tcp_timeout_s): cell
+                            self.max_events, self.tcp_timeout_s,
+                            self.scrape): cell
                 for cell in cells
             }
             for future in as_completed(futures):
                 cell = futures[future]
-                report = future.result()  # propagate worker failures
+                # propagate worker failures
+                report, samples = future.result()
                 if progress is not None:
                     progress(cell, report)
-                reports[cell.index] = report
-        return [reports[cell.index] for cell in cells]
+                results[cell.index] = (report, samples)
+        return [results[cell.index] for cell in cells]
 
 
 def run_sweep(spec: SweepSpec, backend: str = "sim",

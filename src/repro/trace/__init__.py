@@ -1,0 +1,84 @@
+"""repro.trace: deterministic causal request tracing.
+
+Follows one client command end to end -- client issue, owner
+order/SPECORDER, per-replica vote, commit (fast vs. slow path tagged),
+executor dependency wait, final execution, reply -- as typed span
+records with causal parent links (:mod:`repro.trace.span`).
+
+Design constraints, in order:
+
+1. **Off by default, free when off.**  Every hot-path site holds a
+   ``tracer`` attribute that defaults to the no-op
+   :data:`NULL_TRACER` and guards on ``tracer.enabled`` -- the same
+   seam discipline as :mod:`repro.obs.instruments`, verified by the
+   pinned ``repro bench`` baseline gate.
+2. **Deterministic on the sim backend.**  Span timestamps come from
+   the injected clock (``Simulator.now`` on sim), span ids from a
+   per-tracer counter, trace ids from the command's ``(client,
+   timestamp)`` ident, and sampling from ``zlib.crc32`` -- so seeded
+   runs produce byte-identical trace JSON, usable as regression
+   artifacts.  Only :mod:`repro.trace.live` (the TCP clock) may read
+   the wall clock; the analysis layer map enforces this.
+3. **Context rides the wire, old frames still decode.**  Both
+   transports capture the tracer's current context at send time and
+   restore it around delivery; the TCP codec carries it in a new
+   optional ``TRACED`` frame kind (:mod:`repro.transport.codec`),
+   and plain frames decode unchanged.
+
+On top of raw spans: a critical-path analyzer
+(:mod:`repro.trace.critical_path`) answering "where did the time go"
+per request and aggregated by commit path, plus schema-stable JSON
+and Chrome trace-event exporters (:mod:`repro.trace.export`,
+loadable in Perfetto / ``chrome://tracing``).
+"""
+
+from repro.trace.context import TraceContext
+from repro.trace.critical_path import critical_path, summarize_traces
+from repro.trace.export import (
+    TRACE_SCHEMA_VERSION,
+    chrome_trace,
+    chrome_trace_json,
+    export_json,
+    export_spans,
+)
+from repro.trace.span import (
+    SPAN_CLIENT_REQUEST,
+    SPAN_CLIENT_SLOW_PATH,
+    SPAN_EXEC_APPLY,
+    SPAN_EXEC_DEPWAIT,
+    SPAN_OWNER_LEAD,
+    SPAN_REPLICA_COMMIT,
+    SPAN_REPLICA_VOTE,
+    SPAN_NAMES,
+    Span,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    ActiveTracer,
+    TraceCollector,
+    Tracer,
+)
+
+__all__ = [
+    "TraceContext",
+    "critical_path",
+    "summarize_traces",
+    "TRACE_SCHEMA_VERSION",
+    "chrome_trace",
+    "chrome_trace_json",
+    "export_json",
+    "export_spans",
+    "SPAN_CLIENT_REQUEST",
+    "SPAN_CLIENT_SLOW_PATH",
+    "SPAN_EXEC_APPLY",
+    "SPAN_EXEC_DEPWAIT",
+    "SPAN_OWNER_LEAD",
+    "SPAN_REPLICA_COMMIT",
+    "SPAN_REPLICA_VOTE",
+    "SPAN_NAMES",
+    "Span",
+    "NULL_TRACER",
+    "ActiveTracer",
+    "TraceCollector",
+    "Tracer",
+]

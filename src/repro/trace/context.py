@@ -1,0 +1,47 @@
+"""TraceContext: the propagated (trace id, parent span id) pair.
+
+The context is what crosses node boundaries -- captured from the
+tracer at send time, carried on the wire (see
+:mod:`repro.messages.trace` for the wire form and the ``TRACED``
+frame kind in :mod:`repro.transport.codec`), and restored around
+delivery so handler-side spans parent correctly.
+
+Trace ids are derived from the command's exactly-once ident
+(``"<client>:<timestamp>"``), never from randomness: the same seeded
+run names the same traces, which is what makes trace exports
+byte-identical regression artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, NamedTuple, Optional
+
+
+class TraceContext(NamedTuple):
+    """An immutable causal pointer: which trace, which parent span."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> dict:
+        """The compact wire dict (short keys: this rides every traced
+        frame)."""
+        return {"t": self.trace_id, "s": self.span_id}
+
+    @classmethod
+    def from_wire(cls, data: Any) -> Optional["TraceContext"]:
+        """Decode a wire dict; ``None`` for anything malformed (a
+        corrupt or foreign context must never poison delivery)."""
+        if not isinstance(data, dict):
+            return None
+        trace_id = data.get("t")
+        span_id = data.get("s")
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        return cls(trace_id, span_id)
+
+
+def trace_id_for(client_id: str, timestamp: int) -> str:
+    """The deterministic trace id of one command: its exactly-once
+    ident.  Retries of the same command join the same trace."""
+    return f"{client_id}:{timestamp}"

@@ -1,0 +1,135 @@
+"""Critical-path analysis: where did each request's time go?
+
+Per trace, the critical path is the causal chain from the root span
+to the latest-finishing work under it: at every step we descend into
+the child whose end time is largest (ties broken by span id, so the
+walk is deterministic).  Only children that finished by the root's
+end are eligible -- work completing after the client already
+delivered (e.g. the fast path's asynchronous COMMITFAST fan-out and
+the commit/execution spans it triggers) is post-completion
+housekeeping, not on the delivery-latency path.  Each chain member's
+*self time* is its duration minus the part covered by the chosen
+child -- summing self times along the chain recovers the root's wall
+time attributed to phases.
+
+The aggregate (:func:`summarize_traces`) buckets traces by the root
+span's commit path (``fast``/``slow``, from the client's delivery
+tag) and reports per-phase totals and means -- the "MAC verification
+vs. dependency wait vs. slow-path fallback" breakdown the report
+folds in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.span import SPAN_CLIENT_REQUEST, Span
+
+#: Path bucket for roots that never got a delivery tag (e.g. the run
+#: ended mid-flight).
+UNTAGGED_PATH = "untagged"
+
+
+def _by_trace(spans: Iterable[Span]) -> Dict[str, List[Span]]:
+    traces: Dict[str, List[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    return traces
+
+
+def _root_of(spans: List[Span]) -> Optional[Span]:
+    roots = [s for s in spans if s.parent_id is None]
+    if not roots:
+        return None
+    # Prefer the client root; fall back to the earliest parentless
+    # span (a partial trace from a ring-buffered live collector).
+    for root in sorted(roots, key=lambda s: (s.start_ms, s.span_id)):
+        if root.name == SPAN_CLIENT_REQUEST:
+            return root
+    return min(roots, key=lambda s: (s.start_ms, s.span_id))
+
+
+def _end_ms(span: Span) -> float:
+    return span.end_ms if span.end_ms is not None else span.start_ms
+
+
+def critical_path(spans: List[Span]
+                  ) -> List[Tuple[Span, float]]:
+    """The (span, self_ms) chain of one trace's spans, root first.
+
+    Self time is clamped at zero: clock skew between TCP processes
+    can make a child appear to outlast its parent, and a negative
+    phase would corrupt every aggregate downstream.
+    """
+    root = _root_of(spans)
+    if root is None:
+        return []
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+
+    chain: List[Span] = []
+    node: Optional[Span] = root
+    root_end = _end_ms(root)
+    seen = set()
+    while node is not None and node.span_id not in seen:
+        seen.add(node.span_id)
+        chain.append(node)
+        kids = [s for s in children.get(node.span_id, ())
+                if _end_ms(s) <= root_end]
+        if not kids:
+            break
+        node = max(kids, key=lambda s: (_end_ms(s), s.span_id))
+
+    result: List[Tuple[Span, float]] = []
+    for i, span in enumerate(chain):
+        duration = max(0.0, _end_ms(span) - span.start_ms)
+        if i + 1 < len(chain):
+            child = chain[i + 1]
+            overlap = min(_end_ms(span), _end_ms(child)) - \
+                max(span.start_ms, child.start_ms)
+            duration = max(0.0, duration - max(0.0, overlap))
+        result.append((span, duration))
+    return result
+
+
+def summarize_traces(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Aggregate critical paths across traces, bucketed by commit
+    path -- the dict :class:`~repro.scenario.report.ExperimentReport`
+    embeds when a run is traced."""
+    traces = _by_trace(spans)
+    by_path: Dict[str, Dict[str, Any]] = {}
+    span_total = 0
+    for trace_id in sorted(traces):
+        members = traces[trace_id]
+        span_total += len(members)
+        chain = critical_path(members)
+        if not chain:
+            continue
+        root = chain[0][0]
+        path = root.attrs.get("path") or UNTAGGED_PATH
+        bucket = by_path.setdefault(path, {
+            "count": 0,
+            "total_ms": 0.0,
+            "phase_ms": {},
+        })
+        bucket["count"] += 1
+        bucket["total_ms"] += max(0.0, _end_ms(root) - root.start_ms)
+        for span, self_ms in chain:
+            phase = bucket["phase_ms"]
+            phase[span.name] = phase.get(span.name, 0.0) + self_ms
+
+    for bucket in by_path.values():
+        count = bucket["count"]
+        bucket["total_ms"] = round(bucket["total_ms"], 6)
+        bucket["mean_ms"] = round(bucket["total_ms"] / count, 6)
+        bucket["phase_ms"] = {
+            name: round(total, 6)
+            for name, total in sorted(bucket["phase_ms"].items())
+        }
+    return {
+        "traces": len(traces),
+        "spans": span_total,
+        "by_path": {path: by_path[path] for path in sorted(by_path)},
+    }

@@ -1,0 +1,81 @@
+"""Trace exporters: schema-stable JSON and Chrome trace events.
+
+The JSON export is a regression artifact: span order is pinned
+(``(trace, start_ms, span)``), keys are sorted, floats come straight
+from the deterministic clock -- so two seeded sim runs serialize to
+identical bytes.  Its top-level and per-span key sets are pinned by
+``tests/data/trace_schema.json`` (regenerate deliberately with
+``python tests/test_trace.py --regen``).
+
+The Chrome form (``{"traceEvents": [...]}``) loads directly in
+Perfetto or ``chrome://tracing``: one complete (``ph="X"``) event
+per span, grouped by trace (pid) and node (tid), timestamps in
+microseconds as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from repro.trace.span import Span
+
+#: Bump when the export layout changes; consumers key on it.
+TRACE_SCHEMA_VERSION = 1
+
+
+def _ordered(spans: Iterable[Span]) -> List[Span]:
+    return sorted(spans,
+                  key=lambda s: (s.trace_id, s.start_ms, s.span_id))
+
+
+def export_spans(spans: Iterable[Span],
+                 dropped: int = 0) -> Dict[str, Any]:
+    """The schema-stable dict form of a span set."""
+    ordered = _ordered(spans)
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "span_count": len(ordered),
+        "trace_count": len({s.trace_id for s in ordered}),
+        "dropped_spans": dropped,
+        "spans": [span.to_dict() for span in ordered],
+    }
+
+
+def export_json(spans: Iterable[Span], dropped: int = 0) -> str:
+    """Byte-stable JSON text of :func:`export_spans`."""
+    return json.dumps(export_spans(spans, dropped=dropped),
+                      sort_keys=True, indent=2, allow_nan=False) + "\n"
+
+
+def chrome_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """Chrome trace-event JSON (Perfetto-loadable).
+
+    Zero-duration point events keep ``ph="X"`` with ``dur=0`` --
+    instant events (``ph="i"``) render inconsistently across viewers,
+    and a zero-width slice is still clickable.
+    """
+    events: List[Dict[str, Any]] = []
+    for span in _ordered(spans):
+        end_ms = span.end_ms if span.end_ms is not None \
+            else span.start_ms
+        events.append({
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.start_ms * 1000.0,
+            "dur": (end_ms - span.start_ms) * 1000.0,
+            "pid": span.trace_id,
+            "tid": span.node,
+            "args": dict(span.attrs, span=span.span_id,
+                         parent=span.parent_id),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(spans: Iterable[Span]) -> str:
+    """Serialized :func:`chrome_trace`.  Writing the file is the
+    caller's job -- this layer stays filesystem-pure (see
+    ``repro.analysis.layers.FS_OK_LAYERS``)."""
+    return json.dumps(chrome_trace(spans), indent=2,
+                      allow_nan=False) + "\n"

@@ -1,0 +1,24 @@
+"""The TCP tracing clock -- the one trace module that may read real
+time.
+
+Everything else in :mod:`repro.trace` is deterministic by
+construction (injected clocks, counter ids, crc32 sampling).  Real
+deployments have no simulator to ask, so this module -- and only
+this module -- is granted wall-clock rights in the analysis layer
+map (``WALL_CLOCK_OK_MODULES`` in :mod:`repro.analysis.layers`); a
+wall-clock read anywhere else under ``src/repro/trace/`` fails
+``python -m repro lint``.
+
+Epoch milliseconds (not ``monotonic``) on purpose: spans from
+different serve processes of one deployment must land on one
+timeline for cross-process critical paths to mean anything.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock_ms() -> float:
+    """Current wall time in milliseconds (epoch-based)."""
+    return time.time() * 1000.0

@@ -1,0 +1,100 @@
+"""Typed span records and the span-name taxonomy.
+
+One request's causal story is a tree of spans sharing a trace id:
+
+- ``client.request`` -- the root, one per command, started when the
+  client registers the pending request and ended at delivery; its
+  ``path`` attribute tags the commit path (``fast``/``slow``).
+- ``owner.lead`` -- the command-leader ordering the request into its
+  instance space and broadcasting the SPECORDER (paper step 2).
+- ``replica.vote`` -- a replica accepting the SPECORDER, merging
+  dependencies, speculatively executing, and sending its SPECREPLY
+  (paper step 3).
+- ``client.slow_path`` -- a point event: the client's fast-path
+  timer expired and it fell back to the combined COMMIT (step 5.2).
+- ``replica.commit`` -- a point event per replica: the instance
+  reached COMMITTED, tagged ``path=fast|slow``.
+- ``exec.depwait`` -- commit-to-execution gap at one replica: how
+  long the entry sat in the dependency graph before the executor
+  could order it (the cost of interference).
+- ``exec.apply`` -- the final state-machine application itself.
+
+Spans are plain mutable objects (``__slots__``): the tracer is on
+the protocol hot path and a dataclass-with-dict costs measurably
+more to allocate at per-request frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.trace.context import TraceContext
+
+SPAN_CLIENT_REQUEST = "client.request"
+SPAN_OWNER_LEAD = "owner.lead"
+SPAN_REPLICA_VOTE = "replica.vote"
+SPAN_CLIENT_SLOW_PATH = "client.slow_path"
+SPAN_REPLICA_COMMIT = "replica.commit"
+SPAN_EXEC_DEPWAIT = "exec.depwait"
+SPAN_EXEC_APPLY = "exec.apply"
+
+#: The full taxonomy, in causal order (docs + export validation).
+SPAN_NAMES = (
+    SPAN_CLIENT_REQUEST,
+    SPAN_OWNER_LEAD,
+    SPAN_REPLICA_VOTE,
+    SPAN_CLIENT_SLOW_PATH,
+    SPAN_REPLICA_COMMIT,
+    SPAN_EXEC_DEPWAIT,
+    SPAN_EXEC_APPLY,
+)
+
+
+class Span:
+    """One timed, causally linked unit of work at one node."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "node",
+                 "start_ms", "end_ms", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str, node: str,
+                 start_ms: float, end_ms: Optional[float] = None,
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.node = node
+        self.start_ms = start_ms
+        self.end_ms = end_ms
+        self.attrs = attrs if attrs is not None else {}
+
+    # ------------------------------------------------------------------
+    def context(self) -> TraceContext:
+        """The (trace id, span id) pair children and wire frames carry."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def duration_ms(self) -> float:
+        if self.end_ms is None:
+            return 0.0
+        return self.end_ms - self.start_ms
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The schema-stable export form (keys pinned by the trace
+        schema golden; see :mod:`repro.trace.export`)."""
+        return {
+            "trace": self.trace_id,
+            "span": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "node": self.node,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms if self.end_ms is not None
+            else self.start_ms,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # debugging aid only
+        return (f"Span({self.name} {self.span_id} of {self.trace_id} "
+                f"@{self.node} [{self.start_ms}..{self.end_ms}])")

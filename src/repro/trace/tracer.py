@@ -1,0 +1,254 @@
+"""The tracer seam: no-op by default, deterministic when active.
+
+Mirrors the :mod:`repro.obs.instruments` discipline exactly: hot
+sites hold a ``tracer`` attribute defaulting to the module-level
+:data:`NULL_TRACER` singleton and guard on ``tracer.enabled``, so a
+deployment with tracing off pays one attribute test per site -- the
+pinned ``repro bench`` baseline verifies this stays in the noise.
+
+:class:`ActiveTracer` is deterministic by construction:
+
+- the clock is injected (``Simulator.now`` on sim,
+  :func:`repro.trace.live.wall_clock_ms` on TCP);
+- span ids are ``"<node>:<n>"`` from a per-tracer counter, so the
+  same seeded event order yields the same ids;
+- sampling hashes the trace id with ``zlib.crc32`` -- never the
+  process-salted builtin ``hash()`` (the repo's own determinism
+  linter would flag it) -- so the same requests are sampled in
+  every run.
+
+Both backends dispatch handlers single-threaded (the sim's calendar
+queue; one asyncio loop per process), so "the current context" is a
+plain attribute swapped around each delivery, not thread-local
+state.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace.context import TraceContext
+from repro.trace.span import Span
+
+#: Default ring-buffer capacity for live (serve) deployments; the
+#: scenario runner uses an unbounded collector for bounded runs.
+DEFAULT_RING_SPANS = 4096
+
+
+class Tracer:
+    """The no-op tracer: every method is a cheap constant.
+
+    Sites never check for ``None`` -- they call straight through, and
+    per-request sites additionally guard on :attr:`enabled` so the
+    disabled path is a single attribute test.
+    """
+
+    enabled = False
+
+    def current(self) -> Optional[TraceContext]:
+        return None
+
+    def set_current(self, ctx: Optional[TraceContext]
+                    ) -> Optional[TraceContext]:
+        """Install ``ctx`` as the current context; returns the
+        previous one so callers can restore it."""
+        return None
+
+    def context_of(self, span: Optional[Span]
+                   ) -> Optional[TraceContext]:
+        return None
+
+    def start_span(self, name: str, node: str,
+                   parent: Optional[TraceContext] = None,
+                   trace_id: Optional[str] = None,
+                   attrs: Optional[Dict[str, Any]] = None
+                   ) -> Optional[Span]:
+        return None
+
+    def end_span(self, span: Optional[Span],
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        pass
+
+    def event(self, name: str, node: str,
+              parent: Optional[TraceContext],
+              attrs: Optional[Dict[str, Any]] = None
+              ) -> Optional[Span]:
+        return None
+
+    def span_at(self, name: str, node: str,
+                parent: Optional[TraceContext],
+                start_ms: float, end_ms: float,
+                attrs: Optional[Dict[str, Any]] = None
+                ) -> Optional[Span]:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+
+#: The shared no-op default every traced object starts with.
+NULL_TRACER = Tracer()
+
+
+class TraceCollector:
+    """Finished spans, optionally ring-buffered.
+
+    ``max_spans=None`` keeps everything (scenario runs are bounded);
+    a live serve process passes a cap so the ``/trace`` endpoint and
+    its memory stay bounded over weeks of traffic.
+    """
+
+    def __init__(self, max_spans: Optional[int] = None) -> None:
+        self.max_spans = max_spans
+        self._spans: "deque[Span]" = deque(maxlen=max_spans)
+        self.dropped = 0
+
+    def add(self, span: Span) -> None:
+        if self.max_spans is not None and \
+                len(self._spans) == self.max_spans:
+            self.dropped += 1
+        self._spans.append(span)
+
+    def spans(self) -> List[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+
+class ActiveTracer(Tracer):
+    """A live tracer: injected clock, deterministic ids + sampling.
+
+    Parameters
+    ----------
+    clock:
+        Zero-arg callable returning milliseconds.  Sim runs pass the
+        simulator clock; TCP passes
+        :func:`repro.trace.live.wall_clock_ms`.
+    collector:
+        Where finished spans land (shared across every node of one
+        deployment so causal links resolve in one export).
+    sample_rate:
+        Fraction of traces to record, decided per *trace id* via
+        crc32 so every node of a deployment keeps or drops the same
+        request.  1.0 records everything.
+    """
+
+    enabled = True
+
+    #: Sampling granularity: crc32(trace_id) % 10_000 < rate * 10_000.
+    _SAMPLE_BUCKETS = 10_000
+
+    def __init__(self, clock: Callable[[], float],
+                 collector: Optional[TraceCollector] = None,
+                 sample_rate: float = 1.0) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be within [0, 1], got {sample_rate}")
+        self.clock = clock
+        self.collector = collector if collector is not None \
+            else TraceCollector()
+        self.sample_rate = sample_rate
+        self._threshold = int(round(sample_rate * self._SAMPLE_BUCKETS))
+        self._seq = 0
+        self._current: Optional[TraceContext] = None
+
+    # -- context ------------------------------------------------------
+    def current(self) -> Optional[TraceContext]:
+        return self._current
+
+    def set_current(self, ctx: Optional[TraceContext]
+                    ) -> Optional[TraceContext]:
+        prev = self._current
+        self._current = ctx
+        return prev
+
+    def context_of(self, span: Optional[Span]
+                   ) -> Optional[TraceContext]:
+        return span.context() if span is not None else None
+
+    # -- sampling -----------------------------------------------------
+    def sampled(self, trace_id: str) -> bool:
+        if self._threshold >= self._SAMPLE_BUCKETS:
+            return True
+        if self._threshold <= 0:
+            return False
+        bucket = zlib.crc32(trace_id.encode("utf-8")) % \
+            self._SAMPLE_BUCKETS
+        return bucket < self._threshold
+
+    # -- spans --------------------------------------------------------
+    def _next_id(self, node: str) -> str:
+        self._seq += 1
+        return f"{node}:{self._seq}"
+
+    def start_span(self, name: str, node: str,
+                   parent: Optional[TraceContext] = None,
+                   trace_id: Optional[str] = None,
+                   attrs: Optional[Dict[str, Any]] = None
+                   ) -> Optional[Span]:
+        """Open a span.  Roots pass ``trace_id`` (sampling decides
+        there); children pass ``parent`` (the sampling decision was
+        made at the root -- no parent context means the root was
+        dropped, so the child is too)."""
+        if parent is not None:
+            tid = parent.trace_id
+            parent_id: Optional[str] = parent.span_id
+        elif trace_id is not None:
+            if not self.sampled(trace_id):
+                return None
+            tid = trace_id
+            parent_id = None
+        else:
+            return None
+        return Span(tid, self._next_id(node), parent_id, name, node,
+                    self.clock(), None,
+                    dict(attrs) if attrs else None)
+
+    def end_span(self, span: Optional[Span],
+                 attrs: Optional[Dict[str, Any]] = None) -> None:
+        if span is None:
+            return
+        span.end_ms = self.clock()
+        if attrs:
+            span.attrs.update(attrs)
+        self.collector.add(span)
+
+    def event(self, name: str, node: str,
+              parent: Optional[TraceContext],
+              attrs: Optional[Dict[str, Any]] = None
+              ) -> Optional[Span]:
+        """A zero-duration point event, collected immediately."""
+        if parent is None:
+            return None
+        now = self.clock()
+        span = Span(parent.trace_id, self._next_id(node),
+                    parent.span_id, name, node, now, now,
+                    dict(attrs) if attrs else None)
+        self.collector.add(span)
+        return span
+
+    def span_at(self, name: str, node: str,
+                parent: Optional[TraceContext],
+                start_ms: float, end_ms: float,
+                attrs: Optional[Dict[str, Any]] = None
+                ) -> Optional[Span]:
+        """A span with explicit bounds, collected immediately -- for
+        intervals measured after the fact (e.g. commit-to-execution
+        dependency wait)."""
+        if parent is None:
+            return None
+        span = Span(parent.trace_id, self._next_id(node),
+                    parent.span_id, name, node, start_ms, end_ms,
+                    dict(attrs) if attrs else None)
+        self.collector.add(span)
+        return span
+
+    def now(self) -> float:
+        return self.clock()

@@ -22,8 +22,13 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 from repro.cluster.node import NodeContext
 from repro.errors import TransportError
 from repro.messages.base import decode
+from repro.messages.trace import (
+    trace_context_from_bytes,
+    trace_context_to_bytes,
+)
 from repro.obs.instruments import NULL
-from repro.transport.codec import decode_frame, encode_frame
+from repro.trace.tracer import NULL_TRACER
+from repro.transport.codec import decode_frame_traced, encode_frame
 
 _HEADER = struct.Struct(">I")
 #: Frames above this size are rejected (corrupt peer / DoS guard).
@@ -89,6 +94,10 @@ class AsyncioNode:
     #: ``instruments.enabled`` so a disabled deployment pays a single
     #: attribute test; ``repro serve`` swaps in a live set.
     instruments = NULL
+    #: Tracing seam, same discipline: the no-op singleton by default;
+    #: traced deployments swap in a live :class:`ActiveTracer` so
+    #: frames carry causal context (the TRACED frame kind).
+    tracer = NULL_TRACER
 
     def __init__(self, node_id: str, address: Address,
                  addresses: Dict[str, Address],
@@ -220,7 +229,7 @@ class AsyncioNode:
             writer.close()
 
     def _dispatch(self, body: bytes) -> None:
-        sender, learned, wire = decode_frame(body)
+        sender, learned, wire, trace = decode_frame_traced(body)
         # Frames carry the sender's *listen* address so multi-process
         # deployments (host maps) learn routes from traffic instead of
         # needing every ephemeral port configured up front.
@@ -236,7 +245,18 @@ class AsyncioNode:
         self.frames_received += 1
         if self.instruments.enabled:
             self.instruments.frame_received()
-        if self.handler is not None:
+        if self.handler is None:
+            return
+        tracer = self.tracer
+        if trace is not None and tracer.enabled:
+            # Restore the sender's causal context around delivery so
+            # handler-side spans parent to the right request.
+            prev = tracer.set_current(trace_context_from_bytes(trace))
+            try:
+                self.handler(sender, message)
+            finally:
+                tracer.set_current(prev)
+        else:
             self.handler(sender, message)
 
     # ------------------------------------------------------------------
@@ -258,7 +278,17 @@ class AsyncioNode:
                     self.instruments.frame_dropped()
                 return
             raise TransportError(f"unknown destination {dst!r}")
-        task = self.loop.create_task(self._send(dst, message))
+        trace: Optional[bytes] = None
+        tracer = self.tracer
+        if tracer.enabled:
+            # Capture the causal context *now*, synchronously -- by
+            # the time the send task runs, the handler that caused
+            # this send has long since restored a different context.
+            ctx = tracer.current()
+            if ctx is not None:
+                trace = trace_context_to_bytes(ctx)
+        task = self.loop.create_task(self._send(dst, message,
+                                                trace=trace))
         self._send_tasks.add(task)
         task.add_done_callback(self._send_tasks.discard)
 
@@ -272,9 +302,10 @@ class AsyncioNode:
         task.add_done_callback(self._send_tasks.discard)
 
     async def _send(self, dst: str, message: Any,
-                    hello: bool = False) -> None:
+                    hello: bool = False,
+                    trace: Optional[bytes] = None) -> None:
         frame = encode_frame(self.node_id, self.address,
-                             None if hello else message)
+                             None if hello else message, trace=trace)
         if self.shaper is not None and not hello:
             # The netem seam: one send becomes zero, one, or two
             # deliveries, each delayed on the event loop.  Per-send

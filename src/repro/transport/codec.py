@@ -10,19 +10,28 @@ message's cached canonical encoding verbatim as the frame body.
 Frame body layout (the transport's 4-byte outer length prefix is *not*
 part of this codec):
 
-    kind:       1 byte   -- HELLO (address announcement) or MESSAGE
+    kind:       1 byte   -- HELLO (address announcement), MESSAGE, or
+                            TRACED (a MESSAGE carrying trace context)
     sender_len: 2 bytes  big-endian
     sender:     UTF-8 node id
     host_len:   2 bytes  big-endian
     host:       UTF-8 listen host of the sender
     port:       2 bytes  big-endian listen port of the sender
+    trace_len:  2 bytes  big-endian       (TRACED frames only)
+    trace:      compact JSON trace context (TRACED frames only; see
+                :mod:`repro.messages.trace`)
     body:       canonical JSON bytes of the message wire dict
-                (MESSAGE frames only)
+                (MESSAGE/TRACED frames only)
 
 The body is exactly :func:`repro.crypto.digest.canonical_bytes` of the
 message, which is itself valid JSON, so the receive side decodes it with
 ``json.loads`` and the ordinary message registry -- anything that round
 trips through the simulator round trips here unchanged.
+
+TRACED is strictly additive: a deployment with tracing off never emits
+it, old frames decode exactly as before, and the trace section never
+touches the signed message bytes (certificate splicing and digest memos
+stay valid).
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from repro.errors import TransportError
 #: Frame kinds.
 HELLO = 0
 MESSAGE = 1
+TRACED = 2
 
 _LEN = struct.Struct(">H")
 _PORT = struct.Struct(">H")
@@ -45,8 +55,11 @@ Address = Tuple[str, int]
 
 
 def encode_frame(sender: str, addr: Address,
-                 message: Optional[Any] = None) -> bytes:
-    """Encode one frame body.  ``message=None`` makes a HELLO frame."""
+                 message: Optional[Any] = None,
+                 trace: Optional[bytes] = None) -> bytes:
+    """Encode one frame body.  ``message=None`` makes a HELLO frame;
+    ``trace`` (pre-encoded context bytes) upgrades a MESSAGE frame to
+    TRACED and is ignored for HELLOs."""
     sender_b = sender.encode("utf-8")
     host, port = addr
     host_b = str(host).encode("utf-8")
@@ -54,25 +67,44 @@ def encode_frame(sender: str, addr: Address,
         raise TransportError("sender/host name exceeds 65535 bytes")
     if not 0 <= int(port) <= 0xFFFF:
         raise TransportError(f"port {port!r} out of range")
-    head = b"".join((
-        bytes((MESSAGE if message is not None else HELLO,)),
+    traced = message is not None and trace is not None
+    if traced and len(trace) > 0xFFFF:
+        raise TransportError("trace context exceeds 65535 bytes")
+    kind = HELLO if message is None else (TRACED if traced else MESSAGE)
+    parts = [
+        bytes((kind,)),
         _LEN.pack(len(sender_b)), sender_b,
         _LEN.pack(len(host_b)), host_b,
         _PORT.pack(int(port)),
-    ))
+    ]
     if message is None:
-        return head
+        return b"".join(parts)
+    if traced:
+        parts.append(_LEN.pack(len(trace)))
+        parts.append(trace)
     # The cached canonical encoding of the (usually just-signed)
     # message: no second serialization pass over its wire dict.
-    return head + canonical_bytes(message)
+    parts.append(canonical_bytes(message))
+    return b"".join(parts)
 
 
 def decode_frame(body: bytes) -> Tuple[str, Address, Optional[dict]]:
     """Decode one frame body to ``(sender, addr, wire_dict_or_None)``.
 
-    HELLO frames decode with ``None`` in the message slot.  Malformed
-    input raises :class:`TransportError` (corrupt peer guard).
+    HELLO frames decode with ``None`` in the message slot; any trace
+    context on a TRACED frame is dropped (use
+    :func:`decode_frame_traced` to keep it).  Malformed input raises
+    :class:`TransportError` (corrupt peer guard).
     """
+    sender, addr, wire, _ = decode_frame_traced(body)
+    return sender, addr, wire
+
+
+def decode_frame_traced(body: bytes) -> Tuple[str, Address,
+                                              Optional[dict],
+                                              Optional[bytes]]:
+    """Decode one frame body to ``(sender, addr, wire_dict_or_None,
+    trace_bytes_or_None)`` -- the transport's dispatch entry point."""
     try:
         kind = body[0]
         offset = 1
@@ -86,13 +118,21 @@ def decode_frame(body: bytes) -> Tuple[str, Address, Optional[dict]]:
         offset += host_len
         (port,) = _PORT.unpack_from(body, offset)
         offset += _PORT.size
+        trace: Optional[bytes] = None
+        if kind == TRACED:
+            (trace_len,) = _LEN.unpack_from(body, offset)
+            offset += _LEN.size
+            trace = body[offset:offset + trace_len]
+            if len(trace) != trace_len:
+                raise TransportError("truncated trace context")
+            offset += trace_len
     except (IndexError, struct.error, UnicodeDecodeError) as exc:
         raise TransportError(f"malformed frame header: {exc}") from None
     if kind == HELLO:
         if offset != len(body):
             raise TransportError("hello frame carries trailing bytes")
-        return sender, (host, port), None
-    if kind != MESSAGE:
+        return sender, (host, port), None, None
+    if kind not in (MESSAGE, TRACED):
         raise TransportError(f"unknown frame kind {kind}")
     try:
         wire = json.loads(body[offset:].decode("utf-8"))
@@ -101,4 +141,4 @@ def decode_frame(body: bytes) -> Tuple[str, Address, Optional[dict]]:
     if not isinstance(wire, dict):
         raise TransportError(
             f"frame body is {type(wire).__name__}, expected an object")
-    return sender, (host, port), wire
+    return sender, (host, port), wire, trace

@@ -61,6 +61,38 @@ def test_wall_clock_allowed_in_obs_layer(tmp_path):
     assert hits(findings, "wall-clock") == []
 
 
+def test_wall_clock_trace_grant_is_module_scoped():
+    # Sim traces are byte-identical regression artifacts, so the
+    # trace layer is deterministic by default; only the TCP clock
+    # module holds wall-clock rights.
+    assert wall_clock_allowed("src/repro/trace/live.py")
+    assert not wall_clock_allowed("src/repro/trace/tracer.py")
+    assert not wall_clock_allowed("src/repro/trace/export.py")
+    assert not wall_clock_allowed("src/repro/trace/critical_path.py")
+
+
+def test_wall_clock_flagged_in_sim_side_trace_module(tmp_path):
+    # The module grant must not leak: a wall-clock read anywhere else
+    # in the trace layer still trips the determinism checker.
+    findings = lint_snippet(tmp_path, "src/repro/trace/bad.py", """\
+        import time
+
+        def stamp():
+            return time.time()
+        """)
+    assert hits(findings, "wall-clock") == [("wall-clock", 4)]
+
+
+def test_wall_clock_allowed_in_trace_live_module(tmp_path):
+    findings = lint_snippet(tmp_path, "src/repro/trace/live.py", """\
+        import time
+
+        def wall_clock_ms():
+            return time.time() * 1000.0
+        """)
+    assert hits(findings, "wall-clock") == []
+
+
 # ----------------------------------------------------------------------
 # determinism
 # ----------------------------------------------------------------------

@@ -16,7 +16,7 @@ import socket
 import subprocess
 import sys
 
-from repro.obs import http_request
+from repro.obs import ScrapeConfig, http_request
 from repro.scenario import (
     CrashReplica,
     RecoverReplica,
@@ -90,8 +90,10 @@ def test_remote_fault_delivered_over_control(tmp_path):
         before = _healthz("127.0.0.1", obs_port)
         assert before["crashed"] is False
 
-        report = ScenarioRunner(backend="tcp", tcp_timeout_s=30.0) \
-            .run(scenario)
+        runner = ScenarioRunner(
+            backend="tcp", tcp_timeout_s=30.0,
+            scrape_config=ScrapeConfig(interval_s=0.2, timeout_s=1.0))
+        report = runner.run(scenario)
 
         # Both remote-targeted faults were dispatched and recorded.
         assert [e["event"] for e in report.fault_log] == \
@@ -104,6 +106,15 @@ def test_remote_fault_delivered_over_control(tmp_path):
         after = _healthz("127.0.0.1", obs_port)
         assert after["crashed"] is False  # recovered by the schedule
         assert after["executed"] >= before["executed"]
+
+        # The periodic sampler ran against the serving process: a
+        # time series of /metrics.json pulls, each tick either stats
+        # or None (the mid-run crash window may show the outage).
+        samples = runner.last_scrape_samples
+        assert samples, "periodic scraper collected nothing"
+        assert all(set(s) == {"t_ms", "replicas"} for s in samples)
+        assert all(list(s["replicas"]) == ["r3"] for s in samples)
+        assert any(s["replicas"]["r3"] is not None for s in samples)
     finally:
         server.terminate()
         try:

@@ -263,3 +263,83 @@ def test_control_channel_apply_failure_is_500():
     status, payload = channel.handle(body)
     assert status == 500
     assert "injector exploded" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+# Live tracing (/trace) + endpoint-named failures
+# ----------------------------------------------------------------------
+def test_serve_session_trace_endpoint():
+    async def run():
+        session = _session(trace=True, trace_ring=16)
+        await session.start()
+        try:
+            # The tracer is attached to every hosted replica and its
+            # transport node (one shared ring per process).
+            for rid in ("r2", "r3"):
+                assert session.cluster.nodes[rid].tracer \
+                    is session.tracer
+                assert session.cluster.replicas[rid].tracer \
+                    is session.tracer
+            host, port = session.endpoints["r2"]
+            body = await fetch_json(host, port, "/trace")
+            assert body["schema"] == 1
+            assert body["span_count"] == 0  # no client traffic yet
+            assert body["dropped_spans"] == 0
+            assert body["spans"] == []
+        finally:
+            await session.drain()
+
+    asyncio.run(run())
+
+
+def test_serve_session_trace_404_when_disabled():
+    from repro.errors import TransportError
+
+    async def run():
+        session = _session()
+        await session.start()
+        try:
+            assert session.tracer is None
+            host, port = session.endpoints["r2"]
+            with pytest.raises(TransportError, match="404"):
+                await fetch_json(host, port, "/trace")
+        finally:
+            await session.drain()
+
+    asyncio.run(run())
+
+
+def test_control_send_failure_names_endpoint():
+    from repro.errors import TransportError
+
+    port = _free_port()  # nothing listens here
+
+    async def run():
+        client = ControlClient()
+        with pytest.raises(TransportError) as exc:
+            await client.send("127.0.0.1", port,
+                              CrashReplica(at_ms=0.0, replica="r1"),
+                              timeout=1.0)
+        message = str(exc.value)
+        assert f"POST /control on 127.0.0.1:{port}" in message
+        assert "CrashReplica" in message
+
+    asyncio.run(run())
+
+
+def test_scrape_failure_names_endpoint():
+    from repro.obs import scrape_replica_stats
+
+    port = _free_port()  # nothing listens here
+
+    async def run():
+        errors = []
+        stats = await scrape_replica_stats(
+            {"r7": ("127.0.0.1", port)}, timeout=1.0, errors=errors)
+        assert stats == {"r7": None}
+        assert len(errors) == 1
+        assert f"127.0.0.1:{port}" in errors[0]
+        assert "r7" in errors[0]
+        assert "/metrics.json" in errors[0]
+
+    asyncio.run(run())

@@ -230,3 +230,51 @@ def test_compare_csv_export(tmp_path, capsys):
     with open(csv_path, newline="") as fh:
         rows = list(csv.DictReader(fh))
     assert {row["protocol"] for row in rows} == {"ezbft", "pbft"}
+
+
+# ----------------------------------------------------------------------
+# --trace / --trace-chrome
+# ----------------------------------------------------------------------
+def test_run_trace_writes_byte_identical_artifacts(tmp_path):
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    for path in (first, second):
+        assert main(["run", "--preset", "smoke", "--backend", "sim",
+                     "--quiet", "--trace", str(path)]) == 0
+    assert first.read_bytes() == second.read_bytes()
+    data = json.loads(first.read_text())
+    assert data["schema"] == 1
+    assert data["span_count"] > 0
+    assert data["dropped_spans"] == 0
+
+
+def test_run_trace_chrome_is_perfetto_loadable(tmp_path, capsys):
+    trace, chrome = tmp_path / "t.json", tmp_path / "t.chrome.json"
+    assert main(["run", "--preset", "smoke", "--backend", "sim",
+                 "--trace", str(trace),
+                 "--trace-chrome", str(chrome)]) == 0
+    out = capsys.readouterr().out
+    assert str(trace) in out and str(chrome) in out
+    events = json.loads(chrome.read_text())["traceEvents"]
+    assert events and all(e["ph"] == "X" for e in events)
+    assert {e["name"] for e in events} >= {"client.request",
+                                           "owner.lead"}
+
+
+def test_run_trace_both_backends_suffixes_files(tmp_path):
+    out = tmp_path / "trace.json"
+    assert main(["run", "--preset", "smoke", "--backend", "both",
+                 "--quiet", "--trace", str(out)]) == 0
+    for backend in ("sim", "tcp"):
+        path = tmp_path / f"trace.{backend}.json"
+        assert path.exists(), f"missing {path}"
+        assert json.loads(path.read_text())["span_count"] > 0
+    assert not out.exists()
+
+
+def test_run_trace_sample_zero_records_nothing(tmp_path):
+    out = tmp_path / "empty.json"
+    assert main(["run", "--preset", "smoke", "--backend", "sim",
+                 "--quiet", "--trace", str(out),
+                 "--trace-sample", "0.0"]) == 0
+    data = json.loads(out.read_text())
+    assert data["span_count"] == 0 and data["spans"] == []

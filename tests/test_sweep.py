@@ -395,3 +395,42 @@ def test_nan_metrics_dropped_from_series():
     points = sweep_report.series("seed", y="latency_p50_ms")[None]
     assert [p.x for p in points] == [1]  # starved cell dropped
     assert sweep_report.series("seed", y="fast_path_ratio") == {}
+
+
+# ----------------------------------------------------------------------
+# Periodic scraping (ScrapeConfig)
+# ----------------------------------------------------------------------
+def test_periodic_scrape_requires_tcp_backend():
+    from repro.obs import ScrapeConfig
+
+    with pytest.raises(ConfigurationError, match="tcp"):
+        SweepRunner(scrape=ScrapeConfig())
+
+
+def test_scrape_config_pickles_for_worker_processes():
+    import pickle
+
+    from repro.obs import ScrapeConfig
+
+    config = ScrapeConfig(interval_s=0.5, timeout_s=1.0)
+    assert pickle.loads(pickle.dumps(config)) == config
+
+
+def test_cell_dict_gains_scrape_key_only_when_sampled():
+    from repro.sweep.report import SweepCellResult, SweepReport
+
+    report = run_sweep(sweep("smoke", clients=(1,), seed=(1,)))
+    cell = report.cells[0]
+    assert cell.scrape is None
+    assert sorted(report.to_dict()["cells"][0]) == \
+        ["params", "report"]  # the golden-pinned two-key shape
+
+    samples = [{"t_ms": 500.0, "replicas": {"r3": {"executed": 4}}}]
+    sampled = SweepReport(
+        name=report.name, backend="tcp", axes=report.axes,
+        cells=[SweepCellResult(params=cell.params,
+                               report=cell.report,
+                               scrape=samples)])
+    data = sampled.to_dict()["cells"][0]
+    assert sorted(data) == ["params", "report", "scrape"]
+    assert data["scrape"] == samples
